@@ -1,0 +1,50 @@
+// Ablation: worker-thread fan-out.
+//
+// §8 notes that Privagic runs one worker thread per enclave per application
+// thread ("which multiplies the number of threads by the number of colors
+// plus one") and leaves right-sizing to future work. This sweep drives
+// minicached's *real* worker pool — real std::threads contending on real
+// shard mutexes — and reports two signals:
+//   * simulated throughput (the cost model treats workers as independent,
+//     so it scales linearly: the paper's idealized fan-out), and
+//   * measured wall-clock time to drain the operation stream on this host,
+//     which exposes the real contention the prototype's thread
+//     multiplication creates.
+#include <chrono>
+#include <cstdio>
+
+#include "apps/kvcache/minicached.hpp"
+
+int main() {
+  using namespace privagic;        // NOLINT(google-build-using-namespace)
+  using namespace privagic::apps;  // NOLINT(google-build-using-namespace)
+
+  std::printf("== Ablation: minicached worker threads (Privagic config, machine B) ==\n\n");
+  std::printf("%8s  %16s  %12s  %14s\n", "workers", "sim throughput", "sim scaling",
+              "host wall (ms)");
+
+  double base = 0.0;
+  constexpr std::uint64_t kOps = 60'000;
+  for (std::size_t workers : {1, 2, 4, 6, 8, 12}) {
+    MinicachedOptions opts;
+    opts.config = CacheConfig::kPrivagic;
+    opts.worker_threads = workers;
+    opts.nominal_records = 200'000;
+    Minicached cache(opts, sgx::CostModel(sgx::CostParams::machine_b()));
+    cache.preload(100'000);
+    ycsb::WorkloadConfig cfg = ycsb::WorkloadConfig::a();
+    cfg.record_count = 100'000;
+    ycsb::WorkloadGenerator gen(cfg);
+    const auto start = std::chrono::steady_clock::now();
+    const double kops = cache.run_workload(gen, kOps);
+    const auto wall =
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start);
+    if (base == 0.0) base = kops;
+    std::printf("%8zu  %11.1f kops  %11.2fx  %14.1f\n", workers, kops, kops / base,
+                wall.count());
+  }
+  std::printf("\nper §8, the prototype pins one worker per enclave per app thread; the\n");
+  std::printf("host wall column shows the real lock/scheduler contention that\n");
+  std::printf("configless switchless calls [48] would remove.\n");
+  return 0;
+}

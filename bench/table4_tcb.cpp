@@ -1,0 +1,100 @@
+// Table 4: memcached metrics — modified lines of code, TCB size, and user
+// code loaded in the enclave, for full embedding (Scone) vs Privagic.
+//
+// The Privagic column is *measured* from this repository: the annotated
+// memcached core (src/apps/kvcache/pir_program.hpp) is parsed, type-checked
+// in hardened mode, and partitioned; the enclave user code is the
+// instruction count of the `store` chunks. Runtime/library sizes that we do
+// not build (Intel SGX SDK runtime, musl, Scone's library OS) are the
+// constants the paper reports in §9.2.2, cited inline.
+#include <cstdio>
+#include <string>
+
+#include "apps/kvcache/pir_program.hpp"
+#include "ir/parser.hpp"
+#include "partition/partitioner.hpp"
+
+namespace {
+
+using namespace privagic;  // NOLINT(google-build-using-namespace)
+
+// §9.2.2 constants for components we do not build.
+constexpr double kSconeMemcachedKib = 349.0;       // memcached binary in the enclave
+constexpr double kSconeMuslKib = 14.7 * 1024.0;    // musl C library
+constexpr double kSconeLibOsKib = 36.2 * 1024.0;   // Scone's library OS
+constexpr double kPrivagicRuntimeKib = 268.0;      // Intel SDK + Privagic runtimes
+constexpr double kBytesPerInstruction = 8.0;       // x86-64 code density estimate
+// §9.2.2: the full memcached body is 78106 lines of LLVM code; our PIR core
+// reproduces the *map* at scale 1:1 but the rest of memcached at reduced
+// scale, so the full-embed user-code column scales accordingly.
+constexpr int kPaperFullMemcachedLlvmLines = 78106;
+
+int count_modified_lines(std::string_view source) {
+  int n = 0;
+  std::size_t pos = 0;
+  while ((pos = source.find("; MODIFIED", pos)) != std::string_view::npos) {
+    ++n;
+    pos += 10;
+  }
+  return n;
+}
+
+}  // namespace
+
+int main() {
+  auto parsed = ir::parse_module(apps::kMinicachedCorePir);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "parse failed: %s\n", parsed.message().c_str());
+    return 1;
+  }
+  const std::size_t total_instructions = parsed.value()->instruction_count();
+
+  sectype::TypeAnalysis analysis(*parsed.value(), sectype::Mode::kHardened);
+  if (!analysis.run()) {
+    std::fprintf(stderr, "%s\n", analysis.diagnostics().to_string().c_str());
+    return 1;
+  }
+  auto result = partition::partition_module(analysis);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.message().c_str());
+    return 1;
+  }
+
+  std::size_t enclave_instructions = 0;
+  std::size_t untrusted_instructions = 0;
+  for (const auto& [color, n] : result.value()->instructions_per_color) {
+    if (color.is_named()) {
+      enclave_instructions += n;
+    } else {
+      untrusted_instructions += n;
+    }
+  }
+
+  const int modified = count_modified_lines(apps::kMinicachedCorePir);
+  const double privagic_tcb_kib =
+      kPrivagicRuntimeKib +
+      static_cast<double>(enclave_instructions) * kBytesPerInstruction / 1024.0;
+  const double scone_tcb_kib = kSconeMemcachedKib + kSconeMuslKib + kSconeLibOsKib;
+
+  std::printf("== Table 4: memcached metrics ==\n\n");
+  std::printf("%-10s  %-16s  %-12s  %-24s\n", "", "Modified (locs)", "TCB (KiB)",
+              "User code in enclave");
+  std::printf("%-10s  %16d  %12.0f  %7d lines (paper: full app)\n", "Scone", 0,
+              scone_tcb_kib, kPaperFullMemcachedLlvmLines);
+  std::printf("%-10s  %16d  %12.0f  %7zu PIR instructions (measured)\n", "Privagic",
+              modified, privagic_tcb_kib, enclave_instructions);
+
+  std::printf("\nmeasured from the partitioned module:\n");
+  std::printf("  whole program:        %zu PIR instructions\n", total_instructions);
+  std::printf("  enclave ('store'):    %zu instructions\n", enclave_instructions);
+  std::printf("  untrusted:            %zu instructions\n", untrusted_instructions);
+  std::printf("  TCB ratio Scone/Privagic: %.0fx   (paper: ~200x)\n",
+              scone_tcb_kib / privagic_tcb_kib);
+  std::printf("  full-embed / partitioned enclave code: %.1fx   (paper: >=63x on the "
+              "real memcached)\n",
+              static_cast<double>(total_instructions + enclave_instructions) /
+                  static_cast<double>(enclave_instructions));
+  std::printf("  modified lines: %d (paper: 9 — 2 coloring + 7 declassification)\n",
+              modified);
+  return modified == apps::kMinicachedModifiedLoc ? 0 : 1;
+}

@@ -1,0 +1,100 @@
+// The Figure 3 demonstration (§3): why data-flow partitioning tools cannot
+// handle multi-threaded C/C++ — and why explicit secure typing can.
+//
+// Act 1: a Glamdring-style sequential taint analysis partitions the program
+//        and concludes that only `a` needs protection.
+// Act 2: two threads execute the hidden-pointer-modification interleaving;
+//        the secret lands in `b`, which the tool left unprotected.
+// Act 3: the same program with explicit secure types is rejected at compile
+//        time — no interleaving can ever reach the leak.
+//
+// Run: build/examples/multithreaded_escape
+#include <cstdio>
+
+#include "dataflow/stepper.hpp"
+#include "dataflow/taint.hpp"
+#include "ir/parser.hpp"
+
+namespace {
+
+const char* kBaseline = R"(
+module "fig3_baseline"
+global i32 @a
+global i32 @b
+global ptr<i32> @x
+define void @f(i32 %s color(sensitive)) {
+entry:
+  store ptr<i32> @a, ptr<ptr<i32>> @x
+  %p = load ptr<ptr<i32>> @x
+  store i32 %s, ptr<i32> %p
+  ret void
+}
+define void @g() {
+entry:
+  store ptr<i32> @b, ptr<ptr<i32>> @x
+  ret void
+}
+)";
+
+const char* kTyped = R"(
+module "fig3_typed"
+global i32 @a = 0 color(blue)
+global i32 @b = 0
+global ptr<i32 color(blue)> @x
+define void @g() {
+entry:
+  store ptr<i32> @b, ptr<ptr<i32 color(blue)>> @x
+  ret void
+}
+)";
+
+}  // namespace
+
+int main() {
+  using namespace privagic;  // NOLINT(google-build-using-namespace)
+
+  std::printf("=== Figure 3: the hidden pointer modification ===\n\n");
+  std::printf("  f(s):  x = &a;  *x = s;     // s is sensitive\n");
+  std::printf("  g():   x = &b;              // runs in parallel\n\n");
+
+  auto module = ir::parse_module(kBaseline).value();
+
+  // Act 1 — the sequential data-flow tool.
+  dataflow::TaintAnalysis taint(*module);
+  taint.run();
+  std::printf("[1] Glamdring-style data-flow analysis concludes:\n");
+  std::printf("      a protected: %s   b protected: %s\n",
+              taint.is_protected("a") ? "yes" : "no",
+              taint.is_protected("b") ? "yes" : "no");
+  std::printf("      (sequentially correct: when f stores, x points to a)\n\n");
+
+  // Act 2 — the interleaving.
+  dataflow::Stepper stepper(*module);
+  const int tf = stepper.spawn("f", {424242}).value();
+  const int tg = stepper.spawn("g", {}).value();
+  std::printf("[2] interleaved execution:\n");
+  stepper.step(tf);
+  std::printf("      thread 1: x = &a\n");
+  stepper.run_to_completion(tg);
+  std::printf("      thread 2: x = &b          <- hidden pointer modification\n");
+  stepper.run_to_completion(tf);
+  std::printf("      thread 1: *x = 424242     <- stores the secret through x\n\n");
+  std::printf("      memory afterwards: a = %lld, b = %lld\n",
+              static_cast<long long>(stepper.read_global("a")),
+              static_cast<long long>(stepper.read_global("b")));
+  const bool leaked = stepper.read_global("b") == 424242;
+  std::printf("      => the secret is in UNPROTECTED memory (%s)\n\n",
+              leaked ? "the analysis was unsound" : "unexpected!");
+
+  // Act 3 — explicit secure typing.
+  auto typed = ir::parse_module(kTyped);
+  std::printf("[3] the same program with explicit secure types (Figure 3.b):\n");
+  if (!typed.ok()) {
+    std::printf("      compile error: %s\n", typed.message().c_str());
+    std::printf("      => Privagic rejects `x = &b` before any thread can run.\n");
+  } else {
+    std::printf("      unexpectedly accepted!\n");
+    return 1;
+  }
+  return leaked ? 0 : 1;
+}

@@ -1,0 +1,19 @@
+; The Figure 1 bank account for the privagicc CLI:
+;   privagicc --mode=relaxed --split-structs --chunks examples/pir/bank.pir
+;   privagicc --mode=relaxed --split-structs --run create 7 42 examples/pir/bank.pir
+module "bank"
+
+struct %account { i64 name color(blue), f64 balance color(red) }
+
+global ptr<%account> @acc
+
+define void @create(i64 %name, f64 %balance) entry {
+entry:
+  %a = heap_alloc %account
+  %np = gep ptr<%account> %a, field 0
+  store i64 %name, ptr<i64 color(blue)> %np
+  %bp = gep ptr<%account> %a, field 1
+  store f64 %balance, ptr<f64 color(red)> %bp
+  store ptr<%account> %a, ptr<ptr<%account>> @acc
+  ret void
+}

@@ -1,0 +1,26 @@
+; Figures 6 & 7:
+;   privagicc --mode=relaxed --colors --chunks --run main examples/pir/fig6.pir
+module "fig6"
+global i32 @unsafe = 0 color(U)
+global i32 @blue = 10 color(blue)
+global i32 @red = 0 color(red)
+declare void @printf(i32)
+define i32 @main() entry {
+entry:
+  store i32 1, ptr<i32 color(U)> @unsafe
+  %b = load ptr<i32 color(blue)> @blue
+  %x = call i32 @f(i32 %b)
+  ret i32 %x
+}
+define i32 @f(i32 %y) {
+entry:
+  call void @g(i32 21)
+  ret i32 42
+}
+define void @g(i32 %n) {
+entry:
+  store i32 %n, ptr<i32 color(blue)> @blue
+  store i32 %n, ptr<i32 color(red)> @red
+  call void @printf(i32 0)
+  ret void
+}

@@ -1,0 +1,141 @@
+// Quickstart: the paper's Figure 1 bank account, end to end.
+//
+//   struct account { char color(blue) name[256]; double color(red) balance; };
+//
+// This example walks the whole Privagic pipeline on the PIR version of that
+// program: parse → multi-color structure splitting (§7.2) → secure type
+// analysis in relaxed mode (§6) → partitioning into blue/red/U chunks (§7)
+// → execution on the simulated SGX machine, ending with the attacker's view
+// of memory.
+//
+// Run: build/examples/quickstart
+#include <cstdio>
+#include <cstring>
+
+#include "interp/machine.hpp"
+#include "ir/parser.hpp"
+#include "ir/printer.hpp"
+#include "partition/partitioner.hpp"
+#include "partition/split_structs.hpp"
+
+namespace {
+
+const char* kBankAccount = R"(
+module "bank"
+
+struct %account { i64 name color(blue), f64 balance color(red) }
+
+global ptr<%account> @acc
+
+define void @create(i64 %name, f64 %balance) entry {
+entry:
+  %a = heap_alloc %account
+  %np = gep ptr<%account> %a, field 0
+  store i64 %name, ptr<i64 color(blue)> %np
+  %bp = gep ptr<%account> %a, field 1
+  store f64 %balance, ptr<f64 color(red)> %bp
+  store ptr<%account> %a, ptr<ptr<%account>> @acc
+  ret void
+}
+
+define void @deposit(f64 %amount) entry {
+entry:
+  %a = load ptr<ptr<%account>> @acc
+  %bp = gep ptr<%account> %a, field 1
+  %old = load ptr<f64 color(red)> %bp
+  %new = fadd f64 %old, %amount
+  store f64 %new, ptr<f64 color(red)> %bp
+  ret void
+}
+
+declare i64 @encrypt(i64) ignore
+
+define i64 @export_balance() entry {
+entry:
+  %a = load ptr<ptr<%account>> @acc
+  %bp = gep ptr<%account> %a, field 1
+  %b = load ptr<f64 color(red)> %bp
+  %bits = cast bitcast f64 %b to i64
+  %sealed = call i64 @encrypt(i64 %bits)
+  ret i64 %sealed
+}
+)";
+
+std::int64_t f64_bits(double d) {
+  std::int64_t v;
+  std::memcpy(&v, &d, 8);
+  return v;
+}
+
+}  // namespace
+
+int main() {
+  using namespace privagic;  // NOLINT(google-build-using-namespace)
+
+  std::printf("=== Privagic quickstart: the Figure 1 bank account ===\n\n");
+
+  // 1. Parse the annotated program.
+  auto parsed = ir::parse_module(kBankAccount);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "parse error: %s\n", parsed.message().c_str());
+    return 1;
+  }
+  auto module = std::move(parsed).value();
+
+  // 2. Split the multi-color structure (§7.2): name and balance move behind
+  //    per-enclave indirections.
+  const std::size_t split = partition::split_multicolor_structs(*module);
+  std::printf("[1] split %zu colored fields out of %%account:\n      %s\n\n", split,
+              module->types().struct_by_name("account")->fields()[0].type->to_string().c_str());
+
+  // 3. Type-check in relaxed mode (multi-color structures require it, §8).
+  sectype::TypeAnalysis analysis(*module, sectype::Mode::kRelaxed);
+  if (!analysis.run()) {
+    std::fprintf(stderr, "%s\n", analysis.diagnostics().to_string().c_str());
+    return 1;
+  }
+  std::printf("[2] secure type analysis: OK — program colors:");
+  for (const auto& c : analysis.program_colors()) std::printf(" %s", c.to_string().c_str());
+  std::printf("\n\n");
+
+  // 4. Partition.
+  auto result = partition::partition_module(analysis);
+  if (!result.ok()) {
+    std::fprintf(stderr, "partition error: %s\n", result.message().c_str());
+    return 1;
+  }
+  std::printf("[3] partitioned into %zu chunks:\n", result.value()->chunks.size());
+  for (const auto& chunk : result.value()->chunks) {
+    std::printf("      %-28s -> enclave %s\n", chunk.fn->name().c_str(),
+                chunk.color.to_string().c_str());
+  }
+  std::printf("\n");
+
+  // 5. Execute on the simulated SGX machine.
+  interp::Machine machine(*result.value());
+  machine.bind_external("encrypt",
+                        [](interp::Machine::ExternalCtx&, std::span<const std::int64_t> a) {
+                          return a[0] ^ 0x5A5A5A5A5A5A5A5A;  // stand-in cipher
+                        });
+  const std::int64_t name = 0x656D616E74756F6A;  // some account-name bytes
+  machine.call("create", {name, f64_bits(1000.0)}).value();
+  machine.call("deposit", {f64_bits(234.5)}).value();
+  const std::int64_t sealed = machine.call("export_balance", {}).value();
+  double balance;
+  const std::int64_t bits = sealed ^ 0x5A5A5A5A5A5A5A5A;
+  std::memcpy(&balance, &bits, 8);
+  std::printf("[4] executed create(1000.0) + deposit(234.5); sealed export decrypts to %.1f\n\n",
+              balance);
+
+  // 6. The attacker's view: full scan of unsafe memory.
+  std::byte needle[8];
+  std::memcpy(needle, &name, 8);
+  const bool name_leaked = machine.memory().unsafe_memory_contains(needle);
+  const std::int64_t raw_balance = f64_bits(1234.5);
+  std::memcpy(needle, &raw_balance, 8);
+  const bool balance_leaked = machine.memory().unsafe_memory_contains(needle);
+  std::printf("[5] attacker scan of unsafe memory: name %s, balance %s\n",
+              name_leaked ? "VISIBLE (!)" : "not found", balance_leaked ? "VISIBLE (!)" : "not found");
+  std::printf("    (the account *body* is in unsafe memory; the colored fields are not)\n");
+  return name_leaked || balance_leaked ? 1 : 0;
+}

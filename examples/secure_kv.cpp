@@ -1,0 +1,91 @@
+// The §9.2 scenario at PIR scale: a KV server whose central map lives in an
+// enclave (hardened mode), serving requests through an untrusted front end,
+// with classify/declassify boundaries — the program Table 4 measures.
+//
+// Run: build/examples/secure_kv
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "apps/kvcache/pir_program.hpp"
+#include "interp/machine.hpp"
+#include "ir/parser.hpp"
+#include "partition/partitioner.hpp"
+
+int main() {
+  using namespace privagic;  // NOLINT(google-build-using-namespace)
+
+  std::printf("=== secure_kv: the annotated memcached core (hardened mode) ===\n\n");
+
+  auto module = ir::parse_module(apps::kMinicachedCorePir).value();
+  sectype::TypeAnalysis analysis(*module, sectype::Mode::kHardened);
+  if (!analysis.run()) {
+    std::fprintf(stderr, "%s\n", analysis.diagnostics().to_string().c_str());
+    return 1;
+  }
+  auto program = partition::partition_module(analysis).value();
+
+  std::printf("[1] modified lines: %d (2 coloring + 7 classify/declassify)\n",
+              apps::kMinicachedModifiedLoc);
+  std::printf("[2] TCB split: ");
+  for (const auto& [color, n] : program->instructions_per_color) {
+    std::printf("%s=%zu instrs  ", color.to_string().c_str(), n);
+  }
+  std::printf("\n\n");
+
+  interp::Machine machine(*program);
+  machine.bind_external("classify",
+                        [](interp::Machine::ExternalCtx&, std::span<const std::int64_t> a) {
+                          return a[0];
+                        });
+  machine.bind_external("declassify",
+                        [](interp::Machine::ExternalCtx&, std::span<const std::int64_t> a) {
+                          return a[0];
+                        });
+
+  // Drive the untrusted request loop: puts then gets.
+  std::vector<std::int64_t> requests;
+  for (std::int64_t k = 1; k <= 5; ++k) {
+    requests.push_back((1ll << 62) | (k << 32) | (k * 1111));  // put k -> k*1111
+  }
+  for (std::int64_t k = 1; k <= 5; ++k) {
+    requests.push_back(k << 32);  // get k
+  }
+  std::size_t cursor = 0;
+  std::vector<std::int64_t> responses;
+  machine.bind_external("net_recv",
+                        [&](interp::Machine::ExternalCtx&, std::span<const std::int64_t>) {
+                          return requests.at(cursor++);
+                        });
+  machine.bind_external("net_send",
+                        [&](interp::Machine::ExternalCtx&, std::span<const std::int64_t> a) {
+                          responses.push_back(a[0]);
+                          return 0;
+                        });
+
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    auto r = machine.call("handle_request", {});
+    if (!r.ok()) {
+      std::fprintf(stderr, "request %zu failed: %s\n", i, r.message().c_str());
+      return 1;
+    }
+  }
+  std::printf("[3] served %zu requests through the untrusted front end:\n", requests.size());
+  for (std::int64_t k = 1; k <= 5; ++k) {
+    const std::int64_t resp = responses[static_cast<std::size_t>(4 + k)];
+    std::printf("      get(%lld) -> found=%lld value=%lld\n", static_cast<long long>(k),
+                static_cast<long long>((resp >> 62) & 1),
+                static_cast<long long>(resp & 0xFFFFFFFF));
+  }
+
+  // The attacker scans all unsafe memory for a stored value.
+  const std::int64_t stored = 3 * 1111;
+  std::byte needle[8];
+  std::memcpy(needle, &stored, 8);
+  const bool visible = machine.memory().unsafe_memory_contains(needle);
+  std::printf("\n[4] attacker scan for value %lld in unsafe memory: %s\n",
+              static_cast<long long>(stored), visible ? "VISIBLE (!)" : "not found");
+  std::printf("    (values live in the 'store' enclave; only declassified copies in\n");
+  std::printf("     response buffers would be visible, and responses here are ephemeral)\n");
+  return 0;
+}

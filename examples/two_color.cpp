@@ -1,0 +1,89 @@
+// The complete example of Figures 6 and 7: a program partitioned across two
+// enclaves (blue and red) plus the untrusted world, executed on real worker
+// threads with spawn/cont/ack messages.
+//
+// Run: build/examples/two_color
+#include <cstdio>
+
+#include "interp/machine.hpp"
+#include "ir/parser.hpp"
+#include "ir/printer.hpp"
+#include "partition/partitioner.hpp"
+
+namespace {
+
+const char* kFigure6 = R"(
+module "fig6"
+global i32 @unsafe = 0 color(U)
+global i32 @blue = 10 color(blue)
+global i32 @red = 0 color(red)
+declare void @printf(i32)
+define i32 @main() entry {
+entry:
+  store i32 1, ptr<i32 color(U)> @unsafe
+  %b = load ptr<i32 color(blue)> @blue
+  %x = call i32 @f(i32 %b)
+  ret i32 %x
+}
+define i32 @f(i32 %y) {
+entry:
+  call void @g(i32 21)
+  ret i32 42
+}
+define void @g(i32 %n) {
+entry:
+  store i32 %n, ptr<i32 color(blue)> @blue
+  store i32 %n, ptr<i32 color(red)> @red
+  call void @printf(i32 0)
+  ret void
+}
+)";
+
+}  // namespace
+
+int main() {
+  using namespace privagic;  // NOLINT(google-build-using-namespace)
+
+  std::printf("=== Figures 6 & 7: the complete two-enclave example ===\n\n");
+  auto module = ir::parse_module(kFigure6).value();
+
+  // Relaxed mode: g's F argument (21) travels in cont messages (§7.3.2).
+  sectype::TypeAnalysis analysis(*module, sectype::Mode::kRelaxed);
+  if (!analysis.run()) {
+    std::fprintf(stderr, "%s\n", analysis.diagnostics().to_string().c_str());
+    return 1;
+  }
+
+  std::printf("[1] color sets (§7.3.1):\n");
+  for (const auto* facts : analysis.reachable_specs()) {
+    std::printf("      %-10s {", facts->sig().mangled().c_str());
+    bool first = true;
+    for (const auto& c : facts->color_set()) {
+      std::printf("%s%s", first ? "" : ", ", c.to_string().c_str());
+      first = false;
+    }
+    std::printf("}\n");
+  }
+
+  auto result = partition::partition_module(analysis).value();
+  std::printf("\n[2] the generated chunks (compare with Figure 7's columns):\n");
+  for (const auto& chunk : result->chunks) {
+    std::printf("      %-16s column: %s%s\n", chunk.fn->name().c_str(),
+                chunk.color.to_string().c_str(),
+                chunk.trampoline != nullptr ? "  (remote-startable)" : "");
+  }
+
+  std::printf("\n[3] the blue chunk of f — spawns g.red and g.U, conts the argument,\n");
+  std::printf("    and calls g.blue directly:\n\n%s\n",
+              ir::print_function(*result->chunk("f$blue", sectype::Color::named("blue"))->fn)
+                  .c_str());
+
+  interp::Machine machine(*result);
+  const auto r = machine.call("main", {});
+  std::printf("[4] executed across 3 protection domains: main() = %lld (expected 42)\n",
+              static_cast<long long>(r.value()));
+  std::printf("    external calls observed: ");
+  for (const auto& line : machine.external_log()) std::printf("%s ", line.c_str());
+  std::printf("\n");
+  return r.value() == 42 ? 0 : 1;
+}

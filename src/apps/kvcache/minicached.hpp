@@ -1,0 +1,134 @@
+// minicached: the memcached 1.6 stand-in of §9.2.
+//
+// A multi-threaded, event-based in-memory KV cache: a sharded, lock-
+// protected chained hashmap with per-shard LRU eviction, a listener that
+// distributes client requests to worker queues, and worker threads that
+// execute them — the same architecture the paper describes (worker thread,
+// network listener thread, background LRU maintenance).
+//
+// The store is real (real threads, real locks, real buckets and LRU lists);
+// time is simulated: each request charges the SGX cost model according to
+// the protection configuration (§9.2.3):
+//
+//   Unprotected — requests pay loopback syscalls + parsing + map accesses at
+//       normal-mode cost.
+//   FullEnclave (Scone) — the *whole* application runs in one enclave: every
+//       syscall becomes a shielded switchless ocall, every memory access
+//       pays enclave-mode cost, and the shield encrypts request/response
+//       buffers.
+//   Privagic — only the central map is colored (hardened mode): request
+//       handling runs untrusted at native cost; each operation crosses into
+//       the enclave over the lock-free queue, takes/releases one lock
+//       (usually uncontended — the §9.2.3 "two OS calls" are the contended
+//       slow path), and map accesses pay enclave-mode cost. get() results
+//       are declassified (§9.2).
+//
+// Large datasets: the benchmark can declare a *nominal* record count larger
+// than the records actually materialized; the cost model uses the nominal
+// working set while the real structure still exercises every code path
+// (DESIGN.md §2 records this substitution).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "ds/structures.hpp"
+#include "sgx/cost_model.hpp"
+#include "support/sim_clock.hpp"
+#include "ycsb/workload.hpp"
+
+namespace privagic::apps {
+
+enum class CacheConfig : std::uint8_t { kUnprotected, kFullEnclave, kPrivagic };
+
+[[nodiscard]] std::string_view cache_config_name(CacheConfig c);
+
+struct MinicachedOptions {
+  CacheConfig config = CacheConfig::kUnprotected;
+  std::size_t shards = 16;          // lock granularity
+  std::size_t worker_threads = 6;   // + 1 listener, as §9.2 (7 threads total)
+  std::uint64_t value_size_bytes = 1024;
+  std::uint64_t memory_limit_bytes = 0;  // 0 = unlimited; else LRU evicts
+  /// Nominal records for working-set accounting (0 = use the live count).
+  std::uint64_t nominal_records = 0;
+};
+
+/// One shard: chained buckets + intrusive LRU, guarded by a mutex.
+class CacheShard {
+ public:
+  explicit CacheShard(std::size_t buckets = 1 << 14);
+  ~CacheShard();
+  CacheShard(const CacheShard&) = delete;
+  CacheShard& operator=(const CacheShard&) = delete;
+
+  struct OpResult {
+    bool hit = false;
+    std::uint64_t node_visits = 0;
+    std::uint64_t evicted = 0;
+    ds::Value value;
+  };
+
+  OpResult get(std::uint64_t key);
+  OpResult put(std::uint64_t key, const ds::Value& value, std::uint64_t max_items);
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  struct Item {
+    std::uint64_t key;
+    ds::Value value;
+    Item* chain_next = nullptr;
+    Item* lru_prev = nullptr;
+    Item* lru_next = nullptr;
+  };
+  void lru_unlink(Item* item);
+  void lru_push_front(Item* item);
+  Item* evict_lru();
+
+  mutable std::mutex mu_;
+  std::vector<Item*> buckets_;
+  Item* lru_head_ = nullptr;
+  Item* lru_tail_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+class Minicached {
+ public:
+  Minicached(MinicachedOptions options, sgx::CostModel model);
+
+  /// Loads @p records sequential keys (untimed).
+  void preload(std::uint64_t records);
+
+  /// Executes one client request on the calling thread and returns its
+  /// simulated latency in ns. Thread-safe (shard locking is real).
+  double execute(const ycsb::Operation& op);
+
+  /// Runs @p operations from @p generator across the configured worker
+  /// threads (real std::threads, real lock contention) and returns the
+  /// aggregate simulated throughput in kops/s.
+  double run_workload(ycsb::WorkloadGenerator& generator, std::uint64_t operations);
+
+  [[nodiscard]] std::uint64_t live_records() const;
+  [[nodiscard]] std::uint64_t working_set_bytes() const;
+  [[nodiscard]] double mean_latency_us() const;
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+
+ private:
+  [[nodiscard]] double request_cost_ns(const CacheShard::OpResult& result, bool is_get) const;
+
+  MinicachedOptions options_;
+  sgx::CostModel model_;
+  std::vector<std::unique_ptr<CacheShard>> shards_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> ops_{0};
+  // Simulated ns accumulated across workers (summed; throughput divides by
+  // worker count).
+  std::atomic<std::uint64_t> total_ns_{0};
+};
+
+}  // namespace privagic::apps

@@ -1,0 +1,286 @@
+#include "dataflow/stepper.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace privagic::dataflow {
+
+namespace {
+
+std::int64_t sign_extend(std::uint64_t raw, unsigned bits) {
+  if (bits >= 64) return static_cast<std::int64_t>(raw);
+  const std::uint64_t mask = (1ull << bits) - 1;
+  raw &= mask;
+  if ((raw & (1ull << (bits - 1))) != 0) raw |= ~mask;
+  return static_cast<std::int64_t>(raw);
+}
+
+}  // namespace
+
+Stepper::Stepper(const ir::Module& module) : module_(module) {
+  for (const auto& g : module_.globals()) {
+    const std::uint64_t addr = allocate(g->contained_type()->size_bytes());
+    global_addr_[g.get()] = addr;
+    if (g->int_init() != 0 && g->contained_type()->is_int()) {
+      mem_write(addr, g->int_init(), g->contained_type()->size_bytes());
+    }
+  }
+}
+
+std::uint64_t Stepper::allocate(std::uint64_t size) {
+  const std::uint64_t base = next_addr_;
+  for (std::uint64_t i = 0; i < size; ++i) memory_[base + i] = std::byte{0};
+  next_addr_ += size + 16;
+  return base;
+}
+
+void Stepper::mem_write(std::uint64_t addr, std::int64_t value, std::uint64_t size) {
+  std::byte bytes[8];
+  std::memcpy(bytes, &value, 8);
+  for (std::uint64_t i = 0; i < size; ++i) memory_[addr + i] = bytes[i];
+}
+
+std::int64_t Stepper::mem_read(std::uint64_t addr, const ir::Type* type) const {
+  std::byte bytes[8] = {};
+  const std::uint64_t size = type->size_bytes();
+  for (std::uint64_t i = 0; i < size; ++i) {
+    auto it = memory_.find(addr + i);
+    if (it != memory_.end()) bytes[i] = it->second;
+  }
+  std::uint64_t raw = 0;
+  std::memcpy(&raw, bytes, size);
+  if (type->is_int()) return sign_extend(raw, static_cast<const ir::IntType*>(type)->bits());
+  return static_cast<std::int64_t>(raw);
+}
+
+Result<int> Stepper::spawn(const std::string& name, std::vector<std::int64_t> args) {
+  const ir::Function* fn = module_.function_by_name(name);
+  if (fn == nullptr || fn->is_declaration()) {
+    return Result<int>::error("no defined function @" + name);
+  }
+  if (args.size() != fn->arg_count()) {
+    return Result<int>::error("arity mismatch spawning @" + name);
+  }
+  auto thread = std::make_unique<Thread>();
+  Frame frame;
+  frame.fn = fn;
+  frame.block = fn->entry_block();
+  for (std::size_t i = 0; i < args.size(); ++i) frame.regs[fn->argument(i)] = args[i];
+  thread->stack.push_back(std::move(frame));
+  threads_.push_back(std::move(thread));
+  return static_cast<int>(threads_.size() - 1);
+}
+
+std::int64_t Stepper::eval(const Frame& frame, const ir::Value* v) const {
+  switch (v->value_kind()) {
+    case ir::ValueKind::kConstInt:
+      return static_cast<const ir::ConstInt*>(v)->value();
+    case ir::ValueKind::kConstFloat: {
+      const double d = static_cast<const ir::ConstFloat*>(v)->value();
+      std::int64_t out;
+      std::memcpy(&out, &d, 8);
+      return out;
+    }
+    case ir::ValueKind::kConstNull:
+      return 0;
+    case ir::ValueKind::kGlobal:
+      return static_cast<std::int64_t>(
+          global_addr_.at(static_cast<const ir::GlobalVariable*>(v)));
+    case ir::ValueKind::kArgument:
+    case ir::ValueKind::kInstruction: {
+      auto it = frame.regs.find(v);
+      if (it == frame.regs.end()) throw std::runtime_error("unset register in stepper");
+      return it->second;
+    }
+    default:
+      throw std::runtime_error("unsupported operand in stepper");
+  }
+}
+
+bool Stepper::step(int tid) {
+  Thread& t = *threads_.at(static_cast<std::size_t>(tid));
+  if (t.done) return false;
+  exec(t);
+  return true;
+}
+
+void Stepper::run_to_completion(int tid) {
+  for (int guard = 0; guard < 1'000'000 && step(tid); ++guard) {
+  }
+}
+
+bool Stepper::finished(int tid) const { return threads_.at(static_cast<std::size_t>(tid))->done; }
+
+std::int64_t Stepper::result(int tid) const {
+  return threads_.at(static_cast<std::size_t>(tid))->result;
+}
+
+std::int64_t Stepper::read_global(const std::string& name) const {
+  const ir::GlobalVariable* g = module_.global_by_name(name);
+  if (g == nullptr) throw std::runtime_error("no global @" + name);
+  return mem_read(global_addr_.at(g), g->contained_type());
+}
+
+void Stepper::write_global(const std::string& name, std::int64_t value) {
+  const ir::GlobalVariable* g = module_.global_by_name(name);
+  if (g == nullptr) throw std::runtime_error("no global @" + name);
+  mem_write(global_addr_.at(g), value, g->contained_type()->size_bytes());
+}
+
+void Stepper::exec(Thread& t) {
+  Frame& frame = t.stack.back();
+  if (frame.index >= frame.block->size()) {
+    throw std::runtime_error("fell off the end of a block");
+  }
+  const ir::Instruction* inst = frame.block->instruction(frame.index);
+
+  auto jump_to = [&](const ir::BasicBlock* target) {
+    frame.prev = frame.block;
+    frame.block = target;
+    frame.index = 0;
+    // Resolve phis of the target block immediately (they are one logical
+    // step with the edge).
+    std::vector<std::pair<const ir::Value*, std::int64_t>> values;
+    for (const ir::PhiInst* phi : target->phis()) {
+      for (std::size_t i = 0; i < phi->incoming_count(); ++i) {
+        if (phi->incoming_block(i) == frame.prev) {
+          values.emplace_back(phi, eval(frame, phi->incoming_value(i)));
+          break;
+        }
+      }
+    }
+    for (const auto& [phi, v] : values) frame.regs[phi] = v;
+    while (frame.index < frame.block->size() &&
+           frame.block->instruction(frame.index)->opcode() == ir::Opcode::kPhi) {
+      ++frame.index;
+    }
+  };
+
+  switch (inst->opcode()) {
+    case ir::Opcode::kRet: {
+      const auto* ret = static_cast<const ir::RetInst*>(inst);
+      const std::int64_t value = ret->has_value() ? eval(frame, ret->value()) : 0;
+      t.stack.pop_back();
+      if (t.stack.empty()) {
+        t.done = true;
+        t.result = value;
+      } else {
+        Frame& caller = t.stack.back();
+        if (caller.pending_call != nullptr && !caller.pending_call->type()->is_void()) {
+          caller.regs[caller.pending_call] = value;
+        }
+        caller.pending_call = nullptr;
+      }
+      return;
+    }
+    case ir::Opcode::kBr:
+      jump_to(static_cast<const ir::BrInst*>(inst)->target());
+      return;
+    case ir::Opcode::kCondBr: {
+      const auto* cb = static_cast<const ir::CondBrInst*>(inst);
+      jump_to((eval(frame, cb->condition()) & 1) != 0 ? cb->then_block() : cb->else_block());
+      return;
+    }
+    case ir::Opcode::kCall: {
+      const auto* call = static_cast<const ir::CallInst*>(inst);
+      const ir::Function* callee = call->callee();
+      ++frame.index;
+      if (callee->is_declaration()) return;  // externals are no-ops here
+      Frame next;
+      next.fn = callee;
+      next.block = callee->entry_block();
+      for (std::size_t i = 0; i < call->args().size(); ++i) {
+        next.regs[callee->argument(i)] = eval(frame, call->args()[i]);
+      }
+      frame.pending_call = call;
+      t.stack.push_back(std::move(next));
+      return;
+    }
+    default:
+      break;
+  }
+
+  // Straight-line instructions.
+  switch (inst->opcode()) {
+    case ir::Opcode::kAlloca:
+    case ir::Opcode::kHeapAlloc: {
+      const ir::Type* contained =
+          inst->opcode() == ir::Opcode::kAlloca
+              ? static_cast<const ir::AllocaInst*>(inst)->contained_type()
+              : static_cast<const ir::HeapAllocInst*>(inst)->contained_type();
+      frame.regs[inst] = static_cast<std::int64_t>(allocate(contained->size_bytes()));
+      break;
+    }
+    case ir::Opcode::kHeapFree:
+      break;  // flat memory: no-op
+    case ir::Opcode::kLoad: {
+      const auto* load = static_cast<const ir::LoadInst*>(inst);
+      frame.regs[inst] =
+          mem_read(static_cast<std::uint64_t>(eval(frame, load->pointer())), load->type());
+      break;
+    }
+    case ir::Opcode::kStore: {
+      const auto* store = static_cast<const ir::StoreInst*>(inst);
+      mem_write(static_cast<std::uint64_t>(eval(frame, store->pointer())),
+                eval(frame, store->stored_value()),
+                store->stored_value()->type()->size_bytes());
+      break;
+    }
+    case ir::Opcode::kGep: {
+      const auto* gep = static_cast<const ir::GepInst*>(inst);
+      const std::uint64_t base = static_cast<std::uint64_t>(eval(frame, gep->base()));
+      if (gep->is_field_access()) {
+        frame.regs[inst] = static_cast<std::int64_t>(
+            base + gep->struct_type()->field_offset(static_cast<std::size_t>(gep->field_index())));
+      } else {
+        const auto* pt = static_cast<const ir::PtrType*>(inst->type());
+        frame.regs[inst] = static_cast<std::int64_t>(
+            base + pt->pointee()->size_bytes() *
+                       static_cast<std::uint64_t>(eval(frame, gep->index())));
+      }
+      break;
+    }
+    case ir::Opcode::kBinOp: {
+      const auto* op = static_cast<const ir::BinOpInst*>(inst);
+      const std::int64_t a = eval(frame, op->lhs());
+      const std::int64_t b = eval(frame, op->rhs());
+      std::int64_t r = 0;
+      switch (op->op()) {
+        case ir::BinOpKind::kAdd: r = a + b; break;
+        case ir::BinOpKind::kSub: r = a - b; break;
+        case ir::BinOpKind::kMul: r = a * b; break;
+        case ir::BinOpKind::kAnd: r = a & b; break;
+        case ir::BinOpKind::kOr: r = a | b; break;
+        case ir::BinOpKind::kXor: r = a ^ b; break;
+        default:
+          throw std::runtime_error("binop not supported by the stepper");
+      }
+      frame.regs[inst] = r;
+      break;
+    }
+    case ir::Opcode::kICmp: {
+      const auto* op = static_cast<const ir::ICmpInst*>(inst);
+      const std::int64_t a = eval(frame, op->lhs());
+      const std::int64_t b = eval(frame, op->rhs());
+      bool r = false;
+      switch (op->pred()) {
+        case ir::ICmpPred::kEq: r = a == b; break;
+        case ir::ICmpPred::kNe: r = a != b; break;
+        case ir::ICmpPred::kSlt: r = a < b; break;
+        case ir::ICmpPred::kSle: r = a <= b; break;
+        case ir::ICmpPred::kSgt: r = a > b; break;
+        case ir::ICmpPred::kSge: r = a >= b; break;
+      }
+      frame.regs[inst] = r ? 1 : 0;
+      break;
+    }
+    case ir::Opcode::kCast:
+      frame.regs[inst] = eval(frame, static_cast<const ir::CastInst*>(inst)->source());
+      break;
+    default:
+      throw std::runtime_error("opcode not supported by the stepper");
+  }
+  ++frame.index;
+}
+
+}  // namespace privagic::dataflow

@@ -1,0 +1,87 @@
+// Instruction-level interleaving stepper.
+//
+// Executes an *unpartitioned* PIR module with several logical threads over a
+// flat, unprotected memory, advancing one instruction of one thread at a
+// time under an explicit schedule. This is the harness that exhibits the
+// Figure 3 race: schedule f up to its pointer assignment, run g's hidden
+// pointer modification, then let f's store fire — and watch the secret land
+// in memory the data-flow tool left unprotected.
+//
+// Deliberately minimal: straight-line + branches + phis + direct calls; no
+// partitioning, no access control (that is the point — this models the
+// baseline system, not Privagic).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/module.hpp"
+#include "support/status.hpp"
+
+namespace privagic::dataflow {
+
+class Stepper {
+ public:
+  explicit Stepper(const ir::Module& module);
+
+  /// Starts a logical thread at function @p name. Returns its thread id.
+  [[nodiscard]] Result<int> spawn(const std::string& name, std::vector<std::int64_t> args);
+
+  /// Executes exactly one instruction of thread @p tid. Returns false when
+  /// the thread had already finished.
+  bool step(int tid);
+
+  /// Runs thread @p tid to completion.
+  void run_to_completion(int tid);
+
+  [[nodiscard]] bool finished(int tid) const;
+  [[nodiscard]] std::int64_t result(int tid) const;
+
+  /// Reads a global's current value (any width up to 8 bytes).
+  [[nodiscard]] std::int64_t read_global(const std::string& name) const;
+  void write_global(const std::string& name, std::int64_t value);
+
+  /// True if @p needle occurs in the backing bytes of global @p name — the
+  /// "attacker reads unprotected memory" check.
+  [[nodiscard]] bool global_holds(const std::string& name, std::int64_t needle) const {
+    return read_global(name) == needle;
+  }
+
+ private:
+  struct Frame {
+    const ir::Function* fn = nullptr;
+    const ir::BasicBlock* block = nullptr;
+    const ir::BasicBlock* prev = nullptr;
+    std::size_t index = 0;  // next instruction
+    std::unordered_map<const ir::Value*, std::int64_t> regs;
+    const ir::Instruction* pending_call = nullptr;  // call awaiting callee return
+  };
+
+  struct Thread {
+    std::vector<Frame> stack;
+    bool done = false;
+    std::int64_t result = 0;
+  };
+
+  std::int64_t eval(const Frame& frame, const ir::Value* v) const;
+  void exec(Thread& t);
+
+  const ir::Module& module_;
+  std::vector<std::unique_ptr<Thread>> threads_;
+  // Flat memory: address → byte, plus per-global base addresses.
+  std::unordered_map<std::uint64_t, std::byte> memory_;
+  std::map<const ir::GlobalVariable*, std::uint64_t> global_addr_;
+  std::map<const ir::Value*, std::uint64_t> alloc_addr_;  // allocation sites
+  std::uint64_t next_addr_ = 0x1000;
+
+  std::uint64_t allocate(std::uint64_t size);
+  void mem_write(std::uint64_t addr, std::int64_t value, std::uint64_t size);
+  [[nodiscard]] std::int64_t mem_read(std::uint64_t addr, const ir::Type* type) const;
+};
+
+}  // namespace privagic::dataflow

@@ -1,0 +1,160 @@
+#include "dataflow/taint.hpp"
+
+#include "ir/cfg.hpp"
+
+namespace privagic::dataflow {
+
+void TaintAnalysis::run() {
+  // Seeds: colored globals are sensitive memory; the analysis also taints
+  // colored arguments when it visits the owning function.
+  for (const auto& g : module_.globals()) {
+    if (!g->color().empty()) memory_[g.get()].tainted = true;
+  }
+  // Whole-program fixpoint: re-analyze every function until the accumulated
+  // memory facts stop changing.
+  for (int pass = 0; pass < 64; ++pass) {
+    changed_ = false;
+    for (const auto& fn : module_.functions()) {
+      if (!fn->is_declaration()) analyze_function(*fn);
+    }
+    if (!changed_) break;
+  }
+}
+
+void TaintAnalysis::analyze_function(const ir::Function& fn) {
+  // Flow-sensitive value environment: SSA makes values single-assignment,
+  // so one map suffices; pointer contents get *strong updates* at stores —
+  // the sequential assumption this baseline exists to demonstrate.
+  std::unordered_map<const ir::Value*, AbstractValue> env;
+  // Local (flow-sensitive) view of memory, seeded from the global facts.
+  auto local_memory = memory_;
+
+  auto value_of = [&](const ir::Value* v) -> AbstractValue {
+    if (const auto* g = dynamic_cast<const ir::GlobalVariable*>(v); g != nullptr) {
+      AbstractValue av;
+      av.points_to.insert(g);  // the address of a global points to it
+      return av;
+    }
+    auto it = env.find(v);
+    return it != env.end() ? it->second : AbstractValue{};
+  };
+
+  for (const auto& arg : fn.arguments()) {
+    AbstractValue av;
+    av.tainted = !arg->color().empty();
+    env[arg.get()] = av;
+  }
+
+  bool touches_taint = false;
+  const ir::Cfg cfg(fn);
+  // Two sweeps in RPO approximate the loop fixpoint well enough for taint.
+  for (int sweep = 0; sweep < 2; ++sweep) {
+    for (const ir::BasicBlock* bb : cfg.reverse_postorder()) {
+      for (const auto& inst : bb->instructions()) {
+        switch (inst->opcode()) {
+          case ir::Opcode::kAlloca:
+          case ir::Opcode::kHeapAlloc: {
+            AbstractValue av;
+            av.points_to.insert(inst.get());  // fresh object per site
+            env[inst.get()] = av;
+            break;
+          }
+          case ir::Opcode::kLoad: {
+            const auto* load = static_cast<const ir::LoadInst*>(inst.get());
+            AbstractValue result;
+            for (MemObject obj : value_of(load->pointer()).points_to) {
+              result.join(local_memory[obj]);
+            }
+            touches_taint |= result.tainted;
+            env[inst.get()] = result;
+            break;
+          }
+          case ir::Opcode::kStore: {
+            const auto* store = static_cast<const ir::StoreInst*>(inst.get());
+            const AbstractValue stored = value_of(store->stored_value());
+            const AbstractValue target = value_of(store->pointer());
+            touches_taint |= stored.tainted;
+            // Strong update when the pointer resolves to one object (the
+            // flow-sensitive, sequential assumption); weak join otherwise.
+            if (target.points_to.size() == 1) {
+              MemObject obj = *target.points_to.begin();
+              AbstractValue next = stored;
+              local_memory[obj] = next;
+              // Whole-program facts only grow (weak across functions).
+              if (memory_[obj].join(stored)) changed_ = true;
+            } else {
+              for (MemObject obj : target.points_to) {
+                local_memory[obj].join(stored);
+                if (memory_[obj].join(stored)) changed_ = true;
+              }
+            }
+            break;
+          }
+          case ir::Opcode::kGep: {
+            // Field/element of an object: same abstract object (field-
+            // insensitive points-to, as in [4]).
+            const auto* gep = static_cast<const ir::GepInst*>(inst.get());
+            env[inst.get()] = value_of(gep->base());
+            break;
+          }
+          case ir::Opcode::kCast: {
+            env[inst.get()] = value_of(static_cast<const ir::CastInst*>(inst.get())->source());
+            break;
+          }
+          case ir::Opcode::kBinOp:
+          case ir::Opcode::kICmp: {
+            AbstractValue result;
+            for (const ir::Value* op : inst->operands()) result.join(value_of(op));
+            touches_taint |= result.tainted;
+            env[inst.get()] = result;
+            break;
+          }
+          case ir::Opcode::kPhi: {
+            const auto* phi = static_cast<const ir::PhiInst*>(inst.get());
+            AbstractValue result;
+            for (std::size_t i = 0; i < phi->incoming_count(); ++i) {
+              result.join(value_of(phi->incoming_value(i)));
+            }
+            env[inst.get()] = result;
+            break;
+          }
+          case ir::Opcode::kCall: {
+            // Context-insensitive: join argument taint into the callee's
+            // world via memory reachable from pointer args; result tainted
+            // if any argument is.
+            AbstractValue result;
+            for (const ir::Value* op : inst->operands()) result.join(value_of(op));
+            touches_taint |= result.tainted;
+            if (!inst->type()->is_void()) env[inst.get()] = result;
+            break;
+          }
+          default:
+            break;
+        }
+      }
+    }
+  }
+  if (touches_taint && tainted_functions_.insert(&fn).second) changed_ = true;
+}
+
+std::set<std::string> TaintAnalysis::protected_globals() const {
+  std::set<std::string> out;
+  for (const auto& [obj, av] : memory_) {
+    if (!av.tainted) continue;
+    if (const auto* g = dynamic_cast<const ir::GlobalVariable*>(obj); g != nullptr) {
+      out.insert(g->name());
+    }
+  }
+  for (const auto& g : module_.globals()) {
+    if (!g->color().empty()) out.insert(g->name());  // seeds are protected
+  }
+  return out;
+}
+
+std::set<std::string> TaintAnalysis::enclave_functions() const {
+  std::set<std::string> out;
+  for (const ir::Function* fn : tainted_functions_) out.insert(fn->name());
+  return out;
+}
+
+}  // namespace privagic::dataflow

@@ -1,0 +1,84 @@
+// Sequential data-flow partitioning analysis — the Glamdring-like baseline
+// (§3, Table 1).
+//
+// The developer marks sensitive seeds (we reuse the color annotation on
+// arguments and globals as the sensitivity marker, ignoring the color name).
+// The analysis then computes, exactly like the tools in Table 1:
+//  * a flow-sensitive, intra-procedural abstract state per program point:
+//    for every SSA value and memory object, a taint bit and a points-to set;
+//  * strong updates on pointer state within a function ("x = &a" replaces
+//    x's points-to set) — the standard sequential assumption of abstract
+//    interpretation [17] and use-def analysis [1];
+//  * a whole-program fixpoint over the entry points.
+//
+// The output is the Glamdring-style partition: globals to place in the
+// enclave and functions that touch tainted state.
+//
+// The point of this module is the documented *failure*: on the Figure 3
+// program the analysis concludes only `a` is sensitive, because it never
+// considers that another thread can retarget the pointer between the
+// assignment and the dereference. tests/dataflow_test.cpp executes that
+// interleaving with the Stepper and watches the secret land in unprotected
+// memory — while Privagic's secure typing rejects the same program at
+// compile time (tests/sectype_test.cpp, Figure3Test).
+#pragma once
+
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "ir/module.hpp"
+
+namespace privagic::dataflow {
+
+/// An abstract memory object: a global or an allocation site.
+using MemObject = const ir::Value*;
+
+class TaintAnalysis {
+ public:
+  explicit TaintAnalysis(const ir::Module& module) : module_(module) {}
+
+  /// Runs to fixpoint over every defined function (each is treated as an
+  /// entry point, mirroring a library analysis).
+  void run();
+
+  /// Globals the tool would place in the enclave.
+  [[nodiscard]] std::set<std::string> protected_globals() const;
+
+  /// Functions the tool would place in the enclave (they touch taint).
+  [[nodiscard]] std::set<std::string> enclave_functions() const;
+
+  /// True if the analysis concluded @p global_name holds sensitive data.
+  [[nodiscard]] bool is_protected(const std::string& global_name) const {
+    return protected_globals().contains(global_name);
+  }
+
+ private:
+  struct AbstractValue {
+    bool tainted = false;
+    std::unordered_set<MemObject> points_to;
+
+    bool join(const AbstractValue& other) {
+      bool changed = false;
+      if (other.tainted && !tainted) {
+        tainted = true;
+        changed = true;
+      }
+      for (MemObject o : other.points_to) {
+        changed |= points_to.insert(o).second;
+      }
+      return changed;
+    }
+  };
+
+  void analyze_function(const ir::Function& fn);
+
+  const ir::Module& module_;
+  // Whole-program memory facts (weak, accumulated across functions).
+  std::unordered_map<MemObject, AbstractValue> memory_;
+  std::unordered_set<const ir::Function*> tainted_functions_;
+  bool changed_ = false;
+};
+
+}  // namespace privagic::dataflow

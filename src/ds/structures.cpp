@@ -1,0 +1,441 @@
+#include "ds/structures.hpp"
+
+#include <algorithm>
+#include <string_view>
+
+#include "support/rng.hpp"
+
+namespace privagic::ds {
+
+// ---------------------------------------------------------------------------
+// ListMap
+// ---------------------------------------------------------------------------
+
+ListMap::~ListMap() {
+  Node* n = head_;
+  while (n != nullptr) {
+    Node* next = n->next;
+    delete n;
+    n = next;
+  }
+}
+
+bool ListMap::put(std::uint64_t key, const Value& value) {
+  reset_visits();
+  for (Node* n = head_; n != nullptr; n = n->next) {
+    touch();
+    if (n->key == key) {
+      n->value = value;
+      return false;
+    }
+  }
+  head_ = new Node{key, value, head_};
+  touch();
+  ++size_;
+  return true;
+}
+
+const Value* ListMap::get(std::uint64_t key) {
+  reset_visits();
+  for (Node* n = head_; n != nullptr; n = n->next) {
+    touch();
+    if (n->key == key) return &n->value;
+  }
+  return nullptr;
+}
+
+bool ListMap::remove(std::uint64_t key) {
+  reset_visits();
+  Node** slot = &head_;
+  while (*slot != nullptr) {
+    touch();
+    if ((*slot)->key == key) {
+      Node* dead = *slot;
+      *slot = dead->next;
+      delete dead;
+      --size_;
+      return true;
+    }
+    slot = &(*slot)->next;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// TreeMap (red-black tree, CLRS-style)
+// ---------------------------------------------------------------------------
+
+TreeMap::~TreeMap() { destroy(root_); }
+
+void TreeMap::destroy(Node* n) {
+  if (n == nullptr) return;
+  destroy(n->left);
+  destroy(n->right);
+  delete n;
+}
+
+TreeMap::Node* TreeMap::find(std::uint64_t key) {
+  Node* n = root_;
+  while (n != nullptr) {
+    touch();
+    if (key == n->key) return n;
+    n = key < n->key ? n->left : n->right;
+  }
+  return nullptr;
+}
+
+const Value* TreeMap::get(std::uint64_t key) {
+  reset_visits();
+  Node* n = find(key);
+  return n != nullptr ? &n->value : nullptr;
+}
+
+void TreeMap::rotate_left(Node* x) {
+  Node* y = x->right;
+  x->right = y->left;
+  if (y->left != nullptr) y->left->parent = x;
+  y->parent = x->parent;
+  if (x->parent == nullptr) {
+    root_ = y;
+  } else if (x == x->parent->left) {
+    x->parent->left = y;
+  } else {
+    x->parent->right = y;
+  }
+  y->left = x;
+  x->parent = y;
+}
+
+void TreeMap::rotate_right(Node* x) {
+  Node* y = x->left;
+  x->left = y->right;
+  if (y->right != nullptr) y->right->parent = x;
+  y->parent = x->parent;
+  if (x->parent == nullptr) {
+    root_ = y;
+  } else if (x == x->parent->right) {
+    x->parent->right = y;
+  } else {
+    x->parent->left = y;
+  }
+  y->right = x;
+  x->parent = y;
+}
+
+bool TreeMap::put(std::uint64_t key, const Value& value) {
+  reset_visits();
+  Node* parent = nullptr;
+  Node* n = root_;
+  while (n != nullptr) {
+    touch();
+    if (key == n->key) {
+      n->value = value;
+      return false;
+    }
+    parent = n;
+    n = key < n->key ? n->left : n->right;
+  }
+  Node* z = new Node{key, value};
+  z->parent = parent;
+  if (parent == nullptr) {
+    root_ = z;
+  } else if (key < parent->key) {
+    parent->left = z;
+  } else {
+    parent->right = z;
+  }
+  touch();
+  insert_fixup(z);
+  ++size_;
+  return true;
+}
+
+void TreeMap::insert_fixup(Node* z) {
+  while (z->parent != nullptr && z->parent->color == NodeColor::kRed) {
+    Node* gp = z->parent->parent;
+    if (z->parent == gp->left) {
+      Node* uncle = gp->right;
+      if (!is_black(uncle)) {
+        z->parent->color = NodeColor::kBlack;
+        uncle->color = NodeColor::kBlack;
+        gp->color = NodeColor::kRed;
+        z = gp;
+      } else {
+        if (z == z->parent->right) {
+          z = z->parent;
+          rotate_left(z);
+        }
+        z->parent->color = NodeColor::kBlack;
+        gp->color = NodeColor::kRed;
+        rotate_right(gp);
+      }
+    } else {
+      Node* uncle = gp->left;
+      if (!is_black(uncle)) {
+        z->parent->color = NodeColor::kBlack;
+        uncle->color = NodeColor::kBlack;
+        gp->color = NodeColor::kRed;
+        z = gp;
+      } else {
+        if (z == z->parent->left) {
+          z = z->parent;
+          rotate_right(z);
+        }
+        z->parent->color = NodeColor::kBlack;
+        gp->color = NodeColor::kRed;
+        rotate_left(gp);
+      }
+    }
+  }
+  root_->color = NodeColor::kBlack;
+}
+
+void TreeMap::transplant(Node* u, Node* v) {
+  if (u->parent == nullptr) {
+    root_ = v;
+  } else if (u == u->parent->left) {
+    u->parent->left = v;
+  } else {
+    u->parent->right = v;
+  }
+  if (v != nullptr) v->parent = u->parent;
+}
+
+TreeMap::Node* TreeMap::minimum(Node* n) const {
+  while (n->left != nullptr) n = n->left;
+  return n;
+}
+
+bool TreeMap::remove(std::uint64_t key) {
+  reset_visits();
+  Node* z = find(key);
+  if (z == nullptr) return false;
+
+  Node* y = z;
+  NodeColor y_original = y->color;
+  Node* x = nullptr;
+  Node* x_parent = nullptr;
+
+  if (z->left == nullptr) {
+    x = z->right;
+    x_parent = z->parent;
+    transplant(z, z->right);
+  } else if (z->right == nullptr) {
+    x = z->left;
+    x_parent = z->parent;
+    transplant(z, z->left);
+  } else {
+    y = minimum(z->right);
+    y_original = y->color;
+    x = y->right;
+    if (y->parent == z) {
+      x_parent = y;
+    } else {
+      x_parent = y->parent;
+      transplant(y, y->right);
+      y->right = z->right;
+      y->right->parent = y;
+    }
+    transplant(z, y);
+    y->left = z->left;
+    y->left->parent = y;
+    y->color = z->color;
+  }
+  delete z;
+  --size_;
+  if (y_original == NodeColor::kBlack) remove_fixup(x, x_parent);
+  return true;
+}
+
+void TreeMap::remove_fixup(Node* x, Node* x_parent) {
+  while (x != root_ && is_black(x)) {
+    if (x_parent == nullptr) break;
+    if (x == x_parent->left) {
+      Node* w = x_parent->right;
+      if (!is_black(w)) {
+        w->color = NodeColor::kBlack;
+        x_parent->color = NodeColor::kRed;
+        rotate_left(x_parent);
+        w = x_parent->right;
+      }
+      if (w == nullptr) break;
+      if (is_black(w->left) && is_black(w->right)) {
+        w->color = NodeColor::kRed;
+        x = x_parent;
+        x_parent = x->parent;
+      } else {
+        if (is_black(w->right)) {
+          if (w->left != nullptr) w->left->color = NodeColor::kBlack;
+          w->color = NodeColor::kRed;
+          rotate_right(w);
+          w = x_parent->right;
+        }
+        w->color = x_parent->color;
+        x_parent->color = NodeColor::kBlack;
+        if (w->right != nullptr) w->right->color = NodeColor::kBlack;
+        rotate_left(x_parent);
+        x = root_;
+        break;
+      }
+    } else {
+      Node* w = x_parent->left;
+      if (!is_black(w)) {
+        w->color = NodeColor::kBlack;
+        x_parent->color = NodeColor::kRed;
+        rotate_right(x_parent);
+        w = x_parent->left;
+      }
+      if (w == nullptr) break;
+      if (is_black(w->left) && is_black(w->right)) {
+        w->color = NodeColor::kRed;
+        x = x_parent;
+        x_parent = x->parent;
+      } else {
+        if (is_black(w->left)) {
+          if (w->right != nullptr) w->right->color = NodeColor::kBlack;
+          w->color = NodeColor::kRed;
+          rotate_left(w);
+          w = x_parent->left;
+        }
+        w->color = x_parent->color;
+        x_parent->color = NodeColor::kBlack;
+        if (w->left != nullptr) w->left->color = NodeColor::kBlack;
+        rotate_right(x_parent);
+        x = root_;
+        break;
+      }
+    }
+  }
+  if (x != nullptr) x->color = NodeColor::kBlack;
+}
+
+int TreeMap::height_of(const Node* n) {
+  if (n == nullptr) return 0;
+  return 1 + std::max(height_of(n->left), height_of(n->right));
+}
+
+int TreeMap::height() const { return height_of(root_); }
+
+bool TreeMap::check(const Node* n, int* black_height) {
+  if (n == nullptr) {
+    *black_height = 1;
+    return true;
+  }
+  // Red nodes have black children.
+  if (n->color == NodeColor::kRed && (!is_black(n->left) || !is_black(n->right))) return false;
+  // BST order.
+  if (n->left != nullptr && n->left->key >= n->key) return false;
+  if (n->right != nullptr && n->right->key <= n->key) return false;
+  int lh = 0;
+  int rh = 0;
+  if (!check(n->left, &lh) || !check(n->right, &rh)) return false;
+  if (lh != rh) return false;  // equal black heights
+  *black_height = lh + (n->color == NodeColor::kBlack ? 1 : 0);
+  return true;
+}
+
+bool TreeMap::valid() const {
+  if (root_ != nullptr && root_->color != NodeColor::kBlack) return false;
+  int bh = 0;
+  return check(root_, &bh);
+}
+
+// ---------------------------------------------------------------------------
+// HashMap
+// ---------------------------------------------------------------------------
+
+HashMap::HashMap(std::size_t bucket_count) : buckets_(bucket_count, nullptr) {}
+
+HashMap::~HashMap() {
+  for (Node* n : buckets_) {
+    while (n != nullptr) {
+      Node* next = n->next;
+      delete n;
+      n = next;
+    }
+  }
+}
+
+std::size_t HashMap::bucket_of(std::uint64_t key) const {
+  return fmix64(key) % buckets_.size();
+}
+
+bool HashMap::put(std::uint64_t key, const Value& value) {
+  reset_visits();
+  touch();  // the bucket array read
+  Node*& head = buckets_[bucket_of(key)];
+  for (Node* n = head; n != nullptr; n = n->next) {
+    touch();
+    if (n->key == key) {
+      n->value = value;
+      return false;
+    }
+  }
+  head = new Node{key, value, head};
+  touch();
+  ++size_;
+  return true;
+}
+
+const Value* HashMap::get(std::uint64_t key) {
+  reset_visits();
+  touch();
+  for (Node* n = buckets_[bucket_of(key)]; n != nullptr; n = n->next) {
+    touch();
+    if (n->key == key) return &n->value;
+  }
+  return nullptr;
+}
+
+bool HashMap::remove(std::uint64_t key) {
+  reset_visits();
+  touch();
+  Node** slot = &buckets_[bucket_of(key)];
+  while (*slot != nullptr) {
+    touch();
+    if ((*slot)->key == key) {
+      Node* dead = *slot;
+      *slot = dead->next;
+      delete dead;
+      --size_;
+      return true;
+    }
+    slot = &(*slot)->next;
+  }
+  return false;
+}
+
+double HashMap::average_chain_length() const {
+  std::size_t non_empty = 0;
+  std::size_t total = 0;
+  for (const Node* n : buckets_) {
+    if (n == nullptr) continue;
+    ++non_empty;
+    for (; n != nullptr; n = n->next) ++total;
+  }
+  return non_empty == 0 ? 0.0 : static_cast<double>(total) / static_cast<double>(non_empty);
+}
+
+// ---------------------------------------------------------------------------
+// Factory
+// ---------------------------------------------------------------------------
+
+std::string_view map_kind_name(MapKind kind) {
+  switch (kind) {
+    case MapKind::kList: return "linked-list";
+    case MapKind::kTree: return "treemap";
+    case MapKind::kHash: return "hashmap";
+  }
+  return "?";
+}
+
+std::unique_ptr<MapBase> make_map(MapKind kind) {
+  switch (kind) {
+    case MapKind::kList: return std::make_unique<ListMap>();
+    case MapKind::kTree: return std::make_unique<TreeMap>();
+    case MapKind::kHash: return std::make_unique<HashMap>();
+  }
+  return nullptr;
+}
+
+}  // namespace privagic::ds

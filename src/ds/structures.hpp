@@ -1,0 +1,152 @@
+// The three data structures of §9.3: a linked list, a red-black tree, and a
+// separate-chaining hashmap, all used as u64→value maps.
+//
+// These are real implementations (the tree is a full red-black tree with
+// rebalancing), instrumented with a node-visit counter: every pointer chase
+// during an operation increments it, and the §9.3 benchmark harness converts
+// visit counts into simulated memory-access time through the SGX cost model.
+//
+// Values are represented by a compact descriptor (size + checksum) standing
+// in for `size` payload bytes — the benchmarks account for the payload in
+// the working-set model without materializing gigabytes, while tests can
+// still verify round-trip integrity through the checksum.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace privagic::ds {
+
+/// A record payload descriptor.
+struct Value {
+  std::uint32_t size = 0;
+  std::uint64_t checksum = 0;
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.size == b.size && a.checksum == b.checksum;
+  }
+};
+
+/// Common map interface; `last_op_visits` reports the pointer chases of the
+/// most recent operation (the cost-model input).
+class MapBase {
+ public:
+  virtual ~MapBase() = default;
+  /// Inserts or updates. Returns true on insert, false on update.
+  virtual bool put(std::uint64_t key, const Value& value) = 0;
+  /// Returns nullptr when absent.
+  [[nodiscard]] virtual const Value* get(std::uint64_t key) = 0;
+  /// Returns true if the key existed.
+  virtual bool remove(std::uint64_t key) = 0;
+  [[nodiscard]] virtual std::size_t size() const = 0;
+  [[nodiscard]] std::uint64_t last_op_visits() const { return visits_; }
+
+ protected:
+  void reset_visits() { visits_ = 0; }
+  void touch() { ++visits_; }
+  std::uint64_t visits_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Linked list
+// ---------------------------------------------------------------------------
+
+class ListMap final : public MapBase {
+ public:
+  ~ListMap() override;
+  bool put(std::uint64_t key, const Value& value) override;
+  [[nodiscard]] const Value* get(std::uint64_t key) override;
+  bool remove(std::uint64_t key) override;
+  [[nodiscard]] std::size_t size() const override { return size_; }
+
+ private:
+  struct Node {
+    std::uint64_t key;
+    Value value;
+    Node* next;
+  };
+  Node* head_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Red-black tree
+// ---------------------------------------------------------------------------
+
+class TreeMap final : public MapBase {
+ public:
+  ~TreeMap() override;
+  bool put(std::uint64_t key, const Value& value) override;
+  [[nodiscard]] const Value* get(std::uint64_t key) override;
+  bool remove(std::uint64_t key) override;
+  [[nodiscard]] std::size_t size() const override { return size_; }
+
+  /// Tree height (tests: ≤ 2·log2(n+1) for a valid red-black tree).
+  [[nodiscard]] int height() const;
+  /// Validates the red-black invariants (tests).
+  [[nodiscard]] bool valid() const;
+
+ private:
+  enum class NodeColor : std::uint8_t { kRed, kBlack };
+  struct Node {
+    std::uint64_t key;
+    Value value;
+    Node* left = nullptr;
+    Node* right = nullptr;
+    Node* parent = nullptr;
+    NodeColor color = NodeColor::kRed;
+  };
+
+  void rotate_left(Node* x);
+  void rotate_right(Node* x);
+  void insert_fixup(Node* z);
+  void remove_fixup(Node* x, Node* x_parent);
+  void transplant(Node* u, Node* v);
+  [[nodiscard]] Node* minimum(Node* n) const;
+  [[nodiscard]] Node* find(std::uint64_t key);
+  static void destroy(Node* n);
+  static int height_of(const Node* n);
+  static bool check(const Node* n, int* black_height);
+  [[nodiscard]] static bool is_black(const Node* n) {
+    return n == nullptr || n->color == NodeColor::kBlack;
+  }
+
+  Node* root_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Hashmap (separate chaining, §9.3: "an array of linked lists")
+// ---------------------------------------------------------------------------
+
+class HashMap final : public MapBase {
+ public:
+  explicit HashMap(std::size_t bucket_count = 1 << 17);
+  ~HashMap() override;
+  bool put(std::uint64_t key, const Value& value) override;
+  [[nodiscard]] const Value* get(std::uint64_t key) override;
+  bool remove(std::uint64_t key) override;
+  [[nodiscard]] std::size_t size() const override { return size_; }
+  [[nodiscard]] std::size_t bucket_count() const { return buckets_.size(); }
+  /// Average chain length over non-empty buckets (tests / cost sanity).
+  [[nodiscard]] double average_chain_length() const;
+
+ private:
+  struct Node {
+    std::uint64_t key;
+    Value value;
+    Node* next;
+  };
+  [[nodiscard]] std::size_t bucket_of(std::uint64_t key) const;
+
+  std::vector<Node*> buckets_;
+  std::size_t size_ = 0;
+};
+
+/// Factory by kind.
+enum class MapKind : std::uint8_t { kList, kTree, kHash };
+[[nodiscard]] std::string_view map_kind_name(MapKind kind);
+[[nodiscard]] std::unique_ptr<MapBase> make_map(MapKind kind);
+
+}  // namespace privagic::ds

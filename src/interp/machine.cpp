@@ -1,0 +1,574 @@
+#include "interp/machine.hpp"
+
+#include <atomic>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "partition/intrinsics.hpp"
+#include "support/rng.hpp"
+#include "sectype/color.hpp"
+
+namespace privagic::interp {
+
+namespace {
+
+class InterpError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+std::int64_t sign_extend(std::uint64_t raw, unsigned bits) {
+  if (bits >= 64) return static_cast<std::int64_t>(raw);
+  const std::uint64_t mask = (1ull << bits) - 1;
+  raw &= mask;
+  const std::uint64_t sign = 1ull << (bits - 1);
+  if ((raw & sign) != 0) raw |= ~mask;
+  return static_cast<std::int64_t>(raw);
+}
+
+double as_double(std::int64_t v) {
+  double d;
+  std::memcpy(&d, &v, sizeof(d));
+  return d;
+}
+
+std::int64_t from_double(double d) {
+  std::int64_t v;
+  std::memcpy(&v, &d, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Executor: runs one function body on the current thread.
+// ---------------------------------------------------------------------------
+
+class Executor {
+ public:
+  Executor(Machine& m, runtime::ThreadRuntime& rt, sgx::ColorId me)
+      : m_(m), rt_(rt), me_(me) {}
+
+  std::int64_t run(const ir::Function* fn, std::span<const std::int64_t> args) {
+    if (fn->is_declaration()) {
+      throw InterpError("cannot execute declaration @" + fn->name());
+    }
+    if (args.size() != fn->arg_count()) {
+      throw InterpError("arity mismatch calling @" + fn->name());
+    }
+    std::unordered_map<const ir::Value*, std::int64_t> frame;
+    std::vector<std::uint64_t> frame_allocas;
+    for (std::size_t i = 0; i < args.size(); ++i) frame[fn->argument(i)] = args[i];
+
+    const ir::BasicBlock* bb = fn->entry_block();
+    const ir::BasicBlock* prev = nullptr;
+    std::int64_t result = 0;
+
+    while (bb != nullptr) {
+      // Phis first, resolved simultaneously against the incoming edge.
+      std::vector<std::pair<const ir::Value*, std::int64_t>> phi_values;
+      for (const ir::PhiInst* phi : bb->phis()) {
+        bool found = false;
+        for (std::size_t i = 0; i < phi->incoming_count(); ++i) {
+          if (phi->incoming_block(i) == prev) {
+            phi_values.emplace_back(phi, eval(frame, phi->incoming_value(i)));
+            found = true;
+            break;
+          }
+        }
+        if (!found) throw InterpError("phi has no incoming for the taken edge");
+      }
+      for (const auto& [phi, v] : phi_values) frame[phi] = v;
+
+      const ir::BasicBlock* next = nullptr;
+      bool returned = false;
+      for (const auto& inst_ptr : bb->instructions()) {
+        const ir::Instruction* inst = inst_ptr.get();
+        if (inst->opcode() == ir::Opcode::kPhi) continue;
+        if (++m_.executed_ > Machine::kMaxInstructions) {
+          throw InterpError("instruction budget exhausted (runaway loop?)");
+        }
+        switch (inst->opcode()) {
+          case ir::Opcode::kRet: {
+            const auto* ret = static_cast<const ir::RetInst*>(inst);
+            result = ret->has_value() ? eval(frame, ret->value()) : 0;
+            returned = true;
+            break;
+          }
+          case ir::Opcode::kBr:
+            next = static_cast<const ir::BrInst*>(inst)->target();
+            break;
+          case ir::Opcode::kCondBr: {
+            const auto* cb = static_cast<const ir::CondBrInst*>(inst);
+            next = (eval(frame, cb->condition()) & 1) != 0 ? cb->then_block()
+                                                           : cb->else_block();
+            break;
+          }
+          default:
+            exec_simple(frame, frame_allocas, inst);
+            break;
+        }
+        if (returned || next != nullptr) break;
+      }
+      if (returned) break;
+      if (next == nullptr) throw InterpError("block fell through without terminator");
+      prev = bb;
+      bb = next;
+    }
+
+    for (std::uint64_t addr : frame_allocas) {
+      m_.memory_->free(addr, m_.memory_->color_of(addr));
+    }
+    return result;
+  }
+
+ private:
+  std::int64_t eval(std::unordered_map<const ir::Value*, std::int64_t>& frame,
+                    const ir::Value* v) {
+    switch (v->value_kind()) {
+      case ir::ValueKind::kConstInt:
+        return static_cast<const ir::ConstInt*>(v)->value();
+      case ir::ValueKind::kConstFloat:
+        return from_double(static_cast<const ir::ConstFloat*>(v)->value());
+      case ir::ValueKind::kConstNull:
+        return 0;
+      case ir::ValueKind::kGlobal: {
+        auto it = m_.global_addr_.find(static_cast<const ir::GlobalVariable*>(v));
+        if (it == m_.global_addr_.end()) throw InterpError("unknown global @" + v->name());
+        return static_cast<std::int64_t>(it->second);
+      }
+      case ir::ValueKind::kFunction:
+        return m_.fn_token_.at(static_cast<const ir::Function*>(v));
+      case ir::ValueKind::kArgument:
+      case ir::ValueKind::kInstruction: {
+        auto it = frame.find(v);
+        if (it == frame.end()) throw InterpError("use of unset register %" + v->name());
+        return it->second;
+      }
+    }
+    throw InterpError("bad value");
+  }
+
+  /// Memory color for new allocations from a color annotation.
+  sgx::ColorId alloc_color(const std::string& annotation) const {
+    return m_.color_id_of_annotation(annotation);
+  }
+
+  /// True for ptr<T color(c)> with a named enclave color — the values the
+  /// pointer-authentication runtime MACs in memory (Mode::kHardenedAuth).
+  static bool is_authenticated_pointer_type(const ir::Type* t) {
+    const auto* pt = dynamic_cast<const ir::PtrType*>(t);
+    return pt != nullptr && !pt->pointee_color().empty() && pt->pointee_color() != "U" &&
+           pt->pointee_color() != "S";
+  }
+
+  static std::uint64_t pointer_mac(std::uint64_t addr) {
+    return (fmix64(addr ^ Machine::kPointerAuthSecret) >> 48) << 48;
+  }
+
+  void mem_write(std::uint64_t addr, std::int64_t value, std::uint64_t size) {
+    std::byte bytes[8];
+    std::memcpy(bytes, &value, 8);
+    m_.memory_->write(addr, std::span<const std::byte>(bytes, size), me_);
+  }
+
+  std::int64_t mem_read(std::uint64_t addr, const ir::Type* type) {
+    std::byte bytes[8] = {};
+    const std::uint64_t size = type->size_bytes();
+    m_.memory_->read(addr, std::span<std::byte>(bytes, size), me_);
+    std::uint64_t raw = 0;
+    std::memcpy(&raw, bytes, size);
+    if (type->is_int()) {
+      return sign_extend(raw, static_cast<const ir::IntType*>(type)->bits());
+    }
+    return static_cast<std::int64_t>(raw);
+  }
+
+  void exec_simple(std::unordered_map<const ir::Value*, std::int64_t>& frame,
+                   std::vector<std::uint64_t>& frame_allocas, const ir::Instruction* inst) {
+    switch (inst->opcode()) {
+      case ir::Opcode::kAlloca: {
+        const auto* a = static_cast<const ir::AllocaInst*>(inst);
+        const std::uint64_t addr =
+            m_.memory_->allocate(a->contained_type()->size_bytes(), alloc_color(a->color()));
+        frame_allocas.push_back(addr);
+        frame[inst] = static_cast<std::int64_t>(addr);
+        break;
+      }
+      case ir::Opcode::kHeapAlloc: {
+        const auto* a = static_cast<const ir::HeapAllocInst*>(inst);
+        frame[inst] = static_cast<std::int64_t>(
+            m_.memory_->allocate(a->contained_type()->size_bytes(), alloc_color(a->color())));
+        break;
+      }
+      case ir::Opcode::kHeapFree: {
+        const auto* f = static_cast<const ir::HeapFreeInst*>(inst);
+        m_.memory_->free(static_cast<std::uint64_t>(eval(frame, f->pointer())), me_);
+        break;
+      }
+      case ir::Opcode::kLoad: {
+        const auto* l = static_cast<const ir::LoadInst*>(inst);
+        std::int64_t v =
+            mem_read(static_cast<std::uint64_t>(eval(frame, l->pointer())), l->type());
+        if (m_.pointer_auth_ && is_authenticated_pointer_type(l->type()) && v != 0) {
+          // Verify and strip the MAC; a tampered indirection faults here.
+          const auto raw = static_cast<std::uint64_t>(v);
+          const std::uint64_t addr = raw & ((1ull << 48) - 1);
+          if ((raw & ~((1ull << 48) - 1)) != pointer_mac(addr)) {
+            throw sgx::AccessViolation("pointer authentication failed on load");
+          }
+          v = static_cast<std::int64_t>(addr);
+        }
+        frame[inst] = v;
+        break;
+      }
+      case ir::Opcode::kStore: {
+        const auto* s = static_cast<const ir::StoreInst*>(inst);
+        std::int64_t v = eval(frame, s->stored_value());
+        if (m_.pointer_auth_ && is_authenticated_pointer_type(s->stored_value()->type()) &&
+            v != 0) {
+          const auto addr = static_cast<std::uint64_t>(v);
+          v = static_cast<std::int64_t>(addr | pointer_mac(addr));
+        }
+        mem_write(static_cast<std::uint64_t>(eval(frame, s->pointer())), v,
+                  s->stored_value()->type()->size_bytes());
+        break;
+      }
+      case ir::Opcode::kGep: {
+        const auto* g = static_cast<const ir::GepInst*>(inst);
+        const std::uint64_t base = static_cast<std::uint64_t>(eval(frame, g->base()));
+        if (g->is_field_access()) {
+          frame[inst] = static_cast<std::int64_t>(
+              base + g->struct_type()->field_offset(static_cast<std::size_t>(g->field_index())));
+        } else {
+          const auto* pt = static_cast<const ir::PtrType*>(inst->type());
+          const std::uint64_t elem = pt->pointee()->size_bytes();
+          frame[inst] = static_cast<std::int64_t>(
+              base + elem * static_cast<std::uint64_t>(eval(frame, g->index())));
+        }
+        break;
+      }
+      case ir::Opcode::kBinOp:
+        frame[inst] = exec_binop(frame, static_cast<const ir::BinOpInst*>(inst));
+        break;
+      case ir::Opcode::kICmp:
+        frame[inst] = exec_icmp(frame, static_cast<const ir::ICmpInst*>(inst));
+        break;
+      case ir::Opcode::kCast:
+        frame[inst] = exec_cast(frame, static_cast<const ir::CastInst*>(inst));
+        break;
+      case ir::Opcode::kCall:
+        exec_call(frame, static_cast<const ir::CallInst*>(inst));
+        break;
+      case ir::Opcode::kCallIndirect: {
+        const auto* c = static_cast<const ir::CallIndirectInst*>(inst);
+        auto it = m_.token_fn_.find(eval(frame, c->function_pointer()));
+        if (it == m_.token_fn_.end()) {
+          throw InterpError("indirect call through a non-function pointer");
+        }
+        std::vector<std::int64_t> args;
+        for (std::size_t i = 0; i < c->arg_count(); ++i) {
+          args.push_back(eval(frame, c->arg(i)));
+        }
+        const std::int64_t r = dispatch(it->second, args);
+        if (!inst->type()->is_void()) frame[inst] = r;
+        break;
+      }
+      default:
+        throw InterpError("unexpected opcode");
+    }
+  }
+
+  std::int64_t exec_binop(std::unordered_map<const ir::Value*, std::int64_t>& frame,
+                          const ir::BinOpInst* op) {
+    const std::int64_t a = eval(frame, op->lhs());
+    const std::int64_t b = eval(frame, op->rhs());
+    switch (op->op()) {
+      case ir::BinOpKind::kAdd: return wrap(op, a + b);
+      case ir::BinOpKind::kSub: return wrap(op, a - b);
+      case ir::BinOpKind::kMul: return wrap(op, a * b);
+      case ir::BinOpKind::kSDiv:
+        if (b == 0) throw InterpError("division by zero");
+        return wrap(op, a / b);
+      case ir::BinOpKind::kSRem:
+        if (b == 0) throw InterpError("remainder by zero");
+        return wrap(op, a % b);
+      case ir::BinOpKind::kAnd: return a & b;
+      case ir::BinOpKind::kOr: return a | b;
+      case ir::BinOpKind::kXor: return a ^ b;
+      case ir::BinOpKind::kShl: return wrap(op, static_cast<std::int64_t>(
+                                                     static_cast<std::uint64_t>(a)
+                                                     << (b & 63)));
+      case ir::BinOpKind::kLShr:
+        return static_cast<std::int64_t>(unsigned_of(op, a) >> (b & 63));
+      case ir::BinOpKind::kFAdd: return from_double(as_double(a) + as_double(b));
+      case ir::BinOpKind::kFSub: return from_double(as_double(a) - as_double(b));
+      case ir::BinOpKind::kFMul: return from_double(as_double(a) * as_double(b));
+      case ir::BinOpKind::kFDiv: return from_double(as_double(a) / as_double(b));
+    }
+    throw InterpError("bad binop");
+  }
+
+  static std::uint64_t unsigned_of(const ir::BinOpInst* op, std::int64_t v) {
+    const unsigned bits = static_cast<const ir::IntType*>(op->type())->bits();
+    if (bits >= 64) return static_cast<std::uint64_t>(v);
+    return static_cast<std::uint64_t>(v) & ((1ull << bits) - 1);
+  }
+
+  static std::int64_t wrap(const ir::BinOpInst* op, std::int64_t v) {
+    if (!op->type()->is_int()) return v;
+    return sign_extend(static_cast<std::uint64_t>(v),
+                       static_cast<const ir::IntType*>(op->type())->bits());
+  }
+
+  std::int64_t exec_icmp(std::unordered_map<const ir::Value*, std::int64_t>& frame,
+                         const ir::ICmpInst* op) {
+    const std::int64_t a = eval(frame, op->lhs());
+    const std::int64_t b = eval(frame, op->rhs());
+    switch (op->pred()) {
+      case ir::ICmpPred::kEq: return a == b ? 1 : 0;
+      case ir::ICmpPred::kNe: return a != b ? 1 : 0;
+      case ir::ICmpPred::kSlt: return a < b ? 1 : 0;
+      case ir::ICmpPred::kSle: return a <= b ? 1 : 0;
+      case ir::ICmpPred::kSgt: return a > b ? 1 : 0;
+      case ir::ICmpPred::kSge: return a >= b ? 1 : 0;
+    }
+    throw InterpError("bad icmp");
+  }
+
+  std::int64_t exec_cast(std::unordered_map<const ir::Value*, std::int64_t>& frame,
+                         const ir::CastInst* op) {
+    const std::int64_t v = eval(frame, op->source());
+    switch (op->cast_kind()) {
+      case ir::CastKind::kBitcast:
+      case ir::CastKind::kPtrToInt:
+      case ir::CastKind::kIntToPtr:
+        return v;  // 64-bit slots: bit patterns carry over
+      case ir::CastKind::kZext: {
+        const unsigned from = static_cast<const ir::IntType*>(op->source()->type())->bits();
+        if (from >= 64) return v;
+        return static_cast<std::int64_t>(static_cast<std::uint64_t>(v) &
+                                         ((1ull << from) - 1));
+      }
+      case ir::CastKind::kSext:
+        return v;  // slots are already sign-extended
+      case ir::CastKind::kTrunc:
+        return sign_extend(static_cast<std::uint64_t>(v),
+                           static_cast<const ir::IntType*>(op->type())->bits());
+    }
+    throw InterpError("bad cast");
+  }
+
+  void exec_call(std::unordered_map<const ir::Value*, std::int64_t>& frame,
+                 const ir::CallInst* call) {
+    const ir::Function* callee = call->callee();
+    std::vector<std::int64_t> args;
+    args.reserve(call->args().size());
+    for (ir::Value* a : call->args()) args.push_back(eval(frame, a));
+
+    // Runtime intrinsics.
+    const std::string& name = callee->name();
+    if (partition::is_intrinsic_name(name)) {
+      std::int64_t r = 0;
+      if (name == partition::kIntrinsicSpawn) {
+        const auto& chunk = m_.program_.chunks.at(static_cast<std::size_t>(args[0]));
+        rt_.spawn(m_.program_.color_id(chunk.color), static_cast<std::uint64_t>(args[0]),
+                  args[1], args[2], args[3]);
+      } else if (name == partition::kIntrinsicCont) {
+        rt_.cont(args[0], args[1], args[2]);
+      } else if (name == partition::kIntrinsicWait) {
+        r = rt_.wait(static_cast<std::size_t>(me_), args[0]);
+      } else if (name == partition::kIntrinsicAck) {
+        rt_.ack(args[0], args[1]);
+      } else {
+        rt_.wait_ack(static_cast<std::size_t>(me_), args[0]);
+      }
+      if (!call->type()->is_void()) frame[call] = r;
+      return;
+    }
+
+    const std::int64_t r = dispatch(callee, args);
+    if (!call->type()->is_void()) frame[call] = r;
+  }
+
+  /// Direct or indirect call target: local functions execute on this worker;
+  /// declarations go to the external registry.
+  std::int64_t dispatch(const ir::Function* callee, std::span<const std::int64_t> args) {
+    if (!callee->is_declaration()) {
+      Executor nested(m_, rt_, me_);
+      return nested.run(callee, args);
+    }
+    std::ostringstream entry;
+    entry << callee->name() << "(";
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      if (i > 0) entry << ", ";
+      entry << args[i];
+    }
+    entry << ")";
+    m_.log_external(entry.str());
+    auto it = m_.externals_.find(callee->name());
+    if (it == m_.externals_.end()) return 0;
+    Machine::ExternalCtx ctx{m_, me_};
+    return it->second(ctx, args);
+  }
+
+  Machine& m_;
+  runtime::ThreadRuntime& rt_;
+  sgx::ColorId me_;
+};
+
+// ---------------------------------------------------------------------------
+// Machine
+// ---------------------------------------------------------------------------
+
+Machine::Machine(const partition::PartitionResult& program, std::uint64_t epc_limit_bytes)
+    : program_(program) {
+  memory_ = std::make_unique<sgx::SimMemory>(epc_limit_bytes);
+  allocate_globals(epc_limit_bytes);
+
+  // Function-pointer tokens (top half of the address space, never allocated).
+  std::int64_t next_token = static_cast<std::int64_t>(1ull << 62);
+  for (const auto& fn : program_.module->functions()) {
+    fn_token_[fn.get()] = next_token;
+    token_fn_[next_token] = fn.get();
+    ++next_token;
+  }
+
+}
+
+runtime::ThreadRuntime& Machine::runtime_for_current_thread() {
+  const std::lock_guard<std::mutex> lock(runtimes_mu_);
+  auto& slot = runtimes_[std::this_thread::get_id()];
+  if (slot == nullptr) {
+    // The chunk runner needs the runtime it belongs to (nested waits pull
+    // from its mailboxes); a shared cell breaks the construction cycle — it
+    // is filled before any spawn can reach the new workers.
+    auto cell = std::make_shared<runtime::ThreadRuntime*>(nullptr);
+    // The spawn guard (§8 extension) is always on: legitimate spawns are
+    // MAC'd under an enclave-held secret; injected ones are dropped.
+    slot = std::make_unique<runtime::ThreadRuntime>(
+        program_.color_table.size(),
+        [this, cell](std::size_t, std::uint64_t chunk, std::int64_t tags,
+                     std::int64_t leader, std::int64_t flags) {
+          run_chunk(**cell, chunk, tags, leader, flags);
+        },
+        /*spawn_secret=*/0x9E3779B97F4A7C15ull);
+    *cell = slot.get();
+  }
+  return *slot;
+}
+
+Machine::~Machine() {
+  const std::lock_guard<std::mutex> lock(runtimes_mu_);
+  for (auto& [tid, rt] : runtimes_) {
+    (void)tid;
+    rt->shutdown();
+  }
+}
+
+void Machine::allocate_globals(std::uint64_t /*epc_limit_bytes*/) {
+  for (const auto& g : program_.module->globals()) {
+    const sgx::ColorId color = color_id_of_annotation(g->color());
+    const std::uint64_t size = g->contained_type()->size_bytes();
+    const std::uint64_t addr = memory_->allocate(size, color);
+    global_addr_[g.get()] = addr;
+    if (g->int_init() != 0 && g->contained_type()->is_int()) {
+      std::byte bytes[8];
+      const std::int64_t init = g->int_init();
+      std::memcpy(bytes, &init, 8);
+      memory_->write(addr, std::span<const std::byte>(bytes, size), color);
+    }
+  }
+}
+
+sgx::ColorId Machine::color_id_of_annotation(const std::string& annotation) const {
+  if (annotation.empty()) return sgx::kUnsafe;
+  const std::int64_t id =
+      program_.color_id(sectype::color_from_annotation(annotation));
+  if (id < 0) throw InterpError("color '" + annotation + "' not in the color table");
+  return id;
+}
+
+void Machine::bind_external(std::string name, ExternalFn fn) {
+  externals_[std::move(name)] = std::move(fn);
+}
+
+void Machine::run_chunk(runtime::ThreadRuntime& rt, std::uint64_t chunk_id, std::int64_t tags,
+                        std::int64_t leader, std::int64_t flags) {
+  const partition::ChunkInfo& info = program_.chunks.at(chunk_id);
+  try {
+    if (info.trampoline == nullptr) {
+      throw InterpError("chunk " + info.fn->name() + " spawned without a trampoline");
+    }
+    const sgx::ColorId me = program_.color_id(info.color);
+    Executor exec(*this, rt, me);
+    const std::int64_t args[3] = {tags, leader, flags};
+    exec.run(info.trampoline, std::span<const std::int64_t>(args, 3));
+  } catch (const std::exception& e) {
+    // Record the failure and still complete the message protocol so the
+    // leader does not deadlock; call() surfaces the error afterwards.
+    {
+      const std::lock_guard<std::mutex> lock(log_mu_);
+      if (first_error_.empty()) first_error_ = e.what();
+    }
+    if ((flags & partition::kFlagSendResult) != 0) {
+      rt.cont(leader, tags + partition::kTagResultToLeader, 0);
+    }
+    rt.ack(leader, tags + partition::kTagCompletion);
+  }
+}
+
+std::uint64_t Machine::rejected_spawns() const {
+  const std::lock_guard<std::mutex> lock(runtimes_mu_);
+  std::uint64_t total = 0;
+  for (const auto& [tid, rt] : runtimes_) {
+    (void)tid;
+    total += rt->rejected_spawns();
+  }
+  return total;
+}
+
+std::int64_t Machine::exec_function(runtime::ThreadRuntime& rt, const ir::Function* fn,
+                                    std::span<const std::int64_t> args, sgx::ColorId me) {
+  Executor exec(*this, rt, me);
+  return exec.run(fn, args);
+}
+
+Result<std::int64_t> Machine::call(const std::string& name, std::vector<std::int64_t> args) {
+  auto it = program_.interfaces.find(name);
+  const ir::Function* fn =
+      it != program_.interfaces.end() ? it->second : program_.module->function_by_name(name);
+  if (fn == nullptr) {
+    return Result<std::int64_t>::error("no interface named @" + name);
+  }
+  try {
+    const std::int64_t r = exec_function(runtime_for_current_thread(), fn, args, sgx::kUnsafe);
+    const std::lock_guard<std::mutex> lock(log_mu_);
+    if (!first_error_.empty()) {
+      return Result<std::int64_t>::error("worker failed: " + first_error_);
+    }
+    return r;
+  } catch (const std::exception& e) {
+    return Result<std::int64_t>::error(e.what());
+  }
+}
+
+std::uint64_t Machine::global_address(const std::string& name) const {
+  const ir::GlobalVariable* g = program_.module->global_by_name(name);
+  if (g == nullptr) throw InterpError("no global @" + name);
+  return global_addr_.at(g);
+}
+
+void Machine::log_external(const std::string& entry) {
+  const std::lock_guard<std::mutex> lock(log_mu_);
+  external_log_.push_back(entry);
+}
+
+std::vector<std::string> Machine::external_log() const {
+  const std::lock_guard<std::mutex> lock(log_mu_);
+  return external_log_;
+}
+
+}  // namespace privagic::interp

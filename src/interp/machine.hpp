@@ -1,0 +1,132 @@
+// PIR interpreter over the simulated SGX machine.
+//
+// A Machine loads a PartitionResult and executes its interface functions the
+// way the Privagic runtime would (§7.3, Figure 7):
+//  * the calling application thread is the U worker; one worker thread per
+//    enclave color runs chunk trampolines (runtime::ThreadRuntime);
+//  * every load/store goes through sgx::SimMemory with the executing
+//    worker's color as the access mode, so any partitioning bug that lets a
+//    chunk touch another enclave's memory faults immediately;
+//  * pvg.* intrinsics map to the runtime's mailboxes;
+//  * external functions dispatch to host callbacks registered with
+//    bind_external() (and are recorded in a call log the tests use to check
+//    §7.3.3's ordering guarantees).
+//
+// Values are 64-bit slots: integers sign-extended, doubles as bit patterns,
+// pointers as simulated addresses, functions as pseudo-address tokens.
+//
+// Machines are multi-application-threaded, matching §7.3.1 exactly: "the
+// Privagic runtime runs a worker thread in each enclave for each application
+// thread". Every host thread that calls into the machine lazily gets its own
+// ThreadRuntime (one mailbox + worker per color); simulated memory is shared
+// and internally synchronized, so concurrent entry calls interleave like the
+// threads of a real partitioned application.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <string>
+#include <vector>
+
+#include "partition/partitioner.hpp"
+#include "runtime/workers.hpp"
+#include "sgx/memory.hpp"
+#include "support/status.hpp"
+
+namespace privagic::interp {
+
+class Machine {
+ public:
+  /// Host-side implementation of an external function. Receives the raw
+  /// 64-bit arguments and may touch simulated memory through the machine
+  /// (with the calling worker's color).
+  struct ExternalCtx {
+    Machine& machine;
+    sgx::ColorId color;  // the worker executing the call
+  };
+  using ExternalFn =
+      std::function<std::int64_t(ExternalCtx&, std::span<const std::int64_t>)>;
+
+  /// @p epc_limit_bytes: per-enclave EPC cap (0 = unlimited).
+  explicit Machine(const partition::PartitionResult& program,
+                   std::uint64_t epc_limit_bytes = 0);
+  ~Machine();
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  /// Registers a handler for calls to external function @p name. Unbound
+  /// externals return 0 (and are still logged).
+  void bind_external(std::string name, ExternalFn fn);
+
+  /// Invokes interface @p name with 64-bit arguments. Callable from any
+  /// host thread; each calling thread owns its worker group (§7.3.1).
+  [[nodiscard]] Result<std::int64_t> call(const std::string& name,
+                                          std::vector<std::int64_t> args);
+
+  /// The simulated memory (attacker assertions, test setup).
+  [[nodiscard]] sgx::SimMemory& memory() { return *memory_; }
+
+  /// Address of a global by name (for tests to pre-/post-inspect state).
+  [[nodiscard]] std::uint64_t global_address(const std::string& name) const;
+
+  /// Chronological log of external calls: "printf(0)" etc.
+  [[nodiscard]] std::vector<std::string> external_log() const;
+
+  /// Total instructions executed (all workers).
+  [[nodiscard]] std::uint64_t instructions_executed() const { return executed_; }
+
+  /// Attacker hook: injects a forged spawn message directly into a worker's
+  /// mailbox (the queues live in unsafe memory, §8) — the spawn guard must
+  /// drop it.
+  void inject_attacker_spawn(std::int64_t target_color, std::uint64_t chunk) {
+    runtime_for_current_thread().inject_raw(target_color,
+                                            runtime::Message::spawn(chunk, 0, 0, 0));
+  }
+  /// Forged spawns dropped by the guards of every worker group.
+  [[nodiscard]] std::uint64_t rejected_spawns() const;
+
+  /// Enables pointer authentication (the Mode::kHardenedAuth runtime): every
+  /// value of type ptr<T color(c)> is MAC'd when stored to memory and
+  /// verified+stripped when loaded; a tampered pointer faults at the load.
+  void enable_pointer_auth() { pointer_auth_ = true; }
+  [[nodiscard]] bool pointer_auth_enabled() const { return pointer_auth_; }
+
+ private:
+  friend class Executor;
+
+  void allocate_globals(std::uint64_t epc_limit_bytes);
+  [[nodiscard]] sgx::ColorId color_id_of_annotation(const std::string& annotation) const;
+  /// The calling host thread's worker group, created on first use (§7.3.1).
+  runtime::ThreadRuntime& runtime_for_current_thread();
+  void run_chunk(runtime::ThreadRuntime& rt, std::uint64_t chunk_id, std::int64_t tags,
+                 std::int64_t leader, std::int64_t flags);
+  std::int64_t exec_function(runtime::ThreadRuntime& rt, const ir::Function* fn,
+                             std::span<const std::int64_t> args, sgx::ColorId me);
+  void log_external(const std::string& entry);
+
+  const partition::PartitionResult& program_;
+  std::unique_ptr<sgx::SimMemory> memory_;
+  // One worker group per application (host) thread, §7.3.1.
+  mutable std::mutex runtimes_mu_;
+  std::map<std::thread::id, std::unique_ptr<runtime::ThreadRuntime>> runtimes_;
+  std::map<std::string, ExternalFn> externals_;
+  std::map<const ir::GlobalVariable*, std::uint64_t> global_addr_;
+  // Function-pointer tokens.
+  std::map<const ir::Function*, std::int64_t> fn_token_;
+  std::map<std::int64_t, const ir::Function*> token_fn_;
+  mutable std::mutex log_mu_;
+  std::vector<std::string> external_log_;
+  std::string first_error_;  // first worker-side failure, surfaced by call()
+  std::atomic<std::uint64_t> executed_{0};
+  bool pointer_auth_ = false;
+  static constexpr std::uint64_t kMaxInstructions = 200'000'000;
+  static constexpr std::uint64_t kPointerAuthSecret = 0xC0FFEE123456789Bull;
+};
+
+}  // namespace privagic::interp

@@ -1,0 +1,96 @@
+// Basic blocks: straight-line instruction sequences ended by one terminator.
+#pragma once
+
+#include <cassert>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/instruction.hpp"
+
+namespace privagic::ir {
+
+class Function;
+
+class BasicBlock {
+ public:
+  explicit BasicBlock(std::string name) : name_(std::move(name)) {}
+  BasicBlock(const BasicBlock&) = delete;
+  BasicBlock& operator=(const BasicBlock&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  [[nodiscard]] Function* parent() const { return parent_; }
+  void set_parent(Function* f) { parent_ = f; }
+
+  /// Appends @p inst and returns a raw pointer to it.
+  Instruction* append(std::unique_ptr<Instruction> inst) {
+    inst->set_parent(this);
+    instructions_.push_back(std::move(inst));
+    return instructions_.back().get();
+  }
+
+  /// Inserts @p inst at position @p index.
+  Instruction* insert(std::size_t index, std::unique_ptr<Instruction> inst) {
+    assert(index <= instructions_.size());
+    inst->set_parent(this);
+    auto it = instructions_.insert(
+        instructions_.begin() + static_cast<std::ptrdiff_t>(index), std::move(inst));
+    return it->get();
+  }
+
+  /// Removes the instruction at @p index, destroying it. Callers must have
+  /// already removed all uses.
+  void erase(std::size_t index) {
+    assert(index < instructions_.size());
+    instructions_.erase(instructions_.begin() + static_cast<std::ptrdiff_t>(index));
+  }
+
+  [[nodiscard]] const std::vector<std::unique_ptr<Instruction>>& instructions() const {
+    return instructions_;
+  }
+  [[nodiscard]] std::size_t size() const { return instructions_.size(); }
+  [[nodiscard]] bool empty() const { return instructions_.empty(); }
+  [[nodiscard]] Instruction* instruction(std::size_t i) const { return instructions_[i].get(); }
+
+  /// The block terminator, or nullptr if the block is not yet terminated.
+  [[nodiscard]] Instruction* terminator() const {
+    if (instructions_.empty()) return nullptr;
+    Instruction* last = instructions_.back().get();
+    return last->is_terminator() ? last : nullptr;
+  }
+
+  /// CFG successors, derived from the terminator.
+  [[nodiscard]] std::vector<BasicBlock*> successors() const {
+    const Instruction* term = terminator();
+    if (term == nullptr) return {};
+    switch (term->opcode()) {
+      case Opcode::kBr:
+        return {static_cast<const BrInst*>(term)->target()};
+      case Opcode::kCondBr: {
+        const auto* cb = static_cast<const CondBrInst*>(term);
+        return {cb->then_block(), cb->else_block()};
+      }
+      default:
+        return {};
+    }
+  }
+
+  /// Leading phi instructions of the block.
+  [[nodiscard]] std::vector<PhiInst*> phis() const {
+    std::vector<PhiInst*> out;
+    for (const auto& inst : instructions_) {
+      if (inst->opcode() != Opcode::kPhi) break;
+      out.push_back(static_cast<PhiInst*>(inst.get()));
+    }
+    return out;
+  }
+
+ private:
+  std::string name_;
+  Function* parent_ = nullptr;
+  std::vector<std::unique_ptr<Instruction>> instructions_;
+};
+
+}  // namespace privagic::ir

@@ -1,0 +1,182 @@
+#include "ir/builder.hpp"
+
+#include <stdexcept>
+
+namespace privagic::ir {
+
+namespace {
+
+const PtrType* require_ptr(const Value* v, const char* who) {
+  const auto* pt = dynamic_cast<const PtrType*>(v->type());
+  if (pt == nullptr) {
+    throw std::invalid_argument(std::string(who) + ": operand is not a pointer, got " +
+                                v->type()->to_string());
+  }
+  return pt;
+}
+
+}  // namespace
+
+AllocaInst* IRBuilder::alloca_inst(const Type* contained, std::string name, std::string color) {
+  auto inst = std::make_unique<AllocaInst>(module_.types().ptr(contained, color), contained,
+                                           std::move(name));
+  inst->set_color(std::move(color));
+  return append(std::move(inst));
+}
+
+HeapAllocInst* IRBuilder::heap_alloc(const Type* contained, std::string name, std::string color) {
+  auto inst = std::make_unique<HeapAllocInst>(module_.types().ptr(contained, color), contained,
+                                              std::move(name));
+  inst->set_color(std::move(color));
+  return append(std::move(inst));
+}
+
+HeapFreeInst* IRBuilder::heap_free(Value* ptr) {
+  require_ptr(ptr, "heap_free");
+  return append(std::make_unique<HeapFreeInst>(module_.types().void_type(), ptr, ""));
+}
+
+LoadInst* IRBuilder::load(Value* ptr, std::string name) {
+  const PtrType* pt = require_ptr(ptr, "load");
+  if (!pt->pointee()->is_first_class()) {
+    throw std::invalid_argument("load: pointee is not a first-class type: " +
+                                pt->pointee()->to_string());
+  }
+  return append(std::make_unique<LoadInst>(pt->pointee(), ptr, std::move(name)));
+}
+
+StoreInst* IRBuilder::store(Value* value, Value* ptr) {
+  const PtrType* pt = require_ptr(ptr, "store");
+  if (pt->pointee() != value->type()) {
+    throw std::invalid_argument("store: value type " + value->type()->to_string() +
+                                " does not match pointee " + pt->pointee()->to_string());
+  }
+  return append(std::make_unique<StoreInst>(module_.types().void_type(), value, ptr, ""));
+}
+
+GepInst* IRBuilder::gep_field(Value* base, int field_index, std::string name) {
+  const PtrType* pt = require_ptr(base, "gep_field");
+  const auto* st = dynamic_cast<const StructType*>(pt->pointee());
+  if (st == nullptr) {
+    throw std::invalid_argument("gep_field: base does not point to a struct");
+  }
+  if (field_index < 0 || static_cast<std::size_t>(field_index) >= st->fields().size()) {
+    throw std::invalid_argument("gep_field: field index out of range for %" + st->name());
+  }
+  // The field pointer's color qualifier: an explicitly colored field lives
+  // in its own enclave (§7.2); an uncolored field lives wherever the struct
+  // lives, i.e. it inherits the base pointer's qualifier.
+  const StructField& field = st->fields()[static_cast<std::size_t>(field_index)];
+  const std::string qual = field.color.empty() ? pt->pointee_color() : field.color;
+  return append(std::make_unique<GepInst>(module_.types().ptr(field.type, qual), base,
+                                          field_index, std::move(name)));
+}
+
+GepInst* IRBuilder::gep_field(Value* base, std::string_view field_name, std::string name) {
+  const PtrType* pt = require_ptr(base, "gep_field");
+  const auto* st = dynamic_cast<const StructType*>(pt->pointee());
+  if (st == nullptr) {
+    throw std::invalid_argument("gep_field: base does not point to a struct");
+  }
+  const int index = st->field_index(field_name);
+  if (index < 0) {
+    throw std::invalid_argument("gep_field: no field '" + std::string(field_name) + "' in %" +
+                                st->name());
+  }
+  return gep_field(base, index, std::move(name));
+}
+
+GepInst* IRBuilder::gep_index(Value* base, Value* index, std::string name) {
+  const PtrType* pt = require_ptr(base, "gep_index");
+  const Type* elem = pt->pointee();
+  if (const auto* at = dynamic_cast<const ArrayType*>(elem); at != nullptr) {
+    elem = at->element();
+  }
+  if (!index->type()->is_int()) {
+    throw std::invalid_argument("gep_index: index is not an integer");
+  }
+  // Array elements live where the array lives: inherit the qualifier.
+  return append(std::make_unique<GepInst>(module_.types().ptr(elem, pt->pointee_color()), base,
+                                          index, std::move(name)));
+}
+
+BinOpInst* IRBuilder::binop(BinOpKind op, Value* lhs, Value* rhs, std::string name) {
+  if (lhs->type() != rhs->type()) {
+    throw std::invalid_argument("binop: operand types differ: " + lhs->type()->to_string() +
+                                " vs " + rhs->type()->to_string());
+  }
+  return append(std::make_unique<BinOpInst>(op, lhs->type(), lhs, rhs, std::move(name)));
+}
+
+ICmpInst* IRBuilder::icmp(ICmpPred pred, Value* lhs, Value* rhs, std::string name) {
+  if (lhs->type() != rhs->type()) {
+    throw std::invalid_argument("icmp: operand types differ");
+  }
+  return append(
+      std::make_unique<ICmpInst>(pred, module_.types().i1(), lhs, rhs, std::move(name)));
+}
+
+CastInst* IRBuilder::cast(CastKind kind, const Type* to, Value* v, std::string name) {
+  return append(std::make_unique<CastInst>(kind, to, v, std::move(name)));
+}
+
+PhiInst* IRBuilder::phi(const Type* type, std::string name) {
+  return append(std::make_unique<PhiInst>(type, std::move(name)));
+}
+
+BrInst* IRBuilder::br(BasicBlock* target) {
+  return append(std::make_unique<BrInst>(module_.types().void_type(), target, ""));
+}
+
+CondBrInst* IRBuilder::cond_br(Value* cond, BasicBlock* then_bb, BasicBlock* else_bb) {
+  if (!cond->type()->is_int() || static_cast<const IntType*>(cond->type())->bits() != 1) {
+    throw std::invalid_argument("cond_br: condition is not i1");
+  }
+  return append(
+      std::make_unique<CondBrInst>(module_.types().void_type(), cond, then_bb, else_bb, ""));
+}
+
+RetInst* IRBuilder::ret(Value* value) {
+  return append(std::make_unique<RetInst>(module_.types().void_type(), value, ""));
+}
+
+RetInst* IRBuilder::ret_void() {
+  return append(std::make_unique<RetInst>(module_.types().void_type(), nullptr, ""));
+}
+
+CallInst* IRBuilder::call(Function* callee, std::vector<Value*> args, std::string name) {
+  const auto& params = callee->function_type()->params();
+  if (params.size() != args.size()) {
+    throw std::invalid_argument("call: arity mismatch calling @" + callee->name());
+  }
+  // within/ignore callees are color-polymorphic (§6.3–§6.4): their parameter
+  // types match modulo pointer color qualifiers. All other calls match
+  // exactly — colors are part of the type.
+  const bool polymorphic = callee->is_within() || callee->is_ignore();
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const bool ok = polymorphic ? equal_ignoring_colors(args[i]->type(), params[i])
+                                : args[i]->type() == params[i];
+    if (!ok) {
+      throw std::invalid_argument("call: argument " + std::to_string(i) + " type mismatch for @" +
+                                  callee->name());
+    }
+  }
+  return append(std::make_unique<CallInst>(callee->return_type(), callee, std::move(args),
+                                           std::move(name)));
+}
+
+CallIndirectInst* IRBuilder::call_indirect(Value* fn_ptr, std::vector<Value*> args,
+                                           std::string name) {
+  const PtrType* pt = require_ptr(fn_ptr, "call_indirect");
+  const auto* ft = dynamic_cast<const FuncType*>(pt->pointee());
+  if (ft == nullptr) {
+    throw std::invalid_argument("call_indirect: operand is not a function pointer");
+  }
+  if (ft->params().size() != args.size()) {
+    throw std::invalid_argument("call_indirect: arity mismatch");
+  }
+  return append(
+      std::make_unique<CallIndirectInst>(ft->ret(), fn_ptr, std::move(args), std::move(name)));
+}
+
+}  // namespace privagic::ir

@@ -1,0 +1,71 @@
+// IRBuilder: ergonomic construction of PIR, used by tests, examples, and the
+// partitioner's code-rewriting stage. Computes result types and checks simple
+// operand-type preconditions eagerly (throws std::invalid_argument), so
+// malformed IR fails at the construction site rather than deep inside an
+// analysis.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "ir/module.hpp"
+
+namespace privagic::ir {
+
+class IRBuilder {
+ public:
+  explicit IRBuilder(Module& module) : module_(module) {}
+
+  /// Points the builder at @p bb; subsequent creations append there.
+  void set_insertion_point(BasicBlock* bb) { bb_ = bb; }
+  [[nodiscard]] BasicBlock* insertion_point() const { return bb_; }
+
+  // -- Memory -----------------------------------------------------------------
+  AllocaInst* alloca_inst(const Type* contained, std::string name, std::string color = "");
+  HeapAllocInst* heap_alloc(const Type* contained, std::string name, std::string color = "");
+  HeapFreeInst* heap_free(Value* ptr);
+  LoadInst* load(Value* ptr, std::string name);
+  StoreInst* store(Value* value, Value* ptr);
+  GepInst* gep_field(Value* base, int field_index, std::string name);
+  GepInst* gep_field(Value* base, std::string_view field_name, std::string name);
+  GepInst* gep_index(Value* base, Value* index, std::string name);
+
+  // -- Arithmetic ---------------------------------------------------------------
+  BinOpInst* binop(BinOpKind op, Value* lhs, Value* rhs, std::string name);
+  BinOpInst* add(Value* lhs, Value* rhs, std::string name) {
+    return binop(BinOpKind::kAdd, lhs, rhs, std::move(name));
+  }
+  BinOpInst* sub(Value* lhs, Value* rhs, std::string name) {
+    return binop(BinOpKind::kSub, lhs, rhs, std::move(name));
+  }
+  BinOpInst* mul(Value* lhs, Value* rhs, std::string name) {
+    return binop(BinOpKind::kMul, lhs, rhs, std::move(name));
+  }
+  ICmpInst* icmp(ICmpPred pred, Value* lhs, Value* rhs, std::string name);
+  CastInst* cast(CastKind kind, const Type* to, Value* v, std::string name);
+
+  // -- Control flow ----------------------------------------------------------------
+  PhiInst* phi(const Type* type, std::string name);
+  BrInst* br(BasicBlock* target);
+  CondBrInst* cond_br(Value* cond, BasicBlock* then_bb, BasicBlock* else_bb);
+  RetInst* ret(Value* value);
+  RetInst* ret_void();
+
+  // -- Calls --------------------------------------------------------------------
+  CallInst* call(Function* callee, std::vector<Value*> args, std::string name);
+  CallIndirectInst* call_indirect(Value* fn_ptr, std::vector<Value*> args, std::string name);
+
+  [[nodiscard]] Module& module() { return module_; }
+
+ private:
+  template <typename T>
+  T* append(std::unique_ptr<T> inst) {
+    if (bb_ == nullptr) throw std::invalid_argument("IRBuilder has no insertion point");
+    return static_cast<T*>(bb_->append(std::move(inst)));
+  }
+
+  Module& module_;
+  BasicBlock* bb_ = nullptr;
+};
+
+}  // namespace privagic::ir

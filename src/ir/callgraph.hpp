@@ -1,0 +1,63 @@
+// Call graph over direct calls. Indirect calls are deliberately absent: the
+// paper treats them as calls to external untrusted functions (§6.3), so they
+// never contribute intra-module edges.
+#pragma once
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "ir/module.hpp"
+
+namespace privagic::ir {
+
+class CallGraph {
+ public:
+  explicit CallGraph(const Module& module) {
+    for (const auto& fn : module.functions()) {
+      callees_[fn.get()];  // ensure every function has a node
+      for (const auto& bb : fn->blocks()) {
+        for (const auto& inst : bb->instructions()) {
+          if (inst->opcode() != Opcode::kCall) continue;
+          Function* callee = static_cast<const CallInst*>(inst.get())->callee();
+          if (callees_[fn.get()].insert(callee).second) {
+            callers_[callee].insert(fn.get());
+          }
+        }
+      }
+    }
+  }
+
+  [[nodiscard]] const std::unordered_set<Function*>& callees(const Function* fn) const {
+    static const std::unordered_set<Function*> kEmpty;
+    auto it = callees_.find(fn);
+    return it != callees_.end() ? it->second : kEmpty;
+  }
+
+  [[nodiscard]] const std::unordered_set<Function*>& callers(const Function* fn) const {
+    static const std::unordered_set<Function*> kEmpty;
+    auto it = callers_.find(fn);
+    return it != callers_.end() ? it->second : kEmpty;
+  }
+
+  /// Functions transitively reachable from @p roots via direct calls.
+  [[nodiscard]] std::unordered_set<Function*> reachable_from(
+      const std::vector<Function*>& roots) const {
+    std::unordered_set<Function*> seen(roots.begin(), roots.end());
+    std::vector<Function*> work(roots.begin(), roots.end());
+    while (!work.empty()) {
+      Function* fn = work.back();
+      work.pop_back();
+      for (Function* callee : callees(fn)) {
+        if (seen.insert(callee).second) work.push_back(callee);
+      }
+    }
+    return seen;
+  }
+
+ private:
+  std::unordered_map<const Function*, std::unordered_set<Function*>> callees_;
+  std::unordered_map<const Function*, std::unordered_set<Function*>> callers_;
+};
+
+}  // namespace privagic::ir

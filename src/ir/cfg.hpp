@@ -1,0 +1,36 @@
+// CFG utilities: predecessor maps, reverse postorder, reachability.
+#pragma once
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "ir/function.hpp"
+
+namespace privagic::ir {
+
+/// Immutable snapshot of a function's control-flow graph.
+class Cfg {
+ public:
+  explicit Cfg(const Function& fn);
+
+  [[nodiscard]] const std::vector<BasicBlock*>& reverse_postorder() const { return rpo_; }
+  [[nodiscard]] const std::vector<BasicBlock*>& predecessors(const BasicBlock* bb) const {
+    static const std::vector<BasicBlock*> kEmpty;
+    auto it = preds_.find(bb);
+    return it != preds_.end() ? it->second : kEmpty;
+  }
+  [[nodiscard]] bool is_reachable(const BasicBlock* bb) const {
+    return rpo_index_.contains(bb);
+  }
+  /// Position of @p bb in reverse postorder (entry = 0). Unreachable blocks
+  /// are absent; check is_reachable first.
+  [[nodiscard]] std::size_t rpo_index(const BasicBlock* bb) const { return rpo_index_.at(bb); }
+
+ private:
+  std::vector<BasicBlock*> rpo_;
+  std::unordered_map<const BasicBlock*, std::size_t> rpo_index_;
+  std::unordered_map<const BasicBlock*, std::vector<BasicBlock*>> preds_;
+};
+
+}  // namespace privagic::ir

@@ -1,0 +1,216 @@
+#include "ir/constant_fold.hpp"
+
+#include <cstring>
+#include <optional>
+#include <unordered_map>
+
+#include "ir/passes.hpp"
+#include "ir/use_def.hpp"
+
+namespace privagic::ir {
+
+namespace {
+
+std::int64_t wrap_to(const Type* type, std::int64_t v) {
+  if (!type->is_int()) return v;
+  const unsigned bits = static_cast<const IntType*>(type)->bits();
+  if (bits >= 64) return v;
+  const std::uint64_t mask = (1ull << bits) - 1;
+  std::uint64_t raw = static_cast<std::uint64_t>(v) & mask;
+  if ((raw & (1ull << (bits - 1))) != 0) raw |= ~mask;
+  return static_cast<std::int64_t>(raw);
+}
+
+std::optional<std::int64_t> int_of(const Value* v) {
+  if (const auto* ci = dynamic_cast<const ConstInt*>(v); ci != nullptr) return ci->value();
+  return std::nullopt;
+}
+
+std::optional<double> float_of(const Value* v) {
+  if (const auto* cf = dynamic_cast<const ConstFloat*>(v); cf != nullptr) return cf->value();
+  return std::nullopt;
+}
+
+/// Folds one instruction to a constant, or nullptr.
+Value* fold(Module& module, const Instruction* inst) {
+  switch (inst->opcode()) {
+    case Opcode::kBinOp: {
+      const auto* op = static_cast<const BinOpInst*>(inst);
+      if (op->type()->is_int()) {
+        const auto a = int_of(op->lhs());
+        const auto b = int_of(op->rhs());
+        if (!a || !b) return nullptr;
+        std::int64_t r = 0;
+        switch (op->op()) {
+          case BinOpKind::kAdd: r = *a + *b; break;
+          case BinOpKind::kSub: r = *a - *b; break;
+          case BinOpKind::kMul: r = *a * *b; break;
+          case BinOpKind::kSDiv:
+            if (*b == 0) return nullptr;  // leave the trap to the runtime
+            r = *a / *b;
+            break;
+          case BinOpKind::kSRem:
+            if (*b == 0) return nullptr;
+            r = *a % *b;
+            break;
+          case BinOpKind::kAnd: r = *a & *b; break;
+          case BinOpKind::kOr: r = *a | *b; break;
+          case BinOpKind::kXor: r = *a ^ *b; break;
+          case BinOpKind::kShl:
+            r = static_cast<std::int64_t>(static_cast<std::uint64_t>(*a) << (*b & 63));
+            break;
+          case BinOpKind::kLShr:
+            r = static_cast<std::int64_t>(static_cast<std::uint64_t>(wrap_to(op->type(), *a)) >>
+                                          (*b & 63));
+            break;
+          default:
+            return nullptr;
+        }
+        return module.const_int(static_cast<const IntType*>(op->type()),
+                                wrap_to(op->type(), r));
+      }
+      if (op->type()->is_float()) {
+        const auto a = float_of(op->lhs());
+        const auto b = float_of(op->rhs());
+        if (!a || !b) return nullptr;
+        switch (op->op()) {
+          case BinOpKind::kFAdd: return module.const_f64(*a + *b);
+          case BinOpKind::kFSub: return module.const_f64(*a - *b);
+          case BinOpKind::kFMul: return module.const_f64(*a * *b);
+          case BinOpKind::kFDiv: return module.const_f64(*a / *b);
+          default: return nullptr;
+        }
+      }
+      return nullptr;
+    }
+    case Opcode::kICmp: {
+      const auto* op = static_cast<const ICmpInst*>(inst);
+      const auto a = int_of(op->lhs());
+      const auto b = int_of(op->rhs());
+      if (!a || !b) return nullptr;
+      bool r = false;
+      switch (op->pred()) {
+        case ICmpPred::kEq: r = *a == *b; break;
+        case ICmpPred::kNe: r = *a != *b; break;
+        case ICmpPred::kSlt: r = *a < *b; break;
+        case ICmpPred::kSle: r = *a <= *b; break;
+        case ICmpPred::kSgt: r = *a > *b; break;
+        case ICmpPred::kSge: r = *a >= *b; break;
+      }
+      return module.const_bool(r);
+    }
+    case Opcode::kCast: {
+      const auto* op = static_cast<const CastInst*>(inst);
+      switch (op->cast_kind()) {
+        case CastKind::kZext: {
+          const auto a = int_of(op->source());
+          if (!a) return nullptr;
+          const unsigned from =
+              static_cast<const IntType*>(op->source()->type())->bits();
+          const std::uint64_t mask = from >= 64 ? ~0ull : (1ull << from) - 1;
+          return module.const_int(static_cast<const IntType*>(op->type()),
+                                  static_cast<std::int64_t>(
+                                      static_cast<std::uint64_t>(*a) & mask));
+        }
+        case CastKind::kSext:
+        case CastKind::kTrunc: {
+          const auto a = int_of(op->source());
+          if (!a) return nullptr;
+          return module.const_int(static_cast<const IntType*>(op->type()),
+                                  wrap_to(op->type(), *a));
+        }
+        case CastKind::kBitcast: {
+          if (op->type()->is_int() && op->source()->type()->is_float()) {
+            const auto a = float_of(op->source());
+            if (!a) return nullptr;
+            std::int64_t bits;
+            std::memcpy(&bits, &*a, 8);
+            return module.const_int(static_cast<const IntType*>(op->type()), bits);
+          }
+          if (op->type()->is_float() && op->source()->type()->is_int()) {
+            const auto a = int_of(op->source());
+            if (!a) return nullptr;
+            double d;
+            std::memcpy(&d, &*a, 8);
+            return module.const_f64(d);
+          }
+          return nullptr;
+        }
+        default:
+          return nullptr;
+      }
+    }
+    default:
+      return nullptr;
+  }
+}
+
+}  // namespace
+
+std::size_t fold_constants(Module& module, Function& fn) {
+  if (fn.is_declaration()) return 0;
+  std::size_t total = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Fold values.
+    std::unordered_map<const Value*, Value*> replace;
+    for (const auto& bb : fn.blocks()) {
+      for (const auto& inst : bb->instructions()) {
+        if (Value* c = fold(module, inst.get()); c != nullptr) {
+          replace[inst.get()] = c;
+        }
+      }
+    }
+    if (!replace.empty()) {
+      for (const auto& bb : fn.blocks()) {
+        for (const auto& inst : bb->instructions()) {
+          for (std::size_t i = 0; i < inst->operand_count(); ++i) {
+            auto it = replace.find(inst->operand(i));
+            if (it != replace.end()) inst->set_operand(i, it->second);
+          }
+        }
+      }
+      total += replace.size();
+      changed = true;
+    }
+    // Constant branches: cond_br i1 <const> → br. Phis in the untaken
+    // successor lose this predecessor's incoming.
+    for (const auto& bb : fn.blocks()) {
+      Instruction* term = bb->terminator();
+      if (term == nullptr || term->opcode() != Opcode::kCondBr) continue;
+      const auto* cb = static_cast<const CondBrInst*>(term);
+      const auto cond = int_of(cb->condition());
+      if (!cond) continue;
+      BasicBlock* taken = (*cond & 1) != 0 ? cb->then_block() : cb->else_block();
+      BasicBlock* untaken = (*cond & 1) != 0 ? cb->else_block() : cb->then_block();
+      if (untaken != taken) {
+        for (PhiInst* phi : untaken->phis()) {
+          for (std::size_t i = phi->incoming_count(); i-- > 0;) {
+            if (phi->incoming_block(i) == bb.get()) phi->remove_incoming(i);
+          }
+        }
+      }
+      const std::size_t idx = bb->size() - 1;
+      bb->erase(idx);
+      bb->append(std::make_unique<BrInst>(module.types().void_type(), taken, ""));
+      ++total;
+      changed = true;
+    }
+    if (changed) {
+      remove_unreachable_blocks(fn);
+      eliminate_dead_code(fn);
+    }
+  }
+  return total;
+}
+
+std::size_t fold_constants(Module& module) {
+  std::size_t total = 0;
+  for (const auto& fn : module.functions()) {
+    total += fold_constants(module, *fn);
+  }
+  return total;
+}
+
+}  // namespace privagic::ir

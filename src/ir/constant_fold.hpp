@@ -1,0 +1,23 @@
+// Constant folding + constant-branch simplification.
+//
+// The partitioner's trampolines compute message tags as `tags + K` chains
+// and its interfaces branch on compile-time flags; this pass folds them
+// (and any user constants) so the emitted modules stay tight. Also used as
+// a plain optimization before analysis — folding never changes colors
+// (constants are F, and F ⊕ F = F).
+#pragma once
+
+#include "ir/function.hpp"
+#include "ir/module.hpp"
+
+namespace privagic::ir {
+
+/// Folds constant binops/icmps/casts and rewrites `cond_br` on a constant
+/// condition into `br` (unreachable blocks are removed). Iterates to a
+/// fixpoint. Returns the number of instructions folded or simplified.
+std::size_t fold_constants(Module& module, Function& fn);
+
+/// Runs on every function with a body.
+std::size_t fold_constants(Module& module);
+
+}  // namespace privagic::ir

@@ -1,0 +1,144 @@
+// PIR functions.
+//
+// A Function is also a Value (of type ptr<functype>) so it can be taken as a
+// function pointer and passed to call_indirect — the case §6.3 of the paper
+// handles conservatively.
+//
+// Function attributes mirror the paper's annotations:
+//  * entry  — an entry point (§6.2): analysis starts here; arguments are U in
+//             hardened mode, F in relaxed mode.
+//  * within — an external function available inside every enclave, like
+//             Intel's mini-libc memcpy/malloc (§6.3).
+//  * ignore — a declassification boundary, e.g. encrypt() (§6.4).
+//  * external — no body in this module; by default it belongs to the
+//             untrusted part and its arguments must be U-compatible.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/basic_block.hpp"
+#include "ir/value.hpp"
+
+namespace privagic::ir {
+
+class Module;
+
+class Function final : public Value {
+ public:
+  Function(const PtrType* fn_ptr_type, const FuncType* fn_type, std::string name)
+      : Value(ValueKind::kFunction, fn_ptr_type, std::move(name)), fn_type_(fn_type) {}
+
+  [[nodiscard]] const FuncType* function_type() const { return fn_type_; }
+  [[nodiscard]] const Type* return_type() const { return fn_type_->ret(); }
+
+  [[nodiscard]] Module* parent() const { return parent_; }
+  void set_parent(Module* m) { parent_ = m; }
+
+  // -- Arguments -------------------------------------------------------------
+  Argument* add_argument(std::string arg_name) {
+    const unsigned index = static_cast<unsigned>(arguments_.size());
+    auto arg = std::make_unique<Argument>(fn_type_->params()[index], std::move(arg_name), index);
+    arg->set_parent(this);
+    arguments_.push_back(std::move(arg));
+    return arguments_.back().get();
+  }
+  [[nodiscard]] const std::vector<std::unique_ptr<Argument>>& arguments() const {
+    return arguments_;
+  }
+  [[nodiscard]] Argument* argument(std::size_t i) const { return arguments_[i].get(); }
+  [[nodiscard]] std::size_t arg_count() const { return arguments_.size(); }
+
+  // -- Body ------------------------------------------------------------------
+  BasicBlock* create_block(std::string block_name) {
+    auto bb = std::make_unique<BasicBlock>(std::move(block_name));
+    bb->set_parent(this);
+    blocks_.push_back(std::move(bb));
+    return blocks_.back().get();
+  }
+  [[nodiscard]] const std::vector<std::unique_ptr<BasicBlock>>& blocks() const { return blocks_; }
+  [[nodiscard]] BasicBlock* entry_block() const {
+    return blocks_.empty() ? nullptr : blocks_.front().get();
+  }
+  [[nodiscard]] BasicBlock* block_by_name(std::string_view name) const {
+    for (const auto& bb : blocks_) {
+      if (bb->name() == name) return bb.get();
+    }
+    return nullptr;
+  }
+  [[nodiscard]] bool is_declaration() const { return blocks_.empty(); }
+
+  /// Reorders blocks to match @p order (blocks absent from @p order keep
+  /// their relative position at the end). Used by the parser so the block
+  /// order always matches textual label order, keeping printing canonical.
+  void reorder_blocks(const std::vector<BasicBlock*>& order) {
+    std::vector<std::unique_ptr<BasicBlock>> reordered;
+    reordered.reserve(blocks_.size());
+    for (BasicBlock* want : order) {
+      for (auto& slot : blocks_) {
+        if (slot.get() == want) {
+          reordered.push_back(std::move(slot));
+          break;
+        }
+      }
+    }
+    for (auto& slot : blocks_) {
+      if (slot != nullptr) reordered.push_back(std::move(slot));
+    }
+    blocks_ = std::move(reordered);
+  }
+
+  /// Erases @p bb (and its instructions). Callers must first remove every
+  /// reference to the block and its instructions.
+  void erase_block(BasicBlock* bb) {
+    for (auto it = blocks_.begin(); it != blocks_.end(); ++it) {
+      if (it->get() == bb) {
+        blocks_.erase(it);
+        return;
+      }
+    }
+  }
+
+  // -- Attributes --------------------------------------------------------------
+  [[nodiscard]] bool is_entry_point() const { return entry_; }
+  void set_entry_point(bool v) { entry_ = v; }
+  [[nodiscard]] bool is_within() const { return within_; }
+  void set_within(bool v) { within_ = v; }
+  [[nodiscard]] bool is_ignore() const { return ignore_; }
+  void set_ignore(bool v) { ignore_ = v; }
+  [[nodiscard]] bool is_external() const { return is_declaration(); }
+
+  // -- Specialization bookkeeping (§6.2) ---------------------------------------
+  /// The un-specialized function this one was cloned from (nullptr if this is
+  /// an original). Specialized names look like "f$blue,F".
+  [[nodiscard]] Function* origin() const { return origin_; }
+  void set_origin(Function* f) { origin_ = f; }
+  /// The argument color signature the clone was specialized for.
+  [[nodiscard]] const std::vector<std::string>& specialization_colors() const {
+    return specialization_colors_;
+  }
+  void set_specialization_colors(std::vector<std::string> colors) {
+    specialization_colors_ = std::move(colors);
+  }
+
+  /// Total instruction count across all blocks.
+  [[nodiscard]] std::size_t instruction_count() const {
+    std::size_t n = 0;
+    for (const auto& bb : blocks_) n += bb->size();
+    return n;
+  }
+
+ private:
+  const FuncType* fn_type_;
+  Module* parent_ = nullptr;
+  std::vector<std::unique_ptr<Argument>> arguments_;
+  std::vector<std::unique_ptr<BasicBlock>> blocks_;
+  bool entry_ = false;
+  bool within_ = false;
+  bool ignore_ = false;
+  Function* origin_ = nullptr;
+  std::vector<std::string> specialization_colors_;
+};
+
+}  // namespace privagic::ir

@@ -1,0 +1,249 @@
+#include "ir/mem2reg.hpp"
+
+#include <cassert>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "ir/dominators.hpp"
+#include "ir/module.hpp"
+#include "ir/passes.hpp"
+#include "ir/use_def.hpp"
+
+namespace privagic::ir {
+
+namespace {
+
+/// True if every use of @p alloca is a load from it or a store *to* it.
+bool is_promotable(const AllocaInst* alloca, const UsersMap& users) {
+  if (!alloca->contained_type()->is_first_class()) return false;
+  if (!alloca->color().empty()) return false;
+  auto it = users.find(alloca);
+  if (it == users.end()) return true;  // dead alloca: trivially promotable
+  for (const Instruction* user : it->second) {
+    switch (user->opcode()) {
+      case Opcode::kLoad:
+        break;
+      case Opcode::kStore:
+        // The alloca must be the destination, not the stored value.
+        if (static_cast<const StoreInst*>(user)->stored_value() == alloca) return false;
+        break;
+      default:
+        return false;  // gep, call, cast, ... : address escapes
+    }
+  }
+  return true;
+}
+
+/// The "value before any store" for a promoted slot: zero / null, matching
+/// the zero-initialized simulated memory of the interpreter.
+Value* undef_value(Module& module, const Type* type) {
+  if (type->is_int()) return module.const_int(static_cast<const IntType*>(type), 0);
+  if (type->is_float()) return module.const_f64(0.0);
+  assert(type->is_ptr());
+  return module.const_null(static_cast<const PtrType*>(type));
+}
+
+class Promoter {
+ public:
+  Promoter(Module& module, Function& fn) : module_(module), fn_(fn), dom_(fn) {}
+
+  std::size_t run() {
+    const UsersMap users = compute_users(fn_);
+    collect_candidates(users);
+    if (candidates_.empty()) return 0;
+    place_phis();
+    rename();
+    rewrite_and_erase();
+    return candidates_.size();
+  }
+
+ private:
+  void collect_candidates(const UsersMap& users) {
+    for (const auto& bb : fn_.blocks()) {
+      for (const auto& inst : bb->instructions()) {
+        if (inst->opcode() != Opcode::kAlloca) continue;
+        auto* alloca = static_cast<AllocaInst*>(inst.get());
+        if (is_promotable(alloca, users)) {
+          candidates_.insert(alloca);
+        }
+      }
+    }
+  }
+
+  void place_phis() {
+    // Iterated dominance frontier per alloca.
+    for (AllocaInst* alloca : candidates_) {
+      std::vector<BasicBlock*> work;
+      std::unordered_set<BasicBlock*> has_def;
+      for (const auto& bb : fn_.blocks()) {
+        for (const auto& inst : bb->instructions()) {
+          if (inst->opcode() == Opcode::kStore &&
+              static_cast<const StoreInst*>(inst.get())->pointer() == alloca) {
+            if (has_def.insert(bb.get()).second) work.push_back(bb.get());
+          }
+        }
+      }
+      std::unordered_set<BasicBlock*> has_phi;
+      while (!work.empty()) {
+        BasicBlock* bb = work.back();
+        work.pop_back();
+        for (BasicBlock* front : dom_.frontier(bb)) {
+          if (!has_phi.insert(front).second) continue;
+          auto phi = std::make_unique<PhiInst>(alloca->contained_type(), "");
+          PhiInst* raw = static_cast<PhiInst*>(front->insert(0, std::move(phi)));
+          phi_owner_[raw] = alloca;
+          if (has_def.insert(front).second) work.push_back(front);
+        }
+      }
+    }
+  }
+
+  void rename() {
+    // DFS over the dominator tree, carrying the current SSA value per alloca.
+    std::unordered_map<const BasicBlock*, std::vector<BasicBlock*>> dom_children;
+    const auto& rpo = dom_.cfg().reverse_postorder();
+    for (BasicBlock* bb : rpo) {
+      if (BasicBlock* parent = dom_.idom(bb); parent != nullptr) {
+        dom_children[parent].push_back(bb);
+      }
+    }
+
+    struct Frame {
+      BasicBlock* bb;
+      std::unordered_map<AllocaInst*, Value*> incoming;
+    };
+    std::vector<Frame> stack;
+    stack.push_back({fn_.entry_block(), {}});
+
+    while (!stack.empty()) {
+      Frame frame = std::move(stack.back());
+      stack.pop_back();
+      auto current = std::move(frame.incoming);
+
+      for (const auto& inst : frame.bb->instructions()) {
+        switch (inst->opcode()) {
+          case Opcode::kPhi: {
+            auto it = phi_owner_.find(static_cast<PhiInst*>(inst.get()));
+            if (it != phi_owner_.end()) current[it->second] = inst.get();
+            break;
+          }
+          case Opcode::kLoad: {
+            auto* load = static_cast<LoadInst*>(inst.get());
+            auto* alloca = dynamic_cast<AllocaInst*>(load->pointer());
+            if (alloca != nullptr && candidates_.contains(alloca)) {
+              Value* v = lookup(current, alloca);
+              load_replacement_[load] = v;
+            }
+            break;
+          }
+          case Opcode::kStore: {
+            auto* store = static_cast<StoreInst*>(inst.get());
+            auto* alloca = dynamic_cast<AllocaInst*>(store->pointer());
+            if (alloca != nullptr && candidates_.contains(alloca)) {
+              current[alloca] = store->stored_value();
+            }
+            break;
+          }
+          default:
+            break;
+        }
+      }
+
+      // Feed successors' phis.
+      for (BasicBlock* succ : frame.bb->successors()) {
+        for (PhiInst* phi : succ->phis()) {
+          auto it = phi_owner_.find(phi);
+          if (it == phi_owner_.end()) continue;
+          phi->add_incoming(lookup(current, it->second), frame.bb);
+        }
+      }
+
+      // Recurse into dominator-tree children with the current state.
+      auto cit = dom_children.find(frame.bb);
+      if (cit != dom_children.end()) {
+        for (BasicBlock* child : cit->second) {
+          stack.push_back({child, current});
+        }
+      }
+    }
+  }
+
+  Value* lookup(std::unordered_map<AllocaInst*, Value*>& current, AllocaInst* alloca) {
+    auto it = current.find(alloca);
+    if (it != current.end()) return it->second;
+    Value* undef = undef_value(module_, alloca->contained_type());
+    current[alloca] = undef;
+    return undef;
+  }
+
+  /// Resolves a value through chains of replaced loads.
+  Value* resolve(Value* v) const {
+    while (v->value_kind() == ValueKind::kInstruction) {
+      auto it = load_replacement_.find(static_cast<Instruction*>(v));
+      if (it == load_replacement_.end()) break;
+      v = it->second;
+    }
+    return v;
+  }
+
+  void rewrite_and_erase() {
+    for (const auto& bb : fn_.blocks()) {
+      for (const auto& inst : bb->instructions()) {
+        for (std::size_t i = 0; i < inst->operand_count(); ++i) {
+          inst->set_operand(i, resolve(inst->operand(i)));
+        }
+      }
+    }
+    // Erase promoted loads, their stores, and the allocas themselves.
+    // Classify everything first: erasing an alloca before visiting a store
+    // that targets it would leave the store's operand dangling.
+    std::unordered_set<const Instruction*> dead;
+    for (const auto& bb : fn_.blocks()) {
+      for (const auto& inst : bb->instructions()) {
+        if (load_replacement_.contains(inst.get())) {
+          dead.insert(inst.get());
+        } else if (inst->opcode() == Opcode::kStore) {
+          auto* alloca =
+              dynamic_cast<AllocaInst*>(static_cast<StoreInst*>(inst.get())->pointer());
+          if (alloca != nullptr && candidates_.contains(alloca)) dead.insert(inst.get());
+        } else if (inst->opcode() == Opcode::kAlloca &&
+                   candidates_.contains(static_cast<AllocaInst*>(inst.get()))) {
+          dead.insert(inst.get());
+        }
+      }
+    }
+    for (const auto& bb : fn_.blocks()) {
+      for (std::size_t i = bb->size(); i-- > 0;) {
+        if (dead.contains(bb->instruction(i))) bb->erase(i);
+      }
+    }
+  }
+
+  Module& module_;
+  Function& fn_;
+  DominatorTree dom_;
+  std::unordered_set<AllocaInst*> candidates_;
+  std::unordered_map<PhiInst*, AllocaInst*> phi_owner_;
+  std::unordered_map<Instruction*, Value*> load_replacement_;
+};
+
+}  // namespace
+
+std::size_t promote_memory_to_registers(Module& module, Function& fn) {
+  if (fn.is_declaration()) return 0;
+  // Renaming walks the dominator tree, which only covers reachable blocks;
+  // drop unreachable ones first so no stale references survive.
+  remove_unreachable_blocks(fn);
+  return Promoter(module, fn).run();
+}
+
+std::size_t promote_memory_to_registers(Module& module) {
+  std::size_t total = 0;
+  for (const auto& fn : module.functions()) {
+    total += promote_memory_to_registers(module, *fn);
+  }
+  return total;
+}
+
+}  // namespace privagic::ir

@@ -1,0 +1,31 @@
+// mem2reg: promotes stack slots to SSA registers.
+//
+// The paper's analysis depends on this pass (§5.1): after mem2reg, the only
+// local variables left in memory are those whose address is taken — exactly
+// the ones another thread could reach — so Privagic's type inference over
+// registers covers all single-thread-visible locals and is sound under
+// concurrency.
+//
+// An alloca is promoted iff:
+//  * its contained type is first-class (int / float / pointer);
+//  * every use is a `load` from it or a `store` **to** it (storing the
+//    alloca's address itself, gep-ing it, or passing it to a call all count
+//    as taking a pointer, and block promotion);
+//  * it carries no explicit color annotation — a colored local is a colored
+//    *memory location* in the paper's model, and must stay in memory so the
+//    location keeps its enclave identity.
+#pragma once
+
+#include "ir/function.hpp"
+
+namespace privagic::ir {
+
+class Module;
+
+/// Runs mem2reg on @p fn. Returns the number of allocas promoted.
+std::size_t promote_memory_to_registers(Module& module, Function& fn);
+
+/// Runs mem2reg on every function with a body.
+std::size_t promote_memory_to_registers(Module& module);
+
+}  // namespace privagic::ir

@@ -1,0 +1,140 @@
+// A PIR module: the "whole-program LLVM bitcode file" Privagic takes as
+// input (§5, Figure 5). Owns the type context, globals, functions, and the
+// constant pool.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ir/function.hpp"
+#include "ir/type.hpp"
+#include "ir/value.hpp"
+
+namespace privagic::ir {
+
+class Module {
+ public:
+  explicit Module(std::string name) : name_(std::move(name)) {}
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] TypeContext& types() { return types_; }
+  [[nodiscard]] const TypeContext& types() const { return types_; }
+
+  // -- Globals -----------------------------------------------------------------
+  /// Creates a global. A non-empty @p color places the variable in that
+  /// enclave; the global's address then has type ptr<T color(c)>, so the
+  /// color travels with every pointer derived from it.
+  GlobalVariable* create_global(const Type* contained, std::string global_name,
+                                std::int64_t int_init = 0, std::string color = "") {
+    auto g = std::make_unique<GlobalVariable>(types_.ptr(contained, color), contained,
+                                              std::move(global_name), int_init);
+    g->set_color(std::move(color));
+    globals_.push_back(std::move(g));
+    return globals_.back().get();
+  }
+  [[nodiscard]] const std::vector<std::unique_ptr<GlobalVariable>>& globals() const {
+    return globals_;
+  }
+  [[nodiscard]] GlobalVariable* global_by_name(std::string_view gname) const {
+    for (const auto& g : globals_) {
+      if (g->name() == gname) return g.get();
+    }
+    return nullptr;
+  }
+
+  /// Removes the global named @p gname (it must be unused).
+  void erase_global(std::string_view gname) {
+    for (auto it = globals_.begin(); it != globals_.end(); ++it) {
+      if ((*it)->name() == gname) {
+        globals_.erase(it);
+        return;
+      }
+    }
+  }
+
+  // -- Functions ---------------------------------------------------------------
+  /// Creates a function (with a body to be filled in) or a declaration (leave
+  /// the body empty).
+  Function* create_function(const FuncType* fn_type, std::string fn_name) {
+    auto f = std::make_unique<Function>(types_.ptr(fn_type), fn_type, std::move(fn_name));
+    f->set_parent(this);
+    functions_.push_back(std::move(f));
+    return functions_.back().get();
+  }
+  [[nodiscard]] const std::vector<std::unique_ptr<Function>>& functions() const {
+    return functions_;
+  }
+  [[nodiscard]] Function* function_by_name(std::string_view fname) const {
+    for (const auto& f : functions_) {
+      if (f->name() == fname) return f.get();
+    }
+    return nullptr;
+  }
+
+  /// Removes the function named @p fname (it must be unused).
+  void erase_function(std::string_view fname) {
+    for (auto it = functions_.begin(); it != functions_.end(); ++it) {
+      if ((*it)->name() == fname) {
+        functions_.erase(it);
+        return;
+      }
+    }
+  }
+
+  // -- Constant pool -------------------------------------------------------------
+  ConstInt* const_int(const IntType* type, std::int64_t value) {
+    for (const auto& c : constants_) {
+      if (auto* ci = dynamic_cast<ConstInt*>(c.get());
+          ci != nullptr && ci->type() == type && ci->value() == value) {
+        return ci;
+      }
+    }
+    constants_.push_back(std::make_unique<ConstInt>(type, value));
+    return static_cast<ConstInt*>(constants_.back().get());
+  }
+  ConstInt* const_i32(std::int64_t value) { return const_int(types_.i32(), value); }
+  ConstInt* const_i64(std::int64_t value) { return const_int(types_.i64(), value); }
+  ConstInt* const_bool(bool value) { return const_int(types_.i1(), value ? 1 : 0); }
+
+  ConstFloat* const_f64(double value) {
+    for (const auto& c : constants_) {
+      if (auto* cf = dynamic_cast<ConstFloat*>(c.get());
+          cf != nullptr && cf->value() == value) {
+        return cf;
+      }
+    }
+    constants_.push_back(std::make_unique<ConstFloat>(types_.f64(), value));
+    return static_cast<ConstFloat*>(constants_.back().get());
+  }
+
+  ConstNull* const_null(const PtrType* type) {
+    for (const auto& c : constants_) {
+      if (auto* cn = dynamic_cast<ConstNull*>(c.get()); cn != nullptr && cn->type() == type) {
+        return cn;
+      }
+    }
+    constants_.push_back(std::make_unique<ConstNull>(type));
+    return static_cast<ConstNull*>(constants_.back().get());
+  }
+
+  /// Total instruction count over all function bodies (the "lines of LLVM
+  /// code" metric of Table 4).
+  [[nodiscard]] std::size_t instruction_count() const {
+    std::size_t n = 0;
+    for (const auto& f : functions_) n += f->instruction_count();
+    return n;
+  }
+
+ private:
+  std::string name_;
+  TypeContext types_;
+  std::vector<std::unique_ptr<GlobalVariable>> globals_;
+  std::vector<std::unique_ptr<Function>> functions_;
+  std::vector<std::unique_ptr<Value>> constants_;
+};
+
+}  // namespace privagic::ir

@@ -1,0 +1,52 @@
+// Textual PIR parser. Round-trips the output of print_module().
+//
+// Grammar (authoritative):
+//
+//   module    := 'module' STRING item*
+//   item      := struct | global | declare | define
+//   struct    := 'struct' '%'ID '{' field (',' field)* '}'
+//   field     := type ID color?
+//   color     := 'color' '(' ID ')'
+//   global    := 'global' type '@'ID ('=' INT)? color?
+//   declare   := 'declare' type '@'ID '(' params? ')' attr*
+//   define    := 'define' type '@'ID '(' params? ')' attr* '{' block+ '}'
+//   params    := param (',' param)*
+//   param     := type ('%'ID)? color?
+//   attr      := 'entry' | 'within' | 'ignore'
+//   block     := ID ':' inst*
+//   inst      := ('%'ID '=')? op
+//   type      := 'void' | 'i'N | 'f64' | 'ptr' '<' type fnsuffix? '>'
+//              | '[' INT 'x' type ']' | '%'ID
+//   fnsuffix  := '(' (type (',' type)*)? ')'       ; function type inside ptr<>
+//   operand   := type ( '%'ID | '@'ID | INT | FLOAT | 'null' )
+//
+// Ops (mirroring printer.cpp):
+//   alloca T color?                  heap_alloc T color?       heap_free OPND
+//   load OPND                        store OPND ',' OPND
+//   gep OPND ',' ('field' INT | 'index' OPND)
+//   add|sub|mul|sdiv|srem|and|or|xor|shl|lshr|fadd|fsub|fmul|fdiv OPND ',' OPND
+//   icmp PRED OPND ',' OPND          cast KIND OPND 'to' T
+//   phi T '[' OPND ',' '%'ID ']' (',' '[' OPND ',' '%'ID ']')*
+//   br '%'ID                          cond_br OPND ',' '%'ID ',' '%'ID
+//   call T '@'ID '(' operands? ')'    call_indirect T OPND '(' operands? ')'
+//   ret (OPND | 'void')
+//
+// Rules enforced while parsing:
+//  * non-phi operands must be defined textually before use;
+//  * phi incoming values may forward-reference (resolved at function end);
+//  * branch targets may forward-reference (blocks are pre-scanned).
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "ir/module.hpp"
+#include "support/status.hpp"
+
+namespace privagic::ir {
+
+/// Parses @p text into a fresh Module. On failure the Result carries a
+/// message with the 1-based line number of the offending token.
+[[nodiscard]] Result<std::unique_ptr<Module>> parse_module(std::string_view text);
+
+}  // namespace privagic::ir

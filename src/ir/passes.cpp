@@ -1,0 +1,68 @@
+#include "ir/passes.hpp"
+
+#include <unordered_set>
+#include <vector>
+
+#include "ir/cfg.hpp"
+#include "ir/use_def.hpp"
+
+namespace privagic::ir {
+
+std::size_t remove_unreachable_blocks(Function& fn) {
+  if (fn.is_declaration()) return 0;
+  const Cfg cfg(fn);
+
+  std::vector<BasicBlock*> dead;
+  for (const auto& bb : fn.blocks()) {
+    if (!cfg.is_reachable(bb.get())) dead.push_back(bb.get());
+  }
+  if (dead.empty()) return 0;
+
+  const std::unordered_set<BasicBlock*> dead_set(dead.begin(), dead.end());
+  // Trim phi incomings that name a dead predecessor.
+  for (const auto& bb : fn.blocks()) {
+    if (dead_set.contains(bb.get())) continue;
+    for (PhiInst* phi : bb->phis()) {
+      for (std::size_t i = phi->incoming_count(); i-- > 0;) {
+        if (dead_set.contains(phi->incoming_block(i))) phi->remove_incoming(i);
+      }
+    }
+  }
+  for (BasicBlock* bb : dead) fn.erase_block(bb);
+  return dead.size();
+}
+
+std::size_t eliminate_dead_code(Function& fn) {
+  if (fn.is_declaration()) return 0;
+  std::size_t removed = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    const UsersMap users = compute_users(fn);
+    for (const auto& bb : fn.blocks()) {
+      for (std::size_t i = bb->size(); i-- > 0;) {
+        Instruction* inst = bb->instruction(i);
+        if (inst->has_side_effects()) continue;
+        // Allocas whose address is still used must stay.
+        auto it = users.find(inst);
+        const bool used = it != users.end() && !it->second.empty();
+        if (used) continue;
+        bb->erase(i);
+        ++removed;
+        changed = true;
+      }
+    }
+  }
+  return removed;
+}
+
+std::size_t run_cleanup(Module& module) {
+  std::size_t total = 0;
+  for (const auto& fn : module.functions()) {
+    total += remove_unreachable_blocks(*fn);
+    total += eliminate_dead_code(*fn);
+  }
+  return total;
+}
+
+}  // namespace privagic::ir

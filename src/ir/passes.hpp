@@ -1,0 +1,22 @@
+// Cleanup passes: unreachable-block elimination and dead-code elimination.
+// DCE is the pass the partitioner relies on to drop uselessly replicated F
+// instructions from chunks (§7.3.1).
+#pragma once
+
+#include "ir/function.hpp"
+#include "ir/module.hpp"
+
+namespace privagic::ir {
+
+/// Removes blocks not reachable from the entry (also trimming phi incomings
+/// from removed blocks). Returns the number of blocks removed.
+std::size_t remove_unreachable_blocks(Function& fn);
+
+/// Classic DCE: repeatedly removes instructions that have no users and no
+/// side effects. Returns the number of instructions removed.
+std::size_t eliminate_dead_code(Function& fn);
+
+/// Runs both passes on every function with a body.
+std::size_t run_cleanup(Module& module);
+
+}  // namespace privagic::ir

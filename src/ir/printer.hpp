@@ -1,0 +1,35 @@
+// Textual PIR emission. The format round-trips through the parser
+// (parser.hpp) and is what DESIGN.md calls the "bitcode file": the whole-
+// program artifact the Privagic compiler consumes and the per-color
+// artifacts it emits.
+//
+// Grammar sketch (see parser.hpp for the authoritative one):
+//
+//   module "m"
+//   struct %account { [256 x i8] name color(blue), f64 balance color(red) }
+//   global i32 @y = 0 color(blue)
+//   declare i32 @f(ptr<i32>)
+//   declare ptr<i8> @encrypt(ptr<i8>, i64) ignore
+//   define i32 @test(i32 %a color(blue), i32 %b) entry {
+//   entry:
+//     %x = alloca i32 color(blue)
+//     %t = add i32 %a, i32 42
+//     store i32 %t, ptr %x
+//     cond_br i1 %c, %then, %else
+//     ...
+//   }
+#pragma once
+
+#include <string>
+
+#include "ir/module.hpp"
+
+namespace privagic::ir {
+
+/// Renders @p module as parseable text.
+[[nodiscard]] std::string print_module(const Module& module);
+
+/// Renders a single function (used in diagnostics and tests).
+[[nodiscard]] std::string print_function(const Function& fn);
+
+}  // namespace privagic::ir

@@ -1,0 +1,70 @@
+#include "ir/type.hpp"
+
+namespace privagic::ir {
+
+TypeContext::TypeContext() {
+  void_type_ = make<VoidType>();
+  f64_ = make<FloatType>();
+}
+
+const IntType* TypeContext::int_type(unsigned bits) {
+  for (const auto& t : owned_) {
+    if (const auto* it = dynamic_cast<const IntType*>(t.get()); it != nullptr && it->bits() == bits) {
+      return it;
+    }
+  }
+  return make<IntType>(bits);
+}
+
+const PtrType* TypeContext::ptr(const Type* pointee, std::string pointee_color) {
+  for (const auto& t : owned_) {
+    if (const auto* pt = dynamic_cast<const PtrType*>(t.get());
+        pt != nullptr && pt->pointee() == pointee && pt->pointee_color() == pointee_color) {
+      return pt;
+    }
+  }
+  return make<PtrType>(pointee, std::move(pointee_color));
+}
+
+const ArrayType* TypeContext::array(const Type* element, std::uint64_t count) {
+  for (const auto& t : owned_) {
+    if (const auto* at = dynamic_cast<const ArrayType*>(t.get());
+        at != nullptr && at->element() == element && at->count() == count) {
+      return at;
+    }
+  }
+  return make<ArrayType>(element, count);
+}
+
+const FuncType* TypeContext::func(const Type* ret, std::vector<const Type*> params) {
+  for (const auto& t : owned_) {
+    if (const auto* ft = dynamic_cast<const FuncType*>(t.get());
+        ft != nullptr && ft->ret() == ret && ft->params() == params) {
+      return ft;
+    }
+  }
+  return make<FuncType>(ret, std::move(params));
+}
+
+StructType* TypeContext::create_struct(std::string name, std::vector<StructField> fields) {
+  if (struct_by_name(name) != nullptr) return nullptr;
+  auto* st = make<StructType>(std::move(name), std::move(fields));
+  struct_order_.push_back(st);
+  return st;
+}
+
+StructType* TypeContext::struct_by_name(std::string_view name) {
+  for (auto* st : struct_order_) {
+    if (st->name() == name) return st;
+  }
+  return nullptr;
+}
+
+const StructType* TypeContext::struct_by_name(std::string_view name) const {
+  for (const auto* st : struct_order_) {
+    if (st->name() == name) return st;
+  }
+  return nullptr;
+}
+
+}  // namespace privagic::ir

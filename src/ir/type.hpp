@@ -1,0 +1,309 @@
+// PIR type system.
+//
+// PIR (Privagic IR) mirrors the slice of the LLVM type system that the
+// paper's analysis consumes (§2.2): integers, doubles, pointers, arrays,
+// named structures, and function types. Types are immutable and uniqued by a
+// TypeContext, so Type* identity equality is type equality — except for named
+// struct types, which are nominal (two structs with the same body but
+// different names differ, as in LLVM).
+//
+// Colors (the secure-type annotations of §1) are NOT part of type identity.
+// They annotate *memory locations*: struct fields carry a color string here,
+// and globals / allocas / arguments carry colors as value annotations (see
+// value.hpp). This matches the paper, where `color(blue)` lowers to an LLVM
+// annotate attribute that the frontend passes through untouched.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace privagic::ir {
+
+class TypeContext;
+
+/// Discriminator for Type.
+enum class TypeKind : std::uint8_t {
+  kVoid,
+  kInt,     // iN
+  kFloat,   // f64
+  kPtr,     // ptr to pointee
+  kArray,   // [N x elem]
+  kStruct,  // named struct
+  kFunc,    // function type
+};
+
+/// A PIR type. Instances are owned by a TypeContext and live as long as it.
+class Type {
+ public:
+  virtual ~Type() = default;
+  Type(const Type&) = delete;
+  Type& operator=(const Type&) = delete;
+
+  [[nodiscard]] TypeKind kind() const { return kind_; }
+  [[nodiscard]] bool is_void() const { return kind_ == TypeKind::kVoid; }
+  [[nodiscard]] bool is_int() const { return kind_ == TypeKind::kInt; }
+  [[nodiscard]] bool is_float() const { return kind_ == TypeKind::kFloat; }
+  [[nodiscard]] bool is_ptr() const { return kind_ == TypeKind::kPtr; }
+  [[nodiscard]] bool is_array() const { return kind_ == TypeKind::kArray; }
+  [[nodiscard]] bool is_struct() const { return kind_ == TypeKind::kStruct; }
+  [[nodiscard]] bool is_func() const { return kind_ == TypeKind::kFunc; }
+
+  /// True for types a register can hold (int, float, ptr).
+  [[nodiscard]] bool is_first_class() const {
+    return is_int() || is_float() || is_ptr();
+  }
+
+  /// Renders the type in PIR textual syntax (e.g. "i32", "ptr<i8>").
+  [[nodiscard]] virtual std::string to_string() const = 0;
+
+  /// Size of a value of this type in the simulated memory, in bytes.
+  /// Function and void types have no size and return 0.
+  [[nodiscard]] virtual std::uint64_t size_bytes() const = 0;
+
+ protected:
+  explicit Type(TypeKind kind) : kind_(kind) {}
+
+ private:
+  TypeKind kind_;
+};
+
+class VoidType final : public Type {
+ public:
+  VoidType() : Type(TypeKind::kVoid) {}
+  [[nodiscard]] std::string to_string() const override { return "void"; }
+  [[nodiscard]] std::uint64_t size_bytes() const override { return 0; }
+};
+
+class IntType final : public Type {
+ public:
+  explicit IntType(unsigned bits) : Type(TypeKind::kInt), bits_(bits) {}
+  [[nodiscard]] unsigned bits() const { return bits_; }
+  [[nodiscard]] std::string to_string() const override { return "i" + std::to_string(bits_); }
+  [[nodiscard]] std::uint64_t size_bytes() const override { return (bits_ + 7) / 8; }
+
+ private:
+  unsigned bits_;
+};
+
+class FloatType final : public Type {
+ public:
+  FloatType() : Type(TypeKind::kFloat) {}
+  [[nodiscard]] std::string to_string() const override { return "f64"; }
+  [[nodiscard]] std::uint64_t size_bytes() const override { return 8; }
+};
+
+/// Pointer type, optionally qualified with the color of the memory it points
+/// to: `ptr<i32 color(blue)>` is the PIR spelling of the paper's
+/// `int color(blue)*` (§3, Figure 3.b). The qualifier participates in type
+/// identity, so "storing a pointer to an uncolored memory location in a
+/// pointer to a colored memory location is prohibited, exactly as storing a
+/// pointer to a float in a pointer to an integer is prohibited".
+class PtrType final : public Type {
+ public:
+  PtrType(const Type* pointee, std::string pointee_color)
+      : Type(TypeKind::kPtr), pointee_(pointee), pointee_color_(std::move(pointee_color)) {}
+  [[nodiscard]] const Type* pointee() const { return pointee_; }
+  /// The declared color of the pointed-to memory ("" = unqualified, i.e. the
+  /// unsafe default of the compilation mode).
+  [[nodiscard]] const std::string& pointee_color() const { return pointee_color_; }
+  [[nodiscard]] std::string to_string() const override {
+    return "ptr<" + pointee_->to_string() +
+           (pointee_color_.empty() ? "" : " color(" + pointee_color_ + ")") + ">";
+  }
+  [[nodiscard]] std::uint64_t size_bytes() const override { return 8; }
+
+ private:
+  const Type* pointee_;
+  std::string pointee_color_;
+};
+
+class ArrayType final : public Type {
+ public:
+  ArrayType(const Type* element, std::uint64_t count)
+      : Type(TypeKind::kArray), element_(element), count_(count) {}
+  [[nodiscard]] const Type* element() const { return element_; }
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] std::string to_string() const override {
+    return "[" + std::to_string(count_) + " x " + element_->to_string() + "]";
+  }
+  [[nodiscard]] std::uint64_t size_bytes() const override {
+    return count_ * element_->size_bytes();
+  }
+
+ private:
+  const Type* element_;
+  std::uint64_t count_;
+};
+
+/// One field of a struct. `color` is the explicit secure-type annotation
+/// (empty string = uncolored). Figure 1 of the paper is exactly:
+///   struct %account { [256 x i8] color(blue) name; f64 color(red) balance }
+struct StructField {
+  std::string name;
+  const Type* type = nullptr;
+  std::string color;  // "" = none
+};
+
+class StructType final : public Type {
+ public:
+  StructType(std::string name, std::vector<StructField> fields)
+      : Type(TypeKind::kStruct), name_(std::move(name)), fields_(std::move(fields)) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::vector<StructField>& fields() const { return fields_; }
+
+  /// Replaces the field list. For module cloning of mutually recursive
+  /// structs only — never call once the type is in use.
+  void set_fields(std::vector<StructField> fields) { fields_ = std::move(fields); }
+
+  /// Index of the field named @p field_name, or -1 if absent.
+  [[nodiscard]] int field_index(std::string_view field_name) const {
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      if (fields_[i].name == field_name) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  /// True if at least two fields carry distinct non-empty colors (§7.2).
+  [[nodiscard]] bool is_multi_color() const {
+    std::string_view first;
+    for (const auto& f : fields_) {
+      if (f.color.empty()) continue;
+      if (first.empty()) {
+        first = f.color;
+      } else if (first != f.color) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// True if any field carries a color.
+  [[nodiscard]] bool has_colored_field() const {
+    for (const auto& f : fields_) {
+      if (!f.color.empty()) return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::string to_string() const override { return "%" + name_; }
+  [[nodiscard]] std::uint64_t size_bytes() const override {
+    std::uint64_t total = 0;
+    for (const auto& f : fields_) total += f.type->size_bytes();
+    return total;
+  }
+
+  /// Byte offset of field @p index within an unpadded layout.
+  [[nodiscard]] std::uint64_t field_offset(std::size_t index) const {
+    std::uint64_t offset = 0;
+    for (std::size_t i = 0; i < index; ++i) offset += fields_[i].type->size_bytes();
+    return offset;
+  }
+
+ private:
+  std::string name_;
+  std::vector<StructField> fields_;
+};
+
+class FuncType final : public Type {
+ public:
+  FuncType(const Type* ret, std::vector<const Type*> params)
+      : Type(TypeKind::kFunc), ret_(ret), params_(std::move(params)) {}
+  [[nodiscard]] const Type* ret() const { return ret_; }
+  [[nodiscard]] const std::vector<const Type*>& params() const { return params_; }
+  [[nodiscard]] std::string to_string() const override {
+    std::string s = ret_->to_string() + " (";
+    for (std::size_t i = 0; i < params_.size(); ++i) {
+      if (i > 0) s += ", ";
+      s += params_[i]->to_string();
+    }
+    return s + ")";
+  }
+  [[nodiscard]] std::uint64_t size_bytes() const override { return 0; }
+
+ private:
+  const Type* ret_;
+  std::vector<const Type*> params_;
+};
+
+/// Structural type equality that ignores pointer color qualifiers. Used for
+/// calls to `within`/`ignore` functions, which are color-polymorphic: the
+/// paper's memcpy accepts pointers of any color and the type system decides
+/// which enclave executes the call (§6.3–§6.4).
+[[nodiscard]] inline bool equal_ignoring_colors(const Type* a, const Type* b) {
+  if (a == b) return true;
+  if (a->kind() != b->kind()) return false;
+  switch (a->kind()) {
+    case TypeKind::kPtr:
+      return equal_ignoring_colors(static_cast<const PtrType*>(a)->pointee(),
+                                   static_cast<const PtrType*>(b)->pointee());
+    case TypeKind::kInt:
+      return static_cast<const IntType*>(a)->bits() == static_cast<const IntType*>(b)->bits();
+    case TypeKind::kArray: {
+      const auto* aa = static_cast<const ArrayType*>(a);
+      const auto* ba = static_cast<const ArrayType*>(b);
+      return aa->count() == ba->count() && equal_ignoring_colors(aa->element(), ba->element());
+    }
+    case TypeKind::kFunc: {
+      const auto* af = static_cast<const FuncType*>(a);
+      const auto* bf = static_cast<const FuncType*>(b);
+      if (!equal_ignoring_colors(af->ret(), bf->ret())) return false;
+      if (af->params().size() != bf->params().size()) return false;
+      for (std::size_t i = 0; i < af->params().size(); ++i) {
+        if (!equal_ignoring_colors(af->params()[i], bf->params()[i])) return false;
+      }
+      return true;
+    }
+    default:
+      return false;  // structs are nominal; void/float compare by identity
+  }
+}
+
+/// Owns and uniques types. One per Module (modules do not share types).
+class TypeContext {
+ public:
+  TypeContext();
+  TypeContext(const TypeContext&) = delete;
+  TypeContext& operator=(const TypeContext&) = delete;
+
+  [[nodiscard]] const VoidType* void_type() const { return void_type_; }
+  [[nodiscard]] const FloatType* f64() const { return f64_; }
+  [[nodiscard]] const IntType* int_type(unsigned bits);
+  [[nodiscard]] const IntType* i1() { return int_type(1); }
+  [[nodiscard]] const IntType* i8() { return int_type(8); }
+  [[nodiscard]] const IntType* i32() { return int_type(32); }
+  [[nodiscard]] const IntType* i64() { return int_type(64); }
+  [[nodiscard]] const PtrType* ptr(const Type* pointee, std::string pointee_color = "");
+  [[nodiscard]] const ArrayType* array(const Type* element, std::uint64_t count);
+  [[nodiscard]] const FuncType* func(const Type* ret, std::vector<const Type*> params);
+
+  /// Creates a named struct. Struct names are unique per context; creating a
+  /// second struct with the same name returns nullptr.
+  StructType* create_struct(std::string name, std::vector<StructField> fields);
+
+  /// Looks up a previously created struct by name (nullptr if absent).
+  [[nodiscard]] StructType* struct_by_name(std::string_view name);
+  [[nodiscard]] const StructType* struct_by_name(std::string_view name) const;
+
+  /// All struct types, in creation order.
+  [[nodiscard]] const std::vector<StructType*>& structs() const { return struct_order_; }
+
+ private:
+  std::vector<std::unique_ptr<Type>> owned_;
+  const VoidType* void_type_ = nullptr;
+  const FloatType* f64_ = nullptr;
+  std::vector<StructType*> struct_order_;
+
+  template <typename T, typename... Args>
+  T* make(Args&&... args) {
+    auto owner = std::make_unique<T>(std::forward<Args>(args)...);
+    T* raw = owner.get();
+    owned_.push_back(std::move(owner));
+    return raw;
+  }
+};
+
+}  // namespace privagic::ir

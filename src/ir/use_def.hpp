@@ -1,0 +1,28 @@
+// Use-def utilities: a users map computed on demand (PIR keeps no intrusive
+// use lists; analyses snapshot what they need, which avoids invalidation
+// bugs while the partitioner rewrites code).
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "ir/function.hpp"
+
+namespace privagic::ir {
+
+using UsersMap = std::unordered_map<const Value*, std::vector<Instruction*>>;
+
+/// Maps each value to the instructions of @p fn that use it as an operand.
+[[nodiscard]] inline UsersMap compute_users(const Function& fn) {
+  UsersMap users;
+  for (const auto& bb : fn.blocks()) {
+    for (const auto& inst : bb->instructions()) {
+      for (Value* op : inst->operands()) {
+        users[op].push_back(inst.get());
+      }
+    }
+  }
+  return users;
+}
+
+}  // namespace privagic::ir

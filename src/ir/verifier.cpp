@@ -1,0 +1,196 @@
+#include "ir/verifier.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "ir/dominators.hpp"
+
+namespace privagic::ir {
+
+namespace {
+
+class FunctionVerifier {
+ public:
+  FunctionVerifier(const Function& fn, std::vector<std::string>& errors)
+      : fn_(fn), errors_(errors) {}
+
+  void run() {
+    if (fn_.is_declaration()) return;
+    collect_definitions();
+    check_blocks();
+    DominatorTree dom(fn_);
+    check_uses(dom);
+  }
+
+ private:
+  void error(const std::string& what) { errors_.push_back("@" + fn_.name() + ": " + what); }
+
+  void collect_definitions() {
+    for (const auto& bb : fn_.blocks()) {
+      for (const auto& inst : bb->instructions()) {
+        def_block_[inst.get()] = bb.get();
+        // Record the in-block position for same-block dominance checks.
+        def_pos_[inst.get()] = position_counter_++;
+      }
+    }
+  }
+
+  void check_blocks() {
+    const Cfg cfg(fn_);
+    const BasicBlock* entry = fn_.entry_block();
+    if (!cfg.predecessors(entry).empty()) error("entry block has predecessors");
+    if (!entry->phis().empty()) error("entry block contains phi nodes");
+
+    for (const auto& bb : fn_.blocks()) {
+      if (!cfg.is_reachable(bb.get())) continue;
+      if (bb->terminator() == nullptr) {
+        error("block %" + bb->name() + " has no terminator");
+        continue;
+      }
+      // Terminator must be last and unique.
+      for (std::size_t i = 0; i + 1 < bb->size(); ++i) {
+        if (bb->instruction(i)->is_terminator()) {
+          error("block %" + bb->name() + " has a terminator before its end");
+        }
+      }
+      // Phi checks: one incoming per predecessor, and phis lead the block.
+      const auto& preds = cfg.predecessors(bb.get());
+      bool past_phis = false;
+      for (std::size_t i = 0; i < bb->size(); ++i) {
+        const Instruction* inst = bb->instruction(i);
+        if (inst->opcode() == Opcode::kPhi) {
+          if (past_phis) error("block %" + bb->name() + " has a phi after a non-phi");
+          const auto* phi = static_cast<const PhiInst*>(inst);
+          if (phi->incoming_count() != preds.size()) {
+            error("phi in %" + bb->name() + " has " + std::to_string(phi->incoming_count()) +
+                  " incomings for " + std::to_string(preds.size()) + " predecessors");
+          } else {
+            for (std::size_t k = 0; k < phi->incoming_count(); ++k) {
+              if (std::find(preds.begin(), preds.end(), phi->incoming_block(k)) == preds.end()) {
+                error("phi in %" + bb->name() + " names non-predecessor %" +
+                      phi->incoming_block(k)->name());
+              }
+            }
+          }
+        } else {
+          past_phis = true;
+        }
+      }
+    }
+  }
+
+  void check_uses(const DominatorTree& dom) {
+    for (const auto& bb : fn_.blocks()) {
+      if (!dom.cfg().is_reachable(bb.get())) continue;
+      for (const auto& inst : bb->instructions()) {
+        if (inst->opcode() == Opcode::kPhi) {
+          const auto* phi = static_cast<const PhiInst*>(inst.get());
+          for (std::size_t k = 0; k < phi->incoming_count(); ++k) {
+            check_operand_at_edge(phi->incoming_value(k), phi->incoming_block(k), dom);
+          }
+          continue;
+        }
+        for (Value* op : inst->operands()) {
+          check_operand(op, inst.get(), bb.get(), dom);
+        }
+        if (inst->opcode() == Opcode::kCall) {
+          check_call(static_cast<const CallInst&>(*inst));
+        }
+      }
+    }
+  }
+
+  void check_operand(Value* op, const Instruction* user, const BasicBlock* user_bb,
+                     const DominatorTree& dom) {
+    if (op == nullptr) {
+      error("null operand");
+      return;
+    }
+    switch (op->value_kind()) {
+      case ValueKind::kInstruction: {
+        auto it = def_block_.find(static_cast<const Instruction*>(op));
+        if (it == def_block_.end()) {
+          error("operand %" + op->name() + " defined outside the function");
+          return;
+        }
+        const BasicBlock* def_bb = it->second;
+        if (def_bb == user_bb) {
+          if (def_pos_.at(static_cast<const Instruction*>(op)) >= def_pos_.at(user)) {
+            error("use of %" + op->name() + " before its definition in %" + user_bb->name());
+          }
+        } else if (!dom.dominates(def_bb, user_bb)) {
+          error("definition of %" + op->name() + " (in %" + def_bb->name() +
+                ") does not dominate use in %" + user_bb->name());
+        }
+        return;
+      }
+      case ValueKind::kArgument: {
+        const auto* arg = static_cast<const Argument*>(op);
+        if (arg->parent() != &fn_) error("argument %" + op->name() + " of another function");
+        return;
+      }
+      default:
+        return;  // constants, globals, functions: always fine
+    }
+  }
+
+  void check_operand_at_edge(Value* op, const BasicBlock* incoming_bb, const DominatorTree& dom) {
+    if (op == nullptr) {
+      error("phi has null incoming value");
+      return;
+    }
+    if (op->value_kind() != ValueKind::kInstruction) return;
+    auto it = def_block_.find(static_cast<const Instruction*>(op));
+    if (it == def_block_.end()) {
+      error("phi incoming %" + op->name() + " defined outside the function");
+      return;
+    }
+    if (!dom.dominates(it->second, incoming_bb)) {
+      error("phi incoming %" + op->name() + " does not dominate edge from %" +
+            incoming_bb->name());
+    }
+  }
+
+  void check_call(const CallInst& call) {
+    const Function* callee = call.callee();
+    const auto& params = callee->function_type()->params();
+    if (params.size() != call.args().size()) {
+      error("call to @" + callee->name() + " has wrong arity");
+      return;
+    }
+    const bool polymorphic = callee->is_within() || callee->is_ignore();
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      const bool ok = polymorphic ? equal_ignoring_colors(call.args()[i]->type(), params[i])
+                                  : call.args()[i]->type() == params[i];
+      if (!ok) {
+        error("call to @" + callee->name() + ": argument " + std::to_string(i) +
+              " type mismatch");
+      }
+    }
+  }
+
+  const Function& fn_;
+  std::vector<std::string>& errors_;
+  std::unordered_map<const Instruction*, const BasicBlock*> def_block_;
+  std::unordered_map<const Instruction*, std::size_t> def_pos_;
+  std::size_t position_counter_ = 0;
+};
+
+}  // namespace
+
+std::vector<std::string> verify_function(const Function& fn) {
+  std::vector<std::string> errors;
+  FunctionVerifier(fn, errors).run();
+  return errors;
+}
+
+std::vector<std::string> verify_module(const Module& module) {
+  std::vector<std::string> errors;
+  for (const auto& fn : module.functions()) {
+    FunctionVerifier(*fn, errors).run();
+  }
+  return errors;
+}
+
+}  // namespace privagic::ir

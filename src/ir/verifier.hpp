@@ -1,0 +1,25 @@
+// Module verifier: structural SSA well-formedness. Run after parsing and
+// after every transformation pass in tests.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/module.hpp"
+
+namespace privagic::ir {
+
+/// Returns a list of human-readable problems (empty = the module is valid):
+///  * every reachable block ends in exactly one terminator;
+///  * the entry block has no predecessors and no phis;
+///  * phi nodes have exactly one incoming per CFG predecessor;
+///  * every instruction/argument operand is defined in the same function and
+///    its definition dominates the use (phi uses checked at the incoming
+///    edge);
+///  * direct-call arity and argument types match the callee.
+[[nodiscard]] std::vector<std::string> verify_module(const Module& module);
+
+/// Convenience: verify a single function.
+[[nodiscard]] std::vector<std::string> verify_function(const Function& fn);
+
+}  // namespace privagic::ir

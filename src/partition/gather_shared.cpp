@@ -1,0 +1,73 @@
+#include "partition/gather_shared.hpp"
+
+#include <unordered_map>
+#include <vector>
+
+#include "ir/instruction.hpp"
+
+namespace privagic::partition {
+
+std::size_t gather_shared_globals(ir::Module& module) {
+  // Candidates: uncolored, zero-initialized globals.
+  std::vector<ir::GlobalVariable*> gathered;
+  std::unordered_map<const ir::Value*, int> field_of;
+  for (const auto& g : module.globals()) {
+    if (!g->color().empty() || g->int_init() != 0) continue;
+    if (g->name() == kSharedGlobalName) continue;  // idempotence
+    field_of[g.get()] = static_cast<int>(gathered.size());
+    gathered.push_back(g.get());
+  }
+  if (gathered.empty()) return 0;
+
+  std::vector<ir::StructField> fields;
+  fields.reserve(gathered.size());
+  for (const ir::GlobalVariable* g : gathered) {
+    fields.push_back({g->name(), g->contained_type(), ""});
+  }
+  ir::StructType* shared =
+      module.types().create_struct(std::string(kSharedStructName), std::move(fields));
+  if (shared == nullptr) return 0;  // already gathered
+  ir::GlobalVariable* base = module.create_global(shared, std::string(kSharedGlobalName));
+
+  auto make_gep = [&](int field) {
+    const ir::Type* field_type = shared->fields()[static_cast<std::size_t>(field)].type;
+    return std::make_unique<ir::GepInst>(module.types().ptr(field_type), base, field,
+                                         "");
+  };
+
+  for (const auto& fn : module.functions()) {
+    for (const auto& bb : fn->blocks()) {
+      for (std::size_t i = 0; i < bb->size(); ++i) {
+        ir::Instruction* inst = bb->instruction(i);
+        if (inst->opcode() == ir::Opcode::kPhi) {
+          // Incoming values are rewritten on the incoming edge: the gep goes
+          // before that predecessor's terminator.
+          auto* phi = static_cast<ir::PhiInst*>(inst);
+          for (std::size_t k = 0; k < phi->incoming_count(); ++k) {
+            auto it = field_of.find(phi->incoming_value(k));
+            if (it == field_of.end()) continue;
+            ir::BasicBlock* pred = phi->incoming_block(k);
+            ir::Instruction* gep = pred->insert(pred->size() - 1, make_gep(it->second));
+            phi->set_incoming_value(k, gep);
+          }
+          continue;
+        }
+        for (std::size_t op = 0; op < inst->operand_count(); ++op) {
+          auto it = field_of.find(inst->operand(op));
+          if (it == field_of.end()) continue;
+          ir::Instruction* gep = bb->insert(i, make_gep(it->second));
+          ++i;  // the original instruction moved one slot down
+          inst->set_operand(op, gep);
+        }
+      }
+    }
+  }
+
+  // The gathered globals have no remaining uses; drop them.
+  for (ir::GlobalVariable* g : gathered) {
+    module.erase_global(g->name());
+  }
+  return gathered.size();
+}
+
+}  // namespace privagic::partition

@@ -1,0 +1,29 @@
+// Shared-variable gathering (§7.1).
+//
+// "An enclave is a shared library and it cannot use a symbol defined in the
+// untrusted part of the application... For this reason, Privagic gathers all
+// the S variables in a shared data structure stored in unsafe memory and
+// replaces accordingly all the accesses." On real SGX this sidesteps symbol
+// resolution: the runtime hands each enclave one base pointer at startup.
+//
+// This pass performs that rewrite: every uncolored, zero-initialized global
+// becomes a field of the synthetic struct %pvg.shared behind the single
+// global @pvg.shared, and every access goes through a gep off that base.
+// The simulator does not *need* it (globals resolve directly), so the pass
+// is optional — privagicc exposes it as --gather-shared — but it keeps the
+// §7.1 mechanism testable end to end.
+#pragma once
+
+#include "ir/module.hpp"
+
+namespace privagic::partition {
+
+inline constexpr std::string_view kSharedStructName = "pvg.shared";
+inline constexpr std::string_view kSharedGlobalName = "pvg.shared";
+
+/// Gathers the uncolored zero-initialized globals. Returns how many were
+/// gathered (0 = module unchanged). Globals with non-zero initializers or
+/// colors are left alone (struct globals carry no per-field initializers).
+std::size_t gather_shared_globals(ir::Module& module);
+
+}  // namespace privagic::partition

@@ -1,0 +1,57 @@
+// The contract between partitioned code and the Privagic runtime (§7.3).
+//
+// The partitioner lowers cross-enclave control and data flow to calls to
+// these intrinsics; the interpreter (src/interp) binds them to the runtime's
+// worker threads and mailboxes (src/runtime). Payloads travel as i64 bit
+// patterns; the rewriter inserts the casts.
+//
+//   void pvg.spawn(i64 chunk, i64 tags, i64 leader, i64 flags)
+//       Start chunk #chunk on its enclave's worker (trampoline invocation).
+//       `tags` is the call site's tag base, `leader` the color id to report
+//       back to, `flags` bit 0 = "cont the result back to the leader".
+//   void pvg.cont(i64 color, i64 tag, i64 payload)
+//       Send an F value to the worker of `color` (relaxed mode only).
+//   i64  pvg.wait(i64 tag)
+//       Block until a cont with this tag arrives; return its payload.
+//   void pvg.ack(i64 color, i64 tag)
+//       Completion / barrier token.
+//   void pvg.wait_ack(i64 tag)
+//       Block for one token with this tag.
+//
+// Tags make message matching deterministic: every call site and every
+// synchronization barrier gets a unique compile-time tag base, so concurrent
+// messages from unrelated program points can never be confused. A worker
+// blocked in wait/wait_ack serves incoming spawns re-entrantly, which is
+// what makes nested cross-enclave calls deadlock-free.
+//
+// Per-call-site tag layout (base T):
+//   T + i    — cont of the callee chunk's i-th parameter
+//   T + 100  — cont of the F result from a remote provider to the leader
+//   T + 101  — cont of the F result from the leader to sibling consumers
+//   T + 200  — completion ack of a spawned chunk
+// Barriers use their own bases with offset 0.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace privagic::partition {
+
+inline constexpr std::string_view kIntrinsicSpawn = "pvg.spawn";
+inline constexpr std::string_view kIntrinsicCont = "pvg.cont";
+inline constexpr std::string_view kIntrinsicWait = "pvg.wait";
+inline constexpr std::string_view kIntrinsicAck = "pvg.ack";
+inline constexpr std::string_view kIntrinsicWaitAck = "pvg.wait_ack";
+
+inline constexpr std::int64_t kTagStride = 1000;   // tag bases per site
+inline constexpr std::int64_t kTagResultToLeader = 100;
+inline constexpr std::int64_t kTagResultToSibling = 101;
+inline constexpr std::int64_t kTagCompletion = 200;
+inline constexpr std::int64_t kFlagSendResult = 1;
+
+[[nodiscard]] inline bool is_intrinsic_name(std::string_view name) {
+  return name == kIntrinsicSpawn || name == kIntrinsicCont || name == kIntrinsicWait ||
+         name == kIntrinsicAck || name == kIntrinsicWaitAck;
+}
+
+}  // namespace privagic::partition

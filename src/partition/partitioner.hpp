@@ -1,0 +1,86 @@
+// Application partitioning (§7): materializes the per-enclave program.
+//
+// Given a planned, type-checked module, the partitioner emits a new module
+// containing:
+//  * one *chunk* per (specialization, color): the color's instructions plus
+//    the replicated F instructions (§7.3.1), with foreign-colored branch
+//    regions bridged by jumps to their join points;
+//  * call-site lowerings: direct chunk-to-chunk calls for shared colors,
+//    spawn/cont/wait message sequences for the rest (§7.3.2);
+//  * *trampolines* for chunks that can be started remotely — they receive
+//    cont-carried arguments, run the chunk, optionally return the F result,
+//    and send a completion ack;
+//  * *interface* functions for the entry points, keeping the original names
+//    (§7.3.4): an interface runs untrusted, spawns the entry's enclave
+//    chunks, calls the U chunk directly, and joins before returning;
+//  * synchronization barriers before externally visible effects (§7.3.3).
+//
+// The output module is ordinary PIR that type-checks structurally (the
+// verifier passes); the secure-type rules are *not* re-run on it — the
+// lowered message casts intentionally move values in ways only the runtime
+// may.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "partition/plan.hpp"
+#include "support/status.hpp"
+
+namespace privagic::partition {
+
+/// One generated chunk.
+struct ChunkInfo {
+  std::string origin_spec;          // mangled specialization name
+  Color color;                      // the enclave (or U) this chunk runs in
+  ir::Function* fn = nullptr;       // the chunk function (output module)
+  ir::Function* trampoline = nullptr;  // remote-start shim; may be nullptr
+  std::uint64_t id = 0;             // spawn id (index into chunks)
+};
+
+struct PartitionResult {
+  std::unique_ptr<ir::Module> module;
+  std::vector<ChunkInfo> chunks;
+  /// Entry interfaces by original function name.
+  std::map<std::string, ir::Function*> interfaces;
+  /// Color table: pvg.cont/ack color operands index into this.
+  std::vector<Color> color_table;
+  /// TCB accounting (Table 4): instructions per color after cleanup.
+  std::map<Color, std::size_t> instructions_per_color;
+  /// Globals per color (U holds the uncolored ones).
+  std::map<Color, std::vector<std::string>> globals_by_color;
+
+  [[nodiscard]] std::int64_t color_id(const Color& c) const {
+    for (std::size_t i = 0; i < color_table.size(); ++i) {
+      if (color_table[i] == c) return static_cast<std::int64_t>(i);
+    }
+    return -1;
+  }
+  [[nodiscard]] const ChunkInfo* chunk(const std::string& origin, const Color& c) const {
+    for (const auto& ch : chunks) {
+      if (ch.origin_spec == origin && ch.color == c) return &ch;
+    }
+    return nullptr;
+  }
+};
+
+class Partitioner {
+ public:
+  explicit Partitioner(PartitionPlanner& planner) : planner_(planner) {}
+
+  /// Rewrites the module. The planner must have run successfully.
+  [[nodiscard]] Result<std::unique_ptr<PartitionResult>> run();
+
+ private:
+  PartitionPlanner& planner_;
+};
+
+/// Convenience pipeline: analysis (caller-run) → plan → partition.
+/// Returns an error carrying the diagnostics text if any stage rejects.
+[[nodiscard]] Result<std::unique_ptr<PartitionResult>> partition_module(
+    sectype::TypeAnalysis& analysis);
+
+}  // namespace privagic::partition

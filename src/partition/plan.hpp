@@ -1,0 +1,108 @@
+// Partition planning (§7.3.1–§7.3.2): decides, before any code is rewritten,
+//  * which chunk colors every specialization needs,
+//  * how every direct call site is lowered (direct chunk calls, spawns of
+//    missing chunks, cont-carried F arguments and results),
+//  * which blocks each chunk skips (regions of foreign-colored branches),
+//  * where synchronization barriers go (§7.3.3),
+// and reports the hardened-mode errors the paper defines at this stage: an F
+// value that would have to cross an enclave boundary in a cont message
+// (§7.3.2), and an entry point that would return an enclave-colored value to
+// the untrusted world.
+#pragma once
+
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "sectype/analysis.hpp"
+
+namespace privagic::partition {
+
+using sectype::Color;
+using sectype::ColorSet;
+using sectype::SpecFacts;
+using sectype::SpecSig;
+
+/// How one direct call site is executed across chunks.
+struct CallLowering {
+  SpecSig callee_sig;
+  ColorSet callee_chunks;
+  /// The caller chunk that orchestrates: spawns missing callee chunks, sends
+  /// cont arguments, collects acks, and forwards an F result to siblings.
+  Color leader;
+  /// Callee chunks not shared with the caller: started via spawn messages.
+  std::vector<Color> spawned;
+  /// True when the callee's return color is F.
+  bool result_is_free = false;
+  /// Caller chunks outside the callee's chunk set that consume the F result;
+  /// the leader conts it to them after the call completes.
+  std::vector<Color> result_consumers;
+  /// When the leader itself is outside the callee's chunk set, this remote
+  /// chunk's trampoline conts the result back to the leader.
+  Color remote_result_provider;  // F = none
+};
+
+/// An F result produced by a call that executes in exactly one chunk
+/// (external, within, ignore, or indirect) but is consumed by instructions
+/// in other chunks: the producing chunk conts it over (the declassification
+/// path of §6.4 — e.g. encrypt()'s return value flowing to untrusted code).
+struct ResultRelay {
+  Color from;
+  std::vector<Color> to;
+};
+
+/// Everything the rewriter needs for one specialization.
+struct SpecPlan {
+  const SpecFacts* facts = nullptr;
+  /// The chunk colors to generate. S placements fold into U (the §7.3.1
+  /// corner case: no dedicated S chunk); a specialization with no concrete
+  /// color gets replicated into each color that calls it, or a single U
+  /// chunk if it is never called from colored code.
+  ColorSet chunk_colors;
+  std::unordered_map<const ir::CallInst*, CallLowering> calls;
+  std::unordered_map<const ir::Instruction*, ResultRelay> relays;
+  /// Per chunk color: blocks that the chunk skips because they belong to a
+  /// region controlled by a branch of another color.
+  std::map<Color, std::unordered_set<const ir::BasicBlock*>> skipped_blocks;
+  /// Instructions with externally visible effects (§7.3.3): every chunk
+  /// reaching that program point synchronizes before the effect executes.
+  std::vector<const ir::Instruction*> visible_effects;
+};
+
+class PartitionPlanner {
+ public:
+  explicit PartitionPlanner(sectype::TypeAnalysis& analysis) : analysis_(analysis) {}
+
+  /// Plans every specialization reachable from the entry points. Returns
+  /// false if a plan-stage rule is violated (diagnostics() has the details).
+  bool plan();
+
+  [[nodiscard]] const SpecPlan* plan_for(const SpecSig& sig) const {
+    auto it = plans_.find(sig);
+    return it != plans_.end() ? &it->second : nullptr;
+  }
+  [[nodiscard]] const std::map<SpecSig, SpecPlan>& plans() const { return plans_; }
+  [[nodiscard]] const sectype::DiagnosticEngine& diagnostics() const { return diags_; }
+  [[nodiscard]] sectype::TypeAnalysis& analysis() { return analysis_; }
+
+  /// The chunk colors of a specialization (after folding and replication).
+  [[nodiscard]] ColorSet chunk_colors(const SpecSig& sig) const;
+
+ private:
+  void compute_chunk_colors();
+  void plan_spec(SpecPlan& plan);
+  void plan_call(SpecPlan& plan, const ir::CallInst* call);
+  [[nodiscard]] Color placement_chunk(const SpecFacts& facts,
+                                      const ir::Instruction* inst) const;
+
+  sectype::TypeAnalysis& analysis_;
+  sectype::DiagnosticEngine diags_;
+  std::map<SpecSig, SpecPlan> plans_;
+  std::map<SpecSig, ColorSet> chunk_colors_;
+  /// Specs replicated per caller color (§5.3): they are never spawned — each
+  /// caller chunk calls its own copy directly.
+  std::map<SpecSig, bool> replicable_;
+};
+
+}  // namespace privagic::partition

@@ -1,0 +1,209 @@
+#include "partition/split_structs.hpp"
+
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/builder.hpp"
+
+namespace privagic::partition {
+
+namespace {
+
+struct SplitField {
+  int index;
+  const ir::Type* original_type;
+  std::string color;
+};
+
+using SplitMap = std::unordered_map<const ir::StructType*, std::vector<SplitField>>;
+
+/// Replaces every use of @p from with @p to across the function, except in
+/// @p skip (the instruction that defines the replacement).
+void replace_uses(ir::Function& fn, ir::Value* from, ir::Value* to,
+                  const ir::Instruction* skip) {
+  for (const auto& bb : fn.blocks()) {
+    for (const auto& inst : bb->instructions()) {
+      if (inst.get() == skip) continue;
+      for (std::size_t i = 0; i < inst->operand_count(); ++i) {
+        if (inst->operand(i) == from) inst->set_operand(i, to);
+      }
+      if (inst->opcode() == ir::Opcode::kPhi) continue;  // operands cover phis
+    }
+  }
+}
+
+class Splitter {
+ public:
+  explicit Splitter(ir::Module& module) : module_(module) {}
+
+  std::size_t run() {
+    collect();
+    if (splits_.empty()) return 0;
+    mutate_struct_fields();
+    for (const auto& fn : module_.functions()) {
+      if (!fn->is_declaration()) rewrite_function(*fn);
+    }
+    return total_fields_;
+  }
+
+ private:
+  void collect() {
+    for (ir::StructType* st : module_.types().structs()) {
+      std::vector<SplitField> fields;
+      for (std::size_t i = 0; i < st->fields().size(); ++i) {
+        const ir::StructField& f = st->fields()[i];
+        if (!f.color.empty()) {
+          fields.push_back({static_cast<int>(i), f.type, f.color});
+        }
+      }
+      if (!fields.empty()) {
+        total_fields_ += fields.size();
+        splits_[st] = std::move(fields);
+      }
+    }
+  }
+
+  void mutate_struct_fields() {
+    for (auto& [st, split_fields] : splits_) {
+      std::vector<ir::StructField> fields = st->fields();
+      for (const SplitField& sf : split_fields) {
+        auto& field = fields[static_cast<std::size_t>(sf.index)];
+        field.type = module_.types().ptr(sf.original_type, sf.color);
+        field.color.clear();
+      }
+      const_cast<ir::StructType*>(st)->set_fields(std::move(fields));
+    }
+  }
+
+  [[nodiscard]] const std::vector<SplitField>* split_of(const ir::Type* t) const {
+    const auto* st = dynamic_cast<const ir::StructType*>(t);
+    if (st == nullptr) return nullptr;
+    auto it = splits_.find(st);
+    return it != splits_.end() ? &it->second : nullptr;
+  }
+
+  void rewrite_function(ir::Function& fn) {
+    ir::IRBuilder b(module_);
+    // Walk blocks; instructions are inserted behind the cursor, so iterate
+    // by index and recompute sizes.
+    for (const auto& bb : fn.blocks()) {
+      for (std::size_t i = 0; i < bb->size(); ++i) {
+        ir::Instruction* inst = bb->instruction(i);
+        switch (inst->opcode()) {
+          case ir::Opcode::kHeapAlloc:
+          case ir::Opcode::kAlloca:
+            i = rewrite_allocation(fn, *bb, i);
+            break;
+          case ir::Opcode::kGep:
+            i = rewrite_gep(fn, *bb, i);
+            break;
+          case ir::Opcode::kHeapFree:
+            i = rewrite_free(*bb, i);
+            break;
+          default:
+            break;
+        }
+      }
+    }
+  }
+
+  /// Allocation of a split struct: body goes to unsafe memory; each colored
+  /// field is allocated in its enclave and linked in. Returns the index of
+  /// the last inserted instruction.
+  std::size_t rewrite_allocation(ir::Function& fn, ir::BasicBlock& bb, std::size_t i) {
+    ir::Instruction* inst = bb.instruction(i);
+    const ir::Type* contained = nullptr;
+    if (inst->opcode() == ir::Opcode::kHeapAlloc) {
+      contained = static_cast<ir::HeapAllocInst*>(inst)->contained_type();
+    } else {
+      contained = static_cast<ir::AllocaInst*>(inst)->contained_type();
+    }
+    const std::vector<SplitField>* split = split_of(contained);
+    if (split == nullptr) return i;
+
+    // The body lives in unsafe memory (§7.2): strip any allocation color.
+    if (inst->opcode() == ir::Opcode::kHeapAlloc) {
+      static_cast<ir::HeapAllocInst*>(inst)->set_color("");
+    } else {
+      static_cast<ir::AllocaInst*>(inst)->set_color("");
+    }
+    inst->mutate_type(module_.types().ptr(contained));
+
+    std::size_t pos = i + 1;
+    for (const SplitField& sf : *split) {
+      const ir::PtrType* field_ptr_type = module_.types().ptr(sf.original_type, sf.color);
+      auto field_alloc = std::make_unique<ir::HeapAllocInst>(field_ptr_type, sf.original_type,
+                                                             inst->name() + ".f" +
+                                                                 std::to_string(sf.index));
+      field_alloc->set_color(sf.color);
+      ir::Instruction* fa = bb.insert(pos++, std::move(field_alloc));
+
+      auto gep = std::make_unique<ir::GepInst>(
+          module_.types().ptr(static_cast<const ir::Type*>(field_ptr_type)), inst, sf.index,
+          "");
+      ir::Instruction* gp = bb.insert(pos++, std::move(gep));
+
+      auto store = std::make_unique<ir::StoreInst>(module_.types().void_type(), fa, gp, "");
+      bb.insert(pos++, std::move(store));
+    }
+    (void)fn;
+    return pos - 1;
+  }
+
+  /// Field access through a split struct: the gep now yields a pointer to
+  /// the indirection slot; a load fetches the enclave pointer, and every
+  /// original use is redirected to it.
+  std::size_t rewrite_gep(ir::Function& fn, ir::BasicBlock& bb, std::size_t i) {
+    auto* gep = static_cast<ir::GepInst*>(bb.instruction(i));
+    if (!gep->is_field_access()) return i;
+    const std::vector<SplitField>* split = split_of(gep->struct_type());
+    if (split == nullptr) return i;
+    const SplitField* sf = nullptr;
+    for (const SplitField& cand : *split) {
+      if (cand.index == gep->field_index()) sf = &cand;
+    }
+    if (sf == nullptr) return i;  // uncolored field: unchanged
+
+    const ir::PtrType* field_ptr_type = module_.types().ptr(sf->original_type, sf->color);
+    gep->mutate_type(module_.types().ptr(static_cast<const ir::Type*>(field_ptr_type)));
+    auto load = std::make_unique<ir::LoadInst>(field_ptr_type, gep, gep->name() + ".ind");
+    ir::Instruction* ld = bb.insert(i + 1, std::move(load));
+    replace_uses(fn, gep, ld, ld);
+    return i + 1;
+  }
+
+  /// Freeing a split struct also frees its out-of-line fields.
+  std::size_t rewrite_free(ir::BasicBlock& bb, std::size_t i) {
+    auto* free_inst = static_cast<ir::HeapFreeInst*>(bb.instruction(i));
+    const auto* pt = dynamic_cast<const ir::PtrType*>(free_inst->pointer()->type());
+    if (pt == nullptr) return i;
+    const std::vector<SplitField>* split = split_of(pt->pointee());
+    if (split == nullptr) return i;
+
+    std::size_t pos = i;  // insert the field frees *before* the body free
+    for (const SplitField& sf : *split) {
+      const ir::PtrType* field_ptr_type = module_.types().ptr(sf.original_type, sf.color);
+      auto gep = std::make_unique<ir::GepInst>(
+          module_.types().ptr(static_cast<const ir::Type*>(field_ptr_type)),
+          free_inst->pointer(), sf.index, "");
+      ir::Instruction* gp = bb.insert(pos++, std::move(gep));
+      auto load = std::make_unique<ir::LoadInst>(field_ptr_type, gp, "");
+      ir::Instruction* ld = bb.insert(pos++, std::move(load));
+      auto ff = std::make_unique<ir::HeapFreeInst>(module_.types().void_type(), ld, "");
+      bb.insert(pos++, std::move(ff));
+    }
+    return pos;  // now the index of the original free
+  }
+
+  ir::Module& module_;
+  SplitMap splits_;
+  std::size_t total_fields_ = 0;
+};
+
+}  // namespace
+
+std::size_t split_multicolor_structs(ir::Module& module) { return Splitter(module).run(); }
+
+}  // namespace privagic::partition

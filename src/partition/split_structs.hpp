@@ -1,0 +1,36 @@
+// Multi-color structure splitting (§7.2).
+//
+// A structure with colored fields cannot stay packed: each enclave is
+// contiguous, so Privagic introduces one level of indirection. For
+//
+//   struct %account { [256 x i8] name color(blue), f64 balance color(red) }
+//
+// the pass rewrites the struct so each colored field becomes an (uncolored)
+// pointer to memory in the field's enclave:
+//
+//   struct %account { ptr<[256 x i8] color(blue)> name, ptr<f64 color(red)> balance }
+//
+// and rewrites
+//  * allocation sites (heap_alloc/alloca/global): the body is allocated in
+//    unsafe memory, the colored fields in their enclaves, and the pointers
+//    stored into the body;
+//  * field accesses: `gep %s, field i` gains a `load` of the indirection
+//    pointer (the paper's "memcpy(&s->f) becomes memcpy(s->ind->f)");
+//  * frees: the colored fields are freed with the body.
+//
+// The pass runs after parsing and before type analysis: the rewritten form
+// type-checks in relaxed mode exactly as §8 describes (loading the
+// indirection pointer from unsafe memory is what makes hardened mode reject
+// multi-color structures). In hardened mode the pass must not run — call
+// sites decide based on the intended mode.
+#pragma once
+
+#include "ir/module.hpp"
+
+namespace privagic::partition {
+
+/// Rewrites every struct that has colored fields. Returns the number of
+/// fields split out.
+std::size_t split_multicolor_structs(ir::Module& module);
+
+}  // namespace privagic::partition

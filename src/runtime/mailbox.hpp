@@ -1,0 +1,81 @@
+// A worker's mailbox: messages from any enclave, matched by (kind, tag).
+//
+// wait(kCont, 5) removes and returns the first buffered cont with tag 5; a
+// pending spawn is returned instead whenever one is queued ahead, so a
+// blocked worker serves incoming chunk starts re-entrantly (this is what
+// keeps nested cross-enclave calls from deadlocking — see
+// partition/intrinsics.hpp).
+//
+// This is the *functional* runtime used by the interpreter. The benchmark
+// runtime uses the lock-free SPSC ring of spsc_queue.hpp, as the paper's
+// Privagic runtime does; a mutex+cv mailbox keeps the interpreter simple
+// without affecting any reported number (benchmarks never run interpreted
+// code).
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "runtime/message.hpp"
+
+namespace privagic::runtime {
+
+class Mailbox {
+ public:
+  void push(const Message& m) {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      queue_.push_back(m);
+    }
+    cv_.notify_all();
+  }
+
+  /// Blocks until a message matching (kind, tag) — or any spawn/stop — is
+  /// available; removes and returns it. Spawns/stops win over a match that
+  /// arrived later, preserving arrival order for control messages.
+  Message next(MsgKind kind, std::int64_t tag) {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (true) {
+      for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+        const bool control = it->kind == MsgKind::kSpawn || it->kind == MsgKind::kStop;
+        const bool match = it->kind == kind && it->tag == tag;
+        if (control || match) {
+          Message m = *it;
+          queue_.erase(it);
+          return m;
+        }
+      }
+      cv_.wait(lock);
+    }
+  }
+
+  /// Blocks for the next spawn or stop (the worker idle loop).
+  Message next_control() {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (true) {
+      for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+        if (it->kind == MsgKind::kSpawn || it->kind == MsgKind::kStop) {
+          Message m = *it;
+          queue_.erase(it);
+          return m;
+        }
+      }
+      cv_.wait(lock);
+    }
+  }
+
+  /// Non-blocking size snapshot (tests only).
+  [[nodiscard]] std::size_t size() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return queue_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Message> queue_;
+};
+
+}  // namespace privagic::runtime

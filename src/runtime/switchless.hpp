@@ -1,0 +1,58 @@
+// Lock-based switchless call channel — the Intel SDK baseline.
+//
+// "Privagic relies on a lock-free queue for communication while Intel-sdk-1
+// implements a switchless call with a lock [40, 43]" (§9.3.2). This channel
+// reproduces that design point: a caller takes a mutex, publishes a request
+// slot, and the enclave-side worker polls it under the same mutex. The
+// ablation benchmark (bench/ablation_queue) measures the two channel types
+// against each other on identical traffic.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <optional>
+#include <queue>
+
+namespace privagic::runtime {
+
+template <typename T>
+class LockChannel {
+ public:
+  void push(const T& value) {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      queue_.push(value);
+    }
+    cv_.push_.notify_one();
+  }
+
+  bool try_pop(T& out) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (queue_.empty()) return false;
+    out = queue_.front();
+    queue_.pop();
+    return true;
+  }
+
+  T pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.push_.wait(lock, [&] { return !queue_.empty(); });
+    T out = queue_.front();
+    queue_.pop();
+    return out;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return queue_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  struct {
+    std::condition_variable push_;
+  } cv_;
+  std::queue<T> queue_;
+};
+
+}  // namespace privagic::runtime

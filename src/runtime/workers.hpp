@@ -1,0 +1,179 @@
+// Per-application-thread worker group (§7.3.1 / §8).
+//
+// "Privagic supposes that the Privagic runtime runs a worker thread in each
+// enclave for each application thread." A ThreadRuntime owns one mailbox per
+// color in the color table. The calling application thread acts as the U
+// worker (index 0, matching Figure 7 where main()'s interface runs in the U
+// column); one std::jthread per enclave color runs an idle loop that pops
+// spawn messages and invokes the chunk runner.
+//
+// The chunk runner is supplied by the embedder (the interpreter): it
+// executes chunk #id's trampoline with the spawn's (tags, leader, flags).
+// Intrinsic implementations (spawn/cont/wait/ack/wait_ack) are methods here;
+// each takes the *current* worker's color index so nested waits pull from
+// the right mailbox.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "runtime/mailbox.hpp"
+#include "support/rng.hpp"
+
+namespace privagic::runtime {
+
+/// Thrown through chunk code when a stop message arrives while a worker is
+/// blocked in wait/wait_ack. Deliberately NOT derived from std::exception:
+/// embedder error handling (which catches std::exception to keep the message
+/// protocol alive) must not swallow it — only the worker idle loop does.
+struct WorkerStopped {};
+
+class ThreadRuntime {
+ public:
+  /// Runs chunk @p chunk's trampoline on the current thread; `me` is the
+  /// color index of the worker executing it.
+  using ChunkRunner = std::function<void(std::size_t me, std::uint64_t chunk,
+                                         std::int64_t tags, std::int64_t leader,
+                                         std::int64_t flags)>;
+
+  /// @p num_colors — size of the color table (index 0 = U).
+  /// @p spawn_secret — non-zero enables spawn authentication (the §8
+  /// extension): legitimate spawns are MAC'd with this secret, which lives
+  /// inside the enclaves; forged spawn messages pushed into the (unsafe-
+  /// memory) queues by an attacker are dropped and counted.
+  explicit ThreadRuntime(std::size_t num_colors, ChunkRunner runner,
+                         std::uint64_t spawn_secret = 0)
+      : runner_(std::move(runner)),
+        mailboxes_(num_colors),
+        spawn_secret_(spawn_secret) {
+    for (auto& box : mailboxes_) box = std::make_unique<Mailbox>();
+    for (std::size_t c = 1; c < num_colors; ++c) {
+      workers_.emplace_back([this, c] { worker_loop(c); });
+    }
+  }
+
+  ~ThreadRuntime() { shutdown(); }
+  ThreadRuntime(const ThreadRuntime&) = delete;
+  ThreadRuntime& operator=(const ThreadRuntime&) = delete;
+
+  void shutdown() {
+    if (stopped_) return;
+    stopped_ = true;
+    for (std::size_t c = 1; c < mailboxes_.size(); ++c) {
+      mailboxes_[c]->push(Message::stop());
+    }
+    for (auto& t : workers_) t.join();
+    workers_.clear();
+  }
+
+  // -- Intrinsics (see partition/intrinsics.hpp) -------------------------------
+
+  void spawn(std::int64_t target_color, std::uint64_t chunk, std::int64_t tags,
+             std::int64_t leader, std::int64_t flags) {
+    Message m = Message::spawn(chunk, tags, leader, flags);
+    m.auth = spawn_mac(m);
+    mailboxes_[index(target_color)]->push(m);
+  }
+
+  /// Test/attacker hook: push an arbitrary message into a worker's mailbox,
+  /// bypassing the signing path — models an adversary writing directly to
+  /// the queues in unsafe memory.
+  void inject_raw(std::int64_t target_color, const Message& m) {
+    mailboxes_[index(target_color)]->push(m);
+  }
+
+  /// Forged spawn messages dropped by the guard so far.
+  [[nodiscard]] std::uint64_t rejected_spawns() const {
+    return rejected_spawns_.load(std::memory_order_relaxed);
+  }
+
+  void cont(std::int64_t target_color, std::int64_t tag, std::int64_t payload) {
+    mailboxes_[index(target_color)]->push(Message::cont(tag, payload));
+  }
+
+  void ack(std::int64_t target_color, std::int64_t tag) {
+    mailboxes_[index(target_color)]->push(Message::ack(tag));
+  }
+
+  /// Blocks worker @p me until a cont with @p tag arrives; serves spawns
+  /// re-entrantly while waiting.
+  std::int64_t wait(std::size_t me, std::int64_t tag) {
+    return wait_kind(me, MsgKind::kCont, tag).payload;
+  }
+
+  void wait_ack(std::size_t me, std::int64_t tag) {
+    wait_kind(me, MsgKind::kAck, tag);
+  }
+
+  [[nodiscard]] std::size_t num_colors() const { return mailboxes_.size(); }
+
+ private:
+  [[nodiscard]] std::size_t index(std::int64_t color) const {
+    if (color < 0 || static_cast<std::size_t>(color) >= mailboxes_.size()) {
+      throw std::out_of_range("bad color id " + std::to_string(color));
+    }
+    return static_cast<std::size_t>(color);
+  }
+
+  /// MAC over the spawn fields (stand-in for the HMAC a production runtime
+  /// would compute inside the enclave).
+  [[nodiscard]] std::uint64_t spawn_mac(const Message& m) const {
+    if (spawn_secret_ == 0) return 0;
+    std::uint64_t h = spawn_secret_;
+    for (std::uint64_t field :
+         {m.chunk, static_cast<std::uint64_t>(m.tags), static_cast<std::uint64_t>(m.leader),
+          static_cast<std::uint64_t>(m.flags)}) {
+      h = fmix64(h ^ field);
+    }
+    return h | 1;  // never 0, so "unsigned" is always invalid under a guard
+  }
+
+  /// Validates and dispatches a popped spawn message.
+  void serve_spawn(std::size_t me, const Message& m) {
+    if (spawn_secret_ != 0 && m.auth != spawn_mac(m)) {
+      rejected_spawns_.fetch_add(1, std::memory_order_relaxed);
+      return;  // forged: drop (§8's spawn-sequence protection)
+    }
+    runner_(me, m.chunk, m.tags, m.leader, m.flags);
+  }
+
+  Message wait_kind(std::size_t me, MsgKind kind, std::int64_t tag) {
+    while (true) {
+      Message m = mailboxes_[me]->next(kind, tag);
+      switch (m.kind) {
+        case MsgKind::kSpawn:
+          serve_spawn(me, m);
+          break;  // keep waiting
+        case MsgKind::kStop:
+          throw WorkerStopped{};
+        default:
+          return m;
+      }
+    }
+  }
+
+  void worker_loop(std::size_t me) {
+    while (true) {
+      Message m = mailboxes_[me]->next_control();
+      if (m.kind == MsgKind::kStop) return;
+      try {
+        serve_spawn(me, m);
+      } catch (const WorkerStopped&) {
+        return;  // a stop arrived while the chunk was blocked in a wait
+      }
+    }
+  }
+
+  ChunkRunner runner_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::vector<std::thread> workers_;
+  std::uint64_t spawn_secret_ = 0;
+  std::atomic<std::uint64_t> rejected_spawns_{0};
+  bool stopped_ = false;
+};
+
+}  // namespace privagic::runtime

@@ -1,0 +1,108 @@
+// Colors: the enclave identifiers of explicit secure typing (§1, §5.3).
+//
+// A color is F (free), U (untrusted), S (shared), or a named enclave color.
+// Table 2 of the paper:
+//   F — given to registers and instructions; compatible with everything;
+//       "will be deduced by type inference"; still-F elements at the end are
+//       replicated into every enclave.
+//   U — unsafe memory in hardened mode; compatible with nothing else. In
+//       hardened mode U "behaves as any other color" (§6.1.1): the unsafe
+//       world is just one more partition.
+//   S — unsafe memory in relaxed mode; compatible with nothing else, but a
+//       value loaded from S becomes F (which is what forfeits Iago
+//       protection).
+#pragma once
+
+#include <cassert>
+#include <functional>
+#include <set>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace privagic::sectype {
+
+enum class ColorKind : std::uint8_t { kFree, kUntrusted, kShared, kNamed };
+
+class Color {
+ public:
+  /// Default-constructs F, the starting color of every register.
+  Color() = default;
+
+  static Color free() { return Color(ColorKind::kFree, ""); }
+  static Color untrusted() { return Color(ColorKind::kUntrusted, ""); }
+  static Color shared() { return Color(ColorKind::kShared, ""); }
+  static Color named(std::string name) {
+    assert(!name.empty());
+    return Color(ColorKind::kNamed, std::move(name));
+  }
+
+  /// True if @p name is reserved and may not be used as a user color.
+  static bool is_reserved_name(std::string_view name) {
+    return name == "F" || name == "U" || name == "S";
+  }
+
+  [[nodiscard]] ColorKind kind() const { return kind_; }
+  [[nodiscard]] bool is_free() const { return kind_ == ColorKind::kFree; }
+  [[nodiscard]] bool is_untrusted() const { return kind_ == ColorKind::kUntrusted; }
+  [[nodiscard]] bool is_shared() const { return kind_ == ColorKind::kShared; }
+  [[nodiscard]] bool is_named() const { return kind_ == ColorKind::kNamed; }
+  /// True for any concrete (non-F) color.
+  [[nodiscard]] bool is_concrete() const { return !is_free(); }
+  /// True for a named enclave color.
+  [[nodiscard]] bool is_enclave() const { return is_named(); }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  [[nodiscard]] std::string to_string() const {
+    switch (kind_) {
+      case ColorKind::kFree: return "F";
+      case ColorKind::kUntrusted: return "U";
+      case ColorKind::kShared: return "S";
+      case ColorKind::kNamed: return name_;
+    }
+    return "?";
+  }
+
+  friend bool operator==(const Color& a, const Color& b) {
+    return a.kind_ == b.kind_ && a.name_ == b.name_;
+  }
+  friend bool operator!=(const Color& a, const Color& b) { return !(a == b); }
+  friend bool operator<(const Color& a, const Color& b) {
+    if (a.kind_ != b.kind_) return a.kind_ < b.kind_;
+    return a.name_ < b.name_;
+  }
+
+ private:
+  Color(ColorKind kind, std::string name) : kind_(kind), name_(std::move(name)) {}
+
+  ColorKind kind_ = ColorKind::kFree;
+  std::string name_;
+};
+
+/// Maps a source annotation to a color: "U" and "S" name the built-in unsafe
+/// colors (the paper's Figure 6 writes `int color(U) unsafe`); anything else
+/// is a named enclave color. "F" is rejected by the analysis' validation.
+[[nodiscard]] inline Color color_from_annotation(std::string_view annotation) {
+  if (annotation == "U") return Color::untrusted();
+  if (annotation == "S") return Color::shared();
+  return Color::named(std::string(annotation));
+}
+
+/// x̄ ~ ȳ of Table 3: equal, or either side is F.
+[[nodiscard]] inline bool compatible(const Color& a, const Color& b) {
+  return a == b || a.is_free() || b.is_free();
+}
+
+/// Deterministically ordered set of colors (a function's color set, §7.3.1).
+using ColorSet = std::set<Color>;
+
+}  // namespace privagic::sectype
+
+template <>
+struct std::hash<privagic::sectype::Color> {
+  std::size_t operator()(const privagic::sectype::Color& c) const noexcept {
+    return std::hash<std::string>()(c.to_string()) * 4 +
+           static_cast<std::size_t>(c.kind());
+  }
+};

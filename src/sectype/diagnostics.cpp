@@ -1,0 +1,41 @@
+#include "sectype/diagnostics.hpp"
+
+#include <sstream>
+
+namespace privagic::sectype {
+
+std::string_view rule_name(Rule rule) {
+  switch (rule) {
+    case Rule::kDirectLeak: return "direct-leak";
+    case Rule::kAccessPlacement: return "access-placement";
+    case Rule::kIndirectLeak: return "indirect-leak";
+    case Rule::kPointerCast: return "pointer-cast";
+    case Rule::kImplicitLeak: return "implicit-leak";
+    case Rule::kIntegrity: return "integrity";
+    case Rule::kIago: return "iago";
+    case Rule::kExternalCall: return "external-call";
+    case Rule::kWithinCall: return "within-call";
+    case Rule::kReturnConflict: return "return-conflict";
+    case Rule::kMixedStructure: return "mixed-structure";
+    case Rule::kFreeArgument: return "free-argument";
+    case Rule::kReservedColor: return "reserved-color";
+    case Rule::kPointerForge: return "pointer-forge";
+  }
+  return "?";
+}
+
+std::string Diagnostic::to_string() const {
+  std::ostringstream os;
+  os << "error[" << rule_name(rule) << "] in @" << function;
+  if (!instruction.empty()) os << " at `" << instruction << "`";
+  os << ": " << message;
+  return os.str();
+}
+
+std::string DiagnosticEngine::to_string() const {
+  std::ostringstream os;
+  for (const auto& d : diagnostics_) os << d.to_string() << "\n";
+  return os.str();
+}
+
+}  // namespace privagic::sectype

@@ -1,0 +1,64 @@
+// Structured diagnostics for the secure type checker. Each diagnostic names
+// the violated rule from §4/§6, the function specialization it occurred in,
+// and the offending instruction (rendered in PIR syntax).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace privagic::sectype {
+
+/// The security rules of the paper (§4 lists the confidentiality rules;
+/// integrity and Iago prevention follow; the remainder are structural rules
+/// from §6–§8).
+enum class Rule : std::uint8_t {
+  kDirectLeak,        // rule 1: colored value stored to a differently colored location
+  kAccessPlacement,   // rule 2: C value touched by an instruction outside C
+  kIndirectLeak,      // rule 3: output of a C-consuming instruction left C
+  kPointerCast,       // rule 4: cast changes a pointer's color
+  kImplicitLeak,      // rule 5: write observable under a C-controlled branch
+  kIntegrity,         // store to C generated outside C
+  kIago,              // C instruction consuming a value from outside C
+  kExternalCall,      // argument of an external/indirect call incompatible with unsafe
+  kWithinCall,        // within-call argument incompatible with the call's enclave
+  kReturnConflict,    // a function returns values of two different colors
+  kMixedStructure,    // multi-color structure used in hardened mode (§8)
+  kFreeArgument,      // F argument would cross an enclave boundary in hardened mode (§7.3.2)
+  kReservedColor,     // user code uses the reserved color names F/U/S
+  kPointerForge,      // inttoptr manufactures a pointer into an enclave
+};
+
+[[nodiscard]] std::string_view rule_name(Rule rule);
+
+struct Diagnostic {
+  Rule rule;
+  std::string function;     // mangled specialization name, e.g. "f$blue,F"
+  std::string instruction;  // offending instruction in PIR syntax ("" if n/a)
+  std::string message;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+class DiagnosticEngine {
+ public:
+  void report(Rule rule, std::string function, std::string instruction, std::string message) {
+    diagnostics_.push_back(
+        {rule, std::move(function), std::move(instruction), std::move(message)});
+  }
+
+  [[nodiscard]] bool has_errors() const { return !diagnostics_.empty(); }
+  [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+  [[nodiscard]] std::size_t count(Rule rule) const {
+    std::size_t n = 0;
+    for (const auto& d : diagnostics_) n += d.rule == rule ? 1 : 0;
+    return n;
+  }
+  [[nodiscard]] bool has(Rule rule) const { return count(rule) > 0; }
+  [[nodiscard]] std::string to_string() const;
+  void clear() { diagnostics_.clear(); }
+
+ private:
+  std::vector<Diagnostic> diagnostics_;
+};
+
+}  // namespace privagic::sectype

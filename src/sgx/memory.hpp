@@ -1,0 +1,164 @@
+// Simulated SGX memory (§2.1).
+//
+// A flat 64-bit address space split into tagged allocations. Each allocation
+// belongs to a color id (0 = unsafe memory, >0 = an enclave). Accesses are
+// checked against the paper's functional model of SGX:
+//   * normal mode (color 0) cannot read or write enclave memory;
+//   * enclave mode c can access enclave c and unsafe memory, but not other
+//     enclaves (only one enclave is active at a time).
+// Violations throw AccessViolation — the interpreter's confidentiality tests
+// assert both that partitioned programs never trigger one and that a
+// simulated attacker reading enclave memory from normal mode always does.
+//
+// Per-enclave EPC usage is tracked against a configurable limit so tests can
+// exercise the machine-A (93 MiB) and machine-B (8131 MiB) configurations.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace privagic::sgx {
+
+/// Color id in the partition result's color table; 0 is always U.
+using ColorId = std::int64_t;
+inline constexpr ColorId kUnsafe = 0;
+
+class AccessViolation : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class EpcExhausted : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class SimMemory {
+ public:
+  /// @p epc_limit_bytes caps the *per-enclave* protected memory (0 = no cap).
+  explicit SimMemory(std::uint64_t epc_limit_bytes = 0) : epc_limit_(epc_limit_bytes) {}
+
+  /// Allocates @p size zeroed bytes owned by @p color. Returns the base
+  /// address (never 0).
+  std::uint64_t allocate(std::uint64_t size, ColorId color) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (size == 0) size = 1;
+    if (color != kUnsafe && epc_limit_ != 0) {
+      auto& used = epc_used_[color];
+      if (used + size > epc_limit_) {
+        throw EpcExhausted("enclave " + std::to_string(color) + " exceeds EPC limit");
+      }
+      used += size;
+    }
+    const std::uint64_t base = next_;
+    next_ += size + kRedzone;
+    regions_.emplace(base, Region{size, color, std::vector<std::byte>(size)});
+    return base;
+  }
+
+  /// Frees the allocation starting exactly at @p addr.
+  void free(std::uint64_t addr, ColorId accessor) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    auto it = regions_.find(addr);
+    if (it == regions_.end()) {
+      throw AccessViolation("free of unallocated address");
+    }
+    check_access(it->second, accessor);
+    if (it->second.color != kUnsafe && epc_limit_ != 0) {
+      epc_used_[it->second.color] -= it->second.size;
+    }
+    regions_.erase(it);
+  }
+
+  void write(std::uint64_t addr, std::span<const std::byte> data, ColorId accessor) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    Region& r = locate(addr, data.size());
+    check_access(r, accessor);
+    std::memcpy(r.bytes.data() + offset_in(addr), data.data(), data.size());
+  }
+
+  void read(std::uint64_t addr, std::span<std::byte> out, ColorId accessor) const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const Region& r = locate(addr, out.size());
+    check_access(r, accessor);
+    std::memcpy(out.data(), r.bytes.data() + offset_in(addr), out.size());
+  }
+
+  /// The color owning @p addr (throws if unmapped).
+  [[nodiscard]] ColorId color_of(std::uint64_t addr) const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return locate(addr, 1).color;
+  }
+
+  [[nodiscard]] std::uint64_t epc_used(ColorId color) const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    auto it = epc_used_.find(color);
+    return it != epc_used_.end() ? it->second : 0;
+  }
+
+  /// Attacker helper: scans all *unsafe* memory for a byte pattern. Returns
+  /// true if found. Models an adversary with full control of the OS, who can
+  /// read everything outside the enclaves.
+  [[nodiscard]] bool unsafe_memory_contains(std::span<const std::byte> needle) const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [base, region] : regions_) {
+      (void)base;
+      if (region.color != kUnsafe) continue;
+      const auto& hay = region.bytes;
+      if (needle.size() > hay.size()) continue;
+      for (std::size_t i = 0; i + needle.size() <= hay.size(); ++i) {
+        if (std::memcmp(hay.data() + i, needle.data(), needle.size()) == 0) return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  static constexpr std::uint64_t kRedzone = 16;
+
+  struct Region {
+    std::uint64_t size;
+    ColorId color;
+    std::vector<std::byte> bytes;
+  };
+
+  /// The region containing [addr, addr+size). mu_ must be held.
+  const Region& locate(std::uint64_t addr, std::uint64_t size) const {
+    auto it = regions_.upper_bound(addr);
+    if (it == regions_.begin()) throw AccessViolation("access to unmapped address");
+    --it;
+    const std::uint64_t off = addr - it->first;
+    if (off + size > it->second.size) {
+      throw AccessViolation("out-of-bounds access");
+    }
+    cached_base_ = it->first;
+    return it->second;
+  }
+  Region& locate(std::uint64_t addr, std::uint64_t size) {
+    return const_cast<Region&>(std::as_const(*this).locate(addr, size));
+  }
+
+  std::uint64_t offset_in(std::uint64_t addr) const { return addr - cached_base_; }
+
+  static void check_access(const Region& r, ColorId accessor) {
+    if (r.color == kUnsafe) return;             // everyone reads unsafe memory
+    if (r.color == accessor) return;            // the active enclave
+    throw AccessViolation("color " + std::to_string(accessor) +
+                          " attempted to access enclave " + std::to_string(r.color));
+  }
+
+  mutable std::mutex mu_;
+  std::map<std::uint64_t, Region> regions_;
+  std::map<ColorId, std::uint64_t> epc_used_;
+  std::uint64_t next_ = 0x1000;
+  std::uint64_t epc_limit_;
+  mutable std::uint64_t cached_base_ = 0;
+};
+
+}  // namespace privagic::sgx

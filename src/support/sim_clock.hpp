@@ -1,0 +1,36 @@
+// Simulated time.
+//
+// Every benchmark in this repository reports *simulated* nanoseconds
+// accumulated by the SGX cost model (see src/sgx/cost_model.hpp) rather than
+// wall-clock time. This keeps the figures deterministic and lets a laptop
+// reproduce the relative shape of results the paper measured on SGX hardware.
+#pragma once
+
+#include <cstdint>
+
+namespace privagic {
+
+/// A monotone accumulator of simulated nanoseconds. One per simulated thread.
+class SimClock {
+ public:
+  /// Advances simulated time by @p ns nanoseconds.
+  void advance_ns(double ns) { now_ns_ += ns; }
+
+  /// Current simulated time since construction, in nanoseconds.
+  [[nodiscard]] double now_ns() const { return now_ns_; }
+
+  /// Resets the clock to zero (between benchmark phases).
+  void reset() { now_ns_ = 0.0; }
+
+  /// Synchronization helper: after a blocking wait on another simulated
+  /// thread, the waiter's clock jumps forward to the producer's time if the
+  /// producer is ahead (time cannot flow backwards).
+  void join_at_least(double other_now_ns) {
+    if (other_now_ns > now_ns_) now_ns_ = other_now_ns;
+  }
+
+ private:
+  double now_ns_ = 0.0;
+};
+
+}  // namespace privagic

@@ -1,0 +1,85 @@
+// Lightweight error-handling vocabulary used across the Privagic codebase.
+//
+// Compiler-style code wants to *accumulate* diagnostics rather than abort on
+// the first problem, so the primary tool here is DiagnosticEngine (see
+// diagnostics.hpp). Status/Result cover the simpler "this single operation
+// failed" cases (parsing, runtime setup, ...).
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace privagic {
+
+/// Outcome of an operation that can fail with a human-readable message.
+class Status {
+ public:
+  /// Constructs a success value.
+  Status() = default;
+
+  /// Constructs a failure carrying @p message.
+  static Status error(std::string message) { return Status(std::move(message)); }
+
+  [[nodiscard]] bool ok() const { return !message_.has_value(); }
+  [[nodiscard]] const std::string& message() const {
+    static const std::string kOk = "ok";
+    return message_ ? *message_ : kOk;
+  }
+
+  explicit operator bool() const { return ok(); }
+
+ private:
+  explicit Status(std::string message) : message_(std::move(message)) {}
+  std::optional<std::string> message_;
+};
+
+/// A value-or-error sum type. Access to the value of a failed Result throws,
+/// which turns silent misuse into a loud test failure.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : storage_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : storage_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    if (std::get<Status>(storage_).ok()) {
+      throw std::logic_error("Result constructed from an OK status without a value");
+    }
+  }
+
+  static Result error(std::string message) { return Result(Status::error(std::move(message))); }
+
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(storage_); }
+
+  [[nodiscard]] const T& value() const& {
+    require_ok();
+    return std::get<T>(storage_);
+  }
+  [[nodiscard]] T& value() & {
+    require_ok();
+    return std::get<T>(storage_);
+  }
+  [[nodiscard]] T&& value() && {
+    require_ok();
+    return std::get<T>(std::move(storage_));
+  }
+
+  [[nodiscard]] const std::string& message() const {
+    static const std::string kOk = "ok";
+    return ok() ? kOk : std::get<Status>(storage_).message();
+  }
+
+  explicit operator bool() const { return ok(); }
+
+ private:
+  void require_ok() const {
+    if (!ok()) {
+      throw std::runtime_error("Result accessed while holding error: " + message());
+    }
+  }
+
+  std::variant<T, Status> storage_;
+};
+
+}  // namespace privagic

@@ -1,0 +1,28 @@
+// Small string utilities shared by the IR parser/printer and the report
+// writers. Nothing here allocates unless it must.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace privagic {
+
+/// Returns @p s without leading/trailing ASCII whitespace.
+[[nodiscard]] std::string_view trim(std::string_view s);
+
+/// Splits @p s on @p sep, keeping empty fields.
+[[nodiscard]] std::vector<std::string_view> split(std::string_view s, char sep);
+
+/// True if @p s starts with @p prefix.
+[[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix);
+
+/// True if every character of @p s is a valid identifier character
+/// ([A-Za-z0-9_.]) and @p s is non-empty.
+[[nodiscard]] bool is_identifier(std::string_view s);
+
+/// printf-style formatting into a std::string.
+[[nodiscard]] std::string str_format(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace privagic

@@ -1,0 +1,140 @@
+#include "ycsb/workload.hpp"
+
+namespace privagic::ycsb {
+
+std::string_view op_name(OpType op) {
+  switch (op) {
+    case OpType::kRead: return "read";
+    case OpType::kUpdate: return "update";
+    case OpType::kInsert: return "insert";
+    case OpType::kScan: return "scan";
+    case OpType::kReadModifyWrite: return "rmw";
+  }
+  return "?";
+}
+
+WorkloadConfig WorkloadConfig::a() {
+  WorkloadConfig c;
+  c.read_proportion = 0.5;
+  c.update_proportion = 0.5;
+  return c;
+}
+
+WorkloadConfig WorkloadConfig::b() {
+  WorkloadConfig c;
+  c.read_proportion = 0.95;
+  c.update_proportion = 0.05;
+  return c;
+}
+
+WorkloadConfig WorkloadConfig::c() {
+  WorkloadConfig cfg;
+  cfg.read_proportion = 1.0;
+  cfg.update_proportion = 0.0;
+  return cfg;
+}
+
+WorkloadConfig WorkloadConfig::d() {
+  WorkloadConfig c;
+  c.read_proportion = 0.95;
+  c.update_proportion = 0.0;
+  c.insert_proportion = 0.05;
+  c.request_distribution = Distribution::kLatest;
+  return c;
+}
+
+WorkloadConfig WorkloadConfig::f() {
+  WorkloadConfig c;
+  c.read_proportion = 0.5;
+  c.update_proportion = 0.0;
+  c.rmw_proportion = 0.5;
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// Zipfian
+// ---------------------------------------------------------------------------
+
+namespace {
+
+double zeta(std::uint64_t n, double theta) {
+  // Exact sum for small n; beyond the cutoff, extend with the integral
+  // approximation ∫ x^-θ dx (the tail is smooth), keeping construction O(1M)
+  // even for the 32-GiB datasets of Figure 8.
+  constexpr std::uint64_t kExactCutoff = 1'000'000;
+  double sum = 0.0;
+  const std::uint64_t exact = n < kExactCutoff ? n : kExactCutoff;
+  for (std::uint64_t i = 1; i <= exact; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  if (n > exact) {
+    const double a = static_cast<double>(exact);
+    const double b = static_cast<double>(n);
+    sum += (std::pow(b, 1.0 - theta) - std::pow(a, 1.0 - theta)) / (1.0 - theta);
+  }
+  return sum;
+}
+
+}  // namespace
+
+ZipfianGenerator::ZipfianGenerator(std::uint64_t n, double theta)
+    : n_(n), theta_(theta), zetan_(zeta(n, theta)), alpha_(1.0 / (1.0 - theta)) {
+  const double zeta2 = zeta(2, theta);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) / (1.0 - zeta2 / zetan_);
+}
+
+std::uint64_t ZipfianGenerator::next_rank(Xoshiro256& rng) const {
+  const double u = rng.next_double();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  const auto rank = static_cast<std::uint64_t>(
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return rank >= n_ ? n_ - 1 : rank;
+}
+
+// ---------------------------------------------------------------------------
+// WorkloadGenerator
+// ---------------------------------------------------------------------------
+
+std::uint64_t WorkloadGenerator::choose_key() {
+  const std::uint64_t live = config_.record_count + inserted_;
+  switch (config_.request_distribution) {
+    case Distribution::kUniform:
+      return rng_.next_below(live);
+    case Distribution::kZipfian:
+      return zipf_.next_key(rng_);
+    case Distribution::kLatest: {
+      // Zipfian over recency: rank 0 = the most recently inserted record.
+      const std::uint64_t rank = zipf_.next_rank(rng_);
+      return live - 1 - (rank % live);
+    }
+  }
+  return 0;
+}
+
+Operation WorkloadGenerator::next() {
+  Operation op;
+  const double p = rng_.next_double();
+  double acc = config_.read_proportion;
+  if (p < acc) {
+    op.type = OpType::kRead;
+  } else if (p < (acc += config_.update_proportion)) {
+    op.type = OpType::kUpdate;
+  } else if (p < (acc += config_.insert_proportion)) {
+    op.type = OpType::kInsert;
+  } else if (p < (acc += config_.scan_proportion)) {
+    op.type = OpType::kScan;
+  } else {
+    op.type = OpType::kReadModifyWrite;
+  }
+  if (op.type == OpType::kInsert) {
+    op.key = config_.record_count + inserted_;
+    ++inserted_;
+  } else {
+    op.key = choose_key();
+  }
+  return op;
+}
+
+}  // namespace privagic::ycsb

@@ -1,0 +1,119 @@
+// A C++ re-implementation of the YCSB core workloads [15].
+//
+// The paper drives memcached with the standard Java YCSB (§9.2: 1 KiB
+// records, 8M operations) and drives the data-structure experiments with the
+// authors' own "re-implementation in C of the YCSB benchmark" (§9.3). This
+// module is that re-implementation: key choosers (uniform, zipfian with
+// YCSB's scrambling, latest), the standard A–F operation mixes, and record
+// sizing.
+//
+// Everything is deterministic under a seed.
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+#include "support/rng.hpp"
+
+namespace privagic::ycsb {
+
+enum class Distribution : std::uint8_t { kUniform, kZipfian, kLatest };
+
+enum class OpType : std::uint8_t { kRead, kUpdate, kInsert, kScan, kReadModifyWrite };
+
+[[nodiscard]] std::string_view op_name(OpType op);
+
+struct WorkloadConfig {
+  std::uint64_t record_count = 100'000;
+  std::uint64_t operation_count = 1'000'000;
+  double read_proportion = 0.5;
+  double update_proportion = 0.5;
+  double insert_proportion = 0.0;
+  double scan_proportion = 0.0;
+  double rmw_proportion = 0.0;
+  Distribution request_distribution = Distribution::kZipfian;
+  std::uint64_t key_size_bytes = 8;      // §9.3: 8-byte keys
+  std::uint64_t value_size_bytes = 1024; // §9.2/§9.3: 1 KiB values
+  std::uint64_t seed = 42;
+
+  // The standard core workloads.
+  static WorkloadConfig a();  // 50 % read / 50 % update, zipfian
+  static WorkloadConfig b();  // 95 % read /  5 % update, zipfian
+  static WorkloadConfig c();  // 100 % read, zipfian
+  static WorkloadConfig d();  // 95 % read /  5 % insert, latest
+  static WorkloadConfig f();  // 50 % read / 50 % read-modify-write, zipfian
+
+  /// Fraction of the record set that receives the bulk of the accesses —
+  /// the locality input of the LLC model (sgx::CostModel): 1.0 for uniform;
+  /// ≈0.12 for zipfian(0.99) (the measured mass-0.9 coverage of YCSB's
+  /// default skew); ≈0.05 for latest.
+  [[nodiscard]] double hot_fraction() const {
+    switch (request_distribution) {
+      case Distribution::kUniform: return 1.0;
+      case Distribution::kZipfian: return 0.12;
+      case Distribution::kLatest: return 0.05;
+    }
+    return 1.0;
+  }
+
+  /// Bytes of payload per record (key + value).
+  [[nodiscard]] std::uint64_t record_bytes() const { return key_size_bytes + value_size_bytes; }
+  /// Total dataset size — the x-axis of Figure 8.
+  [[nodiscard]] std::uint64_t dataset_bytes() const { return record_count * record_bytes(); }
+};
+
+struct Operation {
+  OpType type = OpType::kRead;
+  std::uint64_t key = 0;
+};
+
+/// YCSB's zipfian key chooser (Gray et al.'s algorithm, exactly as in the
+/// reference implementation), with the fmix64 scrambling that spreads hot
+/// keys across the key space.
+class ZipfianGenerator {
+ public:
+  explicit ZipfianGenerator(std::uint64_t n, double theta = 0.99);
+
+  /// A zipfian rank in [0, n): 0 is the hottest.
+  [[nodiscard]] std::uint64_t next_rank(Xoshiro256& rng) const;
+
+  /// A scrambled key in [0, n).
+  [[nodiscard]] std::uint64_t next_key(Xoshiro256& rng) const {
+    return fmix64(next_rank(rng)) % n_;
+  }
+
+ private:
+  std::uint64_t n_;
+  double theta_;
+  double zetan_;
+  double alpha_;
+  double eta_;
+};
+
+class WorkloadGenerator {
+ public:
+  explicit WorkloadGenerator(WorkloadConfig config)
+      : config_(config), rng_(config.seed), zipf_(config.record_count) {
+    assert(config.record_count > 0);
+  }
+
+  [[nodiscard]] const WorkloadConfig& config() const { return config_; }
+
+  /// The next operation of the workload.
+  [[nodiscard]] Operation next();
+
+  /// A key for the load (preload) phase: sequential.
+  [[nodiscard]] std::uint64_t load_key(std::uint64_t i) const { return i; }
+
+ private:
+  [[nodiscard]] std::uint64_t choose_key();
+
+  WorkloadConfig config_;
+  Xoshiro256 rng_;
+  ZipfianGenerator zipf_;
+  std::uint64_t inserted_ = 0;  // appended records (insert ops / latest)
+};
+
+}  // namespace privagic::ycsb

@@ -1,0 +1,226 @@
+// The Figure 3 demonstration (§3): a sequential data-flow partitioning tool
+// mis-partitions a multi-threaded program, an interleaved execution leaks
+// the secret into unprotected memory, and Privagic's secure typing rejects
+// the same program at compile time.
+#include <gtest/gtest.h>
+
+#include "dataflow/stepper.hpp"
+#include "dataflow/taint.hpp"
+#include "ir/parser.hpp"
+#include "sectype/analysis.hpp"
+
+namespace privagic::dataflow {
+namespace {
+
+std::unique_ptr<ir::Module> parse_or_die(const char* text) {
+  auto parsed = ir::parse_module(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.message();
+  return std::move(parsed).value();
+}
+
+/// Figure 3.a: the baseline program with plain types. `s` is marked
+/// sensitive (the seed a Glamdring-style tool starts from); nothing else is
+/// annotated — the tool is supposed to find the rest.
+const char* kFigure3Baseline = R"(
+module "fig3_baseline"
+global i32 @a
+global i32 @b
+global ptr<i32> @x
+define void @f(i32 %s color(sensitive)) {
+entry:
+  store ptr<i32> @a, ptr<ptr<i32>> @x
+  %p = load ptr<ptr<i32>> @x
+  store i32 %s, ptr<i32> %p
+  ret void
+}
+define void @g() {
+entry:
+  store ptr<i32> @b, ptr<ptr<i32>> @x
+  ret void
+}
+)";
+
+// ---------------------------------------------------------------------------
+// What the data-flow tool concludes
+// ---------------------------------------------------------------------------
+
+TEST(TaintAnalysisTest, SequentialAnalysisProtectsOnlyA) {
+  auto m = parse_or_die(kFigure3Baseline);
+  TaintAnalysis analysis(*m);
+  analysis.run();
+  // Analyzing f sequentially: x points to a when the store executes, so a
+  // is tainted — and only a. The tool never sees that g can retarget x in
+  // between.
+  EXPECT_TRUE(analysis.is_protected("a"));
+  EXPECT_FALSE(analysis.is_protected("b"));
+  // f touches taint → goes in the enclave; g does not.
+  const auto fns = analysis.enclave_functions();
+  EXPECT_TRUE(fns.contains("f"));
+  EXPECT_FALSE(fns.contains("g"));
+}
+
+TEST(TaintAnalysisTest, TaintFlowsThroughDataChains) {
+  auto m = parse_or_die(R"(
+module "m"
+global i32 @sink
+global i32 @clean
+define void @f(i32 %s color(sensitive)) {
+entry:
+  %d = add i32 %s, i32 1
+  %d2 = mul i32 %d, i32 3
+  store i32 %d2, ptr<i32> @sink
+  store i32 7, ptr<i32> @clean
+  ret void
+}
+)");
+  TaintAnalysis analysis(*m);
+  analysis.run();
+  EXPECT_TRUE(analysis.is_protected("sink"));
+  EXPECT_FALSE(analysis.is_protected("clean"));
+}
+
+TEST(TaintAnalysisTest, WeakUpdateWhenPointerIsAmbiguous) {
+  // If the pointer may target two objects *within one function*, the
+  // analysis taints both — sequential analysis is only unsound across
+  // threads, not within one.
+  auto m = parse_or_die(R"(
+module "m"
+global i32 @a
+global i32 @b
+define void @f(i32 %s color(sensitive), i1 %c) {
+entry:
+  cond_br i1 %c, %ta, %tb
+ta:
+  br %join
+tb:
+  br %join
+join:
+  %p = phi ptr<i32> [ ptr<i32> @a, %ta ], [ ptr<i32> @b, %tb ]
+  store i32 %s, ptr<i32> %p
+  ret void
+}
+)");
+  TaintAnalysis analysis(*m);
+  analysis.run();
+  EXPECT_TRUE(analysis.is_protected("a"));
+  EXPECT_TRUE(analysis.is_protected("b"));
+}
+
+// ---------------------------------------------------------------------------
+// The interleaving that breaks the sequential conclusion
+// ---------------------------------------------------------------------------
+
+TEST(InterleavingTest, SequentialExecutionMatchesTheAnalysis) {
+  // Run f alone (no concurrent g): the secret goes to a, as predicted.
+  auto m = parse_or_die(kFigure3Baseline);
+  Stepper stepper(*m);
+  auto t1 = stepper.spawn("f", {424242});
+  ASSERT_TRUE(t1.ok());
+  stepper.run_to_completion(t1.value());
+  EXPECT_EQ(stepper.read_global("a"), 424242);
+  EXPECT_EQ(stepper.read_global("b"), 0);
+}
+
+TEST(InterleavingTest, HiddenPointerModificationLeaksTheSecret) {
+  // The §3 schedule: f executes `x = &a`; g executes `x = &b`; f resumes
+  // and stores the secret — into b, which the tool left unprotected.
+  auto m = parse_or_die(kFigure3Baseline);
+  TaintAnalysis analysis(*m);
+  analysis.run();
+  ASSERT_FALSE(analysis.is_protected("b"));  // the tool's claim
+
+  Stepper stepper(*m);
+  auto t1 = stepper.spawn("f", {424242});
+  auto t2 = stepper.spawn("g", {});
+  ASSERT_TRUE(t1.ok());
+  ASSERT_TRUE(t2.ok());
+
+  ASSERT_TRUE(stepper.step(t1.value()));  // f: x = &a
+  stepper.run_to_completion(t2.value());  // g: x = &b
+  stepper.run_to_completion(t1.value());  // f: p = x; *p = s
+
+  // The secret is now in unprotected memory: the analysis was unsound.
+  EXPECT_EQ(stepper.read_global("b"), 424242);
+  EXPECT_EQ(stepper.read_global("a"), 0);
+}
+
+TEST(InterleavingTest, PrivagicRejectsTheSameProgramStatically) {
+  // Figure 3.b: with explicit secure types, forgetting to color b makes
+  // `x = &b` a compile-time type error — no interleaving can ever reach it.
+  auto bad = ir::parse_module(R"(
+module "fig3_typed"
+global i32 @a = 0 color(blue)
+global i32 @b = 0
+global ptr<i32 color(blue)> @x
+define void @g() {
+entry:
+  store ptr<i32> @b, ptr<ptr<i32 color(blue)>> @x
+  ret void
+}
+)");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.message().find("type"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Stepper sanity
+// ---------------------------------------------------------------------------
+
+TEST(StepperTest, RunsLoopsAndCalls) {
+  auto m = parse_or_die(R"(
+module "m"
+define i32 @double(i32 %x) {
+entry:
+  %r = add i32 %x, %x
+  ret i32 %r
+}
+define i32 @sum(i32 %n) {
+entry:
+  br %head
+head:
+  %i = phi i32 [ i32 0, %entry ], [ %i2, %body ]
+  %acc = phi i32 [ i32 0, %entry ], [ %acc2, %body ]
+  %more = icmp slt i32 %i, %n
+  cond_br i1 %more, %body, %exit
+body:
+  %d = call i32 @double(i32 %i)
+  %acc2 = add i32 %acc, %d
+  %i2 = add i32 %i, i32 1
+  br %head
+exit:
+  ret i32 %acc
+}
+)");
+  Stepper stepper(*m);
+  auto tid = stepper.spawn("sum", {5});
+  ASSERT_TRUE(tid.ok());
+  stepper.run_to_completion(tid.value());
+  ASSERT_TRUE(stepper.finished(tid.value()));
+  EXPECT_EQ(stepper.result(tid.value()), 2 * (0 + 1 + 2 + 3 + 4));
+}
+
+TEST(StepperTest, ThreadsSeeEachOthersWrites) {
+  auto m = parse_or_die(R"(
+module "m"
+global i32 @shared
+define void @writer(i32 %v) {
+entry:
+  store i32 %v, ptr<i32> @shared
+  ret void
+}
+define i32 @reader() {
+entry:
+  %v = load ptr<i32> @shared
+  ret i32 %v
+}
+)");
+  Stepper stepper(*m);
+  auto w = stepper.spawn("writer", {99});
+  auto r = stepper.spawn("reader", {});
+  stepper.run_to_completion(w.value());
+  stepper.run_to_completion(r.value());
+  EXPECT_EQ(stepper.result(r.value()), 99);
+}
+
+}  // namespace
+}  // namespace privagic::dataflow

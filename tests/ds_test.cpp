@@ -1,0 +1,239 @@
+// Tests for the data structures (including red-black invariants under
+// randomized workloads) and the §9.3 protection harness, with regression
+// checks that the simulated Figure 9 / Figure 10 ratios stay inside the
+// ranges the paper reports.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "ds/harness.hpp"
+#include "ds/structures.hpp"
+#include "support/rng.hpp"
+
+namespace privagic::ds {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Structure correctness (parameterized across all three kinds)
+// ---------------------------------------------------------------------------
+
+class MapKindTest : public ::testing::TestWithParam<MapKind> {};
+
+TEST_P(MapKindTest, PutGetRoundTrip) {
+  auto map = make_map(GetParam());
+  EXPECT_TRUE(map->put(5, {100, 111}));
+  EXPECT_TRUE(map->put(7, {100, 222}));
+  EXPECT_FALSE(map->put(5, {100, 333}));  // update
+  ASSERT_NE(map->get(5), nullptr);
+  EXPECT_EQ(map->get(5)->checksum, 333u);
+  EXPECT_EQ(map->get(7)->checksum, 222u);
+  EXPECT_EQ(map->get(42), nullptr);
+  EXPECT_EQ(map->size(), 2u);
+}
+
+TEST_P(MapKindTest, RemoveWorks) {
+  auto map = make_map(GetParam());
+  for (std::uint64_t k = 0; k < 100; ++k) map->put(k, {8, k});
+  EXPECT_TRUE(map->remove(50));
+  EXPECT_FALSE(map->remove(50));
+  EXPECT_EQ(map->get(50), nullptr);
+  EXPECT_EQ(map->size(), 99u);
+  ASSERT_NE(map->get(51), nullptr);
+  EXPECT_EQ(map->get(51)->checksum, 51u);
+}
+
+TEST_P(MapKindTest, AgreesWithStdMapUnderRandomOps) {
+  auto map = make_map(GetParam());
+  std::map<std::uint64_t, Value> reference;
+  Xoshiro256 rng(123);
+  for (int i = 0; i < 20'000; ++i) {
+    const std::uint64_t key = rng.next_below(500);
+    switch (rng.next_below(3)) {
+      case 0: {
+        const Value v{64, rng.next()};
+        map->put(key, v);
+        reference[key] = v;
+        break;
+      }
+      case 1: {
+        const Value* got = map->get(key);
+        auto it = reference.find(key);
+        if (it == reference.end()) {
+          EXPECT_EQ(got, nullptr);
+        } else {
+          ASSERT_NE(got, nullptr);
+          EXPECT_EQ(*got, it->second);
+        }
+        break;
+      }
+      case 2:
+        EXPECT_EQ(map->remove(key), reference.erase(key) > 0);
+        break;
+    }
+    ASSERT_EQ(map->size(), reference.size());
+  }
+}
+
+TEST_P(MapKindTest, VisitsAreCounted) {
+  auto map = make_map(GetParam());
+  for (std::uint64_t k = 0; k < 1'000; ++k) map->put(k, {8, k});
+  (void)map->get(999);
+  EXPECT_GT(map->last_op_visits(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, MapKindTest,
+                         ::testing::Values(MapKind::kList, MapKind::kTree, MapKind::kHash),
+                         [](const auto& info) {
+                           return std::string(map_kind_name(info.param) == "linked-list"
+                                                  ? "List"
+                                                  : map_kind_name(info.param) == "treemap"
+                                                        ? "Tree"
+                                                        : "Hash");
+                         });
+
+// ---------------------------------------------------------------------------
+// Red-black specifics
+// ---------------------------------------------------------------------------
+
+TEST(TreeMapTest, InvariantsHoldDuringInsertions) {
+  TreeMap tree;
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 5'000; ++i) {
+    tree.put(rng.next(), {8, 0});
+    if (i % 500 == 0) ASSERT_TRUE(tree.valid()) << "after " << i << " inserts";
+  }
+  EXPECT_TRUE(tree.valid());
+}
+
+TEST(TreeMapTest, InvariantsHoldDuringDeletions) {
+  TreeMap tree;
+  Xoshiro256 rng(13);
+  std::vector<std::uint64_t> keys;
+  for (int i = 0; i < 3'000; ++i) {
+    const std::uint64_t k = rng.next();
+    keys.push_back(k);
+    tree.put(k, {8, 0});
+  }
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_TRUE(tree.remove(keys[i]));
+    if (i % 250 == 0) ASSERT_TRUE(tree.valid()) << "after " << i << " removes";
+  }
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_TRUE(tree.valid());
+}
+
+TEST(TreeMapTest, HeightIsLogarithmic) {
+  TreeMap tree;
+  for (std::uint64_t k = 0; k < 100'000; ++k) tree.put(k, {8, 0});  // sorted inserts
+  // A red-black tree guarantees height ≤ 2·log2(n+1) ≈ 34.
+  EXPECT_LE(tree.height(), 34);
+  EXPECT_TRUE(tree.valid());
+}
+
+TEST(HashMapTest, ChainsStayShort) {
+  HashMap map(1 << 14);
+  for (std::uint64_t k = 0; k < 50'000; ++k) map.put(k, {8, 0});
+  EXPECT_LT(map.average_chain_length(), 6.0);
+}
+
+TEST(ListMapTest, GetVisitsScaleWithPosition) {
+  ListMap map;
+  for (std::uint64_t k = 0; k < 1'000; ++k) map.put(k, {8, 0});
+  // Keys are pushed at the head: key 999 is first, key 0 last.
+  (void)map.get(999);
+  const std::uint64_t front = map.last_op_visits();
+  (void)map.get(0);
+  const std::uint64_t back = map.last_op_visits();
+  EXPECT_LT(front, 5u);
+  EXPECT_EQ(back, 1'000u);
+}
+
+// ---------------------------------------------------------------------------
+// §9.3 harness: Figure 9 / Figure 10 shape regression
+// ---------------------------------------------------------------------------
+
+double latency_us(MapKind kind, Protection p, ycsb::Distribution dist, std::uint64_t records,
+                  std::uint64_t ops) {
+  ycsb::WorkloadConfig cfg = ycsb::WorkloadConfig::a();
+  cfg.record_count = records;
+  cfg.request_distribution = dist;
+  sgx::CostModel model(sgx::CostParams::machine_a());
+  MapHarness harness(kind, p, model, cfg);
+  harness.preload(records);
+  harness.run(ops);
+  return harness.mean_latency_us();
+}
+
+TEST(Figure9ShapeTest, TreemapRatiosMatchThePaper) {
+  const double u = latency_us(MapKind::kTree, Protection::kUnprotected,
+                              ycsb::Distribution::kUniform, 100'000, 20'000);
+  const double p1 = latency_us(MapKind::kTree, Protection::kPrivagic1,
+                               ycsb::Distribution::kUniform, 100'000, 20'000);
+  const double s1 = latency_us(MapKind::kTree, Protection::kIntelSdk1,
+                               ycsb::Distribution::kUniform, 100'000, 20'000);
+  // §9.3.2: Unprotected/Privagic-1 throughput ratio 19.5–26.7; Privagic
+  // multiplies Intel-sdk-1 throughput by 2.2–2.7.
+  EXPECT_GE(p1 / u, 19.5);
+  EXPECT_LE(p1 / u, 26.7);
+  EXPECT_GE(s1 / p1, 2.2);
+  EXPECT_LE(s1 / p1, 2.7);
+}
+
+TEST(Figure9ShapeTest, HashmapRatiosMatchThePaper) {
+  const double u = latency_us(MapKind::kHash, Protection::kUnprotected,
+                              ycsb::Distribution::kZipfian, 100'000, 20'000);
+  const double p1 = latency_us(MapKind::kHash, Protection::kPrivagic1,
+                               ycsb::Distribution::kZipfian, 100'000, 20'000);
+  const double s1 = latency_us(MapKind::kHash, Protection::kIntelSdk1,
+                               ycsb::Distribution::kZipfian, 100'000, 20'000);
+  EXPECT_GE(p1 / u, 3.6);
+  EXPECT_LE(p1 / u, 6.1);
+  EXPECT_GE(s1 / p1, 1.6);
+  EXPECT_LE(s1 / p1, 2.7);
+}
+
+TEST(Figure9ShapeTest, LinkedListRatiosMatchThePaper) {
+  // The list ratios are working-set independent (floor-dominated), so a
+  // smaller instance keeps the test fast; the bench runs the full size.
+  const double u = latency_us(MapKind::kList, Protection::kUnprotected,
+                              ycsb::Distribution::kZipfian, 20'000, 200);
+  const double p1 = latency_us(MapKind::kList, Protection::kPrivagic1,
+                               ycsb::Distribution::kZipfian, 20'000, 200);
+  const double s1 = latency_us(MapKind::kList, Protection::kIntelSdk1,
+                               ycsb::Distribution::kZipfian, 20'000, 200);
+  EXPECT_GE(p1 / u, 1.2);
+  EXPECT_LE(p1 / u, 1.8);
+  EXPECT_GE(s1 / p1, 1.05);
+  EXPECT_LE(s1 / p1, 1.25);
+}
+
+TEST(Figure10ShapeTest, TwoColorLatencyRatiosMatchThePaper) {
+  // §9.3.2 / Figure 10: Privagic divides Intel SDK's two-enclave latency by
+  // 6.4–9.2, and Privagic-2 significantly degrades latency vs Unprotected.
+  const double u = latency_us(MapKind::kHash, Protection::kUnprotected,
+                              ycsb::Distribution::kZipfian, 20'000, 20'000);
+  const double p2 = latency_us(MapKind::kHash, Protection::kPrivagic2,
+                               ycsb::Distribution::kZipfian, 20'000, 20'000);
+  const double s2 = latency_us(MapKind::kHash, Protection::kIntelSdk2,
+                               ycsb::Distribution::kZipfian, 20'000, 20'000);
+  EXPECT_GE(s2 / p2, 6.4);
+  EXPECT_LE(s2 / p2, 9.2);
+  EXPECT_GT(p2 / u, 3.0);  // "significantly degrades latency compared to Unprotected"
+}
+
+TEST(EffortTest, ModifiedLocMatchesThePaper) {
+  // §9.3.1: at most 5 modified lines with one color, at most 6 with two;
+  // 206 for the hashmap EDL port.
+  for (MapKind kind : {MapKind::kList, MapKind::kTree, MapKind::kHash}) {
+    EXPECT_EQ(modified_loc(kind, Protection::kUnprotected), 0);
+    EXPECT_LE(modified_loc(kind, Protection::kPrivagic1), 5);
+    EXPECT_LE(modified_loc(kind, Protection::kPrivagic2), 6);
+    EXPECT_GT(modified_loc(kind, Protection::kIntelSdk1), 100);
+    EXPECT_GT(modified_loc(kind, Protection::kIntelSdk2),
+              modified_loc(kind, Protection::kIntelSdk1));
+  }
+  EXPECT_EQ(modified_loc(MapKind::kHash, Protection::kIntelSdk1), 206);
+}
+
+}  // namespace
+}  // namespace privagic::ds

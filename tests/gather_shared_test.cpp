@@ -1,0 +1,95 @@
+// Tests for shared-variable gathering (§7.1): uncolored globals collapse
+// into one shared structure and every access is rewritten through it.
+#include <gtest/gtest.h>
+
+#include "interp/machine.hpp"
+#include "ir/parser.hpp"
+#include "ir/printer.hpp"
+#include "ir/verifier.hpp"
+#include "partition/gather_shared.hpp"
+#include "partition/partitioner.hpp"
+
+namespace privagic::partition {
+namespace {
+
+std::unique_ptr<ir::Module> parse_or_die(const char* text) {
+  auto parsed = ir::parse_module(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.message();
+  return std::move(parsed).value();
+}
+
+const char* kProgram = R"(
+module "m"
+global i64 @shared_a
+global i64 @shared_b
+global i64 @initialized = 5
+global i64 @colored = 0 color(blue)
+define i64 @tick(i64 %v) entry {
+entry:
+  %a = load ptr<i64> @shared_a
+  %a2 = add i64 %a, %v
+  store i64 %a2, ptr<i64> @shared_a
+  %b = load ptr<i64> @shared_b
+  %sum = add i64 %a2, %b
+  store i64 %sum, ptr<i64> @shared_b
+  ret i64 %sum
+}
+)";
+
+TEST(GatherSharedTest, GathersOnlyEligibleGlobals) {
+  auto m = parse_or_die(kProgram);
+  EXPECT_EQ(gather_shared_globals(*m), 2u);  // shared_a, shared_b
+  // Colored and initialized globals stay; the gathered ones are gone.
+  EXPECT_EQ(m->global_by_name("shared_a"), nullptr);
+  EXPECT_EQ(m->global_by_name("shared_b"), nullptr);
+  EXPECT_NE(m->global_by_name("initialized"), nullptr);
+  EXPECT_NE(m->global_by_name("colored"), nullptr);
+  const ir::StructType* shared = m->types().struct_by_name(std::string(kSharedStructName));
+  ASSERT_NE(shared, nullptr);
+  EXPECT_EQ(shared->fields().size(), 2u);
+  EXPECT_TRUE(ir::verify_module(*m).empty()) << ir::print_module(*m);
+}
+
+TEST(GatherSharedTest, IsIdempotent) {
+  auto m = parse_or_die(kProgram);
+  EXPECT_EQ(gather_shared_globals(*m), 2u);
+  EXPECT_EQ(gather_shared_globals(*m), 0u);
+}
+
+TEST(GatherSharedTest, GatheredProgramStillExecutesCorrectly) {
+  auto m = parse_or_die(kProgram);
+  gather_shared_globals(*m);
+  sectype::TypeAnalysis analysis(*m, sectype::Mode::kRelaxed);
+  ASSERT_TRUE(analysis.run()) << analysis.diagnostics().to_string();
+  auto program = partition_module(analysis);
+  ASSERT_TRUE(program.ok()) << program.message();
+
+  interp::Machine machine(*program.value());
+  // tick(3): a=3, sum=3;  tick(4): a=7, sum=10.
+  EXPECT_EQ(machine.call("tick", {3}).value(), 3);
+  EXPECT_EQ(machine.call("tick", {4}).value(), 10);
+}
+
+TEST(GatherSharedTest, PhiIncomingsAreRewrittenOnTheEdge) {
+  auto m = parse_or_die(R"(
+module "m"
+global i64 @x
+global i64 @y
+define ptr<i64> @pick(i1 %c) entry {
+entry:
+  cond_br i1 %c, %a, %b
+a:
+  br %join
+b:
+  br %join
+join:
+  %p = phi ptr<i64> [ ptr<i64> @x, %a ], [ ptr<i64> @y, %b ]
+  ret ptr<i64> %p
+}
+)");
+  EXPECT_EQ(gather_shared_globals(*m), 2u);
+  EXPECT_TRUE(ir::verify_module(*m).empty()) << ir::print_module(*m);
+}
+
+}  // namespace
+}  // namespace privagic::partition

@@ -1,0 +1,135 @@
+// Tests for minicached (the §9.2 memcached stand-in): cache semantics, LRU
+// eviction, concurrency, and the Figure 8 shape regression.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "apps/kvcache/minicached.hpp"
+
+namespace privagic::apps {
+namespace {
+
+sgx::CostModel machine_b() { return sgx::CostModel(sgx::CostParams::machine_b()); }
+
+TEST(CacheShardTest, GetAfterPut) {
+  CacheShard shard;
+  shard.put(1, {1024, 777}, 0);
+  auto r = shard.get(1);
+  EXPECT_TRUE(r.hit);
+  EXPECT_EQ(r.value.checksum, 777u);
+  EXPECT_FALSE(shard.get(2).hit);
+}
+
+TEST(CacheShardTest, UpdateKeepsSize) {
+  CacheShard shard;
+  shard.put(1, {8, 1}, 0);
+  shard.put(1, {8, 2}, 0);
+  EXPECT_EQ(shard.size(), 1u);
+  EXPECT_EQ(shard.get(1).value.checksum, 2u);
+}
+
+TEST(CacheShardTest, LruEvictsColdestFirst) {
+  CacheShard shard;
+  for (std::uint64_t k = 0; k < 4; ++k) shard.put(k, {8, k}, /*max_items=*/4);
+  // Touch 0 so 1 becomes the coldest.
+  shard.get(0);
+  shard.put(99, {8, 99}, 4);
+  EXPECT_TRUE(shard.get(0).hit);
+  EXPECT_FALSE(shard.get(1).hit);  // evicted
+  EXPECT_TRUE(shard.get(99).hit);
+  EXPECT_EQ(shard.size(), 4u);
+}
+
+TEST(MinicachedTest, PreloadAndHitRate) {
+  MinicachedOptions opts;
+  Minicached cache(opts, machine_b());
+  cache.preload(10'000);
+  EXPECT_EQ(cache.live_records(), 10'000u);
+
+  ycsb::WorkloadConfig cfg = ycsb::WorkloadConfig::c();  // read-only
+  cfg.record_count = 10'000;
+  ycsb::WorkloadGenerator gen(cfg);
+  for (int i = 0; i < 5'000; ++i) cache.execute(gen.next());
+  EXPECT_EQ(cache.misses(), 0u);  // every key was preloaded
+  EXPECT_EQ(cache.hits(), 5'000u);
+}
+
+TEST(MinicachedTest, MemoryLimitTriggersEviction) {
+  MinicachedOptions opts;
+  opts.memory_limit_bytes = 1'000 * (1024 + 64);  // ~1000 records
+  Minicached cache(opts, machine_b());
+  cache.preload(5'000);
+  EXPECT_LE(cache.live_records(), 1'100u);
+}
+
+TEST(MinicachedTest, ConcurrentWorkersAreSafe) {
+  MinicachedOptions opts;
+  opts.worker_threads = 4;
+  Minicached cache(opts, machine_b());
+  cache.preload(1'000);
+  ycsb::WorkloadConfig cfg = ycsb::WorkloadConfig::a();
+  cfg.record_count = 1'000;
+  ycsb::WorkloadGenerator gen(cfg);
+  const double kops = cache.run_workload(gen, 20'000);
+  EXPECT_GT(kops, 0.0);
+  EXPECT_GE(cache.live_records(), 1'000u);
+}
+
+// ---------------------------------------------------------------------------
+// Figure 8 shape regression (machine B)
+// ---------------------------------------------------------------------------
+
+double mean_latency_us(CacheConfig config, std::uint64_t nominal_records) {
+  MinicachedOptions opts;
+  opts.config = config;
+  opts.nominal_records = nominal_records;
+  Minicached cache(opts, machine_b());
+  const std::uint64_t live = std::min<std::uint64_t>(nominal_records, 100'000);
+  cache.preload(live);
+  ycsb::WorkloadConfig cfg = ycsb::WorkloadConfig::a();
+  cfg.record_count = live;
+  ycsb::WorkloadGenerator gen(cfg);
+  for (int i = 0; i < 20'000; ++i) cache.execute(gen.next());
+  return cache.mean_latency_us();
+}
+
+constexpr std::uint64_t records_for_gib(double gib) {
+  return static_cast<std::uint64_t>(gib * 1024 * 1024 * 1024 / 1088.0);
+}
+
+TEST(Figure8ShapeTest, SmallDatasetRatios) {
+  // §9.2.3: "For a small dataset (less than 200 MiB), the throughput of
+  // Privagic is between 8.5 to 10.0 better than the throughput of Scone.
+  // The throughput of Privagic is only 5% to 20% lower than Unprotected."
+  const std::uint64_t recs = records_for_gib(0.1);
+  const double u = mean_latency_us(CacheConfig::kUnprotected, recs);
+  const double p = mean_latency_us(CacheConfig::kPrivagic, recs);
+  const double s = mean_latency_us(CacheConfig::kFullEnclave, recs);
+  EXPECT_GE(s / p, 8.5);
+  EXPECT_LE(s / p, 10.0);
+  EXPECT_GE(p / u, 1.05);
+  EXPECT_LE(p / u, 1.20);
+}
+
+TEST(Figure8ShapeTest, LargeDatasetRatios) {
+  // §9.2.3: at 32 GiB "the throughput of Privagic remains at least 2.3
+  // times higher than the throughput of Scone".
+  const std::uint64_t recs = records_for_gib(32.0);
+  const double p = mean_latency_us(CacheConfig::kPrivagic, recs);
+  const double s = mean_latency_us(CacheConfig::kFullEnclave, recs);
+  EXPECT_GE(s / p, 2.3);
+}
+
+TEST(Figure8ShapeTest, PrivagicDegradesWithDatasetSize) {
+  // §9.2.3: Privagic's throughput decreases with larger datasets (enclave-
+  // mode LLC misses), while Unprotected degrades only marginally.
+  const double p_small = mean_latency_us(CacheConfig::kPrivagic, records_for_gib(0.1));
+  const double p_large = mean_latency_us(CacheConfig::kPrivagic, records_for_gib(32.0));
+  const double u_small = mean_latency_us(CacheConfig::kUnprotected, records_for_gib(0.1));
+  const double u_large = mean_latency_us(CacheConfig::kUnprotected, records_for_gib(32.0));
+  EXPECT_GT(p_large / p_small, 3.0);
+  EXPECT_LT(u_large / u_small, 2.0);
+}
+
+}  // namespace
+}  // namespace privagic::apps

@@ -1,0 +1,363 @@
+// Tests for partition planning and code rewriting (§7), built around the
+// paper's complete example (Figures 6 and 7).
+#include <gtest/gtest.h>
+
+#include "ir/parser.hpp"
+#include "ir/printer.hpp"
+#include "ir/verifier.hpp"
+#include "partition/intrinsics.hpp"
+#include "partition/partitioner.hpp"
+
+namespace privagic::partition {
+namespace {
+
+using sectype::Mode;
+using sectype::TypeAnalysis;
+
+std::unique_ptr<ir::Module> parse_or_die(const char* text) {
+  auto parsed = ir::parse_module(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.message();
+  return std::move(parsed).value();
+}
+
+const char* kFigure6 = R"(
+module "fig6"
+global i32 @unsafe = 0 color(U)
+global i32 @blue = 10 color(blue)
+global i32 @red = 0 color(red)
+declare void @printf(i32)
+define i32 @main() entry {
+entry:
+  store i32 1, ptr<i32 color(U)> @unsafe
+  %b = load ptr<i32 color(blue)> @blue
+  %x = call i32 @f(i32 %b)
+  ret i32 %x
+}
+define i32 @f(i32 %y) {
+entry:
+  call void @g(i32 21)
+  ret i32 42
+}
+define void @g(i32 %n) {
+entry:
+  store i32 %n, ptr<i32 color(blue)> @blue
+  store i32 %n, ptr<i32 color(red)> @red
+  call void @printf(i32 0)
+  ret void
+}
+)";
+
+class Figure6Partition : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    module_ = parse_or_die(kFigure6);
+    analysis_ = std::make_unique<TypeAnalysis>(*module_, Mode::kRelaxed);
+    ASSERT_TRUE(analysis_->run()) << analysis_->diagnostics().to_string();
+    auto result = partition_module(*analysis_);
+    ASSERT_TRUE(result.ok()) << result.message();
+    result_ = std::move(result).value();
+  }
+
+  std::unique_ptr<ir::Module> module_;
+  std::unique_ptr<TypeAnalysis> analysis_;
+  std::unique_ptr<PartitionResult> result_;
+};
+
+TEST_F(Figure6Partition, GeneratesTheChunksOfFigure7) {
+  // main: {U, blue}; f$blue: {blue}; g$F: {red, blue, U} — six chunks.
+  EXPECT_EQ(result_->chunks.size(), 6u);
+  EXPECT_NE(result_->chunk("main", Color::untrusted()), nullptr);
+  EXPECT_NE(result_->chunk("main", Color::named("blue")), nullptr);
+  EXPECT_NE(result_->chunk("f$blue", Color::named("blue")), nullptr);
+  EXPECT_NE(result_->chunk("g$F", Color::named("red")), nullptr);
+  EXPECT_NE(result_->chunk("g$F", Color::named("blue")), nullptr);
+  EXPECT_NE(result_->chunk("g$F", Color::untrusted()), nullptr);
+  // f has no U or red chunk.
+  EXPECT_EQ(result_->chunk("f$blue", Color::untrusted()), nullptr);
+  EXPECT_EQ(result_->chunk("f$blue", Color::named("red")), nullptr);
+}
+
+TEST_F(Figure6Partition, OutputModuleIsStructurallyValid) {
+  const auto errors = ir::verify_module(*result_->module);
+  EXPECT_TRUE(errors.empty()) << errors.front() << "\n"
+                              << ir::print_module(*result_->module);
+}
+
+TEST_F(Figure6Partition, InterfaceKeepsTheOriginalName) {
+  ASSERT_TRUE(result_->interfaces.contains("main"));
+  const ir::Function* iface = result_->interfaces.at("main");
+  EXPECT_EQ(iface->name(), "main");
+  EXPECT_EQ(iface->return_type()->to_string(), "i32");
+  // The interface spawns main's blue chunk and calls main$U directly.
+  bool has_spawn = false;
+  bool calls_u_chunk = false;
+  for (const auto& inst : iface->entry_block()->instructions()) {
+    if (inst->opcode() != ir::Opcode::kCall) continue;
+    const auto* call = static_cast<const ir::CallInst*>(inst.get());
+    if (call->callee()->name() == kIntrinsicSpawn) has_spawn = true;
+    if (call->callee()->name() == "main$U") calls_u_chunk = true;
+  }
+  EXPECT_TRUE(has_spawn);
+  EXPECT_TRUE(calls_u_chunk);
+}
+
+TEST_F(Figure6Partition, BlueChunkOfMainCallsFBlueDirectly) {
+  // Figure 7: main.blue directly calls f.blue with the blue argument.
+  const ir::Function* main_blue = result_->chunk("main", Color::named("blue"))->fn;
+  bool direct_call = false;
+  for (const auto& bb : main_blue->blocks()) {
+    for (const auto& inst : bb->instructions()) {
+      if (inst->opcode() != ir::Opcode::kCall) continue;
+      const auto* call = static_cast<const ir::CallInst*>(inst.get());
+      if (call->callee()->name() == "f$blue$blue") {
+        direct_call = true;
+        EXPECT_EQ(call->args().size(), 1u);  // the blue value
+      }
+    }
+  }
+  EXPECT_TRUE(direct_call) << ir::print_function(*main_blue);
+}
+
+TEST_F(Figure6Partition, FBlueSpawnsTheMissingChunksOfG) {
+  // Figure 7: f.blue sends spawn messages s2/s3 for g.red and g.U, conts the
+  // F argument 21 to both, and calls g.blue directly.
+  const ir::Function* f_blue = result_->chunk("f$blue", Color::named("blue"))->fn;
+  int spawns = 0;
+  int conts = 0;
+  bool direct_g_blue = false;
+  for (const auto& bb : f_blue->blocks()) {
+    for (const auto& inst : bb->instructions()) {
+      if (inst->opcode() != ir::Opcode::kCall) continue;
+      const auto* call = static_cast<const ir::CallInst*>(inst.get());
+      if (call->callee()->name() == kIntrinsicSpawn) ++spawns;
+      if (call->callee()->name() == kIntrinsicCont) ++conts;
+      if (call->callee()->name() == "g$F$blue") direct_g_blue = true;
+    }
+  }
+  EXPECT_EQ(spawns, 2) << ir::print_function(*f_blue);
+  EXPECT_EQ(conts, 2);  // the argument 21 to g.red and g.U
+  EXPECT_TRUE(direct_g_blue);
+}
+
+TEST_F(Figure6Partition, ChunksContainOnlyTheirColorsInstructions) {
+  // g$U keeps the printf but neither colored store; g$red only the red store.
+  const ir::Function* g_u = result_->chunk("g$F", Color::untrusted())->fn;
+  const ir::Function* g_red = result_->chunk("g$F", Color::named("red"))->fn;
+  auto count_stores = [](const ir::Function* fn) {
+    int n = 0;
+    for (const auto& bb : fn->blocks()) {
+      for (const auto& inst : bb->instructions()) {
+        n += inst->opcode() == ir::Opcode::kStore ? 1 : 0;
+      }
+    }
+    return n;
+  };
+  auto calls_printf = [](const ir::Function* fn) {
+    for (const auto& bb : fn->blocks()) {
+      for (const auto& inst : bb->instructions()) {
+        if (inst->opcode() == ir::Opcode::kCall &&
+            static_cast<const ir::CallInst*>(inst.get())->callee()->name() == "printf") {
+          return true;
+        }
+      }
+    }
+    return false;
+  };
+  EXPECT_EQ(count_stores(g_u), 0);
+  EXPECT_TRUE(calls_printf(g_u));
+  EXPECT_EQ(count_stores(g_red), 1);
+  EXPECT_FALSE(calls_printf(g_red));
+}
+
+TEST_F(Figure6Partition, BarrierProtectsThePrintf) {
+  // §7.3.3: the printf is a visible effect; g's other chunks token g$U
+  // before it runs (the c3/c4 edges of Figure 7).
+  const ir::Function* g_u = result_->chunk("g$F", Color::untrusted())->fn;
+  int wait_acks = 0;
+  for (const auto& bb : g_u->blocks()) {
+    for (const auto& inst : bb->instructions()) {
+      if (inst->opcode() == ir::Opcode::kCall &&
+          static_cast<const ir::CallInst*>(inst.get())->callee()->name() == kIntrinsicWaitAck) {
+        ++wait_acks;
+      }
+    }
+  }
+  EXPECT_EQ(wait_acks, 2);  // tokens from g$blue and g$red
+
+  for (const char* color : {"blue", "red"}) {
+    const ir::Function* g_c = result_->chunk("g$F", Color::named(color))->fn;
+    int acks = 0;
+    for (const auto& bb : g_c->blocks()) {
+      for (const auto& inst : bb->instructions()) {
+        if (inst->opcode() == ir::Opcode::kCall &&
+            static_cast<const ir::CallInst*>(inst.get())->callee()->name() == kIntrinsicAck) {
+          ++acks;
+        }
+      }
+    }
+    EXPECT_EQ(acks, 1) << color;
+  }
+}
+
+TEST_F(Figure6Partition, TrampolinesExistForRemotelyStartedChunks) {
+  EXPECT_NE(result_->chunk("g$F", Color::named("red"))->trampoline, nullptr);
+  EXPECT_NE(result_->chunk("g$F", Color::untrusted())->trampoline, nullptr);
+  EXPECT_NE(result_->chunk("main", Color::named("blue"))->trampoline, nullptr);
+  // g$blue is only ever called directly — no trampoline.
+  EXPECT_EQ(result_->chunk("g$F", Color::named("blue"))->trampoline, nullptr);
+}
+
+TEST_F(Figure6Partition, TcbMetricsAreSplitByColor) {
+  // Every color has some instructions, and the module prints/parses cleanly.
+  EXPECT_GT(result_->instructions_per_color[Color::untrusted()], 0u);
+  EXPECT_GT(result_->instructions_per_color[Color::named("blue")], 0u);
+  EXPECT_GT(result_->instructions_per_color[Color::named("red")], 0u);
+  const std::string text = ir::print_module(*result_->module);
+  auto reparsed = ir::parse_module(text);
+  EXPECT_TRUE(reparsed.ok()) << reparsed.message();
+}
+
+// ---------------------------------------------------------------------------
+// Hardened-mode planning rules
+// ---------------------------------------------------------------------------
+
+TEST(PartitionPlanTest, HardenedRejectsContCarriedArguments) {
+  // In hardened mode, f.blue would need to cont the F argument 21 to g.red —
+  // prohibited (§7.3.2). Note the program itself type-checks in hardened
+  // mode; only partitioning fails.
+  auto module = parse_or_die(R"(
+module "m"
+global i32 @blue = 0 color(blue)
+global i32 @red = 0 color(red)
+define void @f() entry {
+entry:
+  call void @g(i32 21)
+  ret void
+}
+define void @g(i32 %n) {
+entry:
+  store i32 %n, ptr<i32 color(blue)> @blue
+  store i32 %n, ptr<i32 color(red)> @red
+  ret void
+}
+)");
+  TypeAnalysis analysis(*module, Mode::kHardened);
+  ASSERT_TRUE(analysis.run()) << analysis.diagnostics().to_string();
+  PartitionPlanner planner(analysis);
+  EXPECT_FALSE(planner.plan());
+  EXPECT_TRUE(planner.diagnostics().has(sectype::Rule::kFreeArgument))
+      << planner.diagnostics().to_string();
+}
+
+TEST(PartitionPlanTest, HardenedAcceptsMessagelessPartition) {
+  // A single-color program whose cross-enclave calls carry no values is
+  // partitionable even in hardened mode.
+  auto module = parse_or_die(R"(
+module "m"
+global i32 @secret = 0 color(blue)
+define void @bump() entry {
+entry:
+  %v = load ptr<i32 color(blue)> @secret
+  %v2 = add i32 %v, i32 1
+  store i32 %v2, ptr<i32 color(blue)> @secret
+  ret void
+}
+)");
+  TypeAnalysis analysis(*module, Mode::kHardened);
+  ASSERT_TRUE(analysis.run()) << analysis.diagnostics().to_string();
+  auto result = partition_module(analysis);
+  ASSERT_TRUE(result.ok()) << result.message();
+  EXPECT_NE(result.value()->chunk("bump", Color::named("blue")), nullptr);
+  EXPECT_TRUE(ir::verify_module(*result.value()->module).empty());
+}
+
+TEST(PartitionPlanTest, EntryReturningEnclaveValueIsRejected) {
+  auto module = parse_or_die(R"(
+module "m"
+global i32 @secret = 0 color(blue)
+define i32 @peek() entry {
+entry:
+  %v = load ptr<i32 color(blue)> @secret
+  ret i32 %v
+}
+)");
+  TypeAnalysis analysis(*module, Mode::kRelaxed);
+  ASSERT_TRUE(analysis.run()) << analysis.diagnostics().to_string();
+  PartitionPlanner planner(analysis);
+  EXPECT_FALSE(planner.plan());
+  EXPECT_TRUE(planner.diagnostics().has(sectype::Rule::kExternalCall))
+      << planner.diagnostics().to_string();
+}
+
+TEST(PartitionPlanTest, ColoredBranchRegionsAreSkippedByOtherChunks) {
+  auto module = parse_or_die(R"(
+module "m"
+global i32 @secret = 0 color(blue)
+global i32 @out = 0 color(blue)
+define void @f() entry {
+entry:
+  %v = load ptr<i32 color(blue)> @secret
+  %c = icmp sgt i32 %v, i32 0
+  cond_br i1 %c, %pos, %join
+pos:
+  store i32 1, ptr<i32 color(blue)> @out
+  br %join
+join:
+  ret void
+}
+)");
+  TypeAnalysis analysis(*module, Mode::kRelaxed);
+  ASSERT_TRUE(analysis.run()) << analysis.diagnostics().to_string();
+  auto result = partition_module(analysis);
+  ASSERT_TRUE(result.ok()) << result.message();
+  // The blue chunk keeps the branch; the interface/U side never sees it. The
+  // function has only a blue chunk here, so check the blue chunk's CFG kept
+  // all three blocks.
+  const ir::Function* blue = result.value()->chunk("f", Color::named("blue"))->fn;
+  EXPECT_EQ(blue->blocks().size(), 3u);
+  EXPECT_TRUE(ir::verify_module(*result.value()->module).empty());
+}
+
+TEST(PartitionPlanTest, ReplicableHelpersAreClonedPerColor) {
+  // A pure helper called from blue code is replicated into the blue chunk
+  // set rather than turned into a message exchange (§5.3).
+  auto module = parse_or_die(R"(
+module "m"
+global i32 @b = 0 color(blue)
+define i32 @double(i32 %x) {
+entry:
+  %r = mul i32 %x, i32 2
+  ret i32 %r
+}
+define void @f() entry {
+entry:
+  %v = load ptr<i32 color(blue)> @b
+  %d = call i32 @double(i32 %v)
+  store i32 %d, ptr<i32 color(blue)> @b
+  ret void
+}
+)");
+  TypeAnalysis analysis(*module, Mode::kRelaxed);
+  ASSERT_TRUE(analysis.run()) << analysis.diagnostics().to_string();
+  auto result = partition_module(analysis);
+  ASSERT_TRUE(result.ok()) << result.message();
+  // double$blue has a blue chunk (specialized on the blue argument).
+  EXPECT_NE(result.value()->chunk("double$blue", Color::named("blue")), nullptr);
+  // No spawns between chunks: the helper call is direct inside blue. (The
+  // entry *interface* legitimately spawns f's blue chunk — exclude it.)
+  for (const auto& fn : result.value()->module->functions()) {
+    if (fn->name() == "f") continue;  // the interface
+    for (const auto& bb : fn->blocks()) {
+      for (const auto& inst : bb->instructions()) {
+        if (inst->opcode() == ir::Opcode::kCall) {
+          EXPECT_NE(static_cast<const ir::CallInst*>(inst.get())->callee()->name(),
+                    kIntrinsicSpawn)
+              << "in " << fn->name();
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace privagic::partition

@@ -1,0 +1,269 @@
+// Tests for the runtime substrate: mailboxes with kind/tag matching, the
+// lock-free SPSC ring, the lock-based switchless channel, and the worker
+// group's re-entrant spawn service.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "runtime/mailbox.hpp"
+#include "runtime/spsc_queue.hpp"
+#include "runtime/switchless.hpp"
+#include "runtime/workers.hpp"
+
+namespace privagic::runtime {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Mailbox
+// ---------------------------------------------------------------------------
+
+TEST(MailboxTest, MatchesKindAndTag) {
+  Mailbox box;
+  box.push(Message::ack(7));
+  box.push(Message::cont(5, 111));
+  box.push(Message::cont(6, 222));
+  // Asking for tag 6 skips the buffered tag-5 cont and the ack.
+  Message m = box.next(MsgKind::kCont, 6);
+  EXPECT_EQ(m.payload, 222);
+  m = box.next(MsgKind::kCont, 5);
+  EXPECT_EQ(m.payload, 111);
+  m = box.next(MsgKind::kAck, 7);
+  EXPECT_EQ(m.kind, MsgKind::kAck);
+  EXPECT_EQ(box.size(), 0u);
+}
+
+TEST(MailboxTest, SpawnPreemptsWaiters) {
+  Mailbox box;
+  box.push(Message::cont(1, 42));
+  box.push(Message::spawn(9, 100, 0, 0));
+  // Waiting for the cont still returns the spawn first if it is queued —
+  // the worker must serve it re-entrantly.
+  Message m = box.next(MsgKind::kCont, 1);
+  // The cont was queued before the spawn, so the cont comes first here...
+  EXPECT_EQ(m.kind, MsgKind::kCont);
+  // ...but with the cont consumed, a second wait returns the spawn even
+  // though the tag never matches.
+  m = box.next(MsgKind::kCont, 999);
+  EXPECT_EQ(m.kind, MsgKind::kSpawn);
+  EXPECT_EQ(m.chunk, 9u);
+}
+
+TEST(MailboxTest, BlocksUntilMessageArrives) {
+  Mailbox box;
+  std::atomic<bool> got{false};
+  std::thread consumer([&] {
+    Message m = box.next(MsgKind::kCont, 3);
+    EXPECT_EQ(m.payload, 33);
+    got = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(got.load());
+  box.push(Message::cont(3, 33));
+  consumer.join();
+  EXPECT_TRUE(got.load());
+}
+
+// ---------------------------------------------------------------------------
+// SPSC ring
+// ---------------------------------------------------------------------------
+
+TEST(SpscQueueTest, FifoOrder) {
+  SpscQueue<int> q(8);
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(q.try_push(i));
+  int out = -1;
+  EXPECT_FALSE(q.try_push(99));  // full
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_TRUE(q.try_pop(out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(q.try_pop(out));  // empty
+}
+
+TEST(SpscQueueTest, WrapsAroundTheRing) {
+  SpscQueue<int> q(4);
+  int out = 0;
+  for (int round = 0; round < 100; ++round) {
+    EXPECT_TRUE(q.try_push(round));
+    EXPECT_TRUE(q.try_pop(out));
+    EXPECT_EQ(out, round);
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(SpscQueueTest, CrossThreadStressPreservesSequence) {
+  SpscQueue<std::uint64_t> q(64);
+  constexpr std::uint64_t kCount = 200'000;
+  std::thread producer([&] {
+    for (std::uint64_t i = 0; i < kCount; ++i) q.push(i);
+  });
+  std::uint64_t expected = 0;
+  while (expected < kCount) {
+    const std::uint64_t v = q.pop();
+    ASSERT_EQ(v, expected);
+    ++expected;
+  }
+  producer.join();
+  EXPECT_TRUE(q.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Lock channel (Intel SDK baseline)
+// ---------------------------------------------------------------------------
+
+TEST(LockChannelTest, FifoAcrossThreads) {
+  LockChannel<int> ch;
+  std::thread producer([&] {
+    for (int i = 0; i < 10'000; ++i) ch.push(i);
+  });
+  for (int i = 0; i < 10'000; ++i) {
+    ASSERT_EQ(ch.pop(), i);
+  }
+  producer.join();
+  EXPECT_EQ(ch.size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Worker group
+// ---------------------------------------------------------------------------
+
+TEST(ThreadRuntimeTest, SpawnRunsOnTheTargetWorker) {
+  std::atomic<int> runs{0};
+  std::atomic<std::size_t> worker_seen{0};
+  ThreadRuntime rt(3, [&](std::size_t me, std::uint64_t chunk, std::int64_t tags,
+                          std::int64_t leader, std::int64_t /*flags*/) {
+    worker_seen = me;
+    EXPECT_EQ(chunk, 7u);
+    EXPECT_EQ(tags, 1000);
+    ++runs;
+    rt.ack(leader, tags + 200);
+  });
+  rt.spawn(/*target_color=*/2, /*chunk=*/7, /*tags=*/1000, /*leader=*/0, /*flags=*/0);
+  rt.wait_ack(/*me=*/0, 1200);
+  EXPECT_EQ(runs.load(), 1);
+  EXPECT_EQ(worker_seen.load(), 2u);
+}
+
+TEST(ThreadRuntimeTest, ContDeliversPayloadsByTag) {
+  ThreadRuntime rt(2, [&](std::size_t me, std::uint64_t, std::int64_t tags, std::int64_t leader,
+                          std::int64_t) {
+    // Worker 1: receive two values out of order, reply with their sum.
+    const std::int64_t b = rt.wait(me, tags + 1);
+    const std::int64_t a = rt.wait(me, tags + 0);
+    rt.cont(leader, tags + 100, a + b);
+    rt.ack(leader, tags + 200);
+  });
+  rt.spawn(1, 0, 0, 0, 0);
+  rt.cont(1, 0, 40);  // tag 0 arrives first, consumed second
+  rt.cont(1, 1, 2);
+  EXPECT_EQ(rt.wait(0, 100), 42);
+  rt.wait_ack(0, 200);
+}
+
+TEST(ThreadRuntimeTest, NestedSpawnIsServedWhileWaiting) {
+  // Worker 1 runs chunk A which spawns chunk B *back onto worker 0* while
+  // worker 0 is blocked waiting for A's ack: worker 0 must serve B
+  // re-entrantly or the system deadlocks.
+  std::atomic<int> b_runs{0};
+  ThreadRuntime* rtp = nullptr;
+  ThreadRuntime rt(2, [&](std::size_t me, std::uint64_t chunk, std::int64_t tags,
+                          std::int64_t leader, std::int64_t) {
+    if (chunk == 0) {  // chunk A on worker 1
+      rtp->spawn(0, 1, tags + 500, 1, 0);  // chunk B on worker 0
+      rtp->wait_ack(me, tags + 500 + 200);
+      rtp->ack(leader, tags + 200);
+    } else {  // chunk B on worker 0 (re-entrant)
+      ++b_runs;
+      rtp->ack(leader, tags + 200);
+    }
+  });
+  rtp = &rt;
+  rt.spawn(1, 0, 0, 0, 0);
+  rt.wait_ack(0, 200);
+  EXPECT_EQ(b_runs.load(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Spawn guard (the §8 extension: authenticated spawn messages)
+// ---------------------------------------------------------------------------
+
+TEST(SpawnGuardTest, LegitimateSpawnsRun) {
+  std::atomic<int> runs{0};
+  ThreadRuntime rt(2, [&](std::size_t, std::uint64_t, std::int64_t tags, std::int64_t leader,
+                          std::int64_t) {
+    ++runs;
+    rt.ack(leader, tags + 200);
+  }, /*spawn_secret=*/0xDEADBEEF);
+  rt.spawn(1, 5, 0, 0, 0);
+  rt.wait_ack(0, 200);
+  EXPECT_EQ(runs.load(), 1);
+  EXPECT_EQ(rt.rejected_spawns(), 0u);
+}
+
+TEST(SpawnGuardTest, ForgedSpawnsAreDropped) {
+  std::atomic<int> runs{0};
+  ThreadRuntime rt(2, [&](std::size_t, std::uint64_t, std::int64_t tags, std::int64_t leader,
+                          std::int64_t) {
+    ++runs;
+    rt.ack(leader, tags + 200);
+  }, /*spawn_secret=*/0xDEADBEEF);
+
+  // The attacker forges spawns with no / wrong MACs.
+  Message forged = Message::spawn(5, 0, 0, 0);
+  rt.inject_raw(1, forged);
+  forged.auth = 12345;
+  rt.inject_raw(1, forged);
+  // A legitimate spawn afterwards still runs (and flushes the queue order).
+  rt.spawn(1, 5, 0, 0, 0);
+  rt.wait_ack(0, 200);
+  EXPECT_EQ(runs.load(), 1);
+  EXPECT_EQ(rt.rejected_spawns(), 2u);
+}
+
+TEST(SpawnGuardTest, ReplayOfFieldsWithWrongMacFails) {
+  // Changing any spawn field invalidates the MAC: the attacker cannot take a
+  // signed spawn for chunk A and retarget it to chunk B.
+  std::atomic<std::uint64_t> last_chunk{~0ull};
+  ThreadRuntime rt(2, [&](std::size_t, std::uint64_t chunk, std::int64_t tags,
+                          std::int64_t leader, std::int64_t) {
+    last_chunk = chunk;
+    rt.ack(leader, tags + 200);
+  }, /*spawn_secret=*/7);
+  // Capture a legit message by signing chunk 1, then tamper the chunk id.
+  rt.spawn(1, 1, 1000, 0, 0);
+  rt.wait_ack(0, 1200);
+  ASSERT_EQ(last_chunk.load(), 1u);
+  Message tampered = Message::spawn(2, 1000, 0, 0);
+  // (the attacker reuses the observed auth value of the chunk-1 spawn —
+  //  approximate it by signing chunk 1 through a second runtime with the
+  //  same secret, then swapping the chunk id)
+  ThreadRuntime oracle(1, [](std::size_t, std::uint64_t, std::int64_t, std::int64_t,
+                             std::int64_t) {}, 7);
+  // No public signer API: inject with a stale auth (any value not matching
+  // chunk 2's MAC).
+  tampered.auth = 0x1234567;
+  rt.inject_raw(1, tampered);
+  rt.spawn(1, 3, 2000, 0, 0);
+  rt.wait_ack(0, 2200);
+  EXPECT_EQ(last_chunk.load(), 3u);  // the tampered spawn never ran
+  EXPECT_EQ(rt.rejected_spawns(), 1u);
+}
+
+TEST(SpawnGuardTest, DisabledGuardAcceptsEverything) {
+  std::atomic<int> runs{0};
+  ThreadRuntime rt(2, [&](std::size_t, std::uint64_t, std::int64_t tags, std::int64_t leader,
+                          std::int64_t) {
+    ++runs;
+    rt.ack(leader, tags + 200);
+  });  // secret = 0: unguarded (the paper's prototype behavior, §8)
+  rt.inject_raw(1, Message::spawn(5, 0, 0, 0));
+  rt.spawn(1, 5, 100, 0, 0);
+  rt.wait_ack(0, 100 + 200);
+  rt.wait_ack(0, 0 + 200);
+  EXPECT_EQ(runs.load(), 2);
+  EXPECT_EQ(rt.rejected_spawns(), 0u);
+}
+
+}  // namespace
+}  // namespace privagic::runtime

@@ -1,0 +1,1047 @@
+// Tests for the secure type system (§4–§6): colors, the Table 3 rules,
+// type inference with the stabilizing algorithm, specialization, and the
+// paper's running examples (Figures 1, 3, 4, and 6).
+#include <gtest/gtest.h>
+
+#include "ir/parser.hpp"
+#include "ir/printer.hpp"
+#include "sectype/analysis.hpp"
+
+namespace privagic::sectype {
+namespace {
+
+using ir::parse_module;
+
+std::unique_ptr<ir::Module> parse_or_die(const char* text) {
+  auto parsed = parse_module(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.message();
+  return std::move(parsed).value();
+}
+
+// ---------------------------------------------------------------------------
+// Color algebra
+// ---------------------------------------------------------------------------
+
+TEST(ColorTest, CompatibilityLattice) {
+  const Color f = Color::free();
+  const Color u = Color::untrusted();
+  const Color s = Color::shared();
+  const Color blue = Color::named("blue");
+  const Color red = Color::named("red");
+
+  // F is compatible with everything (Table 2).
+  EXPECT_TRUE(compatible(f, f));
+  EXPECT_TRUE(compatible(f, u));
+  EXPECT_TRUE(compatible(f, s));
+  EXPECT_TRUE(compatible(f, blue));
+  EXPECT_TRUE(compatible(blue, f));
+
+  // Concrete colors are only compatible with themselves.
+  EXPECT_TRUE(compatible(blue, blue));
+  EXPECT_FALSE(compatible(blue, red));
+  EXPECT_FALSE(compatible(blue, u));
+  EXPECT_FALSE(compatible(u, s));
+  EXPECT_FALSE(compatible(s, blue));
+}
+
+TEST(ColorTest, StringsAndOrdering) {
+  EXPECT_EQ(Color::free().to_string(), "F");
+  EXPECT_EQ(Color::untrusted().to_string(), "U");
+  EXPECT_EQ(Color::shared().to_string(), "S");
+  EXPECT_EQ(Color::named("blue").to_string(), "blue");
+  EXPECT_TRUE(Color::is_reserved_name("F"));
+  EXPECT_TRUE(Color::is_reserved_name("U"));
+  EXPECT_FALSE(Color::is_reserved_name("blue"));
+  ColorSet set{Color::named("red"), Color::named("blue"), Color::untrusted()};
+  EXPECT_EQ(set.size(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Basic inference
+// ---------------------------------------------------------------------------
+
+TEST(InferenceTest, RegisterColorsFlowFromLoads) {
+  auto m = parse_or_die(R"(
+module "m"
+global i32 @secret = 0 color(blue)
+global i32 @out = 0 color(blue)
+define void @f() entry {
+entry:
+  %s = load ptr<i32 color(blue)> @secret
+  %t = add i32 %s, i32 1
+  %t2 = mul i32 %t, i32 2
+  store i32 %t2, ptr<i32 color(blue)> @out
+  ret void
+}
+)");
+  TypeAnalysis ta(*m, Mode::kHardened);
+  ASSERT_TRUE(ta.run()) << ta.diagnostics().to_string();
+  const SpecFacts* facts = ta.reachable_specs().at(0);
+  const ir::Function* f = m->function_by_name("f");
+  const ir::BasicBlock* bb = f->entry_block();
+  // %s, %t, %t2 are all blue; loads/stores placed in blue.
+  for (std::size_t i = 0; i + 1 < bb->size(); ++i) {
+    if (!bb->instruction(i)->type()->is_void()) {
+      EXPECT_EQ(facts->value_color(bb->instruction(i)).to_string(), "blue") << i;
+    }
+    EXPECT_EQ(facts->placement(bb->instruction(i)).to_string(), "blue") << i;
+  }
+}
+
+TEST(InferenceTest, UncoloredCodeStaysFree) {
+  auto m = parse_or_die(R"(
+module "m"
+define i32 @f(i32 %a) entry {
+entry:
+  %t = add i32 %a, i32 1
+  ret i32 %t
+}
+)");
+  // Relaxed mode: entry args are F, so everything stays F.
+  TypeAnalysis ta(*m, Mode::kRelaxed);
+  ASSERT_TRUE(ta.run()) << ta.diagnostics().to_string();
+  const SpecFacts* facts = ta.reachable_specs().at(0);
+  EXPECT_TRUE(facts->ret_color().is_free());
+  EXPECT_TRUE(facts->color_set().empty());
+}
+
+TEST(InferenceTest, HardenedEntryArgumentsAreUntrusted) {
+  auto m = parse_or_die(R"(
+module "m"
+define i32 @f(i32 %a) entry {
+entry:
+  %t = add i32 %a, i32 1
+  ret i32 %t
+}
+)");
+  TypeAnalysis ta(*m, Mode::kHardened);
+  ASSERT_TRUE(ta.run()) << ta.diagnostics().to_string();
+  const SpecFacts* facts = ta.reachable_specs().at(0);
+  EXPECT_EQ(facts->sig().args.at(0), Color::untrusted());
+  EXPECT_EQ(facts->ret_color(), Color::untrusted());
+}
+
+TEST(InferenceTest, StabilizesThroughLoopPhis) {
+  auto m = parse_or_die(R"(
+module "m"
+global i32 @secret = 0 color(blue)
+global i32 @out = 0 color(blue)
+define void @f(i32 %n color(U)) entry {
+entry:
+  %s0 = load ptr<i32 color(blue)> @secret
+  br %head
+head:
+  %acc = phi i32 [ %s0, %entry ], [ %acc2, %body ]
+  %i = phi i32 [ i32 0, %entry ], [ %i2, %body ]
+  %more = icmp slt i32 %i, i32 10
+  cond_br i1 %more, %body, %exit
+body:
+  %acc2 = add i32 %acc, %acc
+  %i2 = add i32 %i, i32 1
+  br %head
+exit:
+  store i32 %acc, ptr<i32 color(blue)> @out
+  ret void
+}
+)");
+  TypeAnalysis ta(*m, Mode::kHardened);
+  // %i mixes with the blue loop condition? No: %i is only F constants, but
+  // the branch condition %more mixes %i (F) and 10 (F)... however %acc is
+  // blue, so %more is F until %i2 stays F. The loop body is controlled by
+  // %more which never becomes blue, so this program is clean... except %more
+  // compares %i only. Everything checks out.
+  ASSERT_TRUE(ta.run()) << ta.diagnostics().to_string();
+  const SpecFacts* facts = ta.reachable_specs().at(0);
+  const ir::Function* f = m->function_by_name("f");
+  const ir::BasicBlock* head = f->block_by_name("head");
+  // The back-edge value %acc2 forces the phi %acc to blue on a later pass.
+  EXPECT_EQ(facts->value_color(head->instruction(0)).to_string(), "blue");
+}
+
+// ---------------------------------------------------------------------------
+// Rule 1/3: direct leaks, integrity placement
+// ---------------------------------------------------------------------------
+
+TEST(RulesTest, DirectLeakToUnsafeMemoryIsRejected) {
+  auto m = parse_or_die(R"(
+module "m"
+global i32 @secret = 0 color(blue)
+global i32 @out = 0
+define void @f() entry {
+entry:
+  %s = load ptr<i32 color(blue)> @secret
+  store i32 %s, ptr<i32> @out
+  ret void
+}
+)");
+  for (Mode mode : {Mode::kHardened, Mode::kRelaxed}) {
+    TypeAnalysis ta(*m, mode);
+    EXPECT_FALSE(ta.run());
+    EXPECT_TRUE(ta.diagnostics().has(Rule::kDirectLeak)) << ta.diagnostics().to_string();
+  }
+}
+
+TEST(RulesTest, DirectLeakToAnotherEnclaveIsRejected) {
+  auto m = parse_or_die(R"(
+module "m"
+global i32 @secret = 0 color(blue)
+global i32 @other = 0 color(red)
+define void @f() entry {
+entry:
+  %s = load ptr<i32 color(blue)> @secret
+  store i32 %s, ptr<i32 color(red)> @other
+  ret void
+}
+)");
+  TypeAnalysis ta(*m, Mode::kRelaxed);
+  EXPECT_FALSE(ta.run());
+  EXPECT_TRUE(ta.diagnostics().has(Rule::kDirectLeak));
+}
+
+TEST(RulesTest, StorePlacementFollowsTargetEnclave) {
+  auto m = parse_or_die(R"(
+module "m"
+global i32 @blue_g = 0 color(blue)
+define void @f(i32 %n) entry {
+entry:
+  store i32 0, ptr<i32 color(blue)> @blue_g
+  ret void
+}
+)");
+  TypeAnalysis ta(*m, Mode::kRelaxed);
+  ASSERT_TRUE(ta.run()) << ta.diagnostics().to_string();
+  const SpecFacts* facts = ta.reachable_specs().at(0);
+  const ir::Instruction* store = m->function_by_name("f")->entry_block()->instruction(0);
+  // Integrity: the store into blue memory is generated in blue.
+  EXPECT_EQ(facts->placement(store).to_string(), "blue");
+}
+
+// ---------------------------------------------------------------------------
+// Rule 2: Iago / mixing inputs
+// ---------------------------------------------------------------------------
+
+TEST(RulesTest, HardenedRejectsMixingUntrustedAndEnclaveValues) {
+  auto m = parse_or_die(R"(
+module "m"
+global i32 @input = 0
+global i32 @secret = 0 color(blue)
+global i32 @out = 0 color(blue)
+define void @f() entry {
+entry:
+  %u = load ptr<i32> @input
+  %s = load ptr<i32 color(blue)> @secret
+  %sum = add i32 %u, i32 %s
+  store i32 %sum, ptr<i32 color(blue)> @out
+  ret void
+}
+)");
+  TypeAnalysis ta(*m, Mode::kHardened);
+  EXPECT_FALSE(ta.run());
+  EXPECT_TRUE(ta.diagnostics().has(Rule::kIago)) << ta.diagnostics().to_string();
+}
+
+TEST(RulesTest, RelaxedAllowsConsumingSharedValues) {
+  // The same program is accepted in relaxed mode: the value loaded from S
+  // becomes F (§6.1.2) — this is precisely the Iago-protection gap the paper
+  // documents.
+  auto m = parse_or_die(R"(
+module "m"
+global i32 @input = 0
+global i32 @secret = 0 color(blue)
+global i32 @out = 0 color(blue)
+define void @f() entry {
+entry:
+  %u = load ptr<i32> @input
+  %s = load ptr<i32 color(blue)> @secret
+  %sum = add i32 %u, i32 %s
+  store i32 %sum, ptr<i32 color(blue)> @out
+  ret void
+}
+)");
+  TypeAnalysis ta(*m, Mode::kRelaxed);
+  EXPECT_TRUE(ta.run()) << ta.diagnostics().to_string();
+}
+
+TEST(RulesTest, MixingTwoEnclavesIsRejectedInBothModes) {
+  auto m = parse_or_die(R"(
+module "m"
+global i32 @b = 0 color(blue)
+global i32 @r = 0 color(red)
+define i32 @f() entry {
+entry:
+  %x = load ptr<i32 color(blue)> @b
+  %y = load ptr<i32 color(red)> @r
+  %sum = add i32 %x, i32 %y
+  ret i32 %sum
+}
+)");
+  for (Mode mode : {Mode::kHardened, Mode::kRelaxed}) {
+    TypeAnalysis ta(*m, mode);
+    EXPECT_FALSE(ta.run());
+    EXPECT_TRUE(ta.diagnostics().has(Rule::kIago)) << ta.diagnostics().to_string();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 4 (§4) : pointer casts
+// ---------------------------------------------------------------------------
+
+TEST(RulesTest, CastCannotChangePointerColor) {
+  auto m = parse_or_die(R"(
+module "m"
+global i32 @secret = 0 color(blue)
+define void @f() entry {
+entry:
+  %p = cast bitcast ptr<i32 color(blue)> @secret to ptr<i32>
+  ret void
+}
+)");
+  TypeAnalysis ta(*m, Mode::kRelaxed);
+  EXPECT_FALSE(ta.run());
+  EXPECT_TRUE(ta.diagnostics().has(Rule::kPointerCast));
+}
+
+TEST(RulesTest, CastPreservingColorIsAccepted) {
+  auto m = parse_or_die(R"(
+module "m"
+global i32 @secret = 0 color(blue)
+define void @f() entry {
+entry:
+  %p = cast bitcast ptr<i32 color(blue)> @secret to ptr<i8 color(blue)>
+  ret void
+}
+)");
+  TypeAnalysis ta(*m, Mode::kRelaxed);
+  EXPECT_TRUE(ta.run()) << ta.diagnostics().to_string();
+}
+
+TEST(RulesTest, IntToPtrCannotForgeEnclavePointers) {
+  auto m = parse_or_die(R"(
+module "m"
+define void @f(i64 %addr) entry {
+entry:
+  %p = cast inttoptr i64 %addr to ptr<i32 color(blue)>
+  ret void
+}
+)");
+  TypeAnalysis ta(*m, Mode::kRelaxed);
+  EXPECT_FALSE(ta.run());
+  EXPECT_TRUE(ta.diagnostics().has(Rule::kPointerForge));
+}
+
+// ---------------------------------------------------------------------------
+// Rule 5 / Figure 4: implicit leaks through conditionals
+// ---------------------------------------------------------------------------
+
+TEST(RulesTest, Figure4ImplicitLeakIsRejected) {
+  // if (b == 42) x = 1;  — observing x reveals b (§4, Figure 4).
+  auto m = parse_or_die(R"(
+module "m"
+global i32 @x = 0
+global i32 @y = 0
+global i32 @b = 0 color(blue)
+define void @f() entry {
+entry:
+  %bv = load ptr<i32 color(blue)> @b
+  %c = icmp eq i32 %bv, i32 42
+  cond_br i1 %c, %then, %join
+then:
+  store i32 1, ptr<i32> @x
+  br %join
+join:
+  store i32 2, ptr<i32> @y
+  ret void
+}
+)");
+  for (Mode mode : {Mode::kHardened, Mode::kRelaxed}) {
+    TypeAnalysis ta(*m, mode);
+    EXPECT_FALSE(ta.run());
+    EXPECT_TRUE(ta.diagnostics().has(Rule::kImplicitLeak)) << ta.diagnostics().to_string();
+  }
+}
+
+TEST(RulesTest, WritesAfterJoinPointAreAllowed) {
+  // Only the controlled region is colored; the join point is not (§6.1.1).
+  auto m = parse_or_die(R"(
+module "m"
+global i32 @y = 0
+global i32 @b = 0 color(blue)
+global i32 @bout = 0 color(blue)
+define void @f() entry {
+entry:
+  %bv = load ptr<i32 color(blue)> @b
+  %c = icmp eq i32 %bv, i32 42
+  cond_br i1 %c, %then, %join
+then:
+  store i32 1, ptr<i32 color(blue)> @bout
+  br %join
+join:
+  store i32 2, ptr<i32> @y
+  ret void
+}
+)");
+  TypeAnalysis ta(*m, Mode::kRelaxed);
+  EXPECT_TRUE(ta.run()) << ta.diagnostics().to_string();
+  // And the `then` block is blue while `join` is F.
+  const SpecFacts* facts = ta.reachable_specs().at(0);
+  const ir::Function* f = m->function_by_name("f");
+  EXPECT_EQ(facts->block_color(f->block_by_name("then")).to_string(), "blue");
+  EXPECT_TRUE(facts->block_color(f->block_by_name("join")).is_free());
+}
+
+TEST(RulesTest, NestedBranchesOfDifferentColorsAreRejected) {
+  auto m = parse_or_die(R"(
+module "m"
+global i32 @b = 0 color(blue)
+global i32 @r = 0 color(red)
+global i32 @rout = 0 color(red)
+define void @f() entry {
+entry:
+  %bv = load ptr<i32 color(blue)> @b
+  %cb = icmp eq i32 %bv, i32 1
+  cond_br i1 %cb, %outer, %join
+outer:
+  %rv = load ptr<i32 color(red)> @r
+  %cr = icmp eq i32 %rv, i32 1
+  cond_br i1 %cr, %inner, %join
+inner:
+  store i32 1, ptr<i32 color(red)> @rout
+  br %join
+join:
+  ret void
+}
+)");
+  TypeAnalysis ta(*m, Mode::kRelaxed);
+  EXPECT_FALSE(ta.run());
+  EXPECT_TRUE(ta.diagnostics().has(Rule::kImplicitLeak)) << ta.diagnostics().to_string();
+}
+
+// ---------------------------------------------------------------------------
+// Figure 3: the hidden-pointer-modification example
+// ---------------------------------------------------------------------------
+
+TEST(Figure3Test, ForgettingTheColorIsACompileTimeTypeError) {
+  // g() { x = &b; } where x : ptr<i32 color(blue)> but b is uncolored.
+  // The paper: "Privagic detects a type error because storing a pointer to
+  // an uncolored memory location in a pointer to a colored memory location
+  // is prohibited" (§3). In PIR the color is part of the pointer type, so
+  // this dies in the front end, before any analysis.
+  auto parsed = parse_module(R"(
+module "fig3"
+global i32 @a = 0 color(blue)
+global i32 @b = 0
+global ptr<i32 color(blue)> @x
+define void @g() {
+entry:
+  store ptr<i32> @b, ptr<ptr<i32 color(blue)>> @x
+  ret void
+}
+)");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.message().find("type"), std::string::npos) << parsed.message();
+}
+
+TEST(Figure3Test, CorrectlyColoredProgramChecksInRelaxedMode) {
+  // f() { x = &a; *x = s; } with everything blue-annotated (Figure 3.b).
+  auto m = parse_or_die(R"(
+module "fig3"
+global i32 @a = 0 color(blue)
+global ptr<i32 color(blue)> @x
+define void @f(i32 %s color(blue)) entry {
+entry:
+  store ptr<i32 color(blue)> @a, ptr<ptr<i32 color(blue)>> @x
+  %p = load ptr<ptr<i32 color(blue)>> @x
+  store i32 %s, ptr<i32 color(blue)> %p
+  ret void
+}
+)");
+  TypeAnalysis ta(*m, Mode::kRelaxed);
+  EXPECT_TRUE(ta.run()) << ta.diagnostics().to_string();
+}
+
+TEST(Figure3Test, HardenedModeRejectsColoredPointersInUnsafeMemory) {
+  // The same program in hardened mode: @x lives in U, so the loaded pointer
+  // is U and may not be used to access blue memory — the §8 limitation that
+  // makes multi-color structures (and colored-pointer indirections) require
+  // relaxed mode.
+  auto m = parse_or_die(R"(
+module "fig3"
+global i32 @a = 0 color(blue)
+global ptr<i32 color(blue)> @x
+define void @f(i32 %s color(blue)) entry {
+entry:
+  store ptr<i32 color(blue)> @a, ptr<ptr<i32 color(blue)>> @x
+  %p = load ptr<ptr<i32 color(blue)>> @x
+  store i32 %s, ptr<i32 color(blue)> %p
+  ret void
+}
+)");
+  TypeAnalysis ta(*m, Mode::kHardened);
+  EXPECT_FALSE(ta.run());
+  EXPECT_TRUE(ta.diagnostics().has(Rule::kAccessPlacement)) << ta.diagnostics().to_string();
+}
+
+// ---------------------------------------------------------------------------
+// Figure 1: multi-color structures
+// ---------------------------------------------------------------------------
+
+const char* kFigure1 = R"(
+module "bank"
+struct %account { [256 x i8] name color(blue), f64 balance color(red) }
+define void @create(ptr<%account> %res, f64 %initial color(red)) entry {
+entry:
+  %bp = gep ptr<%account> %res, field 1
+  store f64 %initial, ptr<f64 color(red)> %bp
+  ret void
+}
+)";
+
+TEST(Figure1Test, MultiColorStructureWorksInRelaxedMode) {
+  auto m = parse_or_die(kFigure1);
+  TypeAnalysis ta(*m, Mode::kRelaxed);
+  EXPECT_TRUE(ta.run()) << ta.diagnostics().to_string();
+  // The gep to the red field yields a red-qualified pointer and the store is
+  // placed in red.
+  const SpecFacts* facts = ta.reachable_specs().at(0);
+  const ir::Function* f = m->function_by_name("create");
+  EXPECT_EQ(facts->placement(f->entry_block()->instruction(1)).to_string(), "red");
+}
+
+TEST(Figure1Test, MultiColorStructureRejectedInHardenedMode) {
+  auto m = parse_or_die(kFigure1);
+  TypeAnalysis ta(*m, Mode::kHardened);
+  EXPECT_FALSE(ta.run());
+  EXPECT_TRUE(ta.diagnostics().has(Rule::kMixedStructure)) << ta.diagnostics().to_string();
+}
+
+TEST(Figure1Test, UniformlyColoredStructureFineInHardenedMode) {
+  // Coloring the *whole* structure (the Privagic-1 configuration of §9.3)
+  // has no indirection and is hardened-safe.
+  auto m = parse_or_die(R"(
+module "m"
+struct %node { i64 key, i64 value }
+define i64 @get(i64 %k color(blue)) entry {
+entry:
+  %n = heap_alloc %node color(blue)
+  %kp = gep ptr<%node color(blue)> %n, field 0
+  store i64 %k, ptr<i64 color(blue)> %kp
+  %v = load ptr<i64 color(blue)> %kp
+  ret i64 %v
+}
+)");
+  TypeAnalysis ta(*m, Mode::kHardened);
+  EXPECT_TRUE(ta.run()) << ta.diagnostics().to_string();
+}
+
+// ---------------------------------------------------------------------------
+// Calls: specialization, external, within, ignore
+// ---------------------------------------------------------------------------
+
+TEST(CallTest, FunctionsAreSpecializedPerArgumentColors) {
+  auto m = parse_or_die(R"(
+module "m"
+global i32 @b = 0 color(blue)
+global i32 @r = 0 color(red)
+define i32 @id(i32 %v) {
+entry:
+  ret i32 %v
+}
+define void @f() entry {
+entry:
+  %x = load ptr<i32 color(blue)> @b
+  %y = load ptr<i32 color(red)> @r
+  %rx = call i32 @id(i32 %x)
+  %ry = call i32 @id(i32 %y)
+  store i32 %rx, ptr<i32 color(blue)> @b
+  store i32 %ry, ptr<i32 color(red)> @r
+  ret void
+}
+)");
+  TypeAnalysis ta(*m, Mode::kRelaxed);
+  ASSERT_TRUE(ta.run()) << ta.diagnostics().to_string();
+  // Three specs: f, id$blue, id$red.
+  auto specs = ta.reachable_specs();
+  ASSERT_EQ(specs.size(), 3u);
+  const ir::Function* id = m->function_by_name("id");
+  SpecSig blue_sig{id, {Color::named("blue")}};
+  SpecSig red_sig{id, {Color::named("red")}};
+  ASSERT_NE(ta.facts(blue_sig), nullptr);
+  ASSERT_NE(ta.facts(red_sig), nullptr);
+  EXPECT_EQ(ta.facts(blue_sig)->ret_color().to_string(), "blue");
+  EXPECT_EQ(ta.facts(red_sig)->ret_color().to_string(), "red");
+  EXPECT_EQ(blue_sig.mangled(), "id$blue");
+}
+
+TEST(CallTest, DeclaredArgumentColorsAreEnforced) {
+  auto m = parse_or_die(R"(
+module "m"
+global i32 @r = 0 color(red)
+define void @sink(i32 %v color(blue)) {
+entry:
+  ret void
+}
+define void @f() entry {
+entry:
+  %x = load ptr<i32 color(red)> @r
+  call void @sink(i32 %x)
+  ret void
+}
+)");
+  TypeAnalysis ta(*m, Mode::kRelaxed);
+  EXPECT_FALSE(ta.run());
+  EXPECT_TRUE(ta.diagnostics().has(Rule::kDirectLeak)) << ta.diagnostics().to_string();
+}
+
+TEST(CallTest, ExternalCallCannotReceiveEnclaveValues) {
+  auto m = parse_or_die(R"(
+module "m"
+global i32 @secret = 0 color(blue)
+declare void @log(i32)
+define void @f() entry {
+entry:
+  %s = load ptr<i32 color(blue)> @secret
+  call void @log(i32 %s)
+  ret void
+}
+)");
+  for (Mode mode : {Mode::kHardened, Mode::kRelaxed}) {
+    TypeAnalysis ta(*m, mode);
+    EXPECT_FALSE(ta.run());
+    EXPECT_TRUE(ta.diagnostics().has(Rule::kExternalCall)) << ta.diagnostics().to_string();
+  }
+}
+
+TEST(CallTest, ExternalCallCannotReceiveEnclavePointers) {
+  auto m = parse_or_die(R"(
+module "m"
+global i32 @secret = 0 color(blue)
+declare void @log(ptr<i32 color(blue)>)
+define void @f() entry {
+entry:
+  call void @log(ptr<i32 color(blue)> @secret)
+  ret void
+}
+)");
+  TypeAnalysis ta(*m, Mode::kRelaxed);
+  EXPECT_FALSE(ta.run());
+  EXPECT_TRUE(ta.diagnostics().has(Rule::kExternalCall));
+}
+
+TEST(CallTest, ExternalResultIsUntrustedInHardenedMode) {
+  auto m = parse_or_die(R"(
+module "m"
+global i32 @bout = 0 color(blue)
+declare i32 @read_input()
+define void @f() entry {
+entry:
+  %v = call i32 @read_input()
+  store i32 %v, ptr<i32 color(blue)> @bout
+  ret void
+}
+)");
+  TypeAnalysis hardened(*m, Mode::kHardened);
+  EXPECT_FALSE(hardened.run());  // Iago prevention: U value cannot enter blue
+  EXPECT_TRUE(hardened.diagnostics().has(Rule::kDirectLeak) ||
+              hardened.diagnostics().has(Rule::kIago))
+      << hardened.diagnostics().to_string();
+
+  TypeAnalysis relaxed(*m, Mode::kRelaxed);
+  EXPECT_TRUE(relaxed.run()) << relaxed.diagnostics().to_string();
+}
+
+TEST(CallTest, WithinCallExecutesInTheEnclave) {
+  auto m = parse_or_die(R"(
+module "m"
+global [64 x i8] @buf color(blue)
+declare ptr<i8> @memset(ptr<i8>, i32, i64) within
+define void @f() entry {
+entry:
+  %p = cast bitcast ptr<[64 x i8] color(blue)> @buf to ptr<i8 color(blue)>
+  %r = call ptr<i8> @memset(ptr<i8 color(blue)> %p, i32 0, i64 64)
+  ret void
+}
+)");
+  TypeAnalysis ta(*m, Mode::kHardened);
+  ASSERT_TRUE(ta.run()) << ta.diagnostics().to_string();
+  const SpecFacts* facts = ta.reachable_specs().at(0);
+  const ir::Function* f = m->function_by_name("f");
+  const ir::Instruction* call = f->entry_block()->instruction(1);
+  EXPECT_EQ(facts->placement(call).to_string(), "blue");
+}
+
+TEST(CallTest, WithinCallRejectsMixedPointers) {
+  // memcpy(blue_dst, unsafe_src) would pull untrusted bytes into the
+  // enclave: rejected (§6.3).
+  auto m = parse_or_die(R"(
+module "m"
+global [64 x i8] @dst color(blue)
+global [64 x i8] @src
+declare ptr<i8> @memcpy(ptr<i8>, ptr<i8>, i64) within
+define void @f() entry {
+entry:
+  %d = cast bitcast ptr<[64 x i8] color(blue)> @dst to ptr<i8 color(blue)>
+  %s = cast bitcast ptr<[64 x i8]> @src to ptr<i8>
+  %r = call ptr<i8> @memcpy(ptr<i8 color(blue)> %d, ptr<i8> %s, i64 64)
+  ret void
+}
+)");
+  TypeAnalysis ta(*m, Mode::kHardened);
+  EXPECT_FALSE(ta.run());
+  EXPECT_TRUE(ta.diagnostics().has(Rule::kWithinCall)) << ta.diagnostics().to_string();
+}
+
+TEST(CallTest, IgnoreCallDeclassifies) {
+  // The paper's encrypt() example (§6.4): a blue plaintext pointer and an
+  // unsafe ciphertext pointer are both allowed; the result is F.
+  auto m = parse_or_die(R"(
+module "m"
+global [64 x i8] @plain color(blue)
+global [64 x i8] @cipher
+declare i32 @encrypt(ptr<i8>, ptr<i8>, i64) ignore
+define i32 @f() entry {
+entry:
+  %p = cast bitcast ptr<[64 x i8] color(blue)> @plain to ptr<i8 color(blue)>
+  %c = cast bitcast ptr<[64 x i8]> @cipher to ptr<i8>
+  %n = call i32 @encrypt(ptr<i8 color(blue)> %p, ptr<i8> %c, i64 64)
+  ret i32 %n
+}
+)");
+  TypeAnalysis ta(*m, Mode::kHardened);
+  ASSERT_TRUE(ta.run()) << ta.diagnostics().to_string();
+  const SpecFacts* facts = ta.reachable_specs().at(0);
+  const ir::Function* f = m->function_by_name("f");
+  const ir::Instruction* call = f->entry_block()->instruction(2);
+  EXPECT_EQ(facts->placement(call).to_string(), "blue");
+  EXPECT_TRUE(facts->value_color(call).is_free());  // declassified
+}
+
+TEST(CallTest, IndirectCallsAreTreatedAsUntrusted) {
+  auto m = parse_or_die(R"(
+module "m"
+global i32 @secret = 0 color(blue)
+declare i32 @h(i32)
+define void @f() entry {
+entry:
+  %s = load ptr<i32 color(blue)> @secret
+  %r = call_indirect i32 ptr<i32 (i32)> @h(i32 %s)
+  ret void
+}
+)");
+  TypeAnalysis ta(*m, Mode::kRelaxed);
+  EXPECT_FALSE(ta.run());
+  EXPECT_TRUE(ta.diagnostics().has(Rule::kExternalCall)) << ta.diagnostics().to_string();
+}
+
+TEST(CallTest, ReturnColorConflictIsRejected) {
+  auto m = parse_or_die(R"(
+module "m"
+global i32 @b = 0 color(blue)
+global i32 @r = 0 color(red)
+global i32 @sel = 0
+define i32 @pick() entry {
+entry:
+  %c = load ptr<i32> @sel
+  %cc = icmp eq i32 %c, i32 0
+  cond_br i1 %cc, %takeb, %taker
+takeb:
+  %x = load ptr<i32 color(blue)> @b
+  ret i32 %x
+taker:
+  %y = load ptr<i32 color(red)> @r
+  ret i32 %y
+}
+)");
+  TypeAnalysis ta(*m, Mode::kRelaxed);
+  EXPECT_FALSE(ta.run());
+  EXPECT_TRUE(ta.diagnostics().has(Rule::kReturnConflict)) << ta.diagnostics().to_string();
+}
+
+TEST(CallTest, RecursionStabilizes) {
+  auto m = parse_or_die(R"(
+module "m"
+global i32 @b = 0 color(blue)
+define i32 @fact(i32 %n, i32 %acc) {
+entry:
+  %z = icmp sle i32 %n, i32 0
+  cond_br i1 %z, %done, %rec
+rec:
+  %n2 = sub i32 %n, i32 1
+  %acc2 = mul i32 %acc, i32 %n
+  %r = call i32 @fact(i32 %n2, i32 %acc2)
+  ret i32 %r
+done:
+  ret i32 %acc
+}
+define void @f() entry {
+entry:
+  %s = load ptr<i32 color(blue)> @b
+  %r = call i32 @fact(i32 %s, i32 1)
+  store i32 %r, ptr<i32 color(blue)> @b
+  ret void
+}
+)");
+  TypeAnalysis ta(*m, Mode::kRelaxed);
+  ASSERT_TRUE(ta.run()) << ta.diagnostics().to_string();
+  const ir::Function* fact = m->function_by_name("fact");
+  SpecSig sig{fact, {Color::named("blue"), Color::named("blue")}};
+  // fact(blue, F) specializes; inside, %acc2 mixes blue so the recursive
+  // call is fact(blue, blue) whose return is blue.
+  const SpecFacts* facts = ta.facts(sig);
+  ASSERT_NE(facts, nullptr);
+  EXPECT_EQ(facts->ret_color().to_string(), "blue");
+}
+
+// ---------------------------------------------------------------------------
+// Figure 6: the complete example — color sets
+// ---------------------------------------------------------------------------
+
+TEST(Figure6Test, ColorSetsMatchThePaper) {
+  auto m = parse_or_die(R"(
+module "fig6"
+global i32 @unsafe = 0 color(U)
+global i32 @blue = 10 color(blue)
+global i32 @red = 0 color(red)
+declare void @printf(i32)
+define i32 @main() entry {
+entry:
+  store i32 1, ptr<i32 color(U)> @unsafe
+  %b = load ptr<i32 color(blue)> @blue
+  %x = call i32 @f(i32 %b)
+  ret i32 %x
+}
+define i32 @f(i32 %y) {
+entry:
+  call void @g(i32 21)
+  ret i32 42
+}
+define void @g(i32 %n) {
+entry:
+  store i32 %n, ptr<i32 color(blue)> @blue
+  store i32 %n, ptr<i32 color(red)> @red
+  call void @printf(i32 0)
+  ret void
+}
+)");
+  TypeAnalysis ta(*m, Mode::kRelaxed);
+  ASSERT_TRUE(ta.run()) << ta.diagnostics().to_string();
+
+  // §7.3.1: colorset(main) = {blue, U}, colorset(f$blue) = {blue},
+  // colorset(g$F) = {red, blue, U}.
+  const SpecFacts* main_facts = ta.facts({m->function_by_name("main"), {}});
+  ASSERT_NE(main_facts, nullptr);
+  EXPECT_EQ(main_facts->color_set(),
+            (ColorSet{Color::named("blue"), Color::untrusted()}));
+
+  const SpecFacts* f_facts = ta.facts({m->function_by_name("f"), {Color::named("blue")}});
+  ASSERT_NE(f_facts, nullptr);
+  EXPECT_EQ(f_facts->color_set(), (ColorSet{Color::named("blue")}));
+  EXPECT_TRUE(f_facts->ret_color().is_free());
+
+  const SpecFacts* g_facts = ta.facts({m->function_by_name("g"), {Color::free()}});
+  ASSERT_NE(g_facts, nullptr);
+  EXPECT_EQ(g_facts->color_set(),
+            (ColorSet{Color::untrusted(), Color::named("blue"), Color::named("red")}));
+
+  // Program colors: blue and red.
+  EXPECT_EQ(ta.program_colors(), (ColorSet{Color::named("blue"), Color::named("red")}));
+}
+
+// ---------------------------------------------------------------------------
+// Structural validation
+// ---------------------------------------------------------------------------
+
+TEST(ValidationTest, ReservedColorFIsRejected) {
+  auto m = parse_or_die(R"(
+module "m"
+global i32 @g = 0 color(F)
+)");
+  TypeAnalysis ta(*m, Mode::kRelaxed);
+  EXPECT_FALSE(ta.run());
+  EXPECT_TRUE(ta.diagnostics().has(Rule::kReservedColor));
+}
+
+TEST(ValidationTest, Mem2RegRunsBeforeAnalysis) {
+  // A promotable uncolored local does not force a U placement: after
+  // mem2reg the body is pure registers and everything stays blue/F.
+  auto m = parse_or_die(R"(
+module "m"
+global i32 @b = 0 color(blue)
+define void @f() entry {
+entry:
+  %slot = alloca i32
+  %s = load ptr<i32 color(blue)> @b
+  store i32 %s, ptr<i32> %slot
+  %t = load ptr<i32> %slot
+  store i32 %t, ptr<i32 color(blue)> @b
+  ret void
+}
+)");
+  // Without mem2reg this would be a direct leak (blue stored into the U/S
+  // slot). With mem2reg (§5.1) the slot disappears and the program is fine.
+  TypeAnalysis ta(*m, Mode::kHardened);
+  EXPECT_TRUE(ta.run()) << ta.diagnostics().to_string();
+}
+
+TEST(ValidationTest, EscapingLocalKeepsMemorySemantics) {
+  // If the local's address escapes (not promotable), storing a colored value
+  // into it *is* a leak and must be reported.
+  auto m = parse_or_die(R"(
+module "m"
+global i32 @b = 0 color(blue)
+declare void @sink(ptr<i32>)
+define void @f() entry {
+entry:
+  %slot = alloca i32
+  %s = load ptr<i32 color(blue)> @b
+  store i32 %s, ptr<i32> %slot
+  call void @sink(ptr<i32> %slot)
+  ret void
+}
+)");
+  TypeAnalysis ta(*m, Mode::kHardened);
+  EXPECT_FALSE(ta.run());
+  EXPECT_TRUE(ta.diagnostics().has(Rule::kDirectLeak)) << ta.diagnostics().to_string();
+}
+
+TEST(ValidationTest, ColoredLocalIsEnclaveMemory) {
+  auto m = parse_or_die(R"(
+module "m"
+global i32 @b = 0 color(blue)
+declare void @use(ptr<i32 color(blue)>) within
+define void @f() entry {
+entry:
+  %slot = alloca i32 color(blue)
+  %s = load ptr<i32 color(blue)> @b
+  store i32 %s, ptr<i32 color(blue)> %slot
+  call void @use(ptr<i32 color(blue)> %slot)
+  ret void
+}
+)");
+  TypeAnalysis ta(*m, Mode::kHardened);
+  EXPECT_TRUE(ta.run()) << ta.diagnostics().to_string();
+}
+
+// ---------------------------------------------------------------------------
+// Mode edges
+// ---------------------------------------------------------------------------
+
+TEST(ModeTest, HardenedAuthAcceptsColoredPointerReloads) {
+  // The §8 limitation program (Figure 3.b shape): rejected in hardened mode,
+  // accepted with authenticated pointers.
+  const char* text = R"(
+module "m"
+global i32 @a = 0 color(blue)
+global ptr<i32 color(blue)> @x
+define void @f(i32 %s color(blue)) entry {
+entry:
+  store ptr<i32 color(blue)> @a, ptr<ptr<i32 color(blue)>> @x
+  %p = load ptr<ptr<i32 color(blue)>> @x
+  store i32 %s, ptr<i32 color(blue)> %p
+  ret void
+}
+)";
+  auto m1 = parse_or_die(text);
+  TypeAnalysis hardened(*m1, Mode::kHardened);
+  EXPECT_FALSE(hardened.run());
+
+  auto m2 = parse_or_die(text);
+  TypeAnalysis auth(*m2, Mode::kHardenedAuth);
+  EXPECT_TRUE(auth.run()) << auth.diagnostics().to_string();
+}
+
+TEST(ModeTest, HardenedAuthKeepsIagoProtectionForData) {
+  // Only *pointer* loads are authenticated; plain data loaded from U is
+  // still U and cannot enter an enclave computation.
+  const char* text = R"(
+module "m"
+global i32 @input = 0
+global i32 @secret = 0 color(blue)
+global i32 @out = 0 color(blue)
+define void @f() entry {
+entry:
+  %u = load ptr<i32> @input
+  %s = load ptr<i32 color(blue)> @secret
+  %sum = add i32 %u, i32 %s
+  store i32 %sum, ptr<i32 color(blue)> @out
+  ret void
+}
+)";
+  auto m = parse_or_die(text);
+  TypeAnalysis ta(*m, Mode::kHardenedAuth);
+  EXPECT_FALSE(ta.run());
+  EXPECT_TRUE(ta.diagnostics().has(Rule::kIago)) << ta.diagnostics().to_string();
+}
+
+TEST(ModeTest, EntryArgumentsAreUntrustedInBothHardenedModes) {
+  const char* text = R"(
+module "m"
+define i32 @f(i32 %a) entry {
+entry:
+  ret i32 %a
+}
+)";
+  for (Mode mode : {Mode::kHardened, Mode::kHardenedAuth}) {
+    auto m = parse_or_die(text);
+    TypeAnalysis ta(*m, mode);
+    ASSERT_TRUE(ta.run());
+    EXPECT_EQ(ta.reachable_specs().at(0)->sig().args.at(0), Color::untrusted());
+  }
+}
+
+TEST(ModeTest, EntryFallbacksWhenNothingIsMarked) {
+  // §6.2 default: no `entry` attribute → `main` if present, else every
+  // defined function.
+  auto with_main = parse_or_die(R"(
+module "m"
+define i32 @main() {
+entry:
+  ret i32 0
+}
+define i32 @other() {
+entry:
+  ret i32 1
+}
+)");
+  TypeAnalysis ta1(*with_main, Mode::kRelaxed);
+  ASSERT_TRUE(ta1.run());
+  ASSERT_EQ(ta1.entry_specs().size(), 1u);
+  EXPECT_EQ(ta1.entry_specs()[0].fn->name(), "main");
+
+  auto without_main = parse_or_die(R"(
+module "m"
+define i32 @alpha() {
+entry:
+  ret i32 0
+}
+define i32 @beta() {
+entry:
+  ret i32 1
+}
+)");
+  TypeAnalysis ta2(*without_main, Mode::kRelaxed);
+  ASSERT_TRUE(ta2.run());
+  EXPECT_EQ(ta2.entry_specs().size(), 2u);
+}
+
+TEST(ModeTest, WithinCallWithNoColoredArgsActsExternal) {
+  // §6.3: a within function called with only-F/U arguments behaves like an
+  // ordinary external call (executed untrusted).
+  const char* text = R"(
+module "m"
+declare i64 @malloc(i64) within
+define void @f(i64 %n) entry {
+entry:
+  %p = call i64 @malloc(i64 %n)
+  ret void
+}
+)";
+  auto m = parse_or_die(text);
+  TypeAnalysis ta(*m, Mode::kRelaxed);
+  ASSERT_TRUE(ta.run()) << ta.diagnostics().to_string();
+  const SpecFacts* facts = ta.reachable_specs().at(0);
+  const ir::Instruction* call = m->function_by_name("f")->entry_block()->instruction(0);
+  EXPECT_TRUE(facts->placement(call).is_untrusted());
+}
+
+}  // namespace
+}  // namespace privagic::sectype

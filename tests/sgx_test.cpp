@@ -1,0 +1,146 @@
+// Tests for the SGX simulator substrate: memory isolation semantics and the
+// cost model's qualitative properties.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "sgx/cost_model.hpp"
+#include "sgx/memory.hpp"
+
+namespace privagic::sgx {
+namespace {
+
+// ---------------------------------------------------------------------------
+// SimMemory
+// ---------------------------------------------------------------------------
+
+TEST(SimMemoryTest, ReadWriteRoundTrip) {
+  SimMemory mem;
+  const std::uint64_t addr = mem.allocate(8, kUnsafe);
+  const std::int64_t v = 0x1122334455667788;
+  std::byte bytes[8];
+  std::memcpy(bytes, &v, 8);
+  mem.write(addr, bytes, kUnsafe);
+  std::byte out[8];
+  mem.read(addr, out, kUnsafe);
+  EXPECT_EQ(std::memcmp(bytes, out, 8), 0);
+}
+
+TEST(SimMemoryTest, NormalModeCannotTouchEnclaves) {
+  SimMemory mem;
+  const std::uint64_t addr = mem.allocate(16, /*color=*/2);
+  std::byte buf[4] = {};
+  EXPECT_THROW(mem.read(addr, buf, kUnsafe), AccessViolation);
+  EXPECT_THROW(mem.write(addr, buf, kUnsafe), AccessViolation);
+  // The owning enclave can.
+  mem.write(addr, buf, 2);
+  mem.read(addr, buf, 2);
+}
+
+TEST(SimMemoryTest, EnclavesCannotTouchEachOther) {
+  SimMemory mem;
+  const std::uint64_t blue = mem.allocate(16, 1);
+  std::byte buf[4] = {};
+  EXPECT_THROW(mem.read(blue, buf, 2), AccessViolation);
+  // But every enclave can access unsafe memory (§2.1).
+  const std::uint64_t shared = mem.allocate(16, kUnsafe);
+  mem.write(shared, buf, 1);
+  mem.read(shared, buf, 2);
+}
+
+TEST(SimMemoryTest, OutOfBoundsAndUnmappedFault) {
+  SimMemory mem;
+  const std::uint64_t addr = mem.allocate(8, kUnsafe);
+  std::byte buf[16] = {};
+  EXPECT_THROW(mem.read(addr + 4, std::span<std::byte>(buf, 8), kUnsafe), AccessViolation);
+  EXPECT_THROW(mem.read(1, std::span<std::byte>(buf, 1), kUnsafe), AccessViolation);
+  EXPECT_THROW(mem.free(addr + 1, kUnsafe), AccessViolation);
+}
+
+TEST(SimMemoryTest, EpcAccounting) {
+  SimMemory mem(/*epc_limit_bytes=*/1024);
+  const std::uint64_t a = mem.allocate(600, 1);
+  EXPECT_EQ(mem.epc_used(1), 600u);
+  EXPECT_THROW(mem.allocate(600, 1), EpcExhausted);
+  // A different enclave has its own budget; unsafe memory is uncapped.
+  mem.allocate(600, 2);
+  mem.allocate(1 << 20, kUnsafe);
+  mem.free(a, 1);
+  EXPECT_EQ(mem.epc_used(1), 0u);
+  mem.allocate(1000, 1);
+}
+
+TEST(SimMemoryTest, AttackerScanSeesOnlyUnsafeMemory) {
+  SimMemory mem;
+  const std::int64_t secret = 0x0123456789ABCDEF;
+  std::byte bytes[8];
+  std::memcpy(bytes, &secret, 8);
+
+  const std::uint64_t enclave_addr = mem.allocate(8, 1);
+  mem.write(enclave_addr, bytes, 1);
+  EXPECT_FALSE(mem.unsafe_memory_contains(bytes));
+
+  const std::uint64_t unsafe_addr = mem.allocate(8, kUnsafe);
+  mem.write(unsafe_addr, bytes, kUnsafe);
+  EXPECT_TRUE(mem.unsafe_memory_contains(bytes));
+}
+
+// ---------------------------------------------------------------------------
+// Cost model
+// ---------------------------------------------------------------------------
+
+TEST(CostModelTest, MissRateGrowsWithWorkingSet) {
+  CostModel model(CostParams::machine_a());
+  const double small = model.llc_miss_rate(1 << 20, 1.0);
+  const double large = model.llc_miss_rate(1ull << 30, 1.0);
+  EXPECT_LT(small, large);
+  EXPECT_NEAR(small, CostModel::kDefaultMissFloor, 1e-9);
+  EXPECT_GT(large, 0.9);
+}
+
+TEST(CostModelTest, LocalityShrinksTheEffectiveSet) {
+  CostModel model(CostParams::machine_a());
+  const std::uint64_t ws = 100ull << 20;
+  EXPECT_LT(model.llc_miss_rate(ws, 0.05), model.llc_miss_rate(ws, 1.0));
+}
+
+TEST(CostModelTest, EnclaveMissesAreMoreExpensive) {
+  CostModel model(CostParams::machine_b());
+  const std::uint64_t ws = 1ull << 30;
+  const double normal = model.memory_access_ns(ws, 1.0, AccessMode::kNormal);
+  const double enclave = model.memory_access_ns(ws, 1.0, AccessMode::kEnclave);
+  // §9.2.3 (Eleos): LLC misses cost 5.6–9.5× more in enclave mode.
+  EXPECT_GT(enclave / normal, 4.0);
+  EXPECT_LT(enclave / normal, 9.5);
+}
+
+TEST(CostModelTest, EpcPagingOnlyBeyondTheLimit) {
+  CostModel model(CostParams::machine_a());  // 93 MiB EPC
+  const double inside = model.memory_access_ns(50ull << 20, 1.0, AccessMode::kEnclave);
+  const double beyond = model.memory_access_ns(200ull << 20, 1.0, AccessMode::kEnclave);
+  EXPECT_GT(beyond, 2.0 * inside);
+  // Machine B's EPC is effectively unbounded for these sizes.
+  CostModel b(CostParams::machine_b());
+  const double b_in = b.memory_access_ns(200ull << 20, 1.0, AccessMode::kEnclave);
+  const double b_huge = b.memory_access_ns(4ull << 30, 1.0, AccessMode::kEnclave);
+  EXPECT_LT(b_huge / b_in, 1.2);
+}
+
+TEST(CostModelTest, TransientEnclaveAccessesCostMore) {
+  CostModel model(CostParams::machine_a());
+  const std::uint64_t ws = 200ull << 20;
+  EXPECT_GT(model.memory_access_ns(ws, 1.0, AccessMode::kEnclaveTransient),
+            model.memory_access_ns(ws, 1.0, AccessMode::kEnclave));
+}
+
+TEST(CostModelTest, ChannelOrdering) {
+  CostModel model(CostParams::machine_a());
+  // lock-free hop < switchless call < full transition (§9.3.2).
+  EXPECT_LT(model.lockfree_crossing_ns(), model.switchless_crossing_ns());
+  EXPECT_LT(model.switchless_crossing_ns(), model.transition_ns());
+  // Syscalls from the enclave pay the ocall crossing (§9.2.3).
+  EXPECT_GT(model.syscall_ns(true), model.syscall_ns(false));
+}
+
+}  // namespace
+}  // namespace privagic::sgx

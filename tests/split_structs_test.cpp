@@ -1,0 +1,150 @@
+// Tests for multi-color structure splitting (§7.2), including the paper's
+// Figure 1 account structure executed end-to-end: the blue name and the red
+// balance live in different enclaves while the body stays in unsafe memory.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "interp/machine.hpp"
+#include "ir/parser.hpp"
+#include "ir/printer.hpp"
+#include "ir/verifier.hpp"
+#include "partition/partitioner.hpp"
+#include "partition/split_structs.hpp"
+
+namespace privagic::partition {
+namespace {
+
+using sectype::Mode;
+using sectype::TypeAnalysis;
+
+std::unique_ptr<ir::Module> parse_or_die(const char* text) {
+  auto parsed = ir::parse_module(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.message();
+  return std::move(parsed).value();
+}
+
+const char* kAccount = R"(
+module "bank"
+struct %account { i64 name color(blue), f64 balance color(red) }
+global ptr<%account> @acc
+define void @create(i64 %name, f64 %balance) entry {
+entry:
+  %a = heap_alloc %account
+  %np = gep ptr<%account> %a, field 0
+  store i64 %name, ptr<i64 color(blue)> %np
+  %bp = gep ptr<%account> %a, field 1
+  store f64 %balance, ptr<f64 color(red)> %bp
+  store ptr<%account> %a, ptr<ptr<%account>> @acc
+  ret void
+}
+define void @destroy() entry {
+entry:
+  %a = load ptr<ptr<%account>> @acc
+  heap_free %a
+  ret void
+}
+)";
+
+TEST(SplitStructsTest, RewritesFieldsToIndirections) {
+  auto m = parse_or_die(kAccount);
+  EXPECT_EQ(split_multicolor_structs(*m), 2u);
+  const ir::StructType* account = m->types().struct_by_name("account");
+  ASSERT_NE(account, nullptr);
+  // Fields became uncolored pointers into the enclaves.
+  EXPECT_EQ(account->fields()[0].type->to_string(), "ptr<i64 color(blue)>");
+  EXPECT_EQ(account->fields()[0].color, "");
+  EXPECT_EQ(account->fields()[1].type->to_string(), "ptr<f64 color(red)>");
+  EXPECT_FALSE(account->is_multi_color());
+  EXPECT_TRUE(ir::verify_module(*m).empty()) << ir::print_module(*m);
+}
+
+TEST(SplitStructsTest, AllocationSiteAllocatesFieldsInTheirEnclaves) {
+  auto m = parse_or_die(kAccount);
+  split_multicolor_structs(*m);
+  const ir::Function* create = m->function_by_name("create");
+  int field_allocs = 0;
+  for (const auto& inst : create->entry_block()->instructions()) {
+    if (inst->opcode() == ir::Opcode::kHeapAlloc) {
+      const auto* ha = static_cast<const ir::HeapAllocInst*>(inst.get());
+      if (!ha->color().empty()) ++field_allocs;
+    }
+  }
+  EXPECT_EQ(field_allocs, 2);  // one blue, one red
+}
+
+TEST(SplitStructsTest, FreeReleasesTheOutOfLineFields) {
+  auto m = parse_or_die(kAccount);
+  split_multicolor_structs(*m);
+  const ir::Function* destroy = m->function_by_name("destroy");
+  int frees = 0;
+  for (const auto& inst : destroy->entry_block()->instructions()) {
+    frees += inst->opcode() == ir::Opcode::kHeapFree ? 1 : 0;
+  }
+  EXPECT_EQ(frees, 3);  // blue field, red field, body
+}
+
+TEST(SplitStructsTest, SplitProgramTypeChecksInRelaxedMode) {
+  auto m = parse_or_die(kAccount);
+  split_multicolor_structs(*m);
+  TypeAnalysis ta(*m, Mode::kRelaxed);
+  EXPECT_TRUE(ta.run()) << ta.diagnostics().to_string();
+}
+
+TEST(SplitStructsTest, UniformStructsAreLeftAlone) {
+  auto m = parse_or_die(R"(
+module "m"
+struct %node { i64 key, i64 value }
+define void @f() entry {
+entry:
+  %n = heap_alloc %node color(blue)
+  ret void
+}
+)");
+  EXPECT_EQ(split_multicolor_structs(*m), 0u);
+}
+
+TEST(Figure1EndToEnd, FieldsLiveInTheirEnclaves) {
+  auto m = parse_or_die(kAccount);
+  split_multicolor_structs(*m);
+  TypeAnalysis ta(*m, Mode::kRelaxed);
+  ASSERT_TRUE(ta.run()) << ta.diagnostics().to_string();
+  auto result = partition_module(ta);
+  ASSERT_TRUE(result.ok()) << result.message();
+
+  interp::Machine machine(*result.value());
+  const std::int64_t name = 0x1122334455667788;
+  double balance = 1234.5;
+  std::int64_t balance_bits;
+  std::memcpy(&balance_bits, &balance, 8);
+  ASSERT_TRUE(machine.call("create", {name, balance_bits}).ok());
+
+  // Neither secret's byte pattern is anywhere in unsafe memory — even
+  // though the account *body* is.
+  std::byte needle[8];
+  std::memcpy(needle, &name, 8);
+  EXPECT_FALSE(machine.memory().unsafe_memory_contains(needle));
+  std::memcpy(needle, &balance_bits, 8);
+  EXPECT_FALSE(machine.memory().unsafe_memory_contains(needle));
+
+  // Freeing tears everything down without access violations.
+  auto freed = machine.call("destroy", {});
+  EXPECT_TRUE(freed.ok()) << freed.message();
+}
+
+TEST(Figure1EndToEnd, HardenedModeStillRejectsMultiColor) {
+  // Without the split, hardened mode rejects; with the split, hardened mode
+  // *still* rejects (the indirection pointer loads from U) — the §8
+  // limitation, reproduced both ways.
+  auto unsplit = parse_or_die(kAccount);
+  TypeAnalysis ta1(*unsplit, Mode::kHardened);
+  EXPECT_FALSE(ta1.run());
+
+  auto split = parse_or_die(kAccount);
+  split_multicolor_structs(*split);
+  TypeAnalysis ta2(*split, Mode::kHardened);
+  EXPECT_FALSE(ta2.run());
+}
+
+}  // namespace
+}  // namespace privagic::partition

@@ -1,0 +1,152 @@
+// Tests for the support utilities: strings, RNG determinism/quality, the
+// simulated clock, and Result/Status semantics.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "support/rng.hpp"
+#include "support/sim_clock.hpp"
+#include "support/status.hpp"
+#include "support/strings.hpp"
+
+namespace privagic {
+namespace {
+
+// ---------------------------------------------------------------------------
+// strings
+// ---------------------------------------------------------------------------
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(trim("  hello "), "hello");
+  EXPECT_EQ(trim("\t\n x \r"), "x");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("nospace"), "nospace");
+}
+
+TEST(StringsTest, Split) {
+  const auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");  // empty fields kept
+  EXPECT_EQ(parts[3], "c");
+  EXPECT_EQ(split("", ',').size(), 1u);
+  EXPECT_EQ(split("xyz", ',').size(), 1u);
+}
+
+TEST(StringsTest, StartsWithAndIdentifiers) {
+  EXPECT_TRUE(starts_with("privagic", "priv"));
+  EXPECT_FALSE(starts_with("pri", "priv"));
+  EXPECT_TRUE(is_identifier("main.blue_2"));
+  EXPECT_FALSE(is_identifier(""));
+  EXPECT_FALSE(is_identifier("has space"));
+}
+
+TEST(StringsTest, Format) {
+  EXPECT_EQ(str_format("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(str_format("%.1f", 2.5), "2.5");
+  EXPECT_EQ(str_format("empty"), "empty");
+}
+
+// ---------------------------------------------------------------------------
+// RNG
+// ---------------------------------------------------------------------------
+
+TEST(RngTest, DeterministicUnderSeed) {
+  Xoshiro256 a(7);
+  Xoshiro256 b(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+  Xoshiro256 c(8);
+  int differs = 0;
+  Xoshiro256 a2(7);
+  for (int i = 0; i < 100; ++i) differs += a2.next() != c.next() ? 1 : 0;
+  EXPECT_GT(differs, 90);
+}
+
+TEST(RngTest, NextBelowStaysInRange) {
+  Xoshiro256 rng(1);
+  std::map<std::uint64_t, int> histogram;
+  for (int i = 0; i < 60'000; ++i) {
+    const std::uint64_t v = rng.next_below(6);
+    ASSERT_LT(v, 6u);
+    ++histogram[v];
+  }
+  // Roughly uniform: every bucket within 10 % of the mean.
+  for (const auto& [bucket, count] : histogram) {
+    (void)bucket;
+    EXPECT_NEAR(count, 10'000, 1'000);
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Xoshiro256 rng(3);
+  double sum = 0.0;
+  for (int i = 0; i < 10'000; ++i) {
+    const double d = rng.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10'000, 0.5, 0.02);
+}
+
+TEST(RngTest, Fmix64IsABijectionOnSamples) {
+  // No collisions over a large sample (fmix64 is invertible).
+  std::map<std::uint64_t, std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 50'000; ++i) {
+    const std::uint64_t h = fmix64(i);
+    EXPECT_TRUE(seen.emplace(h, i).second) << "collision at " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SimClock
+// ---------------------------------------------------------------------------
+
+TEST(SimClockTest, AccumulatesAndJoins) {
+  SimClock a;
+  a.advance_ns(100.0);
+  a.advance_ns(50.5);
+  EXPECT_DOUBLE_EQ(a.now_ns(), 150.5);
+  SimClock b;
+  b.advance_ns(10.0);
+  b.join_at_least(a.now_ns());
+  EXPECT_DOUBLE_EQ(b.now_ns(), 150.5);
+  b.join_at_least(5.0);  // time never flows backwards
+  EXPECT_DOUBLE_EQ(b.now_ns(), 150.5);
+  b.reset();
+  EXPECT_DOUBLE_EQ(b.now_ns(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Status / Result
+// ---------------------------------------------------------------------------
+
+TEST(StatusTest, OkAndError) {
+  Status ok;
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.message(), "ok");
+  Status err = Status::error("boom");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.message(), "boom");
+}
+
+TEST(ResultTest, ValueAndErrorAccess) {
+  Result<int> good(42);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good.value(), 42);
+
+  Result<int> bad = Result<int>::error("nope");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.message(), "nope");
+  EXPECT_THROW((void)bad.value(), std::runtime_error);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(9));
+  auto owned = std::move(r).value();
+  EXPECT_EQ(*owned, 9);
+}
+
+}  // namespace
+}  // namespace privagic

@@ -1,0 +1,120 @@
+// Tests for the YCSB workload generator: distribution shapes, mixes,
+// determinism.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "ycsb/workload.hpp"
+
+namespace privagic::ycsb {
+namespace {
+
+TEST(ZipfianTest, RankZeroIsHottest) {
+  Xoshiro256 rng(7);
+  ZipfianGenerator zipf(10'000);
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < 100'000; ++i) counts[zipf.next_rank(rng)]++;
+  // Rank 0 receives far more than its uniform share (10 per key).
+  EXPECT_GT(counts[0], 5'000);
+  EXPECT_GT(counts[0], counts[100]);
+  EXPECT_GT(counts[1], counts[1'000]);
+}
+
+TEST(ZipfianTest, RanksStayInRange) {
+  Xoshiro256 rng(9);
+  ZipfianGenerator zipf(1'000);
+  for (int i = 0; i < 50'000; ++i) {
+    EXPECT_LT(zipf.next_rank(rng), 1'000u);
+  }
+}
+
+TEST(ZipfianTest, ScramblingSpreadsHotKeys) {
+  Xoshiro256 rng(11);
+  ZipfianGenerator zipf(100'000);
+  // Scrambled keys should not cluster at the low end of the key space.
+  std::uint64_t below_half = 0;
+  constexpr int kSamples = 20'000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (zipf.next_key(rng) < 50'000) ++below_half;
+  }
+  const double frac = static_cast<double>(below_half) / kSamples;
+  EXPECT_GT(frac, 0.35);
+  EXPECT_LT(frac, 0.65);
+}
+
+TEST(ZipfianTest, LargeDatasetConstructionIsFast) {
+  // 32 GiB / 1 KiB = ~33.5M records (Figure 8's largest point): zeta uses
+  // the integral extension, so this must be quick and finite.
+  ZipfianGenerator zipf(33'554'432);
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 1'000; ++i) {
+    EXPECT_LT(zipf.next_rank(rng), 33'554'432u);
+  }
+}
+
+TEST(WorkloadTest, MixMatchesProportions) {
+  WorkloadConfig cfg = WorkloadConfig::a();
+  cfg.operation_count = 100'000;
+  WorkloadGenerator gen(cfg);
+  int reads = 0;
+  int updates = 0;
+  for (std::uint64_t i = 0; i < cfg.operation_count; ++i) {
+    const Operation op = gen.next();
+    reads += op.type == OpType::kRead ? 1 : 0;
+    updates += op.type == OpType::kUpdate ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(reads) / 100'000, 0.5, 0.02);
+  EXPECT_NEAR(static_cast<double>(updates) / 100'000, 0.5, 0.02);
+}
+
+TEST(WorkloadTest, WorkloadCIsReadOnly) {
+  WorkloadGenerator gen(WorkloadConfig::c());
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_EQ(gen.next().type, OpType::kRead);
+  }
+}
+
+TEST(WorkloadTest, WorkloadDInsertsFreshKeys) {
+  WorkloadConfig cfg = WorkloadConfig::d();
+  cfg.record_count = 1'000;
+  WorkloadGenerator gen(cfg);
+  std::uint64_t max_insert_key = 0;
+  int inserts = 0;
+  for (int i = 0; i < 50'000; ++i) {
+    const Operation op = gen.next();
+    if (op.type == OpType::kInsert) {
+      ++inserts;
+      EXPECT_GE(op.key, 1'000u);  // fresh keys extend the key space
+      max_insert_key = std::max(max_insert_key, op.key);
+    } else {
+      EXPECT_LT(op.key, 1'000u + static_cast<std::uint64_t>(inserts) + 1);
+    }
+  }
+  EXPECT_GT(inserts, 1'000);
+}
+
+TEST(WorkloadTest, SameSeedSameSequence) {
+  WorkloadConfig cfg = WorkloadConfig::a();
+  WorkloadGenerator g1(cfg);
+  WorkloadGenerator g2(cfg);
+  for (int i = 0; i < 1'000; ++i) {
+    const Operation a = g1.next();
+    const Operation b = g2.next();
+    EXPECT_EQ(a.type, b.type);
+    EXPECT_EQ(a.key, b.key);
+  }
+}
+
+TEST(WorkloadTest, DatasetSizing) {
+  WorkloadConfig cfg;
+  cfg.record_count = 1'048'576;
+  cfg.key_size_bytes = 8;
+  cfg.value_size_bytes = 1024;
+  EXPECT_EQ(cfg.record_bytes(), 1032u);
+  EXPECT_EQ(cfg.dataset_bytes(), 1'048'576ull * 1032ull);
+  EXPECT_DOUBLE_EQ(WorkloadConfig::c().hot_fraction(), 0.12);
+}
+
+}  // namespace
+}  // namespace privagic::ycsb

@@ -1,0 +1,190 @@
+// privagicc — the Privagic compiler driver.
+//
+//   privagicc [options] file.pir
+//
+//   --mode=hardened|relaxed   compilation mode (default hardened, §5)
+//   --split-structs           run multi-color structure splitting first (§7.2)
+//   --emit-input              print the parsed module and stop
+//   --emit-partitioned        print the partitioned module
+//   --chunks                  print the chunk inventory (name → color)
+//   --colors                  print per-specialization color sets (§7.3.1)
+//   --tcb                     print per-color instruction counts (Table 4)
+//   --run ENTRY [ARGS...]     execute an interface on the simulated machine
+//
+// Exit status: 0 on success, 1 on any diagnostic (the paper's compile-time
+// rejection), 2 on usage errors.
+#include <cstdio>
+#include <cstdlib>
+#include <cctype>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "interp/machine.hpp"
+#include "ir/parser.hpp"
+#include "ir/printer.hpp"
+#include "partition/partitioner.hpp"
+#include "partition/gather_shared.hpp"
+#include "partition/split_structs.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: privagicc [--mode=hardened|relaxed] [--split-structs] [--gather-shared]\n"
+               "                 [--emit-input] [--emit-partitioned] [--chunks]\n"
+               "                 [--colors] [--tcb] [--run ENTRY [ARGS...]] file.pir\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace privagic;  // NOLINT(google-build-using-namespace)
+
+  sectype::Mode mode = sectype::Mode::kHardened;
+  bool split_structs = false;
+  bool gather_shared = false;
+  bool emit_input = false;
+  bool emit_partitioned = false;
+  bool show_chunks = false;
+  bool show_colors = false;
+  bool show_tcb = false;
+  std::string run_entry;
+  std::vector<std::int64_t> run_args;
+  std::string file;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--mode=hardened") {
+      mode = sectype::Mode::kHardened;
+    } else if (arg == "--mode=relaxed") {
+      mode = sectype::Mode::kRelaxed;
+    } else if (arg == "--split-structs") {
+      split_structs = true;
+    } else if (arg == "--gather-shared") {
+      gather_shared = true;
+    } else if (arg == "--emit-input") {
+      emit_input = true;
+    } else if (arg == "--emit-partitioned") {
+      emit_partitioned = true;
+    } else if (arg == "--chunks") {
+      show_chunks = true;
+    } else if (arg == "--colors") {
+      show_colors = true;
+    } else if (arg == "--tcb") {
+      show_tcb = true;
+    } else if (arg == "--run") {
+      if (++i >= argc) return usage();
+      run_entry = argv[i];
+      // Numeric arguments only; the trailing non-numeric token is the file.
+      while (i + 1 < argc &&
+             (std::isdigit(static_cast<unsigned char>(argv[i + 1][0])) != 0 ||
+              (argv[i + 1][0] == '-' &&
+               std::isdigit(static_cast<unsigned char>(argv[i + 1][1])) != 0))) {
+        run_args.push_back(std::strtoll(argv[++i], nullptr, 0));
+      }
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "privagicc: unknown option '%s'\n", arg.c_str());
+      return usage();
+    } else if (file.empty()) {
+      file = arg;
+    } else {
+      return usage();
+    }
+  }
+  if (file.empty()) return usage();
+
+  std::ifstream in(file);
+  if (!in) {
+    std::fprintf(stderr, "privagicc: cannot open '%s'\n", file.c_str());
+    return 2;
+  }
+  std::ostringstream source;
+  source << in.rdbuf();
+
+  auto parsed = ir::parse_module(source.str());
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s: %s\n", file.c_str(), parsed.message().c_str());
+    return 1;
+  }
+  auto module = std::move(parsed).value();
+
+  if (split_structs) {
+    const std::size_t n = partition::split_multicolor_structs(*module);
+    std::fprintf(stderr, "privagicc: split %zu colored fields\n", n);
+  }
+  if (gather_shared) {
+    const std::size_t n = partition::gather_shared_globals(*module);
+    std::fprintf(stderr, "privagicc: gathered %zu shared globals\n", n);
+  }
+  if (emit_input) {
+    std::fputs(ir::print_module(*module).c_str(), stdout);
+    return 0;
+  }
+
+  sectype::TypeAnalysis analysis(*module, mode);
+  if (!analysis.run()) {
+    std::fputs(analysis.diagnostics().to_string().c_str(), stderr);
+    return 1;
+  }
+  if (show_colors) {
+    for (const auto* facts : analysis.reachable_specs()) {
+      std::printf("%-24s {", facts->sig().mangled().c_str());
+      bool first = true;
+      for (const auto& c : facts->color_set()) {
+        std::printf("%s%s", first ? "" : ", ", c.to_string().c_str());
+        first = false;
+      }
+      std::printf("}  ret=%s\n", facts->ret_color().to_string().c_str());
+    }
+  }
+
+  auto result = partition::partition_module(analysis);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.message().c_str());
+    return 1;
+  }
+  if (show_chunks) {
+    for (const auto& chunk : result.value()->chunks) {
+      std::printf("chunk %-28s color=%-8s%s\n", chunk.fn->name().c_str(),
+                  chunk.color.to_string().c_str(),
+                  chunk.trampoline != nullptr ? "  [trampoline]" : "");
+    }
+    for (const auto& [name, fn] : result.value()->interfaces) {
+      (void)fn;
+      std::printf("interface @%s\n", name.c_str());
+    }
+  }
+  if (show_tcb) {
+    for (const auto& [color, n] : result.value()->instructions_per_color) {
+      std::printf("tcb %-8s %zu instructions\n", color.to_string().c_str(), n);
+    }
+  }
+  if (emit_partitioned) {
+    std::fputs(ir::print_module(*result.value()->module).c_str(), stdout);
+  }
+
+  if (!run_entry.empty()) {
+    interp::Machine machine(*result.value());
+    // Identity classify/declassify so annotated programs run out of the box.
+    for (const char* boundary : {"classify", "declassify"}) {
+      machine.bind_external(boundary, [](interp::Machine::ExternalCtx&,
+                                         std::span<const std::int64_t> a) {
+        return a.empty() ? 0 : a[0];
+      });
+    }
+    auto r = machine.call(run_entry, run_args);
+    if (!r.ok()) {
+      std::fprintf(stderr, "privagicc: execution failed: %s\n", r.message().c_str());
+      return 1;
+    }
+    std::printf("%s(...) = %lld\n", run_entry.c_str(), static_cast<long long>(r.value()));
+    for (const auto& line : machine.external_log()) {
+      std::printf("  external: %s\n", line.c_str());
+    }
+  }
+  return 0;
+}
