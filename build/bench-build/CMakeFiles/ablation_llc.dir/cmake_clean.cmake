@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_llc"
+  "../bench/ablation_llc.pdb"
+  "CMakeFiles/ablation_llc.dir/ablation_llc.cpp.o"
+  "CMakeFiles/ablation_llc.dir/ablation_llc.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_llc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/compiler_scalability"
+  "../bench/compiler_scalability.pdb"
+  "CMakeFiles/compiler_scalability.dir/compiler_scalability.cpp.o"
+  "CMakeFiles/compiler_scalability.dir/compiler_scalability.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compiler_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

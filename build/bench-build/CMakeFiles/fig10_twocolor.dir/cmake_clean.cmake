@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_twocolor"
+  "../bench/fig10_twocolor.pdb"
+  "CMakeFiles/fig10_twocolor.dir/fig10_twocolor.cpp.o"
+  "CMakeFiles/fig10_twocolor.dir/fig10_twocolor.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_twocolor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_memcached"
+  "../bench/fig8_memcached.pdb"
+  "CMakeFiles/fig8_memcached.dir/fig8_memcached.cpp.o"
+  "CMakeFiles/fig8_memcached.dir/fig8_memcached.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_memcached.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_datastructures"
+  "../bench/fig9_datastructures.pdb"
+  "CMakeFiles/fig9_datastructures.dir/fig9_datastructures.cpp.o"
+  "CMakeFiles/fig9_datastructures.dir/fig9_datastructures.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_datastructures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

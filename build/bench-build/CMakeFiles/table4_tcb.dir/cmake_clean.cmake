@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table4_tcb"
+  "../bench/table4_tcb.pdb"
+  "CMakeFiles/table4_tcb.dir/table4_tcb.cpp.o"
+  "CMakeFiles/table4_tcb.dir/table4_tcb.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_tcb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

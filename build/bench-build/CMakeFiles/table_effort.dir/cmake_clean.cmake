@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table_effort"
+  "../bench/table_effort.pdb"
+  "CMakeFiles/table_effort.dir/table_effort.cpp.o"
+  "CMakeFiles/table_effort.dir/table_effort.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_effort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

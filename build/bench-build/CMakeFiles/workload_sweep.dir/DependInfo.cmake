@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/workload_sweep.cpp" "bench-build/CMakeFiles/workload_sweep.dir/workload_sweep.cpp.o" "gcc" "bench-build/CMakeFiles/workload_sweep.dir/workload_sweep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/privagic_kvcache.dir/DependInfo.cmake"
+  "/root/repo/build/src/ds/CMakeFiles/privagic_ds.dir/DependInfo.cmake"
+  "/root/repo/build/src/ycsb/CMakeFiles/privagic_ycsb.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/privagic_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

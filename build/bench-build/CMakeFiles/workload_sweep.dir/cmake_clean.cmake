@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/workload_sweep"
+  "../bench/workload_sweep.pdb"
+  "CMakeFiles/workload_sweep.dir/workload_sweep.cpp.o"
+  "CMakeFiles/workload_sweep.dir/workload_sweep.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/multithreaded_escape"
+  "../examples/multithreaded_escape.pdb"
+  "CMakeFiles/multithreaded_escape.dir/multithreaded_escape.cpp.o"
+  "CMakeFiles/multithreaded_escape.dir/multithreaded_escape.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multithreaded_escape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

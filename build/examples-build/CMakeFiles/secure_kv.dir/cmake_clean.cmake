@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/secure_kv"
+  "../examples/secure_kv.pdb"
+  "CMakeFiles/secure_kv.dir/secure_kv.cpp.o"
+  "CMakeFiles/secure_kv.dir/secure_kv.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secure_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

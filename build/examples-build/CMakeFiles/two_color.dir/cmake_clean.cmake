@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/two_color"
+  "../examples/two_color.pdb"
+  "CMakeFiles/two_color.dir/two_color.cpp.o"
+  "CMakeFiles/two_color.dir/two_color.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/two_color.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/privagic_kvcache.dir/kvcache/minicached.cpp.o"
+  "CMakeFiles/privagic_kvcache.dir/kvcache/minicached.cpp.o.d"
+  "libprivagic_kvcache.a"
+  "libprivagic_kvcache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/privagic_kvcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

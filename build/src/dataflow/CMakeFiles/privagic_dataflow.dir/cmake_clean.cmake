@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/privagic_dataflow.dir/stepper.cpp.o"
+  "CMakeFiles/privagic_dataflow.dir/stepper.cpp.o.d"
+  "CMakeFiles/privagic_dataflow.dir/taint.cpp.o"
+  "CMakeFiles/privagic_dataflow.dir/taint.cpp.o.d"
+  "libprivagic_dataflow.a"
+  "libprivagic_dataflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/privagic_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

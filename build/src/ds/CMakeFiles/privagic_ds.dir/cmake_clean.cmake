@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/privagic_ds.dir/harness.cpp.o"
+  "CMakeFiles/privagic_ds.dir/harness.cpp.o.d"
+  "CMakeFiles/privagic_ds.dir/structures.cpp.o"
+  "CMakeFiles/privagic_ds.dir/structures.cpp.o.d"
+  "libprivagic_ds.a"
+  "libprivagic_ds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/privagic_ds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

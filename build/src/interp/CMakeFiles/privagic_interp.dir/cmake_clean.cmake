@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/privagic_interp.dir/machine.cpp.o"
+  "CMakeFiles/privagic_interp.dir/machine.cpp.o.d"
+  "libprivagic_interp.a"
+  "libprivagic_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/privagic_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

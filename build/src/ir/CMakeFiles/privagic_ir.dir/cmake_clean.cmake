@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/privagic_ir.dir/builder.cpp.o"
+  "CMakeFiles/privagic_ir.dir/builder.cpp.o.d"
+  "CMakeFiles/privagic_ir.dir/cfg.cpp.o"
+  "CMakeFiles/privagic_ir.dir/cfg.cpp.o.d"
+  "CMakeFiles/privagic_ir.dir/constant_fold.cpp.o"
+  "CMakeFiles/privagic_ir.dir/constant_fold.cpp.o.d"
+  "CMakeFiles/privagic_ir.dir/dominators.cpp.o"
+  "CMakeFiles/privagic_ir.dir/dominators.cpp.o.d"
+  "CMakeFiles/privagic_ir.dir/mem2reg.cpp.o"
+  "CMakeFiles/privagic_ir.dir/mem2reg.cpp.o.d"
+  "CMakeFiles/privagic_ir.dir/parser.cpp.o"
+  "CMakeFiles/privagic_ir.dir/parser.cpp.o.d"
+  "CMakeFiles/privagic_ir.dir/passes.cpp.o"
+  "CMakeFiles/privagic_ir.dir/passes.cpp.o.d"
+  "CMakeFiles/privagic_ir.dir/printer.cpp.o"
+  "CMakeFiles/privagic_ir.dir/printer.cpp.o.d"
+  "CMakeFiles/privagic_ir.dir/type.cpp.o"
+  "CMakeFiles/privagic_ir.dir/type.cpp.o.d"
+  "CMakeFiles/privagic_ir.dir/verifier.cpp.o"
+  "CMakeFiles/privagic_ir.dir/verifier.cpp.o.d"
+  "libprivagic_ir.a"
+  "libprivagic_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/privagic_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

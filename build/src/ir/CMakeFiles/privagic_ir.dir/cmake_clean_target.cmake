@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libprivagic_ir.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/partition/gather_shared.cpp" "src/partition/CMakeFiles/privagic_partition.dir/gather_shared.cpp.o" "gcc" "src/partition/CMakeFiles/privagic_partition.dir/gather_shared.cpp.o.d"
+  "/root/repo/src/partition/partitioner.cpp" "src/partition/CMakeFiles/privagic_partition.dir/partitioner.cpp.o" "gcc" "src/partition/CMakeFiles/privagic_partition.dir/partitioner.cpp.o.d"
+  "/root/repo/src/partition/plan.cpp" "src/partition/CMakeFiles/privagic_partition.dir/plan.cpp.o" "gcc" "src/partition/CMakeFiles/privagic_partition.dir/plan.cpp.o.d"
+  "/root/repo/src/partition/split_structs.cpp" "src/partition/CMakeFiles/privagic_partition.dir/split_structs.cpp.o" "gcc" "src/partition/CMakeFiles/privagic_partition.dir/split_structs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sectype/CMakeFiles/privagic_sectype.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/privagic_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/privagic_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/privagic_partition.dir/gather_shared.cpp.o"
+  "CMakeFiles/privagic_partition.dir/gather_shared.cpp.o.d"
+  "CMakeFiles/privagic_partition.dir/partitioner.cpp.o"
+  "CMakeFiles/privagic_partition.dir/partitioner.cpp.o.d"
+  "CMakeFiles/privagic_partition.dir/plan.cpp.o"
+  "CMakeFiles/privagic_partition.dir/plan.cpp.o.d"
+  "CMakeFiles/privagic_partition.dir/split_structs.cpp.o"
+  "CMakeFiles/privagic_partition.dir/split_structs.cpp.o.d"
+  "libprivagic_partition.a"
+  "libprivagic_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/privagic_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

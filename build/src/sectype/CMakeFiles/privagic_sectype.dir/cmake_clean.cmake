@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/privagic_sectype.dir/analysis.cpp.o"
+  "CMakeFiles/privagic_sectype.dir/analysis.cpp.o.d"
+  "CMakeFiles/privagic_sectype.dir/diagnostics.cpp.o"
+  "CMakeFiles/privagic_sectype.dir/diagnostics.cpp.o.d"
+  "libprivagic_sectype.a"
+  "libprivagic_sectype.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/privagic_sectype.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

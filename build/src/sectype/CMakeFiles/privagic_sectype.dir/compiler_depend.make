@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for privagic_sectype.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/privagic_support.dir/strings.cpp.o"
+  "CMakeFiles/privagic_support.dir/strings.cpp.o.d"
+  "libprivagic_support.a"
+  "libprivagic_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/privagic_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/privagic_ycsb.dir/workload.cpp.o"
+  "CMakeFiles/privagic_ycsb.dir/workload.cpp.o.d"
+  "libprivagic_ycsb.a"
+  "libprivagic_ycsb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/privagic_ycsb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auth_pointer_test.dir/auth_pointer_test.cpp.o"
+  "CMakeFiles/auth_pointer_test.dir/auth_pointer_test.cpp.o.d"
+  "auth_pointer_test"
+  "auth_pointer_test.pdb"
+  "auth_pointer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auth_pointer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

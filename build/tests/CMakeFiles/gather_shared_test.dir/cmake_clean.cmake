@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gather_shared_test.dir/gather_shared_test.cpp.o"
+  "CMakeFiles/gather_shared_test.dir/gather_shared_test.cpp.o.d"
+  "gather_shared_test"
+  "gather_shared_test.pdb"
+  "gather_shared_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gather_shared_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

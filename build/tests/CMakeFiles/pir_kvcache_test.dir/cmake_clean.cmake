@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pir_kvcache_test.dir/pir_kvcache_test.cpp.o"
+  "CMakeFiles/pir_kvcache_test.dir/pir_kvcache_test.cpp.o.d"
+  "pir_kvcache_test"
+  "pir_kvcache_test.pdb"
+  "pir_kvcache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pir_kvcache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

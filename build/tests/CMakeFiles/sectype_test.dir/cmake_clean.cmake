@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sectype_test.dir/sectype_test.cpp.o"
+  "CMakeFiles/sectype_test.dir/sectype_test.cpp.o.d"
+  "sectype_test"
+  "sectype_test.pdb"
+  "sectype_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sectype_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

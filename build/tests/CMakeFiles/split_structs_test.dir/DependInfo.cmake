@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/split_structs_test.cpp" "tests/CMakeFiles/split_structs_test.dir/split_structs_test.cpp.o" "gcc" "tests/CMakeFiles/split_structs_test.dir/split_structs_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/interp/CMakeFiles/privagic_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/privagic_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/sectype/CMakeFiles/privagic_sectype.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/privagic_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/privagic_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../tools/privagicc"
+  "../tools/privagicc.pdb"
+  "CMakeFiles/privagicc.dir/privagicc.cpp.o"
+  "CMakeFiles/privagicc.dir/privagicc.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/privagicc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
