@@ -1,0 +1,104 @@
+// Robustness ablation: throughput vs. injected fault rate on the two-color
+// echo workload.
+//
+// The cross-enclave queues live in unsafe memory, so an attacker (or a
+// glitchy host) can drop, duplicate, or corrupt messages at will. This sweep
+// drives the ping-pong protocol of the paper's two-color configuration
+// (§9.3.2) through the FaultInjector at increasing fault rates and reports
+// how the recovery protocol (timed waits + bounded retry + retransmission,
+// see DESIGN.md "Fault model & recovery") degrades: throughput falls with
+// the retry latency, but every run completes — the seed runtime would
+// deadlock at the first dropped message.
+//
+// Deterministic: the injector draws from a fixed-seed xoshiro256** stream,
+// so each rate's fault pattern is identical run-to-run.
+#include <chrono>
+#include <cstdio>
+
+#include "runtime/fault_injector.hpp"
+#include "runtime/workers.hpp"
+
+namespace {
+
+using namespace privagic::runtime;  // NOLINT(google-build-using-namespace)
+using namespace std::chrono_literals;
+
+constexpr std::uint64_t kExchanges = 2000;  // request/reply pairs per rate
+
+struct SweepRow {
+  double rate = 0.0;
+  double msgs_per_sec = 0.0;
+  RuntimeStats::Snapshot stats;
+  FaultInjector::Counts injected;
+};
+
+SweepRow run_rate(double rate) {
+  FaultConfig config;
+  config.seed = 7;
+  config.drop = rate / 3.0;
+  config.duplicate = rate / 3.0;
+  config.corrupt = rate / 3.0;
+  FaultInjector injector(config);
+  // The single spawn has no retransmission path; keep it clean so every
+  // rate measures the recoverable steady state.
+  injector.script(0, FaultKind::kNone);
+
+  RecoveryOptions options;
+  options.spawn_secret = 0xB0B0'CAFE;  // corruption detection needs the MAC
+  options.wait_deadline = 2ms;
+  options.max_retries = 10;
+  options.injector = &injector;
+
+  ThreadRuntime* rtp = nullptr;
+  ThreadRuntime rt(
+      2,
+      [&rtp](std::size_t me, std::uint64_t rounds, std::int64_t tags,
+             std::int64_t leader, std::int64_t) {
+        for (std::uint64_t i = 0; i < rounds; ++i) {
+          const std::int64_t v = rtp->wait(me, tags + 0);
+          rtp->cont(leader, tags + 100, v + 1);
+        }
+        rtp->ack(leader, tags + 200);
+      },
+      options);
+  rtp = &rt;
+
+  const auto start = std::chrono::steady_clock::now();
+  rt.spawn(1, kExchanges, 0, 0, 0);
+  for (std::uint64_t i = 0; i < kExchanges; ++i) {
+    rt.cont(1, 0, static_cast<std::int64_t>(i));
+    rt.wait(0, 100);
+  }
+  rt.wait_ack(0, 200);
+  const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
+
+  SweepRow row;
+  row.rate = rate;
+  row.stats = rt.stats().snapshot();
+  row.injected = injector.counts();
+  row.msgs_per_sec = static_cast<double>(row.stats.messages_sent) / elapsed.count();
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Fault sweep: two-color echo under an adversarial boundary ==\n");
+  std::printf("%llu exchanges per rate; faults split evenly drop/dup/corrupt\n\n",
+              static_cast<unsigned long long>(kExchanges));
+  std::printf("%-7s %12s %8s %8s %8s %9s %9s %8s %8s\n", "rate", "msgs/s", "drops",
+              "dups", "corrupt", "timeouts", "retrans", "dup-dis", "poison");
+  for (const double rate : {0.0, 0.001, 0.01, 0.05, 0.1}) {
+    const SweepRow r = run_rate(rate);
+    std::printf("%-7.3f %12.0f %8llu %8llu %8llu %9llu %9llu %8llu %8llu\n", r.rate,
+                r.msgs_per_sec, static_cast<unsigned long long>(r.injected.drops),
+                static_cast<unsigned long long>(r.injected.duplicates),
+                static_cast<unsigned long long>(r.injected.corrupts),
+                static_cast<unsigned long long>(r.stats.wait_timeouts),
+                static_cast<unsigned long long>(r.stats.retransmits),
+                static_cast<unsigned long long>(r.stats.duplicates_discarded),
+                static_cast<unsigned long long>(r.stats.poisoned_workers));
+  }
+  std::printf("\nEvery row completes; the seed runtime deadlocks at the first drop.\n");
+  return 0;
+}

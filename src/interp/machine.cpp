@@ -446,15 +446,22 @@ runtime::ThreadRuntime& Machine::runtime_for_current_thread() {
     // from its mailboxes); a shared cell breaks the construction cycle — it
     // is filled before any spawn can reach the new workers.
     auto cell = std::make_shared<runtime::ThreadRuntime*>(nullptr);
-    // The spawn guard (§8 extension) is always on: legitimate spawns are
-    // MAC'd under an enclave-held secret; injected ones are dropped.
+    // The message guard (§8 extension) is always on: legitimate messages are
+    // MAC'd under an enclave-held secret; injected ones are dropped. The
+    // recovery knobs are the embedder's (see enable_fault_recovery).
+    runtime::RecoveryOptions options;
+    options.spawn_secret = 0x9E3779B97F4A7C15ull;
+    options.wait_deadline = recovery_deadline_;
+    options.max_retries = recovery_max_retries_;
+    options.watchdog_deadline = watchdog_deadline_;
+    options.injector = injector_;
     slot = std::make_unique<runtime::ThreadRuntime>(
         program_.color_table.size(),
         [this, cell](std::size_t, std::uint64_t chunk, std::int64_t tags,
                      std::int64_t leader, std::int64_t flags) {
           run_chunk(**cell, chunk, tags, leader, flags);
         },
-        /*spawn_secret=*/0x9E3779B97F4A7C15ull);
+        options);
     *cell = slot.get();
   }
   return *slot;
@@ -507,11 +514,17 @@ void Machine::run_chunk(runtime::ThreadRuntime& rt, std::uint64_t chunk_id, std:
     const std::int64_t args[3] = {tags, leader, flags};
     exec.run(info.trampoline, std::span<const std::int64_t>(args, 3));
   } catch (const std::exception& e) {
-    // Record the failure and still complete the message protocol so the
-    // leader does not deadlock; call() surfaces the error afterwards.
+    // Record the failure (keeping the runtime's failure kind when the
+    // recovery protocol produced it) and still complete the message protocol
+    // so the leader does not deadlock; call() surfaces the error afterwards.
     {
       const std::lock_guard<std::mutex> lock(log_mu_);
-      if (first_error_.empty()) first_error_ = e.what();
+      if (first_error_.empty()) {
+        first_error_ = e.what();
+        const auto* fault = dynamic_cast<const runtime::RuntimeFault*>(&e);
+        first_error_code_ =
+            fault != nullptr ? fault->code() : StatusCode::kGeneric;
+      }
     }
     if ((flags & partition::kFlagSendResult) != 0) {
       rt.cont(leader, tags + partition::kTagResultToLeader, 0);
@@ -528,6 +541,16 @@ std::uint64_t Machine::rejected_spawns() const {
     total += rt->rejected_spawns();
   }
   return total;
+}
+
+runtime::RuntimeStats::Snapshot Machine::runtime_stats() const {
+  const std::lock_guard<std::mutex> lock(runtimes_mu_);
+  runtime::RuntimeStats total;
+  for (const auto& [tid, rt] : runtimes_) {
+    (void)tid;
+    total.accumulate(rt->stats().snapshot());
+  }
+  return total.snapshot();
 }
 
 std::int64_t Machine::exec_function(runtime::ThreadRuntime& rt, const ir::Function* fn,
@@ -547,9 +570,14 @@ Result<std::int64_t> Machine::call(const std::string& name, std::vector<std::int
     const std::int64_t r = exec_function(runtime_for_current_thread(), fn, args, sgx::kUnsafe);
     const std::lock_guard<std::mutex> lock(log_mu_);
     if (!first_error_.empty()) {
-      return Result<std::int64_t>::error("worker failed: " + first_error_);
+      // A worker failed mid-protocol; surface its failure kind so callers
+      // can branch on it (a recovery timeout is a runtime trap, not a hang).
+      return Result<std::int64_t>(
+          Status::error(first_error_code_, "worker failed: " + first_error_));
     }
     return r;
+  } catch (const runtime::RuntimeFault& f) {
+    return Result<std::int64_t>(f.status());
   } catch (const std::exception& e) {
     return Result<std::int64_t>::error(e.what());
   }

@@ -24,6 +24,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -35,6 +36,8 @@
 #include <vector>
 
 #include "partition/partitioner.hpp"
+#include "runtime/fault_injector.hpp"
+#include "runtime/runtime_stats.hpp"
 #include "runtime/workers.hpp"
 #include "sgx/memory.hpp"
 #include "support/status.hpp"
@@ -91,6 +94,28 @@ class Machine {
   /// Forged spawns dropped by the guards of every worker group.
   [[nodiscard]] std::uint64_t rejected_spawns() const;
 
+  /// Enables the runtime's fault-recovery protocol for worker groups created
+  /// from now on (groups are created lazily, one per calling host thread):
+  /// waits are timed with bounded retry + retransmission, and — when
+  /// @p watchdog_deadline is non-zero — a watchdog unwedges workers blocked
+  /// past it. A wait that exhausts recovery surfaces from call() as a Status
+  /// with code kTimeout / kWorkerPoisoned instead of deadlocking.
+  void enable_fault_recovery(std::chrono::milliseconds wait_deadline,
+                             int max_retries = 3,
+                             std::chrono::milliseconds watchdog_deadline =
+                                 std::chrono::milliseconds{0}) {
+    recovery_deadline_ = wait_deadline;
+    recovery_max_retries_ = max_retries;
+    watchdog_deadline_ = watchdog_deadline;
+  }
+
+  /// Attaches an adversarial interposer to every mailbox of worker groups
+  /// created from now on (tests/bench: call before the first call()).
+  void set_fault_injector(runtime::FaultInjector* injector) { injector_ = injector; }
+
+  /// Aggregated recovery/fault counters over every worker group.
+  [[nodiscard]] runtime::RuntimeStats::Snapshot runtime_stats() const;
+
   /// Enables pointer authentication (the Mode::kHardenedAuth runtime): every
   /// value of type ptr<T color(c)> is MAC'd when stored to memory and
   /// verified+stripped when loaded; a tampered pointer faults at the load.
@@ -123,8 +148,14 @@ class Machine {
   mutable std::mutex log_mu_;
   std::vector<std::string> external_log_;
   std::string first_error_;  // first worker-side failure, surfaced by call()
+  StatusCode first_error_code_ = StatusCode::kGeneric;
   std::atomic<std::uint64_t> executed_{0};
   bool pointer_auth_ = false;
+  // Recovery configuration applied to lazily created worker groups.
+  std::chrono::milliseconds recovery_deadline_{0};
+  int recovery_max_retries_ = 3;
+  std::chrono::milliseconds watchdog_deadline_{0};
+  runtime::FaultInjector* injector_ = nullptr;
   static constexpr std::uint64_t kMaxInstructions = 200'000'000;
   static constexpr std::uint64_t kPointerAuthSecret = 0xC0FFEE123456789Bull;
 };

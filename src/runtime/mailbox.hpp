@@ -6,6 +6,20 @@
 // keeps nested cross-enclave calls from deadlocking — see
 // partition/intrinsics.hpp).
 //
+// Robustness additions over the seed mailbox:
+//   * next_for() — a timed variant of next(); the recovery protocol in
+//     workers.hpp builds its bounded-retry/backoff loop on it, so a dropped
+//     message degrades into a timeout instead of an eternal block.
+//   * stop is *sticky*: a pushed kStop sets a flag (one notify_all) instead
+//     of being a queue entry one lucky waiter consumes. Every blocked waiter
+//     — present and future — observes it, after first draining any matching
+//     or control messages still queued.
+//   * pushes wake one waiter when one is blocked and broadcast only when
+//     several are (the seed broadcast on every push).
+//   * an optional FaultInjector interposes on push, modeling the attacker
+//     who owns this queue's unsafe memory (kStop/kPoison are runtime-
+//     internal control and bypass it).
+//
 // This is the *functional* runtime used by the interpreter. The benchmark
 // runtime uses the lock-free SPSC ring of spsc_queue.hpp, as the paper's
 // Privagic runtime does; a mutex+cv mailbox keeps the interpreter simple
@@ -13,57 +27,84 @@
 // code).
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
 #include <optional>
+#include <vector>
 
+#include "runtime/fault_injector.hpp"
 #include "runtime/message.hpp"
 
 namespace privagic::runtime {
 
 class Mailbox {
  public:
+  /// Attaches the adversarial interposer. @p channel identifies this mailbox
+  /// in the injector's per-channel hold-back state (use the color index).
+  void set_injector(FaultInjector* injector, std::size_t channel) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    injector_ = injector;
+    channel_ = channel;
+  }
+
   void push(const Message& m) {
+    bool broadcast = false;
     {
       const std::lock_guard<std::mutex> lock(mu_);
-      queue_.push_back(m);
+      if (m.kind == MsgKind::kStop) {
+        // Shutdown drains the attacker's hold-back buffer (late copies are
+        // deduplicated downstream) and wakes *every* waiter exactly once.
+        if (injector_ != nullptr) {
+          std::vector<Message> held;
+          injector_->flush(channel_, held);
+          for (const Message& h : held) queue_.push_back(h);
+        }
+        stopped_ = true;
+        broadcast = true;
+      } else if (m.kind == MsgKind::kPoison || injector_ == nullptr) {
+        queue_.push_back(m);
+        broadcast = waiters_ > 1;
+      } else {
+        std::vector<Message> delivered;
+        injector_->filter(channel_, m, delivered);
+        if (delivered.empty()) return;  // dropped (or held back) in transit
+        for (const Message& d : delivered) queue_.push_back(d);
+        broadcast = waiters_ > 1;
+      }
     }
-    cv_.notify_all();
+    if (broadcast) {
+      cv_.notify_all();
+    } else {
+      cv_.notify_one();
+    }
   }
 
-  /// Blocks until a message matching (kind, tag) — or any spawn/stop — is
-  /// available; removes and returns it. Spawns/stops win over a match that
-  /// arrived later, preserving arrival order for control messages.
+  /// Blocks until a message matching (kind, tag) — or any control message —
+  /// is available; removes and returns it. Control messages (spawn, poison)
+  /// win over a match that arrived later, preserving arrival order; a sticky
+  /// stop is reported only once no queued message qualifies.
   Message next(MsgKind kind, std::int64_t tag) {
-    std::unique_lock<std::mutex> lock(mu_);
-    while (true) {
-      for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-        const bool control = it->kind == MsgKind::kSpawn || it->kind == MsgKind::kStop;
-        const bool match = it->kind == kind && it->tag == tag;
-        if (control || match) {
-          Message m = *it;
-          queue_.erase(it);
-          return m;
-        }
-      }
-      cv_.wait(lock);
-    }
+    return *take(kind, tag, /*match_any_tag=*/false, std::nullopt);
   }
 
-  /// Blocks for the next spawn or stop (the worker idle loop).
+  /// Timed variant of next(): returns std::nullopt when @p timeout elapses
+  /// with no qualifying message. The building block of the recovery loop.
+  std::optional<Message> next_for(MsgKind kind, std::int64_t tag,
+                                  std::chrono::steady_clock::duration timeout) {
+    return take(kind, tag, /*match_any_tag=*/false,
+                std::chrono::steady_clock::now() + timeout);
+  }
+
+  /// Blocks for the next control message (the worker idle loop).
   Message next_control() {
-    std::unique_lock<std::mutex> lock(mu_);
-    while (true) {
-      for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-        if (it->kind == MsgKind::kSpawn || it->kind == MsgKind::kStop) {
-          Message m = *it;
-          queue_.erase(it);
-          return m;
-        }
-      }
-      cv_.wait(lock);
-    }
+    return *take(MsgKind::kStop, 0, /*match_any_tag=*/true, std::nullopt);
+  }
+
+  std::optional<Message> next_control_for(std::chrono::steady_clock::duration timeout) {
+    return take(MsgKind::kStop, 0, /*match_any_tag=*/true,
+                std::chrono::steady_clock::now() + timeout);
   }
 
   /// Non-blocking size snapshot (tests only).
@@ -73,9 +114,52 @@ class Mailbox {
   }
 
  private:
+  /// Removes the first control message or (unless @p control_only via
+  /// match_any_tag) the first (kind, tag) match. Blocks until @p deadline
+  /// (forever when nullopt); sticky stop satisfies any wait with an empty
+  /// queue.
+  std::optional<Message> take(
+      MsgKind kind, std::int64_t tag, bool control_only,
+      std::optional<std::chrono::steady_clock::time_point> deadline) {
+    const auto scan = [&]() -> std::optional<Message> {
+      for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+        const bool match = !control_only && it->kind == kind && it->tag == tag;
+        if (it->is_control() || match) {
+          Message m = *it;
+          queue_.erase(it);
+          return m;
+        }
+      }
+      if (stopped_) return Message::stop();
+      return std::nullopt;
+    };
+
+    std::unique_lock<std::mutex> lock(mu_);
+    while (true) {
+      if (auto m = scan()) return m;
+      ++waiters_;
+      if (deadline.has_value()) {
+        const auto status = cv_.wait_until(lock, *deadline);
+        --waiters_;
+        if (status == std::cv_status::timeout) {
+          // One last scan after the timed wake: a message may have been
+          // pushed between the timeout and reacquiring the lock.
+          return scan();
+        }
+      } else {
+        cv_.wait(lock);
+        --waiters_;
+      }
+    }
+  }
+
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<Message> queue_;
+  std::size_t waiters_ = 0;
+  bool stopped_ = false;
+  FaultInjector* injector_ = nullptr;
+  std::size_t channel_ = 0;
 };
 
 }  // namespace privagic::runtime

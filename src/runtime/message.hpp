@@ -1,12 +1,25 @@
 // Inter-enclave messages (§7.3.2): spawn starts a chunk on another enclave's
 // worker, cont carries an F value, ack is a completion/barrier token.
+//
+// Because the queues live in *unsafe* memory, the hardened threat model lets
+// an attacker drop, duplicate, reorder, corrupt, or forge any of these. Two
+// fields defend the protocol (the §8 extension, grown into a full recovery
+// path — see DESIGN.md "Fault model & recovery"):
+//   * `seq`  — a per-runtime monotonic sequence number stamped on every
+//     legitimate send. Receivers discard a seq they have already consumed,
+//     which makes sender-side retransmission (and attacker duplication)
+//     idempotent. 0 means "unsequenced" (raw injected traffic).
+//   * `auth` — a MAC over all semantic fields + seq under a secret shared by
+//     the enclaves but not by the attacker. 0 when the guard is disabled.
 #pragma once
 
 #include <cstdint>
 
+#include "support/rng.hpp"
+
 namespace privagic::runtime {
 
-enum class MsgKind : std::uint8_t { kSpawn, kCont, kAck, kStop };
+enum class MsgKind : std::uint8_t { kSpawn, kCont, kAck, kStop, kPoison };
 
 struct Message {
   MsgKind kind = MsgKind::kCont;
@@ -19,7 +32,10 @@ struct Message {
   std::int64_t leader = 0;
   std::int64_t flags = 0;
 
-  // Spawn authentication (the §8 extension): a MAC over the spawn fields
+  // Monotonic per-runtime sequence number (0 = unsequenced; see above).
+  std::uint64_t seq = 0;
+
+  // Message authentication (the §8 extension): a MAC over the fields above
   // under a secret shared by the enclaves but not by the attacker, who
   // controls the queues in unsafe memory. 0 when the guard is disabled.
   std::uint64_t auth = 0;
@@ -52,6 +68,34 @@ struct Message {
     m.kind = MsgKind::kStop;
     return m;
   }
+  /// Synthetic control message the watchdog uses to unwedge a worker that is
+  /// blocked past its deadline. Never crosses the injector and never forged
+  /// (it is produced and consumed inside the same runtime object).
+  static Message poison() {
+    Message m;
+    m.kind = MsgKind::kPoison;
+    return m;
+  }
+
+  [[nodiscard]] bool is_control() const {
+    return kind == MsgKind::kSpawn || kind == MsgKind::kStop || kind == MsgKind::kPoison;
+  }
 };
+
+/// MAC over every semantic field of @p m (stand-in for the HMAC a production
+/// runtime would compute inside the enclave). Returns 0 when the guard is
+/// disabled (secret 0); otherwise never 0, so "unsigned" is always invalid
+/// under a guard.
+[[nodiscard]] inline std::uint64_t message_mac(const Message& m, std::uint64_t secret) {
+  if (secret == 0) return 0;
+  std::uint64_t h = secret;
+  for (std::uint64_t field :
+       {static_cast<std::uint64_t>(m.kind), static_cast<std::uint64_t>(m.tag),
+        static_cast<std::uint64_t>(m.payload), m.chunk, static_cast<std::uint64_t>(m.tags),
+        static_cast<std::uint64_t>(m.leader), static_cast<std::uint64_t>(m.flags), m.seq}) {
+    h = fmix64(h ^ field);
+  }
+  return h | 1;
+}
 
 }  // namespace privagic::runtime

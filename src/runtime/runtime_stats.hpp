@@ -1,0 +1,90 @@
+// Observability + failure vocabulary for the fault-tolerant runtime.
+//
+// RuntimeStats counts every recovery-relevant event the runtime observes;
+// the fault tests assert these against the FaultInjector's scripted fault
+// counts, and bench/fault_sweep reports them per fault rate. RuntimeFault is
+// the exception the recovery protocol throws when a wait cannot be completed
+// — unlike WorkerStopped it *is* a std::exception, because embedders are
+// supposed to catch it and turn it into a Status (the interpreter surfaces
+// it as a runtime trap).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "support/status.hpp"
+
+namespace privagic::runtime {
+
+/// Counters for the runtime's own view of faults and recoveries. All relaxed
+/// atomics: they order nothing, they only count.
+struct RuntimeStats {
+  std::atomic<std::uint64_t> messages_sent{0};       // sequenced sends (spawn/cont/ack)
+  std::atomic<std::uint64_t> duplicates_discarded{0};// seq already consumed
+  std::atomic<std::uint64_t> corrupt_dropped{0};     // cont/ack MAC mismatch
+  std::atomic<std::uint64_t> forged_spawn_rejects{0};// spawn MAC mismatch (§8 guard)
+  std::atomic<std::uint64_t> wait_timeouts{0};       // a timed wait expired once
+  std::atomic<std::uint64_t> retries{0};             // backoff rounds after a timeout
+  std::atomic<std::uint64_t> retransmits{0};         // messages re-pushed from the sent log
+  std::atomic<std::uint64_t> watchdog_fires{0};      // watchdog unwedged a blocked worker
+  std::atomic<std::uint64_t> poisoned_workers{0};    // workers marked unrecoverable
+
+  /// Plain-value snapshot (tests, bench rows).
+  struct Snapshot {
+    std::uint64_t messages_sent = 0;
+    std::uint64_t duplicates_discarded = 0;
+    std::uint64_t corrupt_dropped = 0;
+    std::uint64_t forged_spawn_rejects = 0;
+    std::uint64_t wait_timeouts = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t retransmits = 0;
+    std::uint64_t watchdog_fires = 0;
+    std::uint64_t poisoned_workers = 0;
+  };
+
+  [[nodiscard]] Snapshot snapshot() const {
+    Snapshot s;
+    s.messages_sent = messages_sent.load(std::memory_order_relaxed);
+    s.duplicates_discarded = duplicates_discarded.load(std::memory_order_relaxed);
+    s.corrupt_dropped = corrupt_dropped.load(std::memory_order_relaxed);
+    s.forged_spawn_rejects = forged_spawn_rejects.load(std::memory_order_relaxed);
+    s.wait_timeouts = wait_timeouts.load(std::memory_order_relaxed);
+    s.retries = retries.load(std::memory_order_relaxed);
+    s.retransmits = retransmits.load(std::memory_order_relaxed);
+    s.watchdog_fires = watchdog_fires.load(std::memory_order_relaxed);
+    s.poisoned_workers = poisoned_workers.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  void accumulate(const Snapshot& s) {
+    messages_sent.fetch_add(s.messages_sent, std::memory_order_relaxed);
+    duplicates_discarded.fetch_add(s.duplicates_discarded, std::memory_order_relaxed);
+    corrupt_dropped.fetch_add(s.corrupt_dropped, std::memory_order_relaxed);
+    forged_spawn_rejects.fetch_add(s.forged_spawn_rejects, std::memory_order_relaxed);
+    wait_timeouts.fetch_add(s.wait_timeouts, std::memory_order_relaxed);
+    retries.fetch_add(s.retries, std::memory_order_relaxed);
+    retransmits.fetch_add(s.retransmits, std::memory_order_relaxed);
+    watchdog_fires.fetch_add(s.watchdog_fires, std::memory_order_relaxed);
+    poisoned_workers.fetch_add(s.poisoned_workers, std::memory_order_relaxed);
+  }
+};
+
+/// Thrown by the recovery protocol when a wait cannot complete: the deadline
+/// and every retry expired (kTimeout), or the runtime detected that a worker
+/// this wait depends on — possibly the waiter itself — is beyond recovery
+/// (kWorkerPoisoned). Embedders catch it and surface `status()`.
+class RuntimeFault : public std::runtime_error {
+ public:
+  RuntimeFault(StatusCode code, const std::string& what)
+      : std::runtime_error(what), code_(code) {}
+
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] Status status() const { return Status::error(code_, what()); }
+
+ private:
+  StatusCode code_;
+};
+
+}  // namespace privagic::runtime

@@ -11,13 +11,25 @@
 // consumer owns `tail_`; each reads the other's index with acquire and
 // publishes its own with release. Indices are padded to separate cache
 // lines to avoid false sharing.
+//
+// Because the ring lives in unsafe memory, an optional FaultInjector can be
+// attached to model the attacker who owns it: enqueues can be dropped,
+// duplicated, corrupted, reordered, or delayed, and (when the injector's
+// fault_pops is set) dequeues can drop or corrupt in-flight values. The
+// hold-back buffer for reorder/delay is producer-owned state, so the
+// SPSC discipline is preserved. With no injector attached every operation
+// compiles down to the seed's ring logic plus one null check.
 #pragma once
 
 #include <atomic>
 #include <cstddef>
 #include <new>
 #include <thread>
+#include <type_traits>
+#include <utility>
 #include <vector>
+
+#include "runtime/fault_injector.hpp"
 
 namespace privagic::runtime {
 
@@ -33,13 +45,50 @@ class SpscQueue {
   SpscQueue(const SpscQueue&) = delete;
   SpscQueue& operator=(const SpscQueue&) = delete;
 
+  /// Attaches the adversarial interposer (see fault_injector.hpp). @p channel
+  /// identifies this ring in the injector's per-channel state. Call before
+  /// traffic starts: the pointer is read without synchronization.
+  void set_injector(FaultInjector* injector, std::size_t channel) {
+    injector_ = injector;
+    channel_ = channel;
+  }
+
   /// Producer side. Returns false when full.
   bool try_push(const T& value) {
     const std::size_t head = head_.load(std::memory_order_relaxed);
     const std::size_t tail = tail_.load(std::memory_order_acquire);
     if (head - tail > mask_) return false;  // full
-    slots_[head & mask_] = value;
-    head_.store(head + 1, std::memory_order_release);
+    if (injector_ == nullptr) {
+      publish(head, value);
+      return true;
+    }
+    ++pushes_;  // this crossing counts; held releases are due *after* it
+    switch (injector_->classify()) {
+      case FaultKind::kNone:
+        publish(head, value);
+        break;
+      case FaultKind::kDrop:
+        break;  // swallowed in transit; the producer believes it sent
+      case FaultKind::kDuplicate:
+        publish(head, value);
+        raw_push(value);  // best-effort second copy (needs a free slot)
+        break;
+      case FaultKind::kCorrupt: {
+        T bad = value;
+        if constexpr (std::is_trivially_copyable_v<T>) {
+          injector_->corrupt_bytes(&bad, sizeof(T));
+        }
+        publish(head, bad);
+        break;
+      }
+      case FaultKind::kReorder:
+        held_.push_back({value, pushes_ + 1});
+        break;
+      case FaultKind::kDelay:
+        held_.push_back({value, pushes_ + 2});
+        break;
+    }
+    release_due_held();
     return true;
   }
 
@@ -50,12 +99,23 @@ class SpscQueue {
 
   /// Consumer side. Returns false when empty.
   bool try_pop(T& out) {
-    const std::size_t tail = tail_.load(std::memory_order_relaxed);
-    const std::size_t head = head_.load(std::memory_order_acquire);
-    if (tail == head) return false;  // empty
-    out = slots_[tail & mask_];
-    tail_.store(tail + 1, std::memory_order_release);
-    return true;
+    while (raw_pop(out)) {
+      if (injector_ != nullptr && injector_->fault_pops()) {
+        switch (injector_->classify()) {
+          case FaultKind::kDrop:
+            continue;  // consumed off the ring but never delivered
+          case FaultKind::kCorrupt:
+            if constexpr (std::is_trivially_copyable_v<T>) {
+              injector_->corrupt_bytes(&out, sizeof(T));
+            }
+            return true;
+          default:
+            return true;  // duplicate/reorder/delay are push-side faults
+        }
+      }
+      return true;
+    }
+    return false;
   }
 
   /// Consumer side; spins (with yields) until a value arrives.
@@ -71,13 +131,61 @@ class SpscQueue {
   [[nodiscard]] bool empty() const { return size() == 0; }
   [[nodiscard]] std::size_t capacity() const { return mask_ + 1; }
 
+  /// Messages currently held back by reorder/delay faults (producer thread
+  /// only; tests and drain loops).
+  [[nodiscard]] std::size_t held_in_transit() const { return held_.size(); }
+
+  /// Releases every held-back value (producer thread only; shutdown drain).
+  void flush_held() {
+    for (auto& h : held_) raw_push(h.first);
+    held_.clear();
+  }
+
  private:
   static constexpr std::size_t kCacheLine = 64;
+
+  void publish(std::size_t head, const T& value) {
+    slots_[head & mask_] = value;
+    head_.store(head + 1, std::memory_order_release);
+  }
+
+  bool raw_push(const T& value) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    if (head - tail > mask_) return false;  // full
+    publish(head, value);
+    return true;
+  }
+
+  bool raw_pop(T& out) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    if (tail == head) return false;  // empty
+    out = slots_[tail & mask_];
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  void release_due_held() {
+    if (held_.empty()) return;
+    for (auto it = held_.begin(); it != held_.end();) {
+      if (it->second <= pushes_ && raw_push(it->first)) {
+        it = held_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
 
   alignas(kCacheLine) std::atomic<std::size_t> head_{0};
   alignas(kCacheLine) std::atomic<std::size_t> tail_{0};
   std::size_t mask_;
   std::vector<T> slots_;
+  // Producer-owned adversarial state (cold; untouched without an injector).
+  FaultInjector* injector_ = nullptr;
+  std::size_t channel_ = 0;
+  std::uint64_t pushes_ = 0;
+  std::vector<std::pair<T, std::uint64_t>> held_;
 };
 
 }  // namespace privagic::runtime

@@ -4,25 +4,65 @@
 // enclave for each application thread." A ThreadRuntime owns one mailbox per
 // color in the color table. The calling application thread acts as the U
 // worker (index 0, matching Figure 7 where main()'s interface runs in the U
-// column); one std::jthread per enclave color runs an idle loop that pops
-// spawn messages and invokes the chunk runner.
+// column); one thread per enclave color runs an idle loop that pops spawn
+// messages and invokes the chunk runner.
 //
 // The chunk runner is supplied by the embedder (the interpreter): it
 // executes chunk #id's trampoline with the spawn's (tags, leader, flags).
 // Intrinsic implementations (spawn/cont/wait/ack/wait_ack) are methods here;
 // each takes the *current* worker's color index so nested waits pull from
 // the right mailbox.
+//
+// == Fault model & recovery ==
+//
+// The queues live in unsafe memory, so the hardened threat model lets an
+// attacker drop, duplicate, reorder, corrupt, delay, or forge any message
+// (modeled deterministically by fault_injector.hpp). The seed runtime
+// blocked forever in Mailbox::next the moment one message went missing; this
+// runtime degrades gracefully instead (RecoveryOptions):
+//
+//   * every legitimate send is stamped with a monotonic `seq` and MAC'd
+//     under the enclave-held secret (message_mac); receivers quarantine
+//     MAC mismatches (forged spawns / corrupted conts+acks) and discard
+//     already-seen seqs, so duplication — attacker- or retry-induced — is
+//     idempotent;
+//   * waits are timed (Mailbox::next_for) with bounded retry and exponential
+//     backoff; each retry retransmits the awaited message from a sender-side
+//     log kept in safe memory, so a dropped cont/ack is recovered rather
+//     than fatal;
+//   * a watchdog thread detects workers blocked past a configurable deadline
+//     (covering untimed waits) and unwedges them with a kPoison control
+//     message;
+//   * a worker whose wait is beyond recovery is marked *poisoned*; its wait
+//     throws RuntimeFault (kTimeout / kWorkerPoisoned) instead of hanging,
+//     and the embedder surfaces that as a Status-carrying runtime trap
+//     (interp::Machine::call).
+//
+// All defaults keep the seed semantics (infinite waits, no watchdog): the
+// recovery machinery activates only through RecoveryOptions.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
 #include <thread>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
+#include "runtime/fault_injector.hpp"
 #include "runtime/mailbox.hpp"
+#include "runtime/runtime_stats.hpp"
 #include "support/rng.hpp"
+#include "support/status.hpp"
 
 namespace privagic::runtime {
 
@@ -31,6 +71,35 @@ namespace privagic::runtime {
 /// embedder error handling (which catches std::exception to keep the message
 /// protocol alive) must not swallow it — only the worker idle loop does.
 struct WorkerStopped {};
+
+/// Knobs for the fault-recovery protocol. The zero-initialized defaults
+/// reproduce the seed runtime exactly: untimed waits, no watchdog, no
+/// injector. (RuntimeFault, in runtime_stats.hpp, *is* a std::exception —
+/// embedders are supposed to catch it and surface its Status.)
+struct RecoveryOptions {
+  /// Non-zero enables spawn/cont/ack authentication (the §8 extension):
+  /// legitimate messages are MAC'd with this enclave-held secret; forged or
+  /// corrupted ones pushed into the unsafe-memory queues are quarantined.
+  std::uint64_t spawn_secret = 0;
+  /// Base deadline for one wait attempt; 0 = wait forever (seed behavior).
+  std::chrono::milliseconds wait_deadline{0};
+  /// Deadline override for the application worker (U, color 0); 0 = use
+  /// wait_deadline. When a message is lost, *both* ends of the exchange are
+  /// usually blocked; giving one side headroom over the other makes exactly
+  /// one of them time out and recover, which keeps the retry/retransmit
+  /// counters deterministic for the scripted fault tests.
+  std::chrono::milliseconds app_wait_deadline{0};
+  /// Backoff rounds after the first timeout before the wait gives up. The
+  /// attempt deadline doubles each round (d, 2d, 4d, ...).
+  int max_retries = 3;
+  /// Re-push the awaited message from the sender-side log on each retry.
+  bool retransmit = true;
+  /// Deadline after which the watchdog unwedges a blocked worker with a
+  /// kPoison message; 0 disables the watchdog thread.
+  std::chrono::milliseconds watchdog_deadline{0};
+  /// Adversarial interposer on every mailbox push (nullptr = clean runs).
+  FaultInjector* injector = nullptr;
+};
 
 class ThreadRuntime {
  public:
@@ -41,18 +110,33 @@ class ThreadRuntime {
                                          std::int64_t flags)>;
 
   /// @p num_colors — size of the color table (index 0 = U).
-  /// @p spawn_secret — non-zero enables spawn authentication (the §8
-  /// extension): legitimate spawns are MAC'd with this secret, which lives
-  /// inside the enclaves; forged spawn messages pushed into the (unsafe-
-  /// memory) queues by an attacker are dropped and counted.
+  /// Seed-compatible constructor: @p spawn_secret as the single knob.
   explicit ThreadRuntime(std::size_t num_colors, ChunkRunner runner,
                          std::uint64_t spawn_secret = 0)
+      : ThreadRuntime(num_colors, std::move(runner),
+                      RecoveryOptions{.spawn_secret = spawn_secret}) {}
+
+  ThreadRuntime(std::size_t num_colors, ChunkRunner runner, RecoveryOptions options)
       : runner_(std::move(runner)),
+        options_(options),
         mailboxes_(num_colors),
-        spawn_secret_(spawn_secret) {
-    for (auto& box : mailboxes_) box = std::make_unique<Mailbox>();
+        seen_(num_colors),
+        sent_log_(num_colors),
+        poisoned_(num_colors),
+        blocked_since_ms_(num_colors) {
+    for (std::size_t c = 0; c < num_colors; ++c) {
+      mailboxes_[c] = std::make_unique<Mailbox>();
+      if (options_.injector != nullptr) {
+        mailboxes_[c]->set_injector(options_.injector, c);
+      }
+      poisoned_[c].store(false, std::memory_order_relaxed);
+      blocked_since_ms_[c].store(kNotBlocked, std::memory_order_relaxed);
+    }
     for (std::size_t c = 1; c < num_colors; ++c) {
       workers_.emplace_back([this, c] { worker_loop(c); });
+    }
+    if (options_.watchdog_deadline.count() > 0) {
+      watchdog_ = std::thread([this] { watchdog_loop(); });
     }
   }
 
@@ -63,6 +147,14 @@ class ThreadRuntime {
   void shutdown() {
     if (stopped_) return;
     stopped_ = true;
+    if (watchdog_.joinable()) {
+      {
+        const std::lock_guard<std::mutex> lock(watchdog_mu_);
+        watchdog_stop_ = true;
+      }
+      watchdog_cv_.notify_all();
+      watchdog_.join();
+    }
     for (std::size_t c = 1; c < mailboxes_.size(); ++c) {
       mailboxes_[c]->push(Message::stop());
     }
@@ -74,9 +166,15 @@ class ThreadRuntime {
 
   void spawn(std::int64_t target_color, std::uint64_t chunk, std::int64_t tags,
              std::int64_t leader, std::int64_t flags) {
-    Message m = Message::spawn(chunk, tags, leader, flags);
-    m.auth = spawn_mac(m);
-    mailboxes_[index(target_color)]->push(m);
+    send(target_color, Message::spawn(chunk, tags, leader, flags));
+  }
+
+  void cont(std::int64_t target_color, std::int64_t tag, std::int64_t payload) {
+    send(target_color, Message::cont(tag, payload));
+  }
+
+  void ack(std::int64_t target_color, std::int64_t tag) {
+    send(target_color, Message::ack(tag));
   }
 
   /// Test/attacker hook: push an arbitrary message into a worker's mailbox,
@@ -86,21 +184,8 @@ class ThreadRuntime {
     mailboxes_[index(target_color)]->push(m);
   }
 
-  /// Forged spawn messages dropped by the guard so far.
-  [[nodiscard]] std::uint64_t rejected_spawns() const {
-    return rejected_spawns_.load(std::memory_order_relaxed);
-  }
-
-  void cont(std::int64_t target_color, std::int64_t tag, std::int64_t payload) {
-    mailboxes_[index(target_color)]->push(Message::cont(tag, payload));
-  }
-
-  void ack(std::int64_t target_color, std::int64_t tag) {
-    mailboxes_[index(target_color)]->push(Message::ack(tag));
-  }
-
   /// Blocks worker @p me until a cont with @p tag arrives; serves spawns
-  /// re-entrantly while waiting.
+  /// re-entrantly while waiting. Throws RuntimeFault when recovery gives up.
   std::int64_t wait(std::size_t me, std::int64_t tag) {
     return wait_kind(me, MsgKind::kCont, tag).payload;
   }
@@ -109,9 +194,32 @@ class ThreadRuntime {
     wait_kind(me, MsgKind::kAck, tag);
   }
 
+  // -- Observability -----------------------------------------------------------
+
   [[nodiscard]] std::size_t num_colors() const { return mailboxes_.size(); }
 
+  [[nodiscard]] const RuntimeStats& stats() const { return stats_; }
+
+  /// Forged spawn messages dropped by the guard so far (seed-compatible
+  /// alias for stats().forged_spawn_rejects).
+  [[nodiscard]] std::uint64_t rejected_spawns() const {
+    return stats_.forged_spawn_rejects.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] bool poisoned(std::size_t color) const {
+    return poisoned_[color].load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool any_poisoned() const {
+    return any_poisoned_.load(std::memory_order_relaxed);
+  }
+
  private:
+  static constexpr std::int64_t kNotBlocked = -1;
+  static constexpr std::int64_t kWatchdogFired = -2;
+  static constexpr std::size_t kSentLogCap = 512;   // per-color retransmit window
+  static constexpr std::size_t kSeqWindowCap = 8192;  // per-color dedup window
+  static constexpr std::size_t kGoBackWindow = 8;   // fallback resend breadth
+
   [[nodiscard]] std::size_t index(std::int64_t color) const {
     if (color < 0 || static_cast<std::size_t>(color) >= mailboxes_.size()) {
       throw std::out_of_range("bad color id " + std::to_string(color));
@@ -119,39 +227,163 @@ class ThreadRuntime {
     return static_cast<std::size_t>(color);
   }
 
-  /// MAC over the spawn fields (stand-in for the HMAC a production runtime
-  /// would compute inside the enclave).
-  [[nodiscard]] std::uint64_t spawn_mac(const Message& m) const {
-    if (spawn_secret_ == 0) return 0;
-    std::uint64_t h = spawn_secret_;
-    for (std::uint64_t field :
-         {m.chunk, static_cast<std::uint64_t>(m.tags), static_cast<std::uint64_t>(m.leader),
-          static_cast<std::uint64_t>(m.flags)}) {
-      h = fmix64(h ^ field);
+  /// Stamps seq + MAC, records the message for retransmission, and pushes it
+  /// through the (possibly adversarial) mailbox.
+  void send(std::int64_t target_color, Message m) {
+    const std::size_t target = index(target_color);
+    m.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+    m.auth = message_mac(m, options_.spawn_secret);
+    stats_.messages_sent.fetch_add(1, std::memory_order_relaxed);
+    {
+      const std::lock_guard<std::mutex> lock(sent_mu_);
+      auto& log = sent_log_[target];
+      log.push_back(m);
+      if (log.size() > kSentLogCap) log.pop_front();
     }
-    return h | 1;  // never 0, so "unsigned" is always invalid under a guard
+    mailboxes_[target]->push(m);
+  }
+
+  /// Re-pushes the most recent logged message matching (kind, tag) destined
+  /// for color @p me — the recovery path for a cont/ack/spawn lost in
+  /// transit. The copy keeps its original seq, so if the "lost" original
+  /// eventually surfaces too, the receiver keeps exactly one.
+  bool retransmit(std::size_t me, MsgKind kind, std::int64_t tag) {
+    std::vector<std::pair<std::size_t, Message>> resend;  // (target, message)
+    {
+      const std::lock_guard<std::mutex> lock(sent_mu_);
+      auto& log = sent_log_[me];
+      for (auto it = log.rbegin(); it != log.rend(); ++it) {
+        if (it->kind == kind && it->tag == tag) {
+          resend.emplace_back(me, *it);
+          break;
+        }
+      }
+      if (resend.empty()) {
+        // Go-back fallback: the awaited message was never logged for this
+        // color, so the silence stems from a loss further up the dependency
+        // chain (e.g. the spawn — plus its already-delivered param conts —
+        // that should eventually produce our cont). Re-push a window of the
+        // globally most recent sends; the seq window makes every spurious
+        // re-delivery idempotent.
+        for (std::size_t c = 0; c < sent_log_.size(); ++c) {
+          const auto& l = sent_log_[c];
+          const std::size_t n = std::min(l.size(), kGoBackWindow);
+          for (std::size_t i = l.size() - n; i < l.size(); ++i) {
+            resend.emplace_back(c, l[i]);
+          }
+        }
+        std::sort(resend.begin(), resend.end(),
+                  [](const auto& a, const auto& b) { return a.second.seq < b.second.seq; });
+        if (resend.size() > kGoBackWindow) {
+          resend.erase(resend.begin(), resend.end() - kGoBackWindow);
+        }
+      }
+    }
+    if (resend.empty()) return false;
+    stats_.retransmits.fetch_add(1, std::memory_order_relaxed);  // one recovery event
+    for (const auto& [target, copy] : resend) mailboxes_[target]->push(copy);
+    return true;
+  }
+
+  /// Integrity + idempotence gate for every received message. Returns false
+  /// (and counts why) when the message must be discarded.
+  bool validate(std::size_t me, const Message& m) {
+    if (options_.spawn_secret != 0 && m.auth != message_mac(m, options_.spawn_secret)) {
+      if (m.kind == MsgKind::kSpawn) {
+        // forged: drop (§8's spawn-sequence protection)
+        stats_.forged_spawn_rejects.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        stats_.corrupt_dropped.fetch_add(1, std::memory_order_relaxed);
+      }
+      return false;
+    }
+    if (m.seq != 0 && !seen_[me].insert(m.seq, kSeqWindowCap)) {
+      stats_.duplicates_discarded.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    return true;
   }
 
   /// Validates and dispatches a popped spawn message.
   void serve_spawn(std::size_t me, const Message& m) {
-    if (spawn_secret_ != 0 && m.auth != spawn_mac(m)) {
-      rejected_spawns_.fetch_add(1, std::memory_order_relaxed);
-      return;  // forged: drop (§8's spawn-sequence protection)
-    }
+    if (!validate(me, m)) return;
     runner_(me, m.chunk, m.tags, m.leader, m.flags);
   }
 
+  void mark_blocked(std::size_t me, bool blocked) {
+    if (blocked) {
+      const auto now_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                              std::chrono::steady_clock::now().time_since_epoch())
+                              .count();
+      blocked_since_ms_[me].store(now_ms, std::memory_order_relaxed);
+    } else {
+      blocked_since_ms_[me].store(kNotBlocked, std::memory_order_relaxed);
+    }
+  }
+
+  void poison(std::size_t me) {
+    if (!poisoned_[me].exchange(true, std::memory_order_relaxed)) {
+      stats_.poisoned_workers.fetch_add(1, std::memory_order_relaxed);
+    }
+    any_poisoned_.store(true, std::memory_order_relaxed);
+  }
+
+  [[noreturn]] void give_up(std::size_t me, MsgKind kind, std::int64_t tag) {
+    // A worker beyond recovery degrades the whole group: mark it poisoned so
+    // waits that depend on it fail fast instead of burning their own full
+    // backoff ladder for an answer that will never come.
+    const bool other_poisoned = any_poisoned_.load(std::memory_order_relaxed);
+    poison(me);
+    const StatusCode code =
+        other_poisoned ? StatusCode::kWorkerPoisoned : StatusCode::kTimeout;
+    throw RuntimeFault(
+        code, std::string(status_code_name(code)) + ": worker " + std::to_string(me) +
+                  " gave up waiting for " +
+                  (kind == MsgKind::kAck ? "ack" : "cont") + " tag " +
+                  std::to_string(tag) + " after " +
+                  std::to_string(options_.max_retries) + " retries");
+  }
+
   Message wait_kind(std::size_t me, MsgKind kind, std::int64_t tag) {
+    const auto base = (me == 0 && options_.app_wait_deadline.count() > 0)
+                          ? options_.app_wait_deadline
+                          : options_.wait_deadline;
+    const bool timed = base.count() > 0;
+    auto attempt_deadline = base;
+    int attempt = 0;
     while (true) {
-      Message m = mailboxes_[me]->next(kind, tag);
-      switch (m.kind) {
+      std::optional<Message> m;
+      mark_blocked(me, true);
+      if (timed) {
+        m = mailboxes_[me]->next_for(kind, tag, attempt_deadline);
+      } else {
+        m = mailboxes_[me]->next(kind, tag);
+      }
+      mark_blocked(me, false);
+      if (!m.has_value()) {  // timed out
+        stats_.wait_timeouts.fetch_add(1, std::memory_order_relaxed);
+        if (attempt >= options_.max_retries) give_up(me, kind, tag);
+        ++attempt;
+        stats_.retries.fetch_add(1, std::memory_order_relaxed);
+        if (options_.retransmit) retransmit(me, kind, tag);
+        attempt_deadline *= 2;  // exponential backoff
+        continue;
+      }
+      switch (m->kind) {
         case MsgKind::kSpawn:
-          serve_spawn(me, m);
+          serve_spawn(me, *m);
           break;  // keep waiting
         case MsgKind::kStop:
           throw WorkerStopped{};
+        case MsgKind::kPoison:
+          poison(me);
+          throw RuntimeFault(StatusCode::kWorkerPoisoned,
+                             "worker " + std::to_string(me) +
+                                 " poisoned by the watchdog while waiting for tag " +
+                                 std::to_string(tag));
         default:
-          return m;
+          if (!validate(me, *m)) break;  // quarantined; keep waiting
+          return *m;
       }
     }
   }
@@ -160,19 +392,80 @@ class ThreadRuntime {
     while (true) {
       Message m = mailboxes_[me]->next_control();
       if (m.kind == MsgKind::kStop) return;
+      if (m.kind == MsgKind::kPoison) {
+        poison(me);
+        continue;  // stay alive: the group still needs a joinable thread
+      }
       try {
         serve_spawn(me, m);
       } catch (const WorkerStopped&) {
         return;  // a stop arrived while the chunk was blocked in a wait
+      } catch (const RuntimeFault&) {
+        // The chunk's wait gave up; the worker is already marked poisoned.
+        // Keep draining control messages so shutdown stays clean.
       }
     }
   }
 
+  void watchdog_loop() {
+    const auto deadline_ms = options_.watchdog_deadline.count();
+    const auto period = std::chrono::milliseconds(std::max<std::int64_t>(deadline_ms / 4, 1));
+    std::unique_lock<std::mutex> lock(watchdog_mu_);
+    while (!watchdog_stop_) {
+      watchdog_cv_.wait_for(lock, period);
+      if (watchdog_stop_) return;
+      const auto now_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                              std::chrono::steady_clock::now().time_since_epoch())
+                              .count();
+      for (std::size_t c = 0; c < blocked_since_ms_.size(); ++c) {
+        std::int64_t since = blocked_since_ms_[c].load(std::memory_order_relaxed);
+        if (since < 0 || now_ms - since <= deadline_ms) continue;
+        // Fire exactly once per blocked episode: the sentinel is cleared by
+        // the worker's own mark_blocked(false) when it unblocks.
+        if (!blocked_since_ms_[c].compare_exchange_strong(since, kWatchdogFired,
+                                                          std::memory_order_relaxed)) {
+          continue;
+        }
+        stats_.watchdog_fires.fetch_add(1, std::memory_order_relaxed);
+        poison(c);
+        mailboxes_[c]->push(Message::poison());
+      }
+    }
+  }
+
+  /// Sliding window of consumed sequence numbers (single consumer per color).
+  struct SeqWindow {
+    std::unordered_set<std::uint64_t> seen;
+    std::deque<std::uint64_t> order;
+
+    /// Returns false when @p seq was already consumed.
+    bool insert(std::uint64_t seq, std::size_t cap) {
+      if (!seen.insert(seq).second) return false;
+      order.push_back(seq);
+      if (order.size() > cap) {
+        seen.erase(order.front());
+        order.pop_front();
+      }
+      return true;
+    }
+  };
+
   ChunkRunner runner_;
+  RecoveryOptions options_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::vector<std::thread> workers_;
-  std::uint64_t spawn_secret_ = 0;
-  std::atomic<std::uint64_t> rejected_spawns_{0};
+  RuntimeStats stats_;
+  std::atomic<std::uint64_t> next_seq_{1};
+  std::vector<SeqWindow> seen_;                 // per color; consumer-thread-only
+  std::mutex sent_mu_;
+  std::vector<std::deque<Message>> sent_log_;   // per target color, safe memory
+  std::vector<std::atomic<bool>> poisoned_;
+  std::atomic<bool> any_poisoned_{false};
+  std::vector<std::atomic<std::int64_t>> blocked_since_ms_;
+  std::thread watchdog_;
+  std::mutex watchdog_mu_;
+  std::condition_variable watchdog_cv_;
+  bool watchdog_stop_ = false;
   bool stopped_ = false;
 };
 

@@ -6,6 +6,7 @@
 // reproduce the relative shape of results the paper measured on SGX hardware.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 
 namespace privagic {
@@ -31,6 +32,45 @@ class SimClock {
 
  private:
   double now_ns_ = 0.0;
+};
+
+/// A point in *simulated* time a benchmark must finish a recovery by. Used by
+/// the fault-sweep bench to account retry/backoff latency in the same
+/// deterministic nanoseconds as every other figure, instead of wall time.
+class SimDeadline {
+ public:
+  SimDeadline(const SimClock& clock, double budget_ns)
+      : clock_(&clock), expiry_ns_(clock.now_ns() + budget_ns) {}
+
+  [[nodiscard]] bool expired() const { return clock_->now_ns() >= expiry_ns_; }
+  [[nodiscard]] double remaining_ns() const {
+    const double left = expiry_ns_ - clock_->now_ns();
+    return left > 0.0 ? left : 0.0;
+  }
+
+ private:
+  const SimClock* clock_;
+  double expiry_ns_;
+};
+
+/// A wall-clock deadline for the *functional* runtime (watchdog, timed
+/// waits), where real threads block on real condition variables. Monotonic.
+class Deadline {
+ public:
+  static Deadline after(std::chrono::milliseconds budget) {
+    return Deadline(std::chrono::steady_clock::now() + budget);
+  }
+  /// A deadline that never expires (the seed runtime's behavior).
+  static Deadline never() { return Deadline(std::chrono::steady_clock::time_point::max()); }
+
+  [[nodiscard]] bool expired() const {
+    return std::chrono::steady_clock::now() >= at_;
+  }
+  [[nodiscard]] std::chrono::steady_clock::time_point time_point() const { return at_; }
+
+ private:
+  explicit Deadline(std::chrono::steady_clock::time_point at) : at_(at) {}
+  std::chrono::steady_clock::time_point at_;
 };
 
 }  // namespace privagic

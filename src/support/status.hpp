@@ -14,16 +14,51 @@
 
 namespace privagic {
 
+/// Machine-readable failure kind, so callers can branch on *why* an
+/// operation failed instead of string-matching messages. kGeneric is the
+/// catch-all used by the legacy message-only constructor path.
+enum class StatusCode {
+  kOk = 0,
+  kGeneric,         // unclassified failure (message-only ctor)
+  kTimeout,         // a wait exceeded its configured deadline
+  kCorrupt,         // a message failed its integrity check (MAC mismatch)
+  kForged,          // a spawn failed authentication (§8 spawn guard)
+  kWorkerPoisoned,  // a worker was marked unrecoverable; its waiters drained
+  kShutdown,        // the runtime stopped while the operation was pending
+};
+
+/// Short stable name for a code ("timeout", "worker-poisoned", ...).
+[[nodiscard]] inline const char* status_code_name(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kGeneric: return "error";
+    case StatusCode::kTimeout: return "timeout";
+    case StatusCode::kCorrupt: return "corrupt";
+    case StatusCode::kForged: return "forged";
+    case StatusCode::kWorkerPoisoned: return "worker-poisoned";
+    case StatusCode::kShutdown: return "shutdown";
+  }
+  return "?";
+}
+
 /// Outcome of an operation that can fail with a human-readable message.
 class Status {
  public:
   /// Constructs a success value.
   Status() = default;
 
-  /// Constructs a failure carrying @p message.
-  static Status error(std::string message) { return Status(std::move(message)); }
+  /// Constructs a failure carrying @p message (code kGeneric).
+  static Status error(std::string message) {
+    return Status(StatusCode::kGeneric, std::move(message));
+  }
+
+  /// Constructs a failure with an explicit failure kind.
+  static Status error(StatusCode code, std::string message) {
+    return Status(code, std::move(message));
+  }
 
   [[nodiscard]] bool ok() const { return !message_.has_value(); }
+  [[nodiscard]] StatusCode code() const { return code_; }
   [[nodiscard]] const std::string& message() const {
     static const std::string kOk = "ok";
     return message_ ? *message_ : kOk;
@@ -32,7 +67,9 @@ class Status {
   explicit operator bool() const { return ok(); }
 
  private:
-  explicit Status(std::string message) : message_(std::move(message)) {}
+  explicit Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+  StatusCode code_ = StatusCode::kOk;
   std::optional<std::string> message_;
 };
 
@@ -68,6 +105,12 @@ class Result {
   [[nodiscard]] const std::string& message() const {
     static const std::string kOk = "ok";
     return ok() ? kOk : std::get<Status>(storage_).message();
+  }
+
+  /// The failure Status (an OK status when the Result holds a value), so
+  /// callers can branch on `status().code()`.
+  [[nodiscard]] Status status() const {
+    return ok() ? Status() : std::get<Status>(storage_);
   }
 
   explicit operator bool() const { return ok(); }

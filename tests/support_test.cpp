@@ -118,6 +118,28 @@ TEST(SimClockTest, AccumulatesAndJoins) {
   EXPECT_DOUBLE_EQ(b.now_ns(), 0.0);
 }
 
+TEST(SimDeadlineTest, ExpiresWithSimulatedTimeOnly) {
+  SimClock clock;
+  clock.advance_ns(1000.0);
+  SimDeadline d(clock, 500.0);
+  EXPECT_FALSE(d.expired());
+  EXPECT_DOUBLE_EQ(d.remaining_ns(), 500.0);
+  clock.advance_ns(499.0);
+  EXPECT_FALSE(d.expired());
+  clock.advance_ns(1.0);
+  EXPECT_TRUE(d.expired());
+  EXPECT_DOUBLE_EQ(d.remaining_ns(), 0.0);  // clamped, never negative
+}
+
+TEST(DeadlineTest, AfterExpiresAndNeverDoesNot) {
+  const Deadline past = Deadline::after(std::chrono::milliseconds(0));
+  EXPECT_TRUE(past.expired());
+  const Deadline future = Deadline::after(std::chrono::milliseconds(60000));
+  EXPECT_FALSE(future.expired());
+  EXPECT_FALSE(Deadline::never().expired());
+  EXPECT_LT(past.time_point(), future.time_point());
+}
+
 // ---------------------------------------------------------------------------
 // Status / Result
 // ---------------------------------------------------------------------------
