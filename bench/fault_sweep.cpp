@@ -14,9 +14,11 @@
 // so each rate's fault pattern is identical run-to-run.
 #include <chrono>
 #include <cstdio>
+#include <string>
 
 #include "runtime/fault_injector.hpp"
 #include "runtime/workers.hpp"
+#include "support/bench_json.hpp"
 
 namespace {
 
@@ -82,12 +84,15 @@ SweepRow run_rate(double rate) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path = argc > 1 ? argv[1] : "BENCH_fault_sweep.json";
   std::printf("== Fault sweep: two-color echo under an adversarial boundary ==\n");
   std::printf("%llu exchanges per rate; faults split evenly drop/dup/corrupt\n\n",
               static_cast<unsigned long long>(kExchanges));
   std::printf("%-7s %12s %8s %8s %8s %9s %9s %8s %8s\n", "rate", "msgs/s", "drops",
               "dups", "corrupt", "timeouts", "retrans", "dup-dis", "poison");
+  privagic::support::BenchJsonWriter json("fault_sweep");
+  json.meta("exchanges_per_rate", kExchanges).meta("fault_split", "drop/dup/corrupt even");
   for (const double rate : {0.0, 0.001, 0.01, 0.05, 0.1}) {
     const SweepRow r = run_rate(rate);
     std::printf("%-7.3f %12.0f %8llu %8llu %8llu %9llu %9llu %8llu %8llu\n", r.rate,
@@ -98,7 +103,22 @@ int main() {
                 static_cast<unsigned long long>(r.stats.retransmits),
                 static_cast<unsigned long long>(r.stats.duplicates_discarded),
                 static_cast<unsigned long long>(r.stats.poisoned_workers));
+    json.add_row()
+        .set("rate", r.rate)
+        .set("msgs_per_sec", r.msgs_per_sec)
+        .set("drops_injected", r.injected.drops)
+        .set("duplicates_injected", r.injected.duplicates)
+        .set("corrupts_injected", r.injected.corrupts)
+        .set("wait_timeouts", r.stats.wait_timeouts)
+        .set("retransmits", r.stats.retransmits)
+        .set("duplicates_discarded", r.stats.duplicates_discarded)
+        .set("poisoned_workers", r.stats.poisoned_workers);
   }
   std::printf("\nEvery row completes; the seed runtime deadlocks at the first drop.\n");
+  if (!json.write_file(json_path)) {
+    std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", json_path.c_str());
   return 0;
 }

@@ -1,0 +1,207 @@
+// Interpreter throughput: pre-decoded register bytecode vs. the tree-walker
+// on the kvcache workload (the Table 4 program, apps/kvcache/pir_program.hpp).
+//
+// Two phases, each run under both engines on a fresh Machine:
+//   * background_tick — memcached's LRU-crawler analogue: pure untrusted
+//     interpretation (a 16-iteration checksum loop plus stat decay), no
+//     cross-enclave messages. This isolates interpreted-instruction
+//     throughput, which is what the decode pass optimizes.
+//   * handle_request  — the full request loop over a deterministic put/get/
+//     stats mix. Every cache op crosses into the 'store' enclave, so this
+//     phase mixes interpretation with mailbox latency.
+//
+// The headline is the background_tick instructions/sec ratio (the ISSUE's
+// ≥5× acceptance gate); the request-loop ratio shows how much of the win
+// survives once cross-enclave messaging is on the path. Results mirror to
+// BENCH_interp.json (support/bench_json.hpp schema).
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "apps/kvcache/pir_program.hpp"
+#include "interp/machine.hpp"
+#include "ir/parser.hpp"
+#include "partition/partitioner.hpp"
+#include "support/bench_json.hpp"
+
+namespace {
+
+using namespace privagic;  // NOLINT(google-build-using-namespace)
+using interp::ExecMode;
+
+constexpr std::uint64_t kBackgroundCalls = 30'000;
+constexpr std::uint64_t kRequestCalls = 4'000;
+
+const char* mode_name(ExecMode mode) {
+  return mode == ExecMode::kDecoded ? "decoded" : "treewalk";
+}
+
+std::unique_ptr<partition::PartitionResult> compile_kvcache() {
+  auto parsed = ir::parse_module(apps::kMinicachedCorePir);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "parse failed: %s\n", parsed.message().c_str());
+    std::exit(1);
+  }
+  static std::unique_ptr<ir::Module> module = std::move(parsed).value();
+  static sectype::TypeAnalysis analysis(*module, sectype::Mode::kHardened);
+  if (!analysis.run()) {
+    std::fprintf(stderr, "type check failed\n");
+    std::exit(1);
+  }
+  auto result = partition::partition_module(analysis);
+  if (!result.ok()) {
+    std::fprintf(stderr, "partition failed: %s\n", result.message().c_str());
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+
+std::unique_ptr<interp::Machine> make_machine(const partition::PartitionResult& program,
+                                              ExecMode mode) {
+  auto m = std::make_unique<interp::Machine>(program, /*epc_limit_bytes=*/0, mode);
+  for (const char* boundary : {"classify", "declassify"}) {
+    m->bind_external(boundary, [](interp::Machine::ExternalCtx&,
+                                  std::span<const std::int64_t> a) {
+      return a.empty() ? 0 : a[0];
+    });
+  }
+  m->bind_external("log_line", [](interp::Machine::ExternalCtx&,
+                                  std::span<const std::int64_t>) { return 0; });
+  m->bind_external("net_send", [](interp::Machine::ExternalCtx&,
+                                  std::span<const std::int64_t>) { return 0; });
+  return m;
+}
+
+/// Instruction counts settle a beat after call() returns (an enclave
+/// worker's trailing ret may still be in flight); poll until stable.
+std::uint64_t settled_instructions(const interp::Machine& m) {
+  std::uint64_t prev = m.instructions_executed();
+  for (int i = 0; i < 200; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    const std::uint64_t now = m.instructions_executed();
+    if (now == prev) return now;
+    prev = now;
+  }
+  return prev;
+}
+
+struct PhaseResult {
+  double seconds = 0.0;
+  std::uint64_t instructions = 0;
+  std::uint64_t calls = 0;
+  [[nodiscard]] double instr_per_sec() const { return static_cast<double>(instructions) / seconds; }
+  [[nodiscard]] double calls_per_sec() const { return static_cast<double>(calls) / seconds; }
+};
+
+PhaseResult run_background(const partition::PartitionResult& program, ExecMode mode) {
+  auto m = make_machine(program, mode);
+  for (int i = 0; i < 200; ++i) (void)m->call("background_tick", {});  // warmup
+  const std::uint64_t before = settled_instructions(*m);
+  const auto start = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < kBackgroundCalls; ++i) {
+    auto r = m->call("background_tick", {});
+    if (!r.ok()) {
+      std::fprintf(stderr, "background_tick failed: %s\n", r.message().c_str());
+      std::exit(1);
+    }
+  }
+  const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
+  PhaseResult out;
+  out.seconds = elapsed.count();
+  out.instructions = settled_instructions(*m) - before;
+  out.calls = kBackgroundCalls;
+  return out;
+}
+
+PhaseResult run_requests(const partition::PartitionResult& program, ExecMode mode) {
+  auto m = make_machine(program, mode);
+  // Deterministic 40% put / 50% get / 10% stats mix over 256 keys.
+  std::uint64_t state = 0x9E3779B97F4A7C15ull;
+  m->bind_external("net_recv", [&state](interp::Machine::ExternalCtx&,
+                                        std::span<const std::int64_t>) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    const std::uint64_t r = state >> 16;
+    const std::uint64_t key = r % 256;
+    const std::uint64_t pick = r % 10;
+    std::uint64_t op = pick < 5 ? 0 : pick < 9 ? 1 : 2;  // get / put / stats
+    return static_cast<std::int64_t>((op << 62) | (key << 32) | (r & 0xFFFF));
+  });
+  for (int i = 0; i < 100; ++i) (void)m->call("handle_request", {});  // warmup
+  const std::uint64_t before = settled_instructions(*m);
+  const auto start = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < kRequestCalls; ++i) {
+    auto r = m->call("handle_request", {});
+    if (!r.ok()) {
+      std::fprintf(stderr, "handle_request failed: %s\n", r.message().c_str());
+      std::exit(1);
+    }
+  }
+  const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
+  PhaseResult out;
+  out.seconds = elapsed.count();
+  out.instructions = settled_instructions(*m) - before;
+  out.calls = kRequestCalls;
+  return out;
+}
+
+void print_row(const char* phase, ExecMode mode, const PhaseResult& r) {
+  std::printf("%-16s %-9s %12llu %10.3f %15.0f %12.0f\n", phase, mode_name(mode),
+              static_cast<unsigned long long>(r.instructions), r.seconds,
+              r.instr_per_sec(), r.calls_per_sec());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = argc > 1 ? argv[1] : "BENCH_interp.json";
+  auto program = compile_kvcache();
+
+  std::printf("== Interpreter throughput: decoded bytecode vs tree-walker (kvcache) ==\n\n");
+  std::printf("%-16s %-9s %12s %10s %15s %12s\n", "phase", "engine", "instructions",
+              "seconds", "instr/sec", "calls/sec");
+
+  const PhaseResult bg_tree = run_background(*program, ExecMode::kTreeWalk);
+  print_row("background_tick", ExecMode::kTreeWalk, bg_tree);
+  const PhaseResult bg_dec = run_background(*program, ExecMode::kDecoded);
+  print_row("background_tick", ExecMode::kDecoded, bg_dec);
+  const PhaseResult rq_tree = run_requests(*program, ExecMode::kTreeWalk);
+  print_row("handle_request", ExecMode::kTreeWalk, rq_tree);
+  const PhaseResult rq_dec = run_requests(*program, ExecMode::kDecoded);
+  print_row("handle_request", ExecMode::kDecoded, rq_dec);
+
+  const double interp_ratio = bg_dec.instr_per_sec() / bg_tree.instr_per_sec();
+  const double request_ratio = rq_dec.instr_per_sec() / rq_tree.instr_per_sec();
+  std::printf("\ninterpreted-instruction throughput (background_tick): %.2fx  (gate: >=5x)\n",
+              interp_ratio);
+  std::printf("request-loop instruction throughput:                  %.2fx\n", request_ratio);
+
+  support::BenchJsonWriter json("interp_speed");
+  json.meta("workload", "kvcache (minicached_core, hardened)")
+      .meta("background_calls", kBackgroundCalls)
+      .meta("request_calls", kRequestCalls)
+      .meta("interp_throughput_ratio", interp_ratio)
+      .meta("request_throughput_ratio", request_ratio)
+      .meta("gate_min_ratio", 5.0);
+  for (const auto& [phase, mode, r] :
+       {std::tuple{"background_tick", ExecMode::kTreeWalk, bg_tree},
+        std::tuple{"background_tick", ExecMode::kDecoded, bg_dec},
+        std::tuple{"handle_request", ExecMode::kTreeWalk, rq_tree},
+        std::tuple{"handle_request", ExecMode::kDecoded, rq_dec}}) {
+    json.add_row()
+        .set("phase", phase)
+        .set("engine", mode_name(mode))
+        .set("instructions", r.instructions)
+        .set("seconds", r.seconds)
+        .set("instructions_per_sec", r.instr_per_sec())
+        .set("calls_per_sec", r.calls_per_sec());
+  }
+  if (!json.write_file(json_path)) {
+    std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::printf("\nwrote %s\n", json_path.c_str());
+  return interp_ratio >= 5.0 ? 0 : 2;
+}

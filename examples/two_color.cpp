@@ -79,6 +79,7 @@ int main() {
                   .c_str());
 
   interp::Machine machine(*result);
+  machine.set_external_log_enabled(true);
   const auto r = machine.call("main", {});
   std::printf("[4] executed across 3 protection domains: main() = %lld (expected 42)\n",
               static_cast<long long>(r.value()));

@@ -1,0 +1,194 @@
+// Pre-decoded register bytecode for the PIR interpreter.
+//
+// The tree-walking Executor in machine.cpp pays a hash-map lookup per
+// operand, virtual/kind() dispatch per value, and a seq-cst atomic increment
+// per instruction. This module performs the classic interpreter-speedup move
+// (CPython/LuaJIT-style pre-decoding): a one-time pass numbers each
+// function's SSA values into dense frame slots and lowers every
+// ir::Instruction into a fixed-size DecodedOp — opcode enum, pre-resolved
+// operand slots, immediates (sizes, field offsets, sign-extension widths),
+// branch targets as instruction indices, pre-resolved global addresses and
+// function tokens, and phi nodes compiled into per-edge parallel copies.
+// Execution is then a flat switch over a std::vector<DecodedOp> with the
+// frame as a plain int64 array slice of a reused stack arena.
+//
+// Frame layout per function: [arguments][instruction results][constants].
+// The constant tail is memcpy'd from the function's pool at entry, so every
+// operand read at runtime is a single indexed load — no value-kind branch.
+//
+// Instruction accounting is batched: the executor counts locally (one
+// register increment per op) and flushes into Machine::executed_ at branch
+// points every kCountFlushBatch ops (and unconditionally on unwind), so the
+// budget check costs one atomic RMW per few thousand instructions instead of
+// one per instruction, while instructions_executed() observed after a call
+// is exactly the tree-walker's count — including on fault paths.
+//
+// Decode-time resolution failures (unknown colors in dead code, entry-block
+// phis) become kTrap ops that throw the tree-walker's exact message if — and
+// only if — the offending instruction is actually executed.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sgx/memory.hpp"
+
+namespace privagic::ir {
+class Function;
+}
+namespace privagic::runtime {
+class ThreadRuntime;
+}
+
+namespace privagic::interp {
+
+class Machine;
+
+namespace bc {
+
+enum class Op : std::uint8_t {
+  kTrap,        // decode-time-diagnosed failure; throws when executed
+  // -- memory -----------------------------------------------------------------
+  kAlloca,      // dest = allocate(imm bytes, color a); freed at function exit
+  kHeapAlloc,   // dest = allocate(imm bytes, color a)
+  kHeapFree,    // free(frame[a])
+  kLoad,        // dest = mem[frame[a]], imm = size, sub = sign-extend bits
+  kStore,       // mem[frame[a]] = frame[b], imm = size
+  kGepField,    // dest = frame[a] + imm
+  kGepIndex,    // dest = frame[a] + imm * frame[b]
+  // -- arithmetic (sub = result bits for wrapping; 0 = no wrap) ---------------
+  kAdd, kSub, kMul, kSDiv, kSRem, kAnd, kOr, kXor, kShl, kLShr,
+  kFAdd, kFSub, kFMul, kFDiv,
+  // -- comparisons ------------------------------------------------------------
+  kEq, kNe, kSlt, kSle, kSgt, kSge,
+  // -- casts ------------------------------------------------------------------
+  kZext,        // dest = frame[a] & mask(sub source bits)
+  kTrunc,       // dest = sign_extend(frame[a], sub dest bits)
+  kCopy,        // dest = frame[a] (bitcast / ptrtoint / inttoptr / sext)
+  // -- runtime intrinsics -----------------------------------------------------
+  kSpawn, kCont, kWait, kAck, kWaitAck,
+  // -- calls ------------------------------------------------------------------
+  kCallInternal,   // target = const DecodedFunction*
+  kCallExternal,   // target = const ir::Function* (declaration)
+  kCallIndirect,   // frame[a] = function-pointer token
+  // -- control flow -----------------------------------------------------------
+  kBr,          // jump t0 after phi copies [phi0, phi0+nphi0)
+  kCondBr,      // frame[a] & 1 ? t0/phi0 : t1/phi1
+  kRet,         // return frame[a] if kHasResult else 0
+};
+
+/// DecodedOp::flags bits.
+inline constexpr std::uint16_t kHasResult = 1u << 0;      // call/ret produces a value
+inline constexpr std::uint16_t kAuthPointer = 1u << 1;    // load/store of ptr<T color(c)>
+inline constexpr std::uint16_t kSpawnResolved = 1u << 2;  // spawn target color in imm
+inline constexpr std::uint16_t kBadEdge0 = 1u << 3;       // taking t0 faults (phi gap)
+inline constexpr std::uint16_t kBadEdge1 = 1u << 4;       // taking t1 faults (phi gap)
+
+/// One phi-edge parallel-copy: frame[dst] = frame[src] (all reads first).
+struct PhiCopy {
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+};
+
+/// One pre-decoded instruction. Fixed-size and fully resolved: executing it
+/// never inspects an ir::Value.
+struct DecodedOp {
+  Op op = Op::kTrap;
+  std::uint8_t sub = 0;        // bits (wrap / extend) — see Op comments
+  std::uint16_t flags = 0;
+  std::uint32_t a = 0;         // slot: pointer / lhs / condition / source
+  std::uint32_t b = 0;         // slot: rhs / stored value / index
+  std::uint32_t dest = 0;      // result slot
+  std::int64_t imm = 0;        // size / byte offset / element size / color / trap id
+  std::uint32_t t0 = 0;        // branch target (op index)
+  std::uint32_t t1 = 0;
+  std::uint32_t phi0 = 0;      // edge copies for t0: phi_pool[phi0, phi0+nphi0)
+  std::uint32_t phi1 = 0;
+  std::uint16_t nphi0 = 0;
+  std::uint16_t nphi1 = 0;
+  std::uint16_t nargs = 0;     // call arity
+  std::uint32_t args_first = 0;  // call argument slots: arg_pool[args_first, +nargs)
+  const void* target = nullptr;  // DecodedFunction* / ir::Function*
+};
+
+/// One function, decoded. Immutable after ProgramCode construction and
+/// shared read-only by every executing thread.
+struct DecodedFunction {
+  const ir::Function* fn = nullptr;
+  std::uint32_t num_args = 0;
+  std::uint32_t num_slots = 0;    // args + results + constants
+  std::uint32_t const_base = 0;   // first constant slot
+  std::vector<std::int64_t> const_pool;  // copied to [const_base, …) at entry
+  std::vector<DecodedOp> ops;
+  std::vector<PhiCopy> phi_pool;
+  std::vector<std::uint32_t> arg_pool;
+  std::vector<std::string> traps;  // messages for kTrap ops
+};
+
+/// The decoded form of a Machine's whole program. Built once in the Machine
+/// constructor; decode resolves globals, function tokens, colors and chunk
+/// targets against that machine's address space.
+class ProgramCode {
+ public:
+  explicit ProgramCode(Machine& machine);
+  ProgramCode(const ProgramCode&) = delete;
+  ProgramCode& operator=(const ProgramCode&) = delete;
+
+  /// The decoded body of @p fn, or nullptr for declarations.
+  [[nodiscard]] const DecodedFunction* get(const ir::Function* fn) const {
+    auto it = functions_.find(fn);
+    return it != functions_.end() ? it->second.get() : nullptr;
+  }
+
+ private:
+  std::map<const ir::Function*, std::unique_ptr<DecodedFunction>> functions_;
+};
+
+/// Runs decoded functions on the current thread. One instance per chunk /
+/// interface invocation; nested direct calls reuse the same stack arena and
+/// the same one-entry memory-region cache.
+class BytecodeExecutor {
+ public:
+  BytecodeExecutor(Machine& machine, runtime::ThreadRuntime& rt, sgx::ColorId me);
+  ~BytecodeExecutor();
+  BytecodeExecutor(const BytecodeExecutor&) = delete;
+  BytecodeExecutor& operator=(const BytecodeExecutor&) = delete;
+
+  /// Executes @p f with @p args; returns the i64 result (0 for void).
+  std::int64_t run(const DecodedFunction* f, std::span<const std::int64_t> args);
+
+ private:
+  // Flush the local instruction count into Machine::executed_ at most every
+  // this many ops (checked at branch points, where loops must pass).
+  static constexpr std::uint64_t kCountFlushBatch = 8192;
+
+  /// Fast-path pointer for [addr, addr+n): serves from the one-entry region
+  /// cache when the shard epoch is unchanged, else re-resolves (and performs
+  /// the full access check) through SimMemory.
+  std::byte* mem_data(std::uint64_t addr, std::uint64_t n);
+  std::int64_t mem_load(std::uint64_t addr, std::uint64_t size, unsigned sx_bits);
+  void mem_store(std::uint64_t addr, std::int64_t value, std::uint64_t size);
+
+  /// Adds pending_ to the machine-wide counter and enforces the budget.
+  void flush_counter();
+
+  std::int64_t call_function(const DecodedFunction* f, const DecodedOp& o,
+                             const std::int64_t* frame);
+  std::int64_t call_indirect(const DecodedFunction* f, const DecodedOp& o,
+                             const std::int64_t* frame);
+
+  Machine& m_;
+  runtime::ThreadRuntime& rt_;
+  sgx::ColorId me_;
+  sgx::SimMemory::RegionHandle cache_;
+  std::vector<std::int64_t> stack_;
+  std::size_t sp_ = 0;
+  std::uint64_t pending_ = 0;
+};
+
+}  // namespace bc
+}  // namespace privagic::interp

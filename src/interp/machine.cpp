@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "interp/bytecode.hpp"
 #include "partition/intrinsics.hpp"
 #include "support/rng.hpp"
 #include "sectype/color.hpp"
@@ -394,24 +395,13 @@ class Executor {
   }
 
   /// Direct or indirect call target: local functions execute on this worker;
-  /// declarations go to the external registry.
+  /// declarations go through the machine's shared external dispatch.
   std::int64_t dispatch(const ir::Function* callee, std::span<const std::int64_t> args) {
     if (!callee->is_declaration()) {
       Executor nested(m_, rt_, me_);
       return nested.run(callee, args);
     }
-    std::ostringstream entry;
-    entry << callee->name() << "(";
-    for (std::size_t i = 0; i < args.size(); ++i) {
-      if (i > 0) entry << ", ";
-      entry << args[i];
-    }
-    entry << ")";
-    m_.log_external(entry.str());
-    auto it = m_.externals_.find(callee->name());
-    if (it == m_.externals_.end()) return 0;
-    Machine::ExternalCtx ctx{m_, me_};
-    return it->second(ctx, args);
+    return m_.call_external(callee, args, me_);
   }
 
   Machine& m_;
@@ -423,8 +413,9 @@ class Executor {
 // Machine
 // ---------------------------------------------------------------------------
 
-Machine::Machine(const partition::PartitionResult& program, std::uint64_t epc_limit_bytes)
-    : program_(program) {
+Machine::Machine(const partition::PartitionResult& program, std::uint64_t epc_limit_bytes,
+                 ExecMode mode)
+    : program_(program), mode_(mode) {
   memory_ = std::make_unique<sgx::SimMemory>(epc_limit_bytes);
   allocate_globals(epc_limit_bytes);
 
@@ -436,6 +427,9 @@ Machine::Machine(const partition::PartitionResult& program, std::uint64_t epc_li
     ++next_token;
   }
 
+  // Decode after globals and tokens exist: operand lowering bakes their
+  // addresses into the per-function constant pools.
+  if (mode_ == ExecMode::kDecoded) code_ = std::make_unique<bc::ProgramCode>(*this);
 }
 
 runtime::ThreadRuntime& Machine::runtime_for_current_thread() {
@@ -510,9 +504,8 @@ void Machine::run_chunk(runtime::ThreadRuntime& rt, std::uint64_t chunk_id, std:
       throw InterpError("chunk " + info.fn->name() + " spawned without a trampoline");
     }
     const sgx::ColorId me = program_.color_id(info.color);
-    Executor exec(*this, rt, me);
     const std::int64_t args[3] = {tags, leader, flags};
-    exec.run(info.trampoline, std::span<const std::int64_t>(args, 3));
+    exec_function(rt, info.trampoline, std::span<const std::int64_t>(args, 3), me);
   } catch (const std::exception& e) {
     // Record the failure (keeping the runtime's failure kind when the
     // recovery protocol produced it) and still complete the message protocol
@@ -555,8 +548,32 @@ runtime::RuntimeStats::Snapshot Machine::runtime_stats() const {
 
 std::int64_t Machine::exec_function(runtime::ThreadRuntime& rt, const ir::Function* fn,
                                     std::span<const std::int64_t> args, sgx::ColorId me) {
+  if (mode_ == ExecMode::kDecoded) {
+    const bc::DecodedFunction* df = code_->get(fn);
+    if (df == nullptr) throw InterpError("cannot execute declaration @" + fn->name());
+    bc::BytecodeExecutor exec(*this, rt, me);
+    return exec.run(df, args);
+  }
   Executor exec(*this, rt, me);
   return exec.run(fn, args);
+}
+
+std::int64_t Machine::call_external(const ir::Function* callee,
+                                    std::span<const std::int64_t> args, sgx::ColorId me) {
+  if (external_log_enabled_) {
+    std::ostringstream entry;
+    entry << callee->name() << "(";
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      if (i > 0) entry << ", ";
+      entry << args[i];
+    }
+    entry << ")";
+    log_external(entry.str());
+  }
+  auto it = externals_.find(callee->name());
+  if (it == externals_.end()) return 0;
+  ExternalCtx ctx{*this, me};
+  return it->second(ctx, args);
 }
 
 Result<std::int64_t> Machine::call(const std::string& name, std::vector<std::int64_t> args) {
@@ -568,12 +585,21 @@ Result<std::int64_t> Machine::call(const std::string& name, std::vector<std::int
   }
   try {
     const std::int64_t r = exec_function(runtime_for_current_thread(), fn, args, sgx::kUnsafe);
-    const std::lock_guard<std::mutex> lock(log_mu_);
-    if (!first_error_.empty()) {
+    // Snapshot the worker-side failure under the lock AND clear it, so one
+    // failed call does not poison every later call on this machine.
+    std::string error;
+    StatusCode code = StatusCode::kGeneric;
+    {
+      const std::lock_guard<std::mutex> lock(log_mu_);
+      error = std::move(first_error_);
+      code = first_error_code_;
+      first_error_.clear();
+      first_error_code_ = StatusCode::kGeneric;
+    }
+    if (!error.empty()) {
       // A worker failed mid-protocol; surface its failure kind so callers
       // can branch on it (a recovery timeout is a runtime trap, not a hang).
-      return Result<std::int64_t>(
-          Status::error(first_error_code_, "worker failed: " + first_error_));
+      return Result<std::int64_t>(Status::error(code, "worker failed: " + error));
     }
     return r;
   } catch (const runtime::RuntimeFault& f) {

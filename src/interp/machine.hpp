@@ -44,6 +44,18 @@
 
 namespace privagic::interp {
 
+namespace bc {
+class ProgramCode;
+class BytecodeExecutor;
+class Decoder;
+}  // namespace bc
+
+/// Which engine executes function bodies. kDecoded is the default: the
+/// pre-decoded register bytecode (src/interp/bytecode.*). kTreeWalk keeps the
+/// original AST walker as the differential-testing baseline
+/// (tests/interp_equiv_test.cpp runs every program under both).
+enum class ExecMode { kDecoded, kTreeWalk };
+
 class Machine {
  public:
   /// Host-side implementation of an external function. Receives the raw
@@ -58,7 +70,8 @@ class Machine {
 
   /// @p epc_limit_bytes: per-enclave EPC cap (0 = unlimited).
   explicit Machine(const partition::PartitionResult& program,
-                   std::uint64_t epc_limit_bytes = 0);
+                   std::uint64_t epc_limit_bytes = 0,
+                   ExecMode mode = ExecMode::kDecoded);
   ~Machine();
   Machine(const Machine&) = delete;
   Machine& operator=(const Machine&) = delete;
@@ -78,8 +91,19 @@ class Machine {
   /// Address of a global by name (for tests to pre-/post-inspect state).
   [[nodiscard]] std::uint64_t global_address(const std::string& name) const;
 
-  /// Chronological log of external calls: "printf(0)" etc.
+  /// Chronological log of external calls: "printf(0)" etc. Recording is
+  /// opt-in — formatting every external call costs an ostringstream per
+  /// dispatch, which benchmarks must not pay for. Call
+  /// set_external_log_enabled(true) before the first call() to use it.
   [[nodiscard]] std::vector<std::string> external_log() const;
+
+  /// Turns external-call log recording on/off. Set before the first call();
+  /// the flag is read unsynchronized by worker threads afterwards.
+  void set_external_log_enabled(bool on) { external_log_enabled_ = on; }
+  [[nodiscard]] bool external_log_enabled() const { return external_log_enabled_; }
+
+  /// The engine this machine executes with (fixed at construction).
+  [[nodiscard]] ExecMode exec_mode() const { return mode_; }
 
   /// Total instructions executed (all workers).
   [[nodiscard]] std::uint64_t instructions_executed() const { return executed_; }
@@ -124,6 +148,9 @@ class Machine {
 
  private:
   friend class Executor;
+  friend class bc::ProgramCode;
+  friend class bc::BytecodeExecutor;
+  friend class bc::Decoder;
 
   void allocate_globals(std::uint64_t epc_limit_bytes);
   [[nodiscard]] sgx::ColorId color_id_of_annotation(const std::string& annotation) const;
@@ -133,10 +160,18 @@ class Machine {
                  std::int64_t leader, std::int64_t flags);
   std::int64_t exec_function(runtime::ThreadRuntime& rt, const ir::Function* fn,
                              std::span<const std::int64_t> args, sgx::ColorId me);
+  /// Dispatches a call to a declaration: records it in the external log when
+  /// enabled, then invokes the bound handler (unbound externals return 0).
+  /// Shared by both engines.
+  std::int64_t call_external(const ir::Function* callee,
+                             std::span<const std::int64_t> args, sgx::ColorId me);
   void log_external(const std::string& entry);
 
   const partition::PartitionResult& program_;
+  const ExecMode mode_;
   std::unique_ptr<sgx::SimMemory> memory_;
+  // The whole program pre-decoded to register bytecode (kDecoded mode only).
+  std::unique_ptr<bc::ProgramCode> code_;
   // One worker group per application (host) thread, §7.3.1.
   mutable std::mutex runtimes_mu_;
   std::map<std::thread::id, std::unique_ptr<runtime::ThreadRuntime>> runtimes_;
@@ -151,6 +186,7 @@ class Machine {
   StatusCode first_error_code_ = StatusCode::kGeneric;
   std::atomic<std::uint64_t> executed_{0};
   bool pointer_auth_ = false;
+  bool external_log_enabled_ = false;
   // Recovery configuration applied to lazily created worker groups.
   std::chrono::milliseconds recovery_deadline_{0};
   int recovery_max_retries_ = 3;

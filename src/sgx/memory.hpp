@@ -12,15 +12,37 @@
 //
 // Per-enclave EPC usage is tracked against a configurable limit so tests can
 // exercise the machine-A (93 MiB) and machine-B (8131 MiB) configurations.
+//
+// == Scaling structure ==
+//
+// The original implementation kept every region in one std::map behind one
+// global mutex, which made each simulated load/store a lock acquisition plus
+// an O(log n) tree search — the dominant cost of the interpreter's hot loop.
+// Regions are now sharded across kShardCount lock-striped buckets; the shard
+// index is carried in the address's high bits, so locating the bucket for an
+// access is a shift, and only intra-shard lookups take that shard's lock.
+//
+// On top of the striped slow path, resolve() hands out a RegionHandle that an
+// executor may cache: the handle pins the region's bytes (shared_ptr) and
+// records the owning shard's free-epoch. Any free() in a shard bumps that
+// shard's epoch, so a cached handle validates with one atomic load; while the
+// epoch matches, in-bounds accesses by the same accessor need neither the
+// lock nor the tree search. The access-check semantics are unchanged: a
+// handle only exists if check_access() admitted the accessor, addresses are
+// never reused (per-shard bump allocation), and every violating access still
+// throws AccessViolation on the resolve path.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <span>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace privagic::sgx {
@@ -42,62 +64,132 @@ class EpcExhausted : public std::runtime_error {
 class SimMemory {
  public:
   /// @p epc_limit_bytes caps the *per-enclave* protected memory (0 = no cap).
-  explicit SimMemory(std::uint64_t epc_limit_bytes = 0) : epc_limit_(epc_limit_bytes) {}
+  explicit SimMemory(std::uint64_t epc_limit_bytes = 0) : epc_limit_(epc_limit_bytes) {
+    for (std::size_t s = 0; s < kShardCount; ++s) {
+      shards_[s].next = (static_cast<std::uint64_t>(s) << kShardShift) + 0x1000;
+    }
+  }
+
+  /// A cacheable reference to one live region, produced by resolve(). The
+  /// shared_ptr pins the bytes (a racing free can never turn a stale cache
+  /// into a use-after-free); `epoch` snapshots the owning shard's free
+  /// counter so holders can detect staleness with one atomic load.
+  struct RegionHandle {
+    std::uint64_t base = 0;
+    std::uint64_t size = 0;
+    ColorId color = kUnsafe;
+    std::shared_ptr<std::vector<std::byte>> bytes;
+    std::uint64_t epoch = 0;
+    std::uint32_t shard = 0;
+
+    /// True when [addr, addr+n) lies inside the region.
+    [[nodiscard]] bool covers(std::uint64_t addr, std::uint64_t n) const {
+      return addr >= base && addr - base <= size && n <= size - (addr - base);
+    }
+  };
 
   /// Allocates @p size zeroed bytes owned by @p color. Returns the base
   /// address (never 0).
   std::uint64_t allocate(std::uint64_t size, ColorId color) {
-    const std::lock_guard<std::mutex> lock(mu_);
     if (size == 0) size = 1;
     if (color != kUnsafe && epc_limit_ != 0) {
+      const std::lock_guard<std::mutex> lock(epc_mu_);
       auto& used = epc_used_[color];
       if (used + size > epc_limit_) {
         throw EpcExhausted("enclave " + std::to_string(color) + " exceeds EPC limit");
       }
       used += size;
     }
-    const std::uint64_t base = next_;
-    next_ += size + kRedzone;
-    regions_.emplace(base, Region{size, color, std::vector<std::byte>(size)});
+    Shard& sh = shards_[alloc_cursor_.fetch_add(1, std::memory_order_relaxed) % kShardCount];
+    const std::lock_guard<std::mutex> lock(sh.mu);
+    const std::uint64_t base = sh.next;
+    // 16-aligned bases keep ≤8-byte accesses on one cache line; addresses are
+    // never reused (pure bump allocation), which is what lets RegionHandle
+    // validation be a plain epoch compare with no ABA hazard.
+    sh.next += (size + kRedzone + 15) & ~std::uint64_t{15};
+    sh.regions.emplace(base, Region{size, color,
+                                    std::make_shared<std::vector<std::byte>>(size)});
     return base;
   }
 
   /// Frees the allocation starting exactly at @p addr.
   void free(std::uint64_t addr, ColorId accessor) {
-    const std::lock_guard<std::mutex> lock(mu_);
-    auto it = regions_.find(addr);
-    if (it == regions_.end()) {
-      throw AccessViolation("free of unallocated address");
+    Shard& sh = shard_of(addr);
+    std::uint64_t size = 0;
+    ColorId color = kUnsafe;
+    {
+      const std::lock_guard<std::mutex> lock(sh.mu);
+      auto it = sh.regions.find(addr);
+      if (it == sh.regions.end()) {
+        throw AccessViolation("free of unallocated address");
+      }
+      check_access(it->second, accessor);
+      size = it->second.size;
+      color = it->second.color;
+      sh.regions.erase(it);
+      // Invalidate every cached handle into this shard before the lock drops:
+      // a handle validated after this point re-resolves and faults.
+      sh.free_epoch.fetch_add(1, std::memory_order_release);
     }
-    check_access(it->second, accessor);
-    if (it->second.color != kUnsafe && epc_limit_ != 0) {
-      epc_used_[it->second.color] -= it->second.size;
+    if (color != kUnsafe && epc_limit_ != 0) {
+      const std::lock_guard<std::mutex> lock(epc_mu_);
+      epc_used_[color] -= size;
     }
-    regions_.erase(it);
   }
 
   void write(std::uint64_t addr, std::span<const std::byte> data, ColorId accessor) {
-    const std::lock_guard<std::mutex> lock(mu_);
-    Region& r = locate(addr, data.size());
-    check_access(r, accessor);
-    std::memcpy(r.bytes.data() + offset_in(addr), data.data(), data.size());
+    Shard& sh = shard_of(addr);
+    const std::lock_guard<std::mutex> lock(sh.mu);
+    auto [region, off] = locate(sh, addr, data.size());
+    check_access(*region, accessor);
+    std::memcpy(region->bytes->data() + off, data.data(), data.size());
   }
 
   void read(std::uint64_t addr, std::span<std::byte> out, ColorId accessor) const {
-    const std::lock_guard<std::mutex> lock(mu_);
-    const Region& r = locate(addr, out.size());
-    check_access(r, accessor);
-    std::memcpy(out.data(), r.bytes.data() + offset_in(addr), out.size());
+    const Shard& sh = shard_of(addr);
+    const std::lock_guard<std::mutex> lock(sh.mu);
+    auto [region, off] = locate(sh, addr, out.size());
+    check_access(*region, accessor);
+    std::memcpy(out.data(), region->bytes->data() + off, out.size());
+  }
+
+  /// Slow-path lookup for the executors' one-entry region cache: performs the
+  /// exact checks of read()/write() (shard mapping, bounds, color rules) and
+  /// returns a pinned handle for [addr, addr+size). Throws AccessViolation in
+  /// every case the plain accessors would.
+  [[nodiscard]] RegionHandle resolve(std::uint64_t addr, std::uint64_t size,
+                                     ColorId accessor) const {
+    const std::uint32_t index = shard_index(addr);
+    const Shard& sh = shards_[index];
+    const std::lock_guard<std::mutex> lock(sh.mu);
+    auto [region, off] = locate(sh, addr, size);
+    check_access(*region, accessor);
+    RegionHandle h;
+    h.base = addr - off;
+    h.size = region->size;
+    h.color = region->color;
+    h.bytes = region->bytes;
+    h.epoch = sh.free_epoch.load(std::memory_order_acquire);
+    h.shard = index;
+    return h;
+  }
+
+  /// True while no free() has hit the handle's shard since it was resolved —
+  /// the one-atomic-load validation of the executor fast path.
+  [[nodiscard]] bool handle_current(const RegionHandle& h) const {
+    return h.bytes != nullptr &&
+           shards_[h.shard].free_epoch.load(std::memory_order_acquire) == h.epoch;
   }
 
   /// The color owning @p addr (throws if unmapped).
   [[nodiscard]] ColorId color_of(std::uint64_t addr) const {
-    const std::lock_guard<std::mutex> lock(mu_);
-    return locate(addr, 1).color;
+    const Shard& sh = shard_of(addr);
+    const std::lock_guard<std::mutex> lock(sh.mu);
+    return locate(sh, addr, 1).first->color;
   }
 
   [[nodiscard]] std::uint64_t epc_used(ColorId color) const {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const std::lock_guard<std::mutex> lock(epc_mu_);
     auto it = epc_used_.find(color);
     return it != epc_used_.end() ? it->second : 0;
   }
@@ -106,45 +198,72 @@ class SimMemory {
   /// true if found. Models an adversary with full control of the OS, who can
   /// read everything outside the enclaves.
   [[nodiscard]] bool unsafe_memory_contains(std::span<const std::byte> needle) const {
-    const std::lock_guard<std::mutex> lock(mu_);
-    for (const auto& [base, region] : regions_) {
-      (void)base;
-      if (region.color != kUnsafe) continue;
-      const auto& hay = region.bytes;
-      if (needle.size() > hay.size()) continue;
-      for (std::size_t i = 0; i + needle.size() <= hay.size(); ++i) {
-        if (std::memcmp(hay.data() + i, needle.data(), needle.size()) == 0) return true;
+    for (const Shard& sh : shards_) {
+      const std::lock_guard<std::mutex> lock(sh.mu);
+      for (const auto& [base, region] : sh.regions) {
+        (void)base;
+        if (region.color != kUnsafe) continue;
+        const auto& hay = *region.bytes;
+        if (needle.size() > hay.size()) continue;
+        for (std::size_t i = 0; i + needle.size() <= hay.size(); ++i) {
+          if (std::memcmp(hay.data() + i, needle.data(), needle.size()) == 0) return true;
+        }
       }
     }
     return false;
   }
 
  private:
+  // 16 shards of 4 TiB each: the whole sharded space ends well below the
+  // interpreter's function-token range (1<<62).
+  static constexpr std::size_t kShardCount = 16;
+  static constexpr unsigned kShardShift = 42;
   static constexpr std::uint64_t kRedzone = 16;
 
   struct Region {
     std::uint64_t size;
     ColorId color;
-    std::vector<std::byte> bytes;
+    // shared_ptr so a RegionHandle outliving a racing free() keeps the bytes
+    // alive; the epoch check makes such stale accesses re-resolve and fault.
+    std::shared_ptr<std::vector<std::byte>> bytes;
   };
 
-  /// The region containing [addr, addr+size). mu_ must be held.
-  const Region& locate(std::uint64_t addr, std::uint64_t size) const {
-    auto it = regions_.upper_bound(addr);
-    if (it == regions_.begin()) throw AccessViolation("access to unmapped address");
+  struct Shard {
+    mutable std::mutex mu;
+    std::map<std::uint64_t, Region> regions;
+    std::uint64_t next = 0;
+    std::atomic<std::uint64_t> free_epoch{0};
+  };
+
+  [[nodiscard]] std::uint32_t shard_index(std::uint64_t addr) const {
+    const std::uint64_t index = addr >> kShardShift;
+    if (index >= kShardCount) throw AccessViolation("access to unmapped address");
+    return static_cast<std::uint32_t>(index);
+  }
+  [[nodiscard]] const Shard& shard_of(std::uint64_t addr) const {
+    return shards_[shard_index(addr)];
+  }
+  [[nodiscard]] Shard& shard_of(std::uint64_t addr) {
+    return shards_[shard_index(addr)];
+  }
+
+  /// The region containing [addr, addr+size) and the offset of addr within
+  /// it. The shard's mutex must be held.
+  std::pair<const Region*, std::uint64_t> locate(const Shard& sh, std::uint64_t addr,
+                                                 std::uint64_t size) const {
+    auto it = sh.regions.upper_bound(addr);
+    if (it == sh.regions.begin()) throw AccessViolation("access to unmapped address");
     --it;
     const std::uint64_t off = addr - it->first;
     if (off + size > it->second.size) {
       throw AccessViolation("out-of-bounds access");
     }
-    cached_base_ = it->first;
-    return it->second;
+    return {&it->second, off};
   }
-  Region& locate(std::uint64_t addr, std::uint64_t size) {
-    return const_cast<Region&>(std::as_const(*this).locate(addr, size));
+  std::pair<Region*, std::uint64_t> locate(Shard& sh, std::uint64_t addr, std::uint64_t size) {
+    auto [region, off] = std::as_const(*this).locate(sh, addr, size);
+    return {const_cast<Region*>(region), off};
   }
-
-  std::uint64_t offset_in(std::uint64_t addr) const { return addr - cached_base_; }
 
   static void check_access(const Region& r, ColorId accessor) {
     if (r.color == kUnsafe) return;             // everyone reads unsafe memory
@@ -153,12 +272,11 @@ class SimMemory {
                           " attempted to access enclave " + std::to_string(r.color));
   }
 
-  mutable std::mutex mu_;
-  std::map<std::uint64_t, Region> regions_;
+  Shard shards_[kShardCount];
+  std::atomic<std::uint64_t> alloc_cursor_{0};
+  mutable std::mutex epc_mu_;
   std::map<ColorId, std::uint64_t> epc_used_;
-  std::uint64_t next_ = 0x1000;
   std::uint64_t epc_limit_;
-  mutable std::uint64_t cached_base_ = 0;
 };
 
 }  // namespace privagic::sgx

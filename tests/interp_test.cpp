@@ -82,6 +82,7 @@ entry:
 TEST(Figure6ExecutionTest, RunsAcrossThreeDomainsWithCorrectSemantics) {
   Compiled c = compile(kFigure6, Mode::kRelaxed);
   Machine m(*c.program);
+  m.set_external_log_enabled(true);  // log recording is opt-in
   auto r = m.call("main", {});
   ASSERT_TRUE(r.ok()) << r.message();
   EXPECT_EQ(r.value(), 42);  // Figure 7: main returns f's F result
@@ -101,6 +102,7 @@ TEST(Figure6ExecutionTest, RunsAcrossThreeDomainsWithCorrectSemantics) {
 TEST(Figure6ExecutionTest, RepeatedCallsStaySound) {
   Compiled c = compile(kFigure6, Mode::kRelaxed);
   Machine m(*c.program);
+  m.set_external_log_enabled(true);
   for (int i = 0; i < 50; ++i) {
     auto r = m.call("main", {});
     ASSERT_TRUE(r.ok()) << "iteration " << i << ": " << r.message();
@@ -291,6 +293,7 @@ entry:
 )";
   Compiled c = compile(text, Mode::kRelaxed);
   Machine m(*c.program);
+  m.set_external_log_enabled(true);
   ASSERT_TRUE(m.call("run", {}).ok());
   const auto log = m.external_log();
   ASSERT_EQ(log.size(), 2u);
@@ -427,6 +430,7 @@ entry:
 TEST(SpawnGuardTest, AttackerInjectedSpawnIsDroppedAndExecutionContinues) {
   Compiled c = compile(kFigure6, Mode::kRelaxed);
   Machine m(*c.program);
+  m.set_external_log_enabled(true);
   // §8: "An attacker can temper the execution flow of the application by
   // sending unexpected spawn messages." Inject forged spawns for every chunk
   // into the blue worker's queue.

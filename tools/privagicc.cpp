@@ -169,6 +169,7 @@ int main(int argc, char** argv) {
 
   if (!run_entry.empty()) {
     interp::Machine machine(*result.value());
+    machine.set_external_log_enabled(true);
     // Identity classify/declassify so annotated programs run out of the box.
     for (const char* boundary : {"classify", "declassify"}) {
       machine.bind_external(boundary, [](interp::Machine::ExternalCtx&,
