@@ -16,6 +16,7 @@
 #include <cstdio>
 #include <string>
 
+#include "obs/metrics.hpp"
 #include "runtime/fault_injector.hpp"
 #include "runtime/workers.hpp"
 #include "support/bench_json.hpp"
@@ -93,6 +94,10 @@ int main(int argc, char** argv) {
               "dups", "corrupt", "timeouts", "retrans", "dup-dis", "poison");
   privagic::support::BenchJsonWriter json("fault_sweep");
   json.meta("exchanges_per_rate", kExchanges).meta("fault_split", "drop/dup/corrupt even");
+  // Aggregate fault-verdict/wait counters over the whole sweep, embedded in
+  // the JSON's metrics section (per-rate numbers stay in the rows).
+  privagic::obs::MetricsRegistry::global().reset_all();
+  privagic::obs::set_metrics_enabled(true);
   for (const double rate : {0.0, 0.001, 0.01, 0.05, 0.1}) {
     const SweepRow r = run_rate(rate);
     std::printf("%-7.3f %12.0f %8llu %8llu %8llu %9llu %9llu %8llu %8llu\n", r.rate,
@@ -115,6 +120,8 @@ int main(int argc, char** argv) {
         .set("poisoned_workers", r.stats.poisoned_workers);
   }
   std::printf("\nEvery row completes; the seed runtime deadlocks at the first drop.\n");
+  privagic::obs::set_metrics_enabled(false);
+  privagic::obs::embed_metrics(json);
   if (!json.write_file(json_path)) {
     std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
     return 1;

@@ -24,6 +24,7 @@
 #include "apps/kvcache/pir_program.hpp"
 #include "interp/machine.hpp"
 #include "ir/parser.hpp"
+#include "obs/metrics.hpp"
 #include "partition/partitioner.hpp"
 #include "support/bench_json.hpp"
 
@@ -158,6 +159,11 @@ void print_row(const char* phase, ExecMode mode, const PhaseResult& r) {
 int main(int argc, char** argv) {
   const std::string json_path = argc > 1 ? argv[1] : "BENCH_interp.json";
   auto program = compile_kvcache();
+  // Collect the per-color/queue counters alongside the timings; both engines
+  // pay the same (sub-noise) recording cost, so the reported ratios are
+  // unaffected. The snapshot is embedded into the JSON below.
+  obs::MetricsRegistry::global().reset_all();
+  obs::set_metrics_enabled(true);
 
   std::printf("== Interpreter throughput: decoded bytecode vs tree-walker (kvcache) ==\n\n");
   std::printf("%-16s %-9s %12s %10s %15s %12s\n", "phase", "engine", "instructions",
@@ -198,6 +204,8 @@ int main(int argc, char** argv) {
         .set("instructions_per_sec", r.instr_per_sec())
         .set("calls_per_sec", r.calls_per_sec());
   }
+  obs::set_metrics_enabled(false);
+  obs::embed_metrics(json);
   if (!json.write_file(json_path)) {
     std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
     return 1;

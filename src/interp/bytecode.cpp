@@ -7,6 +7,7 @@
 
 #include "interp/machine.hpp"
 #include "ir/module.hpp"
+#include "obs/hooks.hpp"
 #include "partition/intrinsics.hpp"
 #include "support/rng.hpp"
 
@@ -489,6 +490,7 @@ BytecodeExecutor::~BytecodeExecutor() {
 }
 
 void BytecodeExecutor::flush_counter() {
+  obs::on_budget_flush(pending_);
   const std::uint64_t total =
       m_.executed_.fetch_add(pending_, std::memory_order_relaxed) + pending_;
   pending_ = 0;
@@ -649,7 +651,8 @@ std::int64_t BytecodeExecutor::run(const DecodedFunction* f,
       case Op::kLoad: {
         std::int64_t v = mem_load(static_cast<std::uint64_t>(frame[o.a]),
                                   static_cast<std::uint64_t>(o.imm), o.sub);
-        if ((o.flags & kAuthPointer) != 0 && m_.pointer_auth_ && v != 0) {
+        if ((o.flags & kAuthPointer) != 0 &&
+            m_.pointer_auth_.load(std::memory_order_relaxed) && v != 0) {
           const auto raw = static_cast<std::uint64_t>(v);
           const std::uint64_t addr = raw & ((1ull << 48) - 1);
           if ((raw & ~((1ull << 48) - 1)) != pointer_mac(addr, Machine::kPointerAuthSecret)) {
@@ -662,7 +665,8 @@ std::int64_t BytecodeExecutor::run(const DecodedFunction* f,
       }
       case Op::kStore: {
         std::int64_t v = frame[o.b];
-        if ((o.flags & kAuthPointer) != 0 && m_.pointer_auth_ && v != 0) {
+        if ((o.flags & kAuthPointer) != 0 &&
+            m_.pointer_auth_.load(std::memory_order_relaxed) && v != 0) {
           const auto addr = static_cast<std::uint64_t>(v);
           v = static_cast<std::int64_t>(addr | pointer_mac(addr, Machine::kPointerAuthSecret));
         }

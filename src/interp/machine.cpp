@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "interp/bytecode.hpp"
+#include "obs/hooks.hpp"
 #include "partition/intrinsics.hpp"
 #include "support/rng.hpp"
 #include "sectype/color.hpp"
@@ -213,7 +214,8 @@ class Executor {
         const auto* l = static_cast<const ir::LoadInst*>(inst);
         std::int64_t v =
             mem_read(static_cast<std::uint64_t>(eval(frame, l->pointer())), l->type());
-        if (m_.pointer_auth_ && is_authenticated_pointer_type(l->type()) && v != 0) {
+        if (m_.pointer_auth_.load(std::memory_order_relaxed) &&
+            is_authenticated_pointer_type(l->type()) && v != 0) {
           // Verify and strip the MAC; a tampered indirection faults here.
           const auto raw = static_cast<std::uint64_t>(v);
           const std::uint64_t addr = raw & ((1ull << 48) - 1);
@@ -228,8 +230,8 @@ class Executor {
       case ir::Opcode::kStore: {
         const auto* s = static_cast<const ir::StoreInst*>(inst);
         std::int64_t v = eval(frame, s->stored_value());
-        if (m_.pointer_auth_ && is_authenticated_pointer_type(s->stored_value()->type()) &&
-            v != 0) {
+        if (m_.pointer_auth_.load(std::memory_order_relaxed) &&
+            is_authenticated_pointer_type(s->stored_value()->type()) && v != 0) {
           const auto addr = static_cast<std::uint64_t>(v);
           v = static_cast<std::int64_t>(addr | pointer_mac(addr));
         }
@@ -504,6 +506,7 @@ void Machine::run_chunk(runtime::ThreadRuntime& rt, std::uint64_t chunk_id, std:
       throw InterpError("chunk " + info.fn->name() + " spawned without a trampoline");
     }
     const sgx::ColorId me = program_.color_id(info.color);
+    obs::on_chunk_dispatch(me, static_cast<std::int64_t>(chunk_id), leader);
     const std::int64_t args[3] = {tags, leader, flags};
     exec_function(rt, info.trampoline, std::span<const std::int64_t>(args, 3), me);
   } catch (const std::exception& e) {
@@ -537,13 +540,31 @@ std::uint64_t Machine::rejected_spawns() const {
 }
 
 runtime::RuntimeStats::Snapshot Machine::runtime_stats() const {
-  const std::lock_guard<std::mutex> lock(runtimes_mu_);
   runtime::RuntimeStats total;
-  for (const auto& [tid, rt] : runtimes_) {
-    (void)tid;
-    total.accumulate(rt->stats().snapshot());
+  {
+    const std::lock_guard<std::mutex> lock(runtimes_mu_);
+    for (const auto& [tid, rt] : runtimes_) {
+      (void)tid;
+      total.accumulate(rt->stats().snapshot());
+    }
   }
-  return total.snapshot();
+  const runtime::RuntimeStats::Snapshot snap = total.snapshot();
+  if (obs::metrics_enabled()) {
+    // Mirror (set, not add: snapshots are cumulative) the aggregated recovery
+    // counters into the registry, so BENCH files embedding a metrics section
+    // carry them next to the hook-recorded series.
+    auto& reg = obs::MetricsRegistry::global();
+    reg.counter("runtime.messages_sent").set(snap.messages_sent);
+    reg.counter("runtime.duplicates_discarded").set(snap.duplicates_discarded);
+    reg.counter("runtime.corrupt_dropped").set(snap.corrupt_dropped);
+    reg.counter("runtime.forged_spawn_rejects").set(snap.forged_spawn_rejects);
+    reg.counter("runtime.wait_timeouts").set(snap.wait_timeouts);
+    reg.counter("runtime.retries").set(snap.retries);
+    reg.counter("runtime.retransmits").set(snap.retransmits);
+    reg.counter("runtime.watchdog_fires").set(snap.watchdog_fires);
+    reg.counter("runtime.poisoned_workers").set(snap.poisoned_workers);
+  }
+  return snap;
 }
 
 std::int64_t Machine::exec_function(runtime::ThreadRuntime& rt, const ir::Function* fn,
@@ -560,7 +581,7 @@ std::int64_t Machine::exec_function(runtime::ThreadRuntime& rt, const ir::Functi
 
 std::int64_t Machine::call_external(const ir::Function* callee,
                                     std::span<const std::int64_t> args, sgx::ColorId me) {
-  if (external_log_enabled_) {
+  if (external_log_enabled_.load(std::memory_order_relaxed)) {
     std::ostringstream entry;
     entry << callee->name() << "(";
     for (std::size_t i = 0; i < args.size(); ++i) {
@@ -583,8 +604,25 @@ Result<std::int64_t> Machine::call(const std::string& name, std::vector<std::int
   if (fn == nullptr) {
     return Result<std::int64_t>::error("no interface named @" + name);
   }
+  // Trace span around the whole interface call (every exit path, including
+  // throws, emits the matching kCallExit via the destructor).
+  struct CallSpan {
+    std::int64_t token;
+    std::int64_t result = -1;
+    std::uint64_t start_tick;
+    explicit CallSpan(std::int64_t t)
+        : token(t), start_tick(obs::on_call_enter(sgx::kUnsafe, t)) {}
+    ~CallSpan() { obs::on_call_exit(sgx::kUnsafe, token, result, start_tick); }
+  };
+  std::int64_t span_token = -1;
+  if (obs::observing()) {  // don't pay the token lookup with tracing off
+    const auto token_it = fn_token_.find(fn);
+    if (token_it != fn_token_.end()) span_token = token_it->second;
+  }
+  CallSpan span(span_token);
   try {
     const std::int64_t r = exec_function(runtime_for_current_thread(), fn, args, sgx::kUnsafe);
+    span.result = r;
     // Snapshot the worker-side failure under the lock AND clear it, so one
     // failed call does not poison every later call on this machine.
     std::string error;

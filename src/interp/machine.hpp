@@ -97,10 +97,15 @@ class Machine {
   /// set_external_log_enabled(true) before the first call() to use it.
   [[nodiscard]] std::vector<std::string> external_log() const;
 
-  /// Turns external-call log recording on/off. Set before the first call();
-  /// the flag is read unsynchronized by worker threads afterwards.
-  void set_external_log_enabled(bool on) { external_log_enabled_ = on; }
-  [[nodiscard]] bool external_log_enabled() const { return external_log_enabled_; }
+  /// Turns external-call log recording on/off. Worker threads read the flag
+  /// while it may still be toggled from the host thread, so it is a relaxed
+  /// atomic — it gates logging only and orders nothing.
+  void set_external_log_enabled(bool on) {
+    external_log_enabled_.store(on, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool external_log_enabled() const {
+    return external_log_enabled_.load(std::memory_order_relaxed);
+  }
 
   /// The engine this machine executes with (fixed at construction).
   [[nodiscard]] ExecMode exec_mode() const { return mode_; }
@@ -143,8 +148,10 @@ class Machine {
   /// Enables pointer authentication (the Mode::kHardenedAuth runtime): every
   /// value of type ptr<T color(c)> is MAC'd when stored to memory and
   /// verified+stripped when loaded; a tampered pointer faults at the load.
-  void enable_pointer_auth() { pointer_auth_ = true; }
-  [[nodiscard]] bool pointer_auth_enabled() const { return pointer_auth_; }
+  void enable_pointer_auth() { pointer_auth_.store(true, std::memory_order_relaxed); }
+  [[nodiscard]] bool pointer_auth_enabled() const {
+    return pointer_auth_.load(std::memory_order_relaxed);
+  }
 
  private:
   friend class Executor;
@@ -185,8 +192,11 @@ class Machine {
   std::string first_error_;  // first worker-side failure, surfaced by call()
   StatusCode first_error_code_ = StatusCode::kGeneric;
   std::atomic<std::uint64_t> executed_{0};
-  bool pointer_auth_ = false;
-  bool external_log_enabled_ = false;
+  // Host-thread-set, worker-thread-read flags. They were plain bools — an
+  // unsynchronized read under TSan when a test toggles them after workers
+  // exist — and carry no ordering requirement, so relaxed atomics suffice.
+  std::atomic<bool> pointer_auth_{false};
+  std::atomic<bool> external_log_enabled_{false};
   // Recovery configuration applied to lazily created worker groups.
   std::chrono::milliseconds recovery_deadline_{0};
   int recovery_max_retries_ = 3;

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "obs/hooks.hpp"
+
 namespace privagic::runtime {
 
 const char* fault_kind_name(FaultKind kind) {
@@ -26,7 +28,9 @@ void FaultInjector::script(std::uint64_t index, FaultKind kind) {
 
 FaultKind FaultInjector::classify() {
   const std::lock_guard<std::mutex> lock(mu_);
-  return classify_locked();
+  const FaultKind verdict = classify_locked();
+  obs::on_fault_verdict(static_cast<std::uint8_t>(verdict));
+  return verdict;
 }
 
 FaultKind FaultInjector::classify_locked() {
@@ -77,7 +81,9 @@ void FaultInjector::filter(std::size_t channel, const Message& m,
   const std::lock_guard<std::mutex> lock(mu_);
   Channel& ch = channels_[channel];
   ++ch.pushes;  // this crossing counts; held releases are due *after* it
-  switch (classify_locked()) {
+  const FaultKind verdict = classify_locked();
+  obs::on_fault_verdict(static_cast<std::uint8_t>(verdict));
+  switch (verdict) {
     case FaultKind::kNone:
       out.push_back(m);
       break;

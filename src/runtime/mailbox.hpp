@@ -32,8 +32,10 @@
 #include <deque>
 #include <mutex>
 #include <optional>
+#include <utility>
 #include <vector>
 
+#include "obs/hooks.hpp"
 #include "runtime/fault_injector.hpp"
 #include "runtime/message.hpp"
 
@@ -51,6 +53,7 @@ class Mailbox {
 
   void push(const Message& m) {
     bool broadcast = false;
+    std::size_t depth = 0;  // captured under the lock, recorded after unlock
     {
       const std::lock_guard<std::mutex> lock(mu_);
       if (m.kind == MsgKind::kStop) {
@@ -65,15 +68,20 @@ class Mailbox {
         broadcast = true;
       } else if (m.kind == MsgKind::kPoison || injector_ == nullptr) {
         queue_.push_back(m);
+        depth = queue_.size();
         broadcast = waiters_ > 1;
       } else {
         std::vector<Message> delivered;
         injector_->filter(channel_, m, delivered);
         if (delivered.empty()) return;  // dropped (or held back) in transit
         for (const Message& d : delivered) queue_.push_back(d);
+        depth = queue_.size();
         broadcast = waiters_ > 1;
       }
     }
+    // Outside the lock: recording must not lengthen the consumer's critical
+    // section (the push→wake rendezvous is the runtime's latency floor).
+    if (depth != 0) obs::on_mailbox_depth(depth);
     if (broadcast) {
       cv_.notify_all();
     } else {
@@ -85,26 +93,45 @@ class Mailbox {
   /// is available; removes and returns it. Control messages (spawn, poison)
   /// win over a match that arrived later, preserving arrival order; a sticky
   /// stop is reported only once no queued message qualifies.
+  ///
+  /// @p on_block (when given) is invoked exactly once, just before the caller
+  /// first parks on the condition variable — a delivery satisfied straight
+  /// off the queue never invokes it. The instrumentation in workers.hpp hangs
+  /// its wait timing off this, so the fast path pays zero clock reads.
   Message next(MsgKind kind, std::int64_t tag) {
-    return *take(kind, tag, /*match_any_tag=*/false, std::nullopt);
+    return next(kind, tag, [] {});
+  }
+
+  template <typename OnBlock>
+  Message next(MsgKind kind, std::int64_t tag, OnBlock&& on_block) {
+    return *take(kind, tag, /*match_any_tag=*/false, std::nullopt,
+                 std::forward<OnBlock>(on_block));
   }
 
   /// Timed variant of next(): returns std::nullopt when @p timeout elapses
   /// with no qualifying message. The building block of the recovery loop.
   std::optional<Message> next_for(MsgKind kind, std::int64_t tag,
                                   std::chrono::steady_clock::duration timeout) {
+    return next_for(kind, tag, timeout, [] {});
+  }
+
+  template <typename OnBlock>
+  std::optional<Message> next_for(MsgKind kind, std::int64_t tag,
+                                  std::chrono::steady_clock::duration timeout,
+                                  OnBlock&& on_block) {
     return take(kind, tag, /*match_any_tag=*/false,
-                std::chrono::steady_clock::now() + timeout);
+                std::chrono::steady_clock::now() + timeout,
+                std::forward<OnBlock>(on_block));
   }
 
   /// Blocks for the next control message (the worker idle loop).
   Message next_control() {
-    return *take(MsgKind::kStop, 0, /*match_any_tag=*/true, std::nullopt);
+    return *take(MsgKind::kStop, 0, /*match_any_tag=*/true, std::nullopt, [] {});
   }
 
   std::optional<Message> next_control_for(std::chrono::steady_clock::duration timeout) {
     return take(MsgKind::kStop, 0, /*match_any_tag=*/true,
-                std::chrono::steady_clock::now() + timeout);
+                std::chrono::steady_clock::now() + timeout, [] {});
   }
 
   /// Non-blocking size snapshot (tests only).
@@ -117,10 +144,12 @@ class Mailbox {
   /// Removes the first control message or (unless @p control_only via
   /// match_any_tag) the first (kind, tag) match. Blocks until @p deadline
   /// (forever when nullopt); sticky stop satisfies any wait with an empty
-  /// queue.
+  /// queue. @p on_block fires once, before the first park.
+  template <typename OnBlock>
   std::optional<Message> take(
       MsgKind kind, std::int64_t tag, bool control_only,
-      std::optional<std::chrono::steady_clock::time_point> deadline) {
+      std::optional<std::chrono::steady_clock::time_point> deadline,
+      OnBlock&& on_block) {
     const auto scan = [&]() -> std::optional<Message> {
       for (auto it = queue_.begin(); it != queue_.end(); ++it) {
         const bool match = !control_only && it->kind == kind && it->tag == tag;
@@ -135,8 +164,9 @@ class Mailbox {
     };
 
     std::unique_lock<std::mutex> lock(mu_);
+    if (auto m = scan()) return m;  // fast path: delivery without parking
+    on_block();
     while (true) {
-      if (auto m = scan()) return m;
       ++waiters_;
       if (deadline.has_value()) {
         const auto status = cv_.wait_until(lock, *deadline);
@@ -150,6 +180,7 @@ class Mailbox {
         cv_.wait(lock);
         --waiters_;
       }
+      if (auto m = scan()) return m;
     }
   }
 

@@ -20,6 +20,12 @@ namespace privagic::runtime {
 
 /// Counters for the runtime's own view of faults and recoveries. All relaxed
 /// atomics: they order nothing, they only count.
+///
+/// Concurrency audit (observability PR): every field below is incremented
+/// from worker/watchdog threads while the host thread may call snapshot(),
+/// so *no* member may be a plain integer — keep new counters atomic. The
+/// aggregated snapshot is additionally mirrored into obs::MetricsRegistry by
+/// interp::Machine::runtime_stats() when metrics collection is enabled.
 struct RuntimeStats {
   std::atomic<std::uint64_t> messages_sent{0};       // sequenced sends (spawn/cont/ack)
   std::atomic<std::uint64_t> duplicates_discarded{0};// seq already consumed

@@ -29,6 +29,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/hooks.hpp"
 #include "runtime/fault_injector.hpp"
 
 namespace privagic::runtime {
@@ -58,6 +59,7 @@ class SpscQueue {
     const std::size_t head = head_.load(std::memory_order_relaxed);
     const std::size_t tail = tail_.load(std::memory_order_acquire);
     if (head - tail > mask_) return false;  // full
+    obs::on_spsc_depth(head - tail + 1);  // depth including this push
     if (injector_ == nullptr) {
       publish(head, value);
       return true;
@@ -125,8 +127,16 @@ class SpscQueue {
     return out;
   }
 
+  /// Observer-safe size estimate. The two indices cannot be read atomically
+  /// together, so an observer racing a push+pop pair can see `tail` advance
+  /// past its already-loaded `head` — a naive `head - tail` then wraps to a
+  /// huge unsigned value. Loading head first bounds the error to *stale*
+  /// (tail can only grow between the loads), and the clamp turns the one
+  /// remaining crossing into 0 instead of 2^64-ish garbage.
   [[nodiscard]] std::size_t size() const {
-    return head_.load(std::memory_order_acquire) - tail_.load(std::memory_order_acquire);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    return tail > head ? 0 : head - tail;
   }
   [[nodiscard]] bool empty() const { return size() == 0; }
   [[nodiscard]] std::size_t capacity() const { return mask_ + 1; }

@@ -58,6 +58,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/hooks.hpp"
 #include "runtime/fault_injector.hpp"
 #include "runtime/mailbox.hpp"
 #include "runtime/runtime_stats.hpp"
@@ -240,7 +241,14 @@ class ThreadRuntime {
       log.push_back(m);
       if (log.size() > kSentLogCap) log.pop_front();
     }
+    // Timestamp before the push (the notify inside can deschedule us — see
+    // msg_send_tick), record after it so the hook body never delays the
+    // receiver's wakeup.
+    const std::uint64_t send_tick =
+        obs::msg_send_tick(static_cast<std::uint8_t>(m.kind));
     mailboxes_[target]->push(m);
+    obs::on_msg_send(send_tick, target_color, static_cast<std::uint8_t>(m.kind), m.tag,
+                     static_cast<std::int64_t>(m.chunk));
   }
 
   /// Re-pushes the most recent logged message matching (kind, tag) destined
@@ -281,6 +289,7 @@ class ThreadRuntime {
     }
     if (resend.empty()) return false;
     stats_.retransmits.fetch_add(1, std::memory_order_relaxed);  // one recovery event
+    obs::on_retransmit(static_cast<std::int64_t>(me), tag);
     for (const auto& [target, copy] : resend) mailboxes_[target]->push(copy);
     return true;
   }
@@ -307,6 +316,8 @@ class ThreadRuntime {
   /// Validates and dispatches a popped spawn message.
   void serve_spawn(std::size_t me, const Message& m) {
     if (!validate(me, m)) return;
+    obs::on_msg_recv(static_cast<std::int64_t>(me), static_cast<std::uint8_t>(m.kind),
+                     m.tag, static_cast<std::int64_t>(m.chunk));
     runner_(me, m.chunk, m.tags, m.leader, m.flags);
   }
 
@@ -324,6 +335,7 @@ class ThreadRuntime {
   void poison(std::size_t me) {
     if (!poisoned_[me].exchange(true, std::memory_order_relaxed)) {
       stats_.poisoned_workers.fetch_add(1, std::memory_order_relaxed);
+      obs::on_worker_poisoned(static_cast<std::int64_t>(me));
     }
     any_poisoned_.store(true, std::memory_order_relaxed);
   }
@@ -354,12 +366,25 @@ class ThreadRuntime {
     while (true) {
       std::optional<Message> m;
       mark_blocked(me, true);
+      obs::on_wait_entry();  // idle moment: drain staged wake-path events
+      // Timing starts only if the mailbox actually parks us (fast-path
+      // deliveries cost zero clock reads); verbose capture pre-times every
+      // segment so each one leaves a kWait event.
+      std::uint64_t wait_begin = obs::verbose_wait_begin();
+      const auto on_block = [&wait_begin] {
+        if (wait_begin == 0) wait_begin = obs::wait_interval_begin();
+      };
       if (timed) {
-        m = mailboxes_[me]->next_for(kind, tag, attempt_deadline);
+        m = mailboxes_[me]->next_for(kind, tag, attempt_deadline, on_block);
       } else {
-        m = mailboxes_[me]->next(kind, tag);
+        m = mailboxes_[me]->next(kind, tag, on_block);
       }
+      const std::uint64_t wait_end = wait_begin != 0 ? obs::interval_end() : 0;
+      const std::uint64_t blocked_ns = obs::interval_ns(wait_begin, wait_end);
       mark_blocked(me, false);
+      obs::on_wait_segment(
+          static_cast<std::int64_t>(me), tag, blocked_ns,
+          m.has_value() ? static_cast<std::uint8_t>(m->kind) + 1 : 0, wait_end);
       if (!m.has_value()) {  // timed out
         stats_.wait_timeouts.fetch_add(1, std::memory_order_relaxed);
         if (attempt >= options_.max_retries) give_up(me, kind, tag);
@@ -383,13 +408,20 @@ class ThreadRuntime {
                                  std::to_string(tag));
         default:
           if (!validate(me, *m)) break;  // quarantined; keep waiting
+          obs::on_waited_recv(static_cast<std::int64_t>(me));  // kWait is the event
           return *m;
       }
     }
   }
 
   void worker_loop(std::size_t me) {
+    // Flush this thread's staged trace event on every exit path, so the last
+    // wait segment before shutdown survives into the post-run drain.
+    struct StagedFlush {
+      ~StagedFlush() { obs::on_worker_exit(); }
+    } flush_on_exit;
     while (true) {
+      obs::on_wait_entry();
       Message m = mailboxes_[me]->next_control();
       if (m.kind == MsgKind::kStop) return;
       if (m.kind == MsgKind::kPoison) {
@@ -427,6 +459,7 @@ class ThreadRuntime {
           continue;
         }
         stats_.watchdog_fires.fetch_add(1, std::memory_order_relaxed);
+        obs::on_watchdog_fire(static_cast<std::int64_t>(c));
         poison(c);
         mailboxes_[c]->push(Message::poison());
       }

@@ -45,6 +45,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/hooks.hpp"
+
 namespace privagic::sgx {
 
 /// Color id in the partition result's color table; 0 is always U.
@@ -109,6 +111,7 @@ class SimMemory {
     sh.next += (size + kRedzone + 15) & ~std::uint64_t{15};
     sh.regions.emplace(base, Region{size, color,
                                     std::make_shared<std::vector<std::byte>>(size)});
+    obs::on_region_alloc(color, base, size);
     return base;
   }
 
@@ -135,6 +138,7 @@ class SimMemory {
       const std::lock_guard<std::mutex> lock(epc_mu_);
       epc_used_[color] -= size;
     }
+    obs::on_region_free(color, addr, size);
   }
 
   void write(std::uint64_t addr, std::span<const std::byte> data, ColorId accessor) {

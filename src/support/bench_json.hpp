@@ -8,8 +8,12 @@
 //     "benchmark": "<name>",
 //     "schema_version": 1,
 //     "meta":  { "<key>": <scalar>, ... },   // run-wide configuration
-//     "rows":  [ { "<key>": <scalar>, ... }, ... ]
+//     "rows":  [ { "<key>": <scalar>, ... }, ... ],
+//     "metrics": { "<key>": <scalar>, ... }   // optional: runtime counters
 //   }
+//
+// The "metrics" object is emitted only when at least one metric() call was
+// made; obs::embed_metrics() fills it from the MetricsRegistry snapshot.
 //
 // Scalars are int64/uint64/double/bool/string. Key order is preserved
 // (insertion order), so regenerating a result produces a byte-stable diff
@@ -103,6 +107,12 @@ class BenchJsonWriter {
     return Row(rows_.back());
   }
 
+  /// One runtime-counter cell in the optional trailing "metrics" object.
+  BenchJsonWriter& metric(std::string key, Value v) {
+    metrics_.emplace_back(std::move(key), std::move(v));
+    return *this;
+  }
+
   [[nodiscard]] std::string to_string() const {
     std::string out = "{\n  \"benchmark\": ";
     append_escaped(out, benchmark_);
@@ -113,7 +123,12 @@ class BenchJsonWriter {
       out += i == 0 ? "\n    " : ",\n    ";
       append_object(out, rows_[i], "    ");
     }
-    out += rows_.empty() ? "]\n}\n" : "\n  ]\n}\n";
+    out += rows_.empty() ? "]" : "\n  ]";
+    if (!metrics_.empty()) {
+      out += ",\n  \"metrics\": ";
+      append_object(out, metrics_, "  ");
+    }
+    out += "\n}\n";
     return out;
   }
 
@@ -172,6 +187,7 @@ class BenchJsonWriter {
   std::string benchmark_;
   Fields meta_;
   std::vector<Fields> rows_;
+  Fields metrics_;
 };
 
 }  // namespace privagic::support

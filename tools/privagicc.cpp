@@ -10,6 +10,8 @@
 //   --colors                  print per-specialization color sets (§7.3.1)
 //   --tcb                     print per-color instruction counts (Table 4)
 //   --run ENTRY [ARGS...]     execute an interface on the simulated machine
+//   --trace-out=FILE          capture a Chrome trace_event JSON of the --run
+//                             execution (load in chrome://tracing / perfetto)
 //
 // Exit status: 0 on success, 1 on any diagnostic (the paper's compile-time
 // rejection), 2 on usage errors.
@@ -24,6 +26,9 @@
 
 #include "interp/machine.hpp"
 #include "ir/parser.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_writer.hpp"
 #include "ir/printer.hpp"
 #include "partition/partitioner.hpp"
 #include "partition/gather_shared.hpp"
@@ -35,7 +40,8 @@ int usage() {
   std::fprintf(stderr,
                "usage: privagicc [--mode=hardened|relaxed] [--split-structs] [--gather-shared]\n"
                "                 [--emit-input] [--emit-partitioned] [--chunks]\n"
-               "                 [--colors] [--tcb] [--run ENTRY [ARGS...]] file.pir\n");
+               "                 [--colors] [--tcb] [--run ENTRY [ARGS...]]\n"
+               "                 [--trace-out=FILE] file.pir\n");
   return 2;
 }
 
@@ -54,6 +60,7 @@ int main(int argc, char** argv) {
   bool show_tcb = false;
   std::string run_entry;
   std::vector<std::int64_t> run_args;
+  std::string trace_out;
   std::string file;
 
   for (int i = 1; i < argc; ++i) {
@@ -76,6 +83,9 @@ int main(int argc, char** argv) {
       show_colors = true;
     } else if (arg == "--tcb") {
       show_tcb = true;
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      trace_out = arg.substr(std::strlen("--trace-out="));
+      if (trace_out.empty()) return usage();
     } else if (arg == "--run") {
       if (++i >= argc) return usage();
       run_entry = argv[i];
@@ -167,6 +177,17 @@ int main(int argc, char** argv) {
     std::fputs(ir::print_module(*result.value()->module).c_str(), stdout);
   }
 
+  if (!run_entry.empty() && !trace_out.empty()) {
+    // Arm capture before the Machine spawns its workers so the spawn
+    // handshake and region allocations land in the trace. An offline capture
+    // favours fidelity over overhead, so verbose mode (sender-side cont/ack
+    // events, spawn deliveries) is on.
+    obs::MetricsRegistry::global().reset_all();
+    obs::set_metrics_enabled(true);
+    obs::set_trace_verbose(true);
+    obs::Tracer::instance().clear();
+    obs::Tracer::instance().enable();
+  }
   if (!run_entry.empty()) {
     interp::Machine machine(*result.value());
     machine.set_external_log_enabled(true);
@@ -186,6 +207,20 @@ int main(int argc, char** argv) {
     for (const auto& line : machine.external_log()) {
       std::printf("  external: %s\n", line.c_str());
     }
+  }
+  if (!run_entry.empty() && !trace_out.empty()) {
+    // The Machine destructor has joined the workers, so every per-thread
+    // trace buffer is quiescent and the drain is race-free.
+    obs::Tracer::instance().disable();
+    obs::set_metrics_enabled(false);
+    const auto drained = obs::Tracer::instance().drain();
+    if (!obs::TraceWriter::write_chrome_json(trace_out, drained)) {
+      std::fprintf(stderr, "privagicc: cannot write trace to '%s'\n", trace_out.c_str());
+      return 2;
+    }
+    std::size_t n = 0;
+    for (const auto& d : drained) n += d.events.size();
+    std::fprintf(stderr, "privagicc: wrote %zu trace events to %s\n", n, trace_out.c_str());
   }
   return 0;
 }
