@@ -1,0 +1,81 @@
+; A deliberately under-colored variant of the minicached core (§9.2).
+;
+; The central map is colored 'store', but a later "optimization" added an
+; uncolored hot-value cache: @last_key / @last_value memoize the most recent
+; hit so repeated gets skip the enclave transition. The secret value read
+; from @map_vals is stored into plain untrusted memory before it is ever
+; declassified — exactly the coloring mistake the under-coloring advisor
+; (L101) exists to name:
+;
+;   $ privagicc --lint examples/pir/undercolored_kv.pir
+;
+; points at @last_value (and @last_key) and suggests color(store) for them.
+module "undercolored_kv"
+
+; ---- the central map: colored correctly ------------------------------------
+global [256 x i64] @map_keys color(store)
+global [256 x i64] @map_vals color(store)
+
+; ---- the buggy memo cache: should be color(store) but is not ---------------
+global i64 @last_key = -1
+global i64 @last_value = 0
+
+global i64 @stat_gets = 0
+
+declare i64 @classify(i64) ignore
+declare i64 @declassify(i64) ignore
+declare i64 @net_recv()
+declare void @net_send(i64)
+
+define void @bump(ptr<i64> %counter) {
+entry:
+  %old = load ptr<i64> %counter
+  %new = add i64 %old, i64 1
+  store i64 %new, ptr<i64> %counter
+  ret void
+}
+
+define void @cache_put(i64 %key, i64 %value) entry {
+entry:
+  %ck = call i64 @classify(i64 %key)
+  %cv = call i64 @classify(i64 %value)
+  %idx = and i64 %ck, i64 255
+  %kp = gep ptr<[256 x i64] color(store)> @map_keys, index %idx
+  store i64 %ck, ptr<i64 color(store)> %kp
+  %vp = gep ptr<[256 x i64] color(store)> @map_vals, index %idx
+  store i64 %cv, ptr<i64 color(store)> %vp
+  ret void
+}
+
+define i64 @cache_get(i64 %key) entry {
+entry:
+  %ck = call i64 @classify(i64 %key)
+  %idx = and i64 %ck, i64 255
+  %kp = gep ptr<[256 x i64] color(store)> @map_keys, index %idx
+  %sk = load ptr<i64 color(store)> %kp
+  %eq = icmp eq i64 %sk, %ck
+  cond_br i1 %eq, %hit, %miss
+hit:
+  %vp = gep ptr<[256 x i64] color(store)> @map_vals, index %idx
+  %v = load ptr<i64 color(store)> %vp
+  ; BUG: memoize the secret before declassifying it. Both stores place a
+  ; register of color 'store' into uncolored globals.
+  store i64 %sk, ptr<i64> @last_key
+  store i64 %v, ptr<i64> @last_value
+  br %join
+miss:
+  br %join
+join:
+  %sel = phi i64 [ %v, %hit ], [ i64 0, %miss ]
+  %dv = call i64 @declassify(i64 %sel)
+  call void @bump(ptr<i64> @stat_gets)
+  ret i64 %dv
+}
+
+define i64 @handle_request() entry {
+entry:
+  %req = call i64 @net_recv()
+  %resp = call i64 @cache_get(i64 %req)
+  call void @net_send(i64 %resp)
+  ret i64 %resp
+}

@@ -118,8 +118,8 @@ int main() {
                           return a[0] ^ 0x5A5A5A5A5A5A5A5A;  // stand-in cipher
                         });
   const std::int64_t name = 0x656D616E74756F6A;  // some account-name bytes
-  machine.call("create", {name, f64_bits(1000.0)}).value();
-  machine.call("deposit", {f64_bits(234.5)}).value();
+  (void)machine.call("create", {name, f64_bits(1000.0)}).value();  // throws on error
+  (void)machine.call("deposit", {f64_bits(234.5)}).value();
   const std::int64_t sealed = machine.call("export_balance", {}).value();
   double balance;
   const std::int64_t bits = sealed ^ 0x5A5A5A5A5A5A5A5A;

@@ -1,0 +1,401 @@
+#include "analysis/lints.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+#include "ir/printer.hpp"
+#include "ir/use_def.hpp"
+#include "partition/intrinsics.hpp"
+#include "partition/plan.hpp"
+
+namespace privagic::analysis {
+
+namespace {
+
+using sectype::Color;
+using sectype::ColorSet;
+using sectype::Severity;
+
+std::string colors_to_string(const ColorSet& set) {
+  std::string s = "{";
+  bool first = true;
+  for (const Color& c : set) {
+    if (!first) s += ", ";
+    s += c.to_string();
+    first = false;
+  }
+  return s + "}";
+}
+
+/// "" for module-level objects, the owning function's name otherwise.
+std::string owner_name(const PointsTo& pts, MemObject o) {
+  const ir::Function* fn = pts.owner(o);
+  return fn != nullptr ? fn->name() : "";
+}
+
+bool has_barrier_call(const ir::Function& fn) {
+  for (const auto& bb : fn.blocks()) {
+    for (const auto& inst : bb->instructions()) {
+      if (inst->opcode() != ir::Opcode::kCall) continue;
+      const std::string& callee = static_cast<const ir::CallInst*>(inst.get())->callee()->name();
+      if (callee == partition::kIntrinsicAck || callee == partition::kIntrinsicWaitAck) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// L101 — under-coloring advisor
+// ---------------------------------------------------------------------------
+
+void UnderColoringAdvisor::run(const AnalysisContext& ctx, sectype::DiagnosticEngine& diags) {
+  const PointsTo& pts = *ctx.points_to;
+  const TaintAdvisor& taint = *ctx.taint;
+
+  struct Finding {
+    MemObject object;
+    ColorSet colors;
+  };
+  std::vector<Finding> findings;
+  for (MemObject o : pts.objects()) {
+    if (!pts.object_color(o).empty()) continue;  // declared: the checker's turf
+    const ColorSet& colors = taint.memory_colors(o);
+    if (colors.empty()) continue;
+    findings.push_back({o, colors});
+  }
+  // Rank: the more distinct colors converge on a location, the more urgent
+  // (it is either a split candidate or a declassification hole); ties break
+  // on allocation order for stable output.
+  std::sort(findings.begin(), findings.end(), [&pts](const Finding& a, const Finding& b) {
+    if (a.colors.size() != b.colors.size()) return a.colors.size() > b.colors.size();
+    return pts.object_id(a.object) < pts.object_id(b.object);
+  });
+
+  for (const Finding& f : findings) {
+    const Color& first = *f.colors.begin();
+    const ir::Instruction* site = taint.tainting_store(f.object, first);
+    const ir::Type* type = pts.object_type(f.object);
+    std::ostringstream msg;
+    msg << "register of color " << (f.colors.size() == 1 ? first.to_string()
+                                                         : colors_to_string(f.colors))
+        << " stored to uncolored location " << pts.object_name(f.object)
+        << "; the type checker will not protect this memory";
+    std::string fixit;
+    if (f.colors.size() == 1) {
+      fixit = "consider coloring type " + (type != nullptr ? type->to_string() : "?") +
+              " at " + pts.object_name(f.object) + " with color(" + first.to_string() + ")";
+    } else {
+      fixit = "colors " + colors_to_string(f.colors) + " mix at " + pts.object_name(f.object) +
+              ": split the structure per color (§7.2) or declassify before storing";
+    }
+    diags.lint("L101", Severity::kWarning, owner_name(pts, f.object),
+               site != nullptr ? ir::print_instruction(*site) : "", msg.str(), fixit);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// L201/L202 — declassification audit
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Forward slice from a boundary-call result, across direct local calls.
+/// Returns true as soon as the value does anything observable: addresses or
+/// feeds a memory operation, reaches any call / return, or steers a branch.
+/// False means the crossing produced a value nobody consumes — the
+/// classify/declassify weakened or crossed the policy boundary for nothing.
+bool result_is_consumed(const ir::CallInst* root,
+                        std::unordered_map<const ir::Function*, ir::UsersMap>& users_cache) {
+  auto users_of = [&users_cache](const ir::Function& fn) -> const ir::UsersMap& {
+    auto it = users_cache.find(&fn);
+    if (it == users_cache.end()) it = users_cache.emplace(&fn, ir::compute_users(fn)).first;
+    return it->second;
+  };
+
+  std::vector<const ir::Value*> work{root};
+  std::unordered_set<const ir::Value*> seen{root};
+  auto push = [&](const ir::Value* v) {
+    if (seen.insert(v).second) work.push_back(v);
+  };
+
+  while (!work.empty()) {
+    const ir::Value* v = work.back();
+    work.pop_back();
+    // Locate the function whose users map covers v's uses.
+    const ir::Function* fn = nullptr;
+    if (v->value_kind() == ir::ValueKind::kInstruction) {
+      const auto* inst = static_cast<const ir::Instruction*>(v);
+      fn = inst->parent() != nullptr ? inst->parent()->parent() : nullptr;
+    } else if (v->value_kind() == ir::ValueKind::kArgument) {
+      fn = static_cast<const ir::Argument*>(v)->parent();
+    }
+    if (fn == nullptr) continue;
+
+    auto it = users_of(*fn).find(v);
+    if (it == users_of(*fn).end()) continue;
+    for (const ir::Instruction* user : it->second) {
+      switch (user->opcode()) {
+        case ir::Opcode::kStore:
+        case ir::Opcode::kLoad:
+          return true;  // feeds or addresses memory
+        case ir::Opcode::kRet:
+          return true;  // leaves this function; callers decide, assume live
+        case ir::Opcode::kCondBr:
+          return true;  // steers control flow
+        case ir::Opcode::kCallIndirect:
+          return true;  // §6.3: indirect callees are external
+        case ir::Opcode::kCall: {
+          const auto* call = static_cast<const ir::CallInst*>(user);
+          const ir::Function* callee = call->callee();
+          if (callee->is_declaration()) return true;  // external / within / ignore decl
+          for (std::size_t i = 0; i < call->args().size() && i < callee->arg_count(); ++i) {
+            if (call->args()[i] == v) push(callee->argument(i));
+          }
+          break;
+        }
+        case ir::Opcode::kBinOp:
+        case ir::Opcode::kICmp:
+        case ir::Opcode::kCast:
+        case ir::Opcode::kGep:
+        case ir::Opcode::kPhi:
+          push(user);
+          break;
+        default:
+          break;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+void DeclassificationAudit::run(const AnalysisContext& ctx, sectype::DiagnosticEngine& diags) {
+  const TaintAdvisor& taint = *ctx.taint;
+  std::unordered_map<const ir::Function*, ir::UsersMap> users_cache;
+
+  for (const auto& fn : ctx.module->functions()) {
+    for (const auto& bb : fn->blocks()) {
+      for (const auto& inst : bb->instructions()) {
+        if (inst->opcode() != ir::Opcode::kCall) continue;
+        const auto* call = static_cast<const ir::CallInst*>(inst.get());
+        if (!call->callee()->is_ignore()) continue;
+
+        // L202: declassifying a raw secret load declassifies the whole
+        // secret, not a derived public value — almost always broader than
+        // intended (§6.4 expects encrypt()-like narrowing).
+        for (const ir::Value* arg : call->args()) {
+          if (arg->value_kind() != ir::ValueKind::kInstruction) continue;
+          const auto* arg_inst = static_cast<const ir::Instruction*>(arg);
+          if (arg_inst->opcode() != ir::Opcode::kLoad) continue;
+          if (taint.value_colors(arg).empty()) continue;
+          diags.lint("L202", Severity::kWarning, fn->name(), ir::print_instruction(*call),
+                     "declassification consumes the raw secret load `" +
+                         ir::print_instruction(*arg_inst) + "` (color " +
+                         colors_to_string(taint.value_colors(arg)) +
+                         "); the full secret crosses the boundary",
+                     "compute the public value (compare/aggregate/encrypt) inside the "
+                     "enclave and declassify the derived result instead");
+        }
+
+        // L201: a boundary crossing whose result nothing consumes weakened
+        // (or paid for) the policy boundary for nothing.
+        if (call->type()->is_void()) continue;
+        if (!result_is_consumed(call, users_cache)) {
+          diags.lint("L201", Severity::kWarning, fn->name(), ir::print_instruction(*call),
+                     "result of the boundary call is never consumed; the "
+                     "classify/declassify is dead",
+                     "drop the @" + call->callee()->name() +
+                         " boundary here or delete the unused computation");
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// L301/L302 — chunk-cost estimator
+// ---------------------------------------------------------------------------
+
+void ChunkCostEstimator::run(const AnalysisContext& ctx, sectype::DiagnosticEngine& diags) {
+  if (ctx.types == nullptr) return;
+
+  for (const sectype::SpecFacts* facts : ctx.types->reachable_specs()) {
+    const ir::Function* fn = facts->sig().fn;
+    if (fn->is_declaration()) continue;
+
+    // Predicted chunk set: the planner's fold rule (§7.3.1). An empty set
+    // means the spec is colorless — replicated into callers or a lone U
+    // chunk; estimate the latter.
+    ColorSet chunks = partition::fold_colors(facts->color_set());
+    if (chunks.empty()) chunks.insert(Color::untrusted());
+
+    std::size_t insts = 0;
+    for (const auto& bb : fn->blocks()) insts += bb->instructions().size();
+
+    // Cross-enclave call edges: callee chunks the caller does not share must
+    // be spawned and synchronized per call site (§7.3.2 message cost).
+    std::size_t cross_edges = 0;
+    for (const auto& bb : fn->blocks()) {
+      for (const auto& inst : bb->instructions()) {
+        if (inst->opcode() != ir::Opcode::kCall) continue;
+        const auto* sig = facts->call_sig(static_cast<const ir::CallInst*>(inst.get()));
+        if (sig == nullptr) continue;
+        const sectype::SpecFacts* callee_facts = ctx.types->facts(*sig);
+        if (callee_facts == nullptr) continue;
+        for (const Color& c : partition::fold_colors(callee_facts->color_set())) {
+          if (!chunks.contains(c)) ++cross_edges;
+        }
+      }
+    }
+
+    std::ostringstream msg;
+    msg << "specialization @" << facts->sig().mangled() << ": predicted chunks "
+        << colors_to_string(chunks) << " (" << chunks.size() << "), ~" << chunks.size()
+        << "x code size (" << insts << " -> ~" << chunks.size() * insts
+        << " instructions), " << cross_edges << " cross-enclave call edge"
+        << (cross_edges == 1 ? "" : "s");
+    diags.lint("L301", Severity::kNote, facts->sig().mangled(), "", msg.str());
+
+    if (chunks.size() >= kExplosionChunks) {
+      diags.lint("L302", Severity::kWarning, facts->sig().mangled(), "",
+                 "chunk explosion: @" + facts->sig().mangled() + " compiles into " +
+                     std::to_string(chunks.size()) + " chunks " + colors_to_string(chunks) +
+                     ", replicating its control flow into each",
+                 "narrow the colored data this function touches, or split it so each "
+                 "piece touches fewer colors (§7.3.1)");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// L401/L402 — escape report (pre-type-analysis: allocas still exist)
+// ---------------------------------------------------------------------------
+
+void EscapeReport::run(const AnalysisContext& ctx, sectype::DiagnosticEngine& diags) {
+  for (const auto& fn : ctx.module->functions()) {
+    if (fn->is_declaration()) continue;
+    const ir::UsersMap users = ir::compute_users(*fn);
+    for (const auto& bb : fn->blocks()) {
+      for (const auto& inst : bb->instructions()) {
+        if (inst->opcode() != ir::Opcode::kAlloca) continue;
+        const auto* alloca = static_cast<const ir::AllocaInst*>(inst.get());
+
+        // Mirror mem2reg's §5.1 promotability test, but keep the evidence.
+        std::string reason;
+        const ir::Instruction* blame = nullptr;
+        if (!alloca->contained_type()->is_first_class()) {
+          reason = "aggregate type " + alloca->contained_type()->to_string() +
+                   " stays in memory";
+        } else if (!alloca->color().empty()) {
+          reason = "declared color(" + alloca->color() + ") pins it in colored memory";
+        } else {
+          auto it = users.find(alloca);
+          if (it != users.end()) {
+            for (const ir::Instruction* user : it->second) {
+              const bool benign =
+                  user->opcode() == ir::Opcode::kLoad ||
+                  (user->opcode() == ir::Opcode::kStore &&
+                   static_cast<const ir::StoreInst*>(user)->stored_value() != alloca);
+              if (!benign) {
+                blame = user;
+                reason = "its address escapes through `" + ir::print_instruction(*user) + "`";
+                break;
+              }
+            }
+          }
+        }
+
+        if (reason.empty()) {
+          diags.lint("L402", Severity::kNote, fn->name(), ir::print_instruction(*alloca),
+                     "promoted to registers by §5.1 inference; its color will be "
+                     "deduced, not declared");
+        } else {
+          // An intentional pin (color, aggregate) is a note; an address
+          // escape is a warning — the author may not realize the slot is
+          // unsafe memory that secure typing will treat as U/S.
+          const Severity sev = blame != nullptr ? Severity::kWarning : Severity::kNote;
+          diags.lint("L401", sev, fn->name(), ir::print_instruction(*alloca),
+                     "not promoted by §5.1 inference: " + reason,
+                     blame != nullptr
+                         ? "keep the address in load/store position, or color the alloca "
+                           "so the checker tracks the memory"
+                         : "");
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// L501 — cross-color race lint
+// ---------------------------------------------------------------------------
+
+void CrossColorRaceLint::run(const AnalysisContext& ctx, sectype::DiagnosticEngine& diags) {
+  if (ctx.types == nullptr) return;
+  const PointsTo& pts = *ctx.points_to;
+
+  struct Writers {
+    ColorSet colors;
+    const ir::Instruction* sample = nullptr;
+    std::vector<const ir::Function*> functions;
+  };
+  std::unordered_map<MemObject, Writers> writers;
+
+  for (const sectype::SpecFacts* facts : ctx.types->reachable_specs()) {
+    const ir::Function* fn = facts->sig().fn;
+    for (const auto& bb : fn->blocks()) {
+      for (const auto& inst : bb->instructions()) {
+        if (inst->opcode() != ir::Opcode::kStore) continue;
+        const Color chunk = partition::fold_color(facts->placement(inst.get()));
+        if (!chunk.is_concrete()) continue;  // F stores replicate; not one writer
+        const auto* store = static_cast<const ir::StoreInst*>(inst.get());
+        for (MemObject o : pts.points_to(store->pointer())) {
+          if (!pts.object_color(o).empty()) continue;  // colored: single enclave
+          if (!pts.escapes(o)) continue;               // confined: no other thread
+          Writers& w = writers[o];
+          w.colors.insert(chunk);
+          if (w.sample == nullptr) w.sample = inst.get();
+          w.functions.push_back(fn);
+        }
+      }
+    }
+  }
+
+  // Deterministic emission order: allocation order of the contended object.
+  std::vector<MemObject> contended;
+  for (const auto& [o, w] : writers) {
+    if (w.colors.size() >= 2) contended.push_back(o);
+  }
+  pts.stable_sort(contended);
+
+  for (MemObject o : contended) {
+    const Writers& w = writers.at(o);
+    // Heuristic: if every writing function already synchronizes via
+    // pvg.ack / pvg.wait_ack, assume the author ordered the writes.
+    bool all_barriered = true;
+    for (const ir::Function* fn : w.functions) {
+      if (!has_barrier_call(*fn)) {
+        all_barriered = false;
+        break;
+      }
+    }
+    if (all_barriered) continue;
+
+    diags.lint("L501", Severity::kWarning, owner_name(pts, o),
+               w.sample != nullptr ? ir::print_instruction(*w.sample) : "",
+               "uncolored shared location " + pts.object_name(o) +
+                   " is written by chunks of colors " + colors_to_string(w.colors) +
+                   " with no synchronization barrier; cross-enclave write order is "
+                   "undefined",
+               "sequence the writers with pvg.ack/pvg.wait_ack, or color " +
+                   pts.object_name(o) + " so one enclave owns it");
+  }
+}
+
+}  // namespace privagic::analysis

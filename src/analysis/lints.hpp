@@ -1,0 +1,90 @@
+// The five standard lint passes. Stable codes (append-only):
+//
+//   L101  under-coloring advisor    warning  named color flows into an
+//                                            uncolored memory location
+//   L201  dead declassification     warning  declassified result never
+//                                            reaches unsafe memory or exit
+//   L202  over-broad declassify     warning  declassify sits directly on a
+//                                            raw secret load
+//   L301  chunk cost                note     per-specialization chunk/cost
+//                                            estimate
+//   L302  chunk explosion           warning  predicted chunk count or code
+//                                            blowup above threshold
+//   L401  unpromoted alloca         warning  §5.1 inference kept an alloca
+//                                            in memory; names the reason and
+//                                            the escaping instruction
+//   L402  promoted alloca           note     §5.1 inference promoted the
+//                                            alloca to registers
+//   L501  cross-color race          warning  uncolored escaping location
+//                                            written by chunks of different
+//                                            colors with no barrier in sight
+//
+// All of these are heuristics over whole-program dataflow the paper shows
+// unsound for enforcement (Figure 3); they advise, the type checker decides.
+#pragma once
+
+#include "analysis/pass_manager.hpp"
+
+namespace privagic::analysis {
+
+/// L101. The deliberately Figure-3-unsound color propagation *through
+/// memory*, repurposed: every named color reaching an undeclared location is
+/// a candidate annotation. Findings are ranked (most distinct colors first,
+/// then allocation order) and carry a fix-it naming the type to color.
+class UnderColoringAdvisor final : public LintPass {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "under-coloring-advisor"; }
+  [[nodiscard]] Phase phase() const override { return Phase::kPostTypeAnalysis; }
+  void run(const AnalysisContext& ctx, sectype::DiagnosticEngine& diags) override;
+};
+
+/// L201/L202. Audits calls to `ignore` (declassification, §6.4) functions:
+/// dead declassifications whose result never reaches unsafe memory, an
+/// external/indirect call, or an entry return; and over-broad ones applied
+/// directly to a raw secret load instead of a derived public value.
+class DeclassificationAudit final : public LintPass {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "declassification-audit"; }
+  [[nodiscard]] Phase phase() const override { return Phase::kPostTypeAnalysis; }
+  void run(const AnalysisContext& ctx, sectype::DiagnosticEngine& diags) override;
+};
+
+/// L301/L302. Per reachable specialization: predicted chunk colors (the
+/// planner's fold rule), code-size blowup from replication, and the number
+/// of cross-enclave call edges; warns when a function's chunk count crosses
+/// kExplosionChunks (§7.3.1 cost discussion).
+class ChunkCostEstimator final : public LintPass {
+ public:
+  static constexpr std::size_t kExplosionChunks = 3;
+
+  [[nodiscard]] std::string_view name() const override { return "chunk-cost-estimator"; }
+  [[nodiscard]] Phase phase() const override { return Phase::kPostTypeAnalysis; }
+  void run(const AnalysisContext& ctx, sectype::DiagnosticEngine& diags) override;
+};
+
+/// L401/L402. Pre-type-analysis (mem2reg would destroy the evidence):
+/// explains, for every alloca the author wrote, whether §5.1 inference
+/// promotes it to registers, and if not, why — declared color, aggregate
+/// type, or an instruction that takes the address out of load/store position
+/// (named in the diagnostic).
+class EscapeReport final : public LintPass {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "escape-report"; }
+  [[nodiscard]] Phase phase() const override { return Phase::kPreTypeAnalysis; }
+  void run(const AnalysisContext& ctx, sectype::DiagnosticEngine& diags) override;
+};
+
+/// L501. An uncolored escaping location stored to by instructions the
+/// partitioner places in different chunks is a data race across enclave
+/// boundaries waiting to happen. Heuristic suppression: if every writing
+/// function already calls a synchronization intrinsic (pvg.ack /
+/// pvg.wait_ack), the author has arranged a barrier and the lint stays
+/// quiet. This is advisory — barrier *placement* is not checked.
+class CrossColorRaceLint final : public LintPass {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "cross-color-race"; }
+  [[nodiscard]] Phase phase() const override { return Phase::kPostTypeAnalysis; }
+  void run(const AnalysisContext& ctx, sectype::DiagnosticEngine& diags) override;
+};
+
+}  // namespace privagic::analysis

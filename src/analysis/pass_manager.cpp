@@ -1,0 +1,45 @@
+#include "analysis/pass_manager.hpp"
+
+#include "analysis/lints.hpp"
+
+namespace privagic::analysis {
+
+PassManager PassManager::with_default_passes(sectype::Mode mode) {
+  PassManager pm(mode);
+  pm.add_pass(std::make_unique<EscapeReport>());
+  pm.add_pass(std::make_unique<UnderColoringAdvisor>());
+  pm.add_pass(std::make_unique<DeclassificationAudit>());
+  pm.add_pass(std::make_unique<ChunkCostEstimator>());
+  pm.add_pass(std::make_unique<CrossColorRaceLint>());
+  return pm;
+}
+
+const sectype::DiagnosticEngine& PassManager::run(ir::Module& module) {
+  ctx_.module = &module;
+
+  for (const auto& pass : passes_) {
+    if (pass->phase() == LintPass::Phase::kPreTypeAnalysis) pass->run(ctx_, diags_);
+  }
+
+  // Build the shared analyses. TypeAnalysis runs mem2reg (§5.1), so every
+  // post-phase analysis sees only genuine memory. A failed type check still
+  // leaves usable facts — the lints keep going so one report shows both the
+  // errors and the advice.
+  ctx_.types = std::make_unique<sectype::TypeAnalysis>(module, ctx_.mode);
+  ctx_.type_check_ok = ctx_.types->run();
+  diags_.merge(ctx_.types->diagnostics());
+
+  ctx_.callgraph = std::make_unique<ir::CallGraph>(module);
+  ctx_.sccs = bottom_up_sccs(module, *ctx_.callgraph);
+  ctx_.points_to = std::make_unique<PointsTo>(module);
+  ctx_.points_to->run();
+  ctx_.taint = std::make_unique<TaintAdvisor>(module, *ctx_.points_to);
+  ctx_.taint->run();
+
+  for (const auto& pass : passes_) {
+    if (pass->phase() == LintPass::Phase::kPostTypeAnalysis) pass->run(ctx_, diags_);
+  }
+  return diags_;
+}
+
+}  // namespace privagic::analysis

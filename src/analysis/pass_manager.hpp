@@ -1,0 +1,82 @@
+// The interprocedural lint framework: a pass manager over PIR that runs the
+// shared analyses once (callgraph SCCs, Andersen-lite points-to/escape,
+// advisory color taint, the secure type checker itself) and hands them to
+// registered lint passes, which emit through sectype::DiagnosticEngine with
+// stable L-codes.
+//
+// Two phases, because sectype::TypeAnalysis::run() performs mem2reg (§5.1)
+// and so *destroys* promotable allocas:
+//  * kPreTypeAnalysis passes see the pristine module exactly as parsed
+//    (the escape report must explain every alloca the author wrote);
+//  * kPostTypeAnalysis passes see the module after promotion — only genuine
+//    memory remains — with type facts, points-to, and taint available.
+//
+// Soundness stance (DESIGN.md "Static analysis layer"): everything here is
+// advisory. The passes reuse whole-program dataflow that Figure 3 proves
+// unsound for *enforcement* under concurrency; their output is ranked
+// warnings and notes, never a gate. The type checker's E-codes remain the
+// only errors.
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "analysis/points_to.hpp"
+#include "analysis/scc.hpp"
+#include "analysis/taint_advisor.hpp"
+#include "sectype/analysis.hpp"
+
+namespace privagic::analysis {
+
+/// Everything a pass may consume. Pointers are null in phases where the
+/// analysis has not been built yet (see LintPass::Phase).
+struct AnalysisContext {
+  ir::Module* module = nullptr;
+  sectype::Mode mode = sectype::Mode::kHardened;
+
+  // Built between the pre and post phases.
+  std::unique_ptr<sectype::TypeAnalysis> types;
+  bool type_check_ok = false;  // facts stay usable even when false
+  std::unique_ptr<ir::CallGraph> callgraph;
+  std::vector<Scc> sccs;
+  std::unique_ptr<PointsTo> points_to;
+  std::unique_ptr<TaintAdvisor> taint;
+};
+
+class LintPass {
+ public:
+  enum class Phase : std::uint8_t { kPreTypeAnalysis, kPostTypeAnalysis };
+
+  virtual ~LintPass() = default;
+  [[nodiscard]] virtual std::string_view name() const = 0;
+  [[nodiscard]] virtual Phase phase() const = 0;
+  virtual void run(const AnalysisContext& ctx, sectype::DiagnosticEngine& diags) = 0;
+};
+
+class PassManager {
+ public:
+  explicit PassManager(sectype::Mode mode) { ctx_.mode = mode; }
+
+  void add_pass(std::unique_ptr<LintPass> pass) { passes_.push_back(std::move(pass)); }
+
+  /// The five standard passes of the lint layer, in stable emission order.
+  static PassManager with_default_passes(sectype::Mode mode);
+
+  /// Runs pre-phase passes, builds the shared analyses (including the type
+  /// checker, whose diagnostics are merged in), then runs post-phase passes.
+  /// Mutates @p module (mem2reg inside TypeAnalysis). Returns the merged
+  /// diagnostics; has_errors() reflects type-checker errors only, since
+  /// lints are warnings/notes by construction.
+  const sectype::DiagnosticEngine& run(ir::Module& module);
+
+  [[nodiscard]] const sectype::DiagnosticEngine& diagnostics() const { return diags_; }
+  [[nodiscard]] const AnalysisContext& context() const { return ctx_; }
+
+ private:
+  AnalysisContext ctx_;
+  std::vector<std::unique_ptr<LintPass>> passes_;
+  sectype::DiagnosticEngine diags_;
+};
+
+}  // namespace privagic::analysis

@@ -1,0 +1,260 @@
+#include "analysis/points_to.hpp"
+
+#include <algorithm>
+
+namespace privagic::analysis {
+
+const std::unordered_set<MemObject> PointsTo::kEmpty;
+
+void PointsTo::collect_objects() {
+  auto add = [this](MemObject o) {
+    object_id_[o] = static_cast<int>(objects_.size());
+    objects_.push_back(o);
+  };
+  for (const auto& g : module_.globals()) {
+    add(g.get());
+    // A global names its own storage; seeding here makes the public
+    // points_to() query agree with the solver's inline handling.
+    pts_[g.get()].insert(g.get());
+  }
+  for (const auto& fn : module_.functions()) {
+    for (const auto& bb : fn->blocks()) {
+      for (const auto& inst : bb->instructions()) {
+        if (inst->opcode() == ir::Opcode::kAlloca ||
+            inst->opcode() == ir::Opcode::kHeapAlloc) {
+          add(inst.get());
+        }
+      }
+    }
+  }
+}
+
+bool PointsTo::add_pts(const ir::Value* v, MemObject o) { return pts_[v].insert(o).second; }
+
+bool PointsTo::add_all_pts(const ir::Value* dst, const std::unordered_set<MemObject>& src) {
+  if (src.empty()) return false;
+  bool changed = false;
+  auto& slot = pts_[dst];
+  for (MemObject o : src) changed |= slot.insert(o).second;
+  return changed;
+}
+
+/// pts of an operand as consumed: globals are their own singleton object;
+/// instructions/arguments use the solved map; constants point nowhere.
+static const std::unordered_set<MemObject>* operand_pts(
+    const std::unordered_map<const ir::Value*, std::unordered_set<MemObject>>& pts,
+    const ir::Value* v, std::unordered_set<MemObject>& scratch) {
+  if (v->value_kind() == ir::ValueKind::kGlobal) {
+    scratch = {v};
+    return &scratch;
+  }
+  auto it = pts.find(v);
+  if (it == pts.end()) return nullptr;
+  return &it->second;
+}
+
+bool PointsTo::propagate_once() {
+  bool changed = false;
+  std::unordered_set<MemObject> scratch;
+  auto src_of = [&](const ir::Value* v) { return operand_pts(pts_, v, scratch); };
+
+  for (const auto& fn : module_.functions()) {
+    for (const auto& bb : fn->blocks()) {
+      for (const auto& inst : bb->instructions()) {
+        switch (inst->opcode()) {
+          case ir::Opcode::kAlloca:
+          case ir::Opcode::kHeapAlloc:
+            changed |= add_pts(inst.get(), inst.get());
+            break;
+          case ir::Opcode::kGep: {
+            // Field-insensitive: a field pointer aliases the whole object.
+            if (const auto* s = src_of(static_cast<const ir::GepInst*>(inst.get())->base())) {
+              changed |= add_all_pts(inst.get(), *s);
+            }
+            break;
+          }
+          case ir::Opcode::kCast: {
+            if (!inst->type()->is_ptr()) break;
+            if (const auto* s = src_of(static_cast<const ir::CastInst*>(inst.get())->source())) {
+              changed |= add_all_pts(inst.get(), *s);
+            }
+            break;
+          }
+          case ir::Opcode::kPhi: {
+            const auto* phi = static_cast<const ir::PhiInst*>(inst.get());
+            if (!phi->type()->is_ptr()) break;
+            for (std::size_t i = 0; i < phi->incoming_count(); ++i) {
+              if (const auto* s = src_of(phi->incoming_value(i))) {
+                changed |= add_all_pts(inst.get(), *s);
+              }
+            }
+            break;
+          }
+          case ir::Opcode::kLoad: {
+            if (!inst->type()->is_ptr()) break;
+            const auto* load = static_cast<const ir::LoadInst*>(inst.get());
+            if (const auto* targets = src_of(load->pointer())) {
+              // Copy: contents_ lookups below may rehash the scratch source.
+              const std::vector<MemObject> snapshot(targets->begin(), targets->end());
+              for (MemObject o : snapshot) {
+                changed |= add_all_pts(inst.get(), contents(o));
+              }
+            }
+            break;
+          }
+          case ir::Opcode::kStore: {
+            const auto* store = static_cast<const ir::StoreInst*>(inst.get());
+            if (!store->stored_value()->type()->is_ptr()) break;
+            std::unordered_set<MemObject> scratch2;
+            const auto* value_set =
+                operand_pts(pts_, store->stored_value(), scratch2);
+            if (value_set == nullptr || value_set->empty()) break;
+            if (const auto* targets = src_of(store->pointer())) {
+              const std::vector<MemObject> snapshot(targets->begin(), targets->end());
+              for (MemObject o : snapshot) {
+                auto& cell = contents_[o];
+                for (MemObject p : *value_set) changed |= cell.insert(p).second;
+              }
+            }
+            break;
+          }
+          case ir::Opcode::kCall: {
+            const auto* call = static_cast<const ir::CallInst*>(inst.get());
+            const ir::Function* callee = call->callee();
+            if (callee->is_declaration()) break;  // external: handled by escape pass
+            // Arguments flow into the callee's formals; the callee's returned
+            // pointers flow back into the call result.
+            for (std::size_t i = 0; i < call->args().size() && i < callee->arg_count(); ++i) {
+              if (const auto* s = src_of(call->args()[i])) {
+                changed |= add_all_pts(callee->argument(i), *s);
+              }
+            }
+            if (call->type()->is_ptr()) {
+              for (const auto& cbb : callee->blocks()) {
+                const ir::Instruction* term = cbb->terminator();
+                if (term == nullptr || term->opcode() != ir::Opcode::kRet) continue;
+                const auto* ret = static_cast<const ir::RetInst*>(term);
+                if (!ret->has_value()) continue;
+                if (const auto* s = src_of(ret->value())) {
+                  changed |= add_all_pts(call, *s);
+                }
+              }
+            }
+            break;
+          }
+          default:
+            break;  // scalar ops, branches, ret: nothing to propagate here
+        }
+      }
+    }
+  }
+  return changed;
+}
+
+void PointsTo::compute_escapes() {
+  // Roots: globals (visible to every thread and function), anything passed
+  // to any call (even local calls: the lite analysis does not track which
+  // callee objects stay confined), returned, or ptrtoint'ed.
+  std::vector<MemObject> work;
+  auto mark = [&](MemObject o, const ir::Instruction* site) {
+    if (!escaping_.insert(o).second) return;
+    if (site != nullptr && !escape_site_.contains(o)) escape_site_[o] = site;
+    work.push_back(o);
+  };
+  for (const auto& g : module_.globals()) mark(g.get(), nullptr);
+
+  std::unordered_set<MemObject> scratch;
+  for (const auto& fn : module_.functions()) {
+    for (const auto& bb : fn->blocks()) {
+      for (const auto& inst : bb->instructions()) {
+        const bool is_call = inst->opcode() == ir::Opcode::kCall ||
+                             inst->opcode() == ir::Opcode::kCallIndirect;
+        const bool is_ret = inst->opcode() == ir::Opcode::kRet;
+        const bool is_ptrtoint =
+            inst->opcode() == ir::Opcode::kCast &&
+            static_cast<const ir::CastInst*>(inst.get())->cast_kind() ==
+                ir::CastKind::kPtrToInt;
+        if (!is_call && !is_ret && !is_ptrtoint) continue;
+        for (const ir::Value* op : inst->operands()) {
+          if (const auto* s = operand_pts(pts_, op, scratch)) {
+            for (MemObject o : *s) mark(o, inst.get());
+          }
+        }
+      }
+    }
+  }
+
+  // Transitive closure: everything stored inside an escaping object escapes
+  // (its address can be reloaded anywhere the container is visible).
+  while (!work.empty()) {
+    MemObject o = work.back();
+    work.pop_back();
+    for (MemObject inner : contents(o)) mark(inner, escape_site(o));
+  }
+}
+
+void PointsTo::run() {
+  collect_objects();
+  // Whole-module fixpoint. Sets only grow and are bounded by |objects|², so
+  // this terminates; fixture-scale modules converge in a handful of sweeps.
+  while (propagate_once()) {
+  }
+  compute_escapes();
+}
+
+void PointsTo::stable_sort(std::vector<MemObject>& objs) const {
+  std::sort(objs.begin(), objs.end(),
+            [this](MemObject a, MemObject b) { return object_id(a) < object_id(b); });
+}
+
+std::string PointsTo::object_name(MemObject o) const {
+  if (o->value_kind() == ir::ValueKind::kGlobal) return "@" + o->name();
+  const auto* inst = static_cast<const ir::Instruction*>(o);
+  const ir::Function* fn =
+      inst->parent() != nullptr ? inst->parent()->parent() : nullptr;
+  const std::string kind =
+      inst->opcode() == ir::Opcode::kHeapAlloc ? "heap_alloc" : "alloca";
+  std::string label = o->name().empty() ? "<unnamed>" : "%" + o->name();
+  return label + " (" + kind + (fn != nullptr ? " in @" + fn->name() : "") + ")";
+}
+
+const ir::Type* PointsTo::object_type(MemObject o) const {
+  switch (o->value_kind()) {
+    case ir::ValueKind::kGlobal:
+      return static_cast<const ir::GlobalVariable*>(o)->contained_type();
+    case ir::ValueKind::kInstruction: {
+      const auto* inst = static_cast<const ir::Instruction*>(o);
+      if (inst->opcode() == ir::Opcode::kAlloca) {
+        return static_cast<const ir::AllocaInst*>(inst)->contained_type();
+      }
+      return static_cast<const ir::HeapAllocInst*>(inst)->contained_type();
+    }
+    default:
+      return nullptr;
+  }
+}
+
+const std::string& PointsTo::object_color(MemObject o) const {
+  static const std::string kNone;
+  switch (o->value_kind()) {
+    case ir::ValueKind::kGlobal:
+      return static_cast<const ir::GlobalVariable*>(o)->color();
+    case ir::ValueKind::kInstruction: {
+      const auto* inst = static_cast<const ir::Instruction*>(o);
+      if (inst->opcode() == ir::Opcode::kAlloca) {
+        return static_cast<const ir::AllocaInst*>(inst)->color();
+      }
+      return static_cast<const ir::HeapAllocInst*>(inst)->color();
+    }
+    default:
+      return kNone;
+  }
+}
+
+const ir::Function* PointsTo::owner(MemObject o) const {
+  if (o->value_kind() != ir::ValueKind::kInstruction) return nullptr;
+  const auto* inst = static_cast<const ir::Instruction*>(o);
+  return inst->parent() != nullptr ? inst->parent()->parent() : nullptr;
+}
+
+}  // namespace privagic::analysis

@@ -1,0 +1,111 @@
+// Flow-insensitive, field-insensitive Andersen-style points-to and escape
+// analysis over PIR.
+//
+// Abstract memory objects are allocation sites: every alloca, every
+// heap_alloc, and every global. The solver computes, to a whole-module
+// fixpoint:
+//  * pts(v)      — the objects a pointer-typed SSA value may address;
+//  * contents(o) — the objects whose addresses may be *stored inside* o
+//                  (one cell per object: field- and index-insensitive);
+//  * escapes(o)  — whether o is reachable by code outside its defining
+//                  function: via a global, a call argument, a return value,
+//                  a ptrtoint, or the contents of another escaping object.
+//
+// This is exactly the kind of whole-program dataflow §4/Figure 3 of the
+// paper proves UNSOUND as an enforcement mechanism for multi-threaded code:
+// another thread can retarget a pointer between any two statements, and no
+// flow-insensitive set gets smaller by thinking harder. The lint framework
+// therefore consumes these sets only as *advisory* signal (ranked warnings,
+// cost estimates); the secure type checker in src/sectype remains the only
+// enforcement. See DESIGN.md "Static analysis layer".
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "ir/module.hpp"
+
+namespace privagic::analysis {
+
+/// An abstract object: AllocaInst, HeapAllocInst, or GlobalVariable.
+using MemObject = const ir::Value*;
+
+class PointsTo {
+ public:
+  explicit PointsTo(const ir::Module& module) : module_(module) {}
+
+  /// Collects allocation sites and solves the subset constraints to a
+  /// fixpoint. Deterministic for a given module.
+  void run();
+
+  /// Objects @p v may point to (empty set for non-pointers / unknowns).
+  [[nodiscard]] const std::unordered_set<MemObject>& points_to(const ir::Value* v) const {
+    auto it = pts_.find(v);
+    return it != pts_.end() ? it->second : kEmpty;
+  }
+
+  /// Objects whose addresses may be stored inside @p o.
+  [[nodiscard]] const std::unordered_set<MemObject>& contents(MemObject o) const {
+    auto it = contents_.find(o);
+    return it != contents_.end() ? it->second : kEmpty;
+  }
+
+  /// True if @p o is visible outside its defining function (globals always).
+  [[nodiscard]] bool escapes(MemObject o) const { return escaping_.contains(o); }
+
+  /// The instruction blamed for the escape (nullptr for globals, which are
+  /// born escaped, and for objects that do not escape).
+  [[nodiscard]] const ir::Instruction* escape_site(MemObject o) const {
+    auto it = escape_site_.find(o);
+    return it != escape_site_.end() ? it->second : nullptr;
+  }
+
+  /// All objects, in deterministic collection order (globals first, then
+  /// allocation instructions in module walk order).
+  [[nodiscard]] const std::vector<MemObject>& objects() const { return objects_; }
+
+  /// Stable small integer per object (collection order); -1 if unknown.
+  [[nodiscard]] int object_id(MemObject o) const {
+    auto it = object_id_.find(o);
+    return it != object_id_.end() ? it->second : -1;
+  }
+
+  /// Sorts @p objs into collection order, for deterministic diagnostics.
+  void stable_sort(std::vector<MemObject>& objs) const;
+
+  /// Human-readable site name: "@g", "%buf (alloca in @f)",
+  /// "%p (heap_alloc in @f)".
+  [[nodiscard]] std::string object_name(MemObject o) const;
+
+  /// The type of the allocated memory (contained type / global type).
+  [[nodiscard]] const ir::Type* object_type(MemObject o) const;
+
+  /// The declared color of the allocation site ("" = uncolored, i.e. the
+  /// unsafe default).
+  [[nodiscard]] const std::string& object_color(MemObject o) const;
+
+  /// The function owning the allocation site (nullptr for globals).
+  [[nodiscard]] const ir::Function* owner(MemObject o) const;
+
+ private:
+  void collect_objects();
+  bool propagate_once();
+  void compute_escapes();
+
+  bool add_pts(const ir::Value* v, MemObject o);
+  bool add_all_pts(const ir::Value* dst, const std::unordered_set<MemObject>& src);
+
+  const ir::Module& module_;
+  std::vector<MemObject> objects_;
+  std::unordered_map<MemObject, int> object_id_;
+  std::unordered_map<const ir::Value*, std::unordered_set<MemObject>> pts_;
+  std::unordered_map<MemObject, std::unordered_set<MemObject>> contents_;
+  std::unordered_set<MemObject> escaping_;
+  std::unordered_map<MemObject, const ir::Instruction*> escape_site_;
+
+  static const std::unordered_set<MemObject> kEmpty;
+};
+
+}  // namespace privagic::analysis

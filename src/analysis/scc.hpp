@@ -1,0 +1,114 @@
+// Strongly connected components of the direct call graph (Tarjan), in
+// bottom-up (callee-before-caller) order.
+//
+// The interprocedural analyses in this directory walk the condensation:
+// summaries of a callee SCC are complete before any caller SCC is visited,
+// so a single sweep converges everywhere except within an SCC, where the
+// member functions iterate to a local fixpoint. Indirect calls contribute no
+// edges (ir/callgraph.hpp treats them as external, §6.3), so they cannot
+// create cycles here; the analyses handle them at the call site instead.
+#pragma once
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/callgraph.hpp"
+
+namespace privagic::analysis {
+
+/// One component: the member functions, in discovery order.
+using Scc = std::vector<ir::Function*>;
+
+/// Tarjan over @p cg restricted to defined functions of @p module, returned
+/// callee-first (reverse topological order of the condensation). Every
+/// defined function appears in exactly one component. Deterministic: roots
+/// are visited in module function order.
+[[nodiscard]] inline std::vector<Scc> bottom_up_sccs(const ir::Module& module,
+                                                     const ir::CallGraph& cg) {
+  struct NodeState {
+    int index = -1;
+    int lowlink = 0;
+    bool on_stack = false;
+  };
+  std::unordered_map<ir::Function*, NodeState> state;
+  std::vector<ir::Function*> stack;
+  std::vector<Scc> sccs;
+  int next_index = 0;
+
+  // Iterative Tarjan (explicit frame stack: deep recursion over generated
+  // call chains must not overflow the native stack).
+  struct Frame {
+    ir::Function* fn;
+    std::vector<ir::Function*> callees;
+    std::size_t next_callee = 0;
+  };
+
+  auto ordered_callees = [&cg](ir::Function* fn) {
+    std::vector<ir::Function*> out(cg.callees(fn).begin(), cg.callees(fn).end());
+    std::sort(out.begin(), out.end(), [](const ir::Function* a, const ir::Function* b) {
+      return a->name() < b->name();
+    });
+    return out;
+  };
+
+  for (const auto& root : module.functions()) {
+    if (root->is_declaration() || state[root.get()].index != -1) continue;
+    std::vector<Frame> frames;
+    frames.push_back({root.get(), ordered_callees(root.get()), 0});
+    state[root.get()].index = state[root.get()].lowlink = next_index++;
+    state[root.get()].on_stack = true;
+    stack.push_back(root.get());
+
+    while (!frames.empty()) {
+      Frame& top = frames.back();
+      if (top.next_callee < top.callees.size()) {
+        ir::Function* callee = top.callees[top.next_callee++];
+        if (callee->is_declaration()) continue;
+        NodeState& cs = state[callee];
+        if (cs.index == -1) {
+          cs.index = cs.lowlink = next_index++;
+          cs.on_stack = true;
+          stack.push_back(callee);
+          frames.push_back({callee, ordered_callees(callee), 0});
+        } else if (cs.on_stack) {
+          state[top.fn].lowlink = std::min(state[top.fn].lowlink, cs.index);
+        }
+        continue;
+      }
+      // All callees done: maybe pop a component, then propagate the lowlink.
+      NodeState& ts = state[top.fn];
+      if (ts.lowlink == ts.index) {
+        Scc scc;
+        ir::Function* member = nullptr;
+        do {
+          member = stack.back();
+          stack.pop_back();
+          state[member].on_stack = false;
+          scc.push_back(member);
+        } while (member != top.fn);
+        std::reverse(scc.begin(), scc.end());
+        sccs.push_back(std::move(scc));
+      }
+      ir::Function* finished = top.fn;
+      frames.pop_back();
+      if (!frames.empty()) {
+        NodeState& ps = state[frames.back().fn];
+        ps.lowlink = std::min(ps.lowlink, state[finished].lowlink);
+      }
+    }
+  }
+  return sccs;  // Tarjan emits components in reverse topological order
+}
+
+/// True if @p fn sits in a cyclic component (self-recursion or mutual).
+[[nodiscard]] inline bool in_cycle(const std::vector<Scc>& sccs, const ir::Function* fn,
+                                   const ir::CallGraph& cg) {
+  for (const Scc& scc : sccs) {
+    if (std::find(scc.begin(), scc.end(), fn) == scc.end()) continue;
+    return scc.size() > 1 || cg.callees(fn).contains(const_cast<ir::Function*>(fn));
+  }
+  return false;
+}
+
+}  // namespace privagic::analysis

@@ -1,0 +1,157 @@
+#include "analysis/taint_advisor.hpp"
+
+#include "analysis/scc.hpp"
+#include "ir/callgraph.hpp"
+#include "ir/instruction.hpp"
+
+namespace privagic::analysis {
+
+const sectype::ColorSet TaintAdvisor::kEmpty;
+
+namespace {
+
+/// Named annotations become lattice elements; "", "U", "S" do not (unsafe
+/// memory is not a secret).
+void add_annotation(sectype::ColorSet& set, const std::string& annotation) {
+  if (annotation.empty() || sectype::Color::is_reserved_name(annotation)) return;
+  set.insert(sectype::Color::named(annotation));
+}
+
+}  // namespace
+
+bool TaintAdvisor::join_value(const ir::Value* dst, const sectype::ColorSet& src) {
+  if (src.empty()) return false;
+  auto& slot = value_colors_[dst];
+  bool changed = false;
+  for (const auto& c : src) changed |= slot.insert(c).second;
+  return changed;
+}
+
+bool TaintAdvisor::join_memory(MemObject o, const sectype::ColorSet& src,
+                               const ir::Instruction* site) {
+  if (src.empty()) return false;
+  auto& slot = memory_colors_[o];
+  bool changed = false;
+  for (const auto& c : src) {
+    if (slot.insert(c).second) {
+      changed = true;
+      if (site != nullptr) taint_site_.try_emplace({o, c}, site);
+    }
+  }
+  return changed;
+}
+
+sectype::ColorSet TaintAdvisor::colors_through_pointer(const ir::Value* ptr) const {
+  sectype::ColorSet out;
+  if (const auto* pt = dynamic_cast<const ir::PtrType*>(ptr->type())) {
+    add_annotation(out, pt->pointee_color());
+  }
+  for (MemObject o : pts_.points_to(ptr)) {
+    add_annotation(out, pts_.object_color(o));
+    const auto& mem = memory_colors(o);
+    out.insert(mem.begin(), mem.end());
+  }
+  return out;
+}
+
+bool TaintAdvisor::transfer_function(const ir::Function& fn) {
+  bool changed = false;
+  // Argument seeds: a named declared color is a secret at the boundary.
+  for (const auto& arg : fn.arguments()) {
+    sectype::ColorSet seed;
+    add_annotation(seed, arg->color());
+    changed |= join_value(arg.get(), seed);
+  }
+
+  for (const auto& bb : fn.blocks()) {
+    for (const auto& inst : bb->instructions()) {
+      switch (inst->opcode()) {
+        case ir::Opcode::kLoad: {
+          const auto* load = static_cast<const ir::LoadInst*>(inst.get());
+          changed |= join_value(inst.get(), colors_through_pointer(load->pointer()));
+          break;
+        }
+        case ir::Opcode::kStore: {
+          const auto* store = static_cast<const ir::StoreInst*>(inst.get());
+          const auto& stored = value_colors(store->stored_value());
+          if (stored.empty()) break;
+          for (MemObject o : pts_.points_to(store->pointer())) {
+            changed |= join_memory(o, stored, inst.get());
+          }
+          break;
+        }
+        case ir::Opcode::kBinOp:
+        case ir::Opcode::kICmp: {
+          for (const ir::Value* op : inst->operands()) {
+            changed |= join_value(inst.get(), value_colors(op));
+          }
+          break;
+        }
+        case ir::Opcode::kGep: {
+          changed |= join_value(
+              inst.get(), value_colors(static_cast<const ir::GepInst*>(inst.get())->base()));
+          break;
+        }
+        case ir::Opcode::kCast: {
+          changed |= join_value(
+              inst.get(), value_colors(static_cast<const ir::CastInst*>(inst.get())->source()));
+          break;
+        }
+        case ir::Opcode::kPhi: {
+          const auto* phi = static_cast<const ir::PhiInst*>(inst.get());
+          for (std::size_t i = 0; i < phi->incoming_count(); ++i) {
+            changed |= join_value(inst.get(), value_colors(phi->incoming_value(i)));
+          }
+          break;
+        }
+        case ir::Opcode::kCall: {
+          const auto* call = static_cast<const ir::CallInst*>(inst.get());
+          const ir::Function* callee = call->callee();
+          if (callee->is_ignore()) break;  // declassification boundary: result stays clean
+          if (callee->is_declaration()) {
+            if (callee->is_within()) {
+              // memcpy-like helper: secrets pass through, none are created.
+              for (const ir::Value* a : call->args()) {
+                changed |= join_value(inst.get(), value_colors(a));
+              }
+            }
+            break;  // external: untrusted world, no secrets come back
+          }
+          for (std::size_t i = 0; i < call->args().size() && i < callee->arg_count(); ++i) {
+            changed |= join_value(callee->argument(i), value_colors(call->args()[i]));
+          }
+          // Return summary: union of colors over every `ret` operand.
+          for (const auto& cbb : callee->blocks()) {
+            const ir::Instruction* term = cbb->terminator();
+            if (term == nullptr || term->opcode() != ir::Opcode::kRet) continue;
+            const auto* ret = static_cast<const ir::RetInst*>(term);
+            if (ret->has_value()) changed |= join_value(inst.get(), value_colors(ret->value()));
+          }
+          break;
+        }
+        default:
+          break;  // alloca/heap ops, branches, ret, call_indirect: no colors made
+      }
+    }
+  }
+  return changed;
+}
+
+void TaintAdvisor::run() {
+  const ir::CallGraph cg(module_);
+  const auto sccs = bottom_up_sccs(module_, cg);
+
+  // Flatten into one callee-first visit order; the outer loop re-sweeps
+  // because argument facts flow caller-to-callee (against the SCC order)
+  // and memory facts couple otherwise-unrelated functions.
+  std::vector<ir::Function*> order;
+  for (const Scc& scc : sccs) order.insert(order.end(), scc.begin(), scc.end());
+
+  for (int sweep = 0; sweep < 64; ++sweep) {
+    bool changed = false;
+    for (ir::Function* fn : order) changed |= transfer_function(*fn);
+    if (!changed) break;
+  }
+}
+
+}  // namespace privagic::analysis

@@ -1,0 +1,100 @@
+// Advisory color-taint lattice over PIR: which named enclave colors may
+// reach each SSA value and each memory object.
+//
+// This is the "obvious" dataflow the paper rejects as an enforcement
+// mechanism (§4, Figure 3): colors are propagated not just through
+// registers but *through memory* — a store of a c-colored value into an
+// uncolored cell taints the cell, and every later load observes it. Under
+// concurrency that propagation is unsound (another thread can swap the
+// pointed-to cell between the store and the load), which is exactly why
+// src/sectype only trusts declared colors on memory. Here the same dataflow
+// is repurposed where unsoundness is acceptable: *advice*. If a named color
+// flows into an uncolored location, either the location should be colored
+// (the under-coloring advisor's L101) or the flow crosses a declassification
+// the author should double-check.
+//
+// Lattice: ColorSet of named enclave colors, ordered by inclusion; join is
+// set union; transfer functions are monotone, so the interprocedural
+// fixpoint (callee-first over scc.hpp components, iterated to global
+// convergence because argument facts flow caller-to-callee) terminates.
+// U/S annotations are not tracked: they mark unsafe memory, not secrets.
+//
+// Boundaries: `ignore` callees (declassification, §6.4) return the empty
+// set; external (declaration) callees return the empty set; `within`
+// declarations pass the union of their argument colors through (a
+// memcpy-like helper neither launders nor creates secrets).
+#pragma once
+
+#include <unordered_map>
+
+#include "analysis/points_to.hpp"
+#include "sectype/color.hpp"
+
+namespace privagic::analysis {
+
+class TaintAdvisor {
+ public:
+  TaintAdvisor(const ir::Module& module, const PointsTo& pts)
+      : module_(module), pts_(pts) {}
+
+  /// Solves to a whole-module fixpoint. Requires pts_.run() to have run.
+  void run();
+
+  /// Named colors that may reach SSA value @p v.
+  [[nodiscard]] const sectype::ColorSet& value_colors(const ir::Value* v) const {
+    auto it = value_colors_.find(v);
+    return it != value_colors_.end() ? it->second : kEmpty;
+  }
+
+  /// Named colors *stored into* object @p o over and above its declared
+  /// color. Non-empty on an uncolored object = an under-coloring candidate.
+  [[nodiscard]] const sectype::ColorSet& memory_colors(MemObject o) const {
+    auto it = memory_colors_.find(o);
+    return it != memory_colors_.end() ? it->second : kEmpty;
+  }
+
+  /// The first store blamed for tainting @p o with @p c (nullptr if none —
+  /// e.g. the color arrived via a declared annotation, not a store).
+  [[nodiscard]] const ir::Instruction* tainting_store(MemObject o,
+                                                     const sectype::Color& c) const {
+    auto it = taint_site_.find({o, c});
+    return it != taint_site_.end() ? it->second : nullptr;
+  }
+
+  [[nodiscard]] bool is_secret(const ir::Value* v) const {
+    return !value_colors(v).empty();
+  }
+
+ private:
+  bool transfer_function(const ir::Function& fn);
+  bool join_value(const ir::Value* dst, const sectype::ColorSet& src);
+  bool join_memory(MemObject o, const sectype::ColorSet& src, const ir::Instruction* site);
+
+  /// Colors observable by a load through pointer @p ptr: the static pointee
+  /// qualifier, each pointee object's declared color, and each pointee
+  /// object's accumulated memory colors.
+  [[nodiscard]] sectype::ColorSet colors_through_pointer(const ir::Value* ptr) const;
+
+  const ir::Module& module_;
+  const PointsTo& pts_;
+  std::unordered_map<const ir::Value*, sectype::ColorSet> value_colors_;
+  std::unordered_map<MemObject, sectype::ColorSet> memory_colors_;
+
+  struct SiteKey {
+    MemObject object;
+    sectype::Color color;
+    bool operator==(const SiteKey& other) const {
+      return object == other.object && color == other.color;
+    }
+  };
+  struct SiteKeyHash {
+    std::size_t operator()(const SiteKey& k) const {
+      return std::hash<const void*>()(k.object) ^ std::hash<sectype::Color>()(k.color);
+    }
+  };
+  std::unordered_map<SiteKey, const ir::Instruction*, SiteKeyHash> taint_site_;
+
+  static const sectype::ColorSet kEmpty;
+};
+
+}  // namespace privagic::analysis

@@ -245,6 +245,24 @@ std::string print_function(const Function& fn) {
   return os.str();
 }
 
+std::string print_instruction(const Instruction& inst) {
+  const Function* fn = inst.parent() != nullptr ? inst.parent()->parent() : nullptr;
+  std::ostringstream os;
+  if (fn != nullptr) {
+    print_instruction(os, inst, NameMap(*fn));
+  } else {
+    // Detached instruction (mid-construction): number nothing.
+    static const Function kNone(nullptr, nullptr, "");
+    print_instruction(os, inst, NameMap(kNone));
+  }
+  std::string s = os.str();
+  // Strip the leading two-space indent and trailing newline of the
+  // function-body form.
+  if (s.size() >= 2 && s[0] == ' ' && s[1] == ' ') s.erase(0, 2);
+  while (!s.empty() && s.back() == '\n') s.pop_back();
+  return s;
+}
+
 std::string print_module(const Module& module) {
   std::ostringstream os;
   os << "module \"" << module.name() << "\"\n\n";

@@ -32,4 +32,11 @@ namespace privagic::ir {
 /// Renders a single function (used in diagnostics and tests).
 [[nodiscard]] std::string print_function(const Function& fn);
 
+/// Renders one instruction in PIR syntax, without a trailing newline or
+/// leading indentation (`%x = load ptr<i32 color(blue)> @g`). Unnamed
+/// results print with the same %tN numbering as print_function. Used by
+/// diagnostics; builds a fresh name map per call, so prefer print_function
+/// when rendering many instructions of one function.
+[[nodiscard]] std::string print_instruction(const Instruction& inst);
+
 }  // namespace privagic::ir

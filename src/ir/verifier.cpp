@@ -88,6 +88,13 @@ class FunctionVerifier {
           const auto* phi = static_cast<const PhiInst*>(inst.get());
           for (std::size_t k = 0; k < phi->incoming_count(); ++k) {
             check_operand_at_edge(phi->incoming_value(k), phi->incoming_block(k), dom);
+            // Types are interned in the TypeContext, so identity is equality.
+            if (phi->incoming_value(k) != nullptr &&
+                phi->incoming_value(k)->type() != phi->type()) {
+              error("phi in %" + bb->name() + ": incoming " + std::to_string(k) + " has type " +
+                    phi->incoming_value(k)->type()->to_string() + ", phi has type " +
+                    phi->type()->to_string());
+            }
           }
           continue;
         }
@@ -96,6 +103,9 @@ class FunctionVerifier {
         }
         if (inst->opcode() == Opcode::kCall) {
           check_call(static_cast<const CallInst&>(*inst));
+        }
+        if (inst->opcode() == Opcode::kRet) {
+          check_ret(static_cast<const RetInst&>(*inst), bb.get());
         }
       }
     }
@@ -149,6 +159,24 @@ class FunctionVerifier {
     if (!dom.dominates(it->second, incoming_bb)) {
       error("phi incoming %" + op->name() + " does not dominate edge from %" +
             incoming_bb->name());
+    }
+  }
+
+  void check_ret(const RetInst& ret, const BasicBlock* bb) {
+    const Type* want = fn_.return_type();
+    if (!ret.has_value()) {
+      if (!want->is_void()) {
+        error("ret void in %" + bb->name() + " but function returns " + want->to_string());
+      }
+      return;
+    }
+    if (want->is_void()) {
+      error("ret with a value in %" + bb->name() + " but function returns void");
+      return;
+    }
+    if (ret.value()->type() != want) {
+      error("ret in %" + bb->name() + " returns " + ret.value()->type()->to_string() +
+            " but function returns " + want->to_string());
     }
   }
 

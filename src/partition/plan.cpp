@@ -9,15 +9,11 @@ namespace privagic::partition {
 
 namespace {
 
-/// S placements fold into the untrusted chunk: the runtime's untrusted part
-/// executes shared-memory accesses, so no dedicated S chunk exists (§7.3.1).
-Color fold(Color c) { return c.is_shared() ? Color::untrusted() : c; }
-
-ColorSet fold(const ColorSet& set) {
-  ColorSet out;
-  for (const Color& c : set) out.insert(fold(c));
-  return out;
-}
+// Folding moved to plan.hpp (fold_color / fold_colors) so src/analysis can
+// predict chunk sets with the planner's exact rule; keep the short local
+// aliases the planner body reads naturally.
+Color fold(Color c) { return fold_color(c); }
+ColorSet fold(const ColorSet& set) { return fold_colors(set); }
 
 /// True if this call leaves the module: external, within, ignore, indirect.
 bool is_local_call(const ir::Instruction* inst) {

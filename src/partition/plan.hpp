@@ -24,6 +24,20 @@ using sectype::ColorSet;
 using sectype::SpecFacts;
 using sectype::SpecSig;
 
+/// S placements fold into the untrusted chunk: the runtime's untrusted part
+/// executes shared-memory accesses, so no dedicated S chunk exists (§7.3.1).
+/// Exposed so the static-analysis layer (src/analysis) predicts chunk counts
+/// with the same folding rule the planner applies.
+[[nodiscard]] inline Color fold_color(Color c) {
+  return c.is_shared() ? Color::untrusted() : c;
+}
+
+[[nodiscard]] inline ColorSet fold_colors(const ColorSet& set) {
+  ColorSet out;
+  for (const Color& c : set) out.insert(fold_color(c));
+  return out;
+}
+
 /// How one direct call site is executed across chunks.
 struct CallLowering {
   SpecSig callee_sig;
@@ -88,6 +102,13 @@ class PartitionPlanner {
 
   /// The chunk colors of a specialization (after folding and replication).
   [[nodiscard]] ColorSet chunk_colors(const SpecSig& sig) const;
+
+  /// True if @p sig is replicated into its callers' chunks rather than
+  /// spawned (§5.3). Only meaningful after plan().
+  [[nodiscard]] bool is_replicable(const SpecSig& sig) const {
+    auto it = replicable_.find(sig);
+    return it != replicable_.end() && it->second;
+  }
 
  private:
   void compute_chunk_colors();

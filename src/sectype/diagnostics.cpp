@@ -20,22 +20,112 @@ std::string_view rule_name(Rule rule) {
     case Rule::kFreeArgument: return "free-argument";
     case Rule::kReservedColor: return "reserved-color";
     case Rule::kPointerForge: return "pointer-forge";
+    case Rule::kLint: return "lint";
   }
   return "?";
 }
 
+std::string_view rule_code(Rule rule) {
+  switch (rule) {
+    case Rule::kDirectLeak: return "E001";
+    case Rule::kAccessPlacement: return "E002";
+    case Rule::kIndirectLeak: return "E003";
+    case Rule::kPointerCast: return "E004";
+    case Rule::kImplicitLeak: return "E005";
+    case Rule::kIntegrity: return "E006";
+    case Rule::kIago: return "E007";
+    case Rule::kExternalCall: return "E008";
+    case Rule::kWithinCall: return "E009";
+    case Rule::kReturnConflict: return "E010";
+    case Rule::kMixedStructure: return "E011";
+    case Rule::kFreeArgument: return "E012";
+    case Rule::kReservedColor: return "E013";
+    case Rule::kPointerForge: return "E014";
+    case Rule::kLint: return "";
+  }
+  return "";
+}
+
+std::string_view severity_name(Severity severity) {
+  switch (severity) {
+    case Severity::kError: return "error";
+    case Severity::kWarning: return "warning";
+    case Severity::kNote: return "note";
+  }
+  return "?";
+}
+
+namespace {
+
+void append_json_string(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
 std::string Diagnostic::to_string() const {
   std::ostringstream os;
-  os << "error[" << rule_name(rule) << "] in @" << function;
+  os << severity_name(severity) << "[" << (code.empty() ? std::string(rule_name(rule)) : code)
+     << "]";
+  if (rule != Rule::kLint && !code.empty()) os << " (" << rule_name(rule) << ")";
+  if (!function.empty()) os << " in @" << function;
   if (!instruction.empty()) os << " at `" << instruction << "`";
   os << ": " << message;
+  if (!fixit.empty()) os << "\n  fix-it: " << fixit;
   return os.str();
+}
+
+std::string Diagnostic::to_json() const {
+  std::string out = "{\"code\": ";
+  append_json_string(out, code);
+  out += ", \"severity\": ";
+  append_json_string(out, severity_name(severity));
+  out += ", \"rule\": ";
+  append_json_string(out, rule_name(rule));
+  out += ", \"function\": ";
+  append_json_string(out, function);
+  out += ", \"instruction\": ";
+  append_json_string(out, instruction);
+  out += ", \"message\": ";
+  append_json_string(out, message);
+  out += ", \"fixit\": ";
+  append_json_string(out, fixit);
+  out += "}";
+  return out;
 }
 
 std::string DiagnosticEngine::to_string() const {
   std::ostringstream os;
   for (const auto& d : diagnostics_) os << d.to_string() << "\n";
   return os.str();
+}
+
+std::string DiagnosticEngine::to_json() const {
+  std::string out = "[";
+  for (std::size_t i = 0; i < diagnostics_.size(); ++i) {
+    out += i == 0 ? "\n  " : ",\n  ";
+    out += diagnostics_[i].to_json();
+  }
+  out += diagnostics_.empty() ? "]\n" : "\n]\n";
+  return out;
 }
 
 }  // namespace privagic::sectype

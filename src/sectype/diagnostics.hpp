@@ -1,16 +1,28 @@
-// Structured diagnostics for the secure type checker. Each diagnostic names
-// the violated rule from §4/§6, the function specialization it occurred in,
-// and the offending instruction (rendered in PIR syntax).
+// Structured diagnostics for the secure type checker and the static-analysis
+// lints. Each diagnostic carries a stable machine-readable code (so CI can
+// diff findings across runs without parsing prose), a severity, the violated
+// rule from §4/§6 (for checker errors), the function specialization it
+// occurred in, the offending instruction (rendered in PIR syntax), and an
+// optional fix-it hint.
+//
+// Code space:
+//   E001–E099  secure-type rules (errors; the paper's compile-time rejection)
+//   L1xx–L9xx  advisory lints from src/analysis (warnings/notes; never
+//              enforcement — see DESIGN.md "Static analysis layer")
+// Codes are append-only: a code, once shipped, never changes meaning.
 #pragma once
 
+#include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace privagic::sectype {
 
 /// The security rules of the paper (§4 lists the confidentiality rules;
 /// integrity and Iago prevention follow; the remainder are structural rules
-/// from §6–§8).
+/// from §6–§8). kLint marks advisory diagnostics from src/analysis, which
+/// carry their own L-codes instead of a rule code.
 enum class Rule : std::uint8_t {
   kDirectLeak,        // rule 1: colored value stored to a differently colored location
   kAccessPlacement,   // rule 2: C value touched by an instruction outside C
@@ -26,27 +38,55 @@ enum class Rule : std::uint8_t {
   kFreeArgument,      // F argument would cross an enclave boundary in hardened mode (§7.3.2)
   kReservedColor,     // user code uses the reserved color names F/U/S
   kPointerForge,      // inttoptr manufactures a pointer into an enclave
+  kLint,              // advisory finding from src/analysis (see Diagnostic::code)
 };
+
+enum class Severity : std::uint8_t { kError, kWarning, kNote };
 
 [[nodiscard]] std::string_view rule_name(Rule rule);
 
+/// The stable machine-readable code of a checker rule ("E001"…"E014").
+/// kLint has no rule code (lints supply their own); returns "".
+[[nodiscard]] std::string_view rule_code(Rule rule);
+
+[[nodiscard]] std::string_view severity_name(Severity severity);
+
 struct Diagnostic {
   Rule rule;
+  Severity severity = Severity::kError;
+  std::string code;         // stable code: "E001"… for rules, "L101"… for lints
   std::string function;     // mangled specialization name, e.g. "f$blue,F"
   std::string instruction;  // offending instruction in PIR syntax ("" if n/a)
   std::string message;
+  std::string fixit;        // suggested edit ("" if none)
 
   [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] std::string to_json() const;
 };
 
 class DiagnosticEngine {
  public:
   void report(Rule rule, std::string function, std::string instruction, std::string message) {
-    diagnostics_.push_back(
-        {rule, std::move(function), std::move(instruction), std::move(message)});
+    diagnostics_.push_back({rule, Severity::kError, std::string(rule_code(rule)),
+                            std::move(function), std::move(instruction), std::move(message),
+                            ""});
   }
 
-  [[nodiscard]] bool has_errors() const { return !diagnostics_.empty(); }
+  /// An advisory lint finding. @p code is the pass's stable L-code.
+  void lint(std::string code, Severity severity, std::string function,
+            std::string instruction, std::string message, std::string fixit = "") {
+    diagnostics_.push_back({Rule::kLint, severity, std::move(code), std::move(function),
+                            std::move(instruction), std::move(message), std::move(fixit)});
+  }
+
+  /// True iff any diagnostic has error severity (lint warnings/notes do not
+  /// fail a compile).
+  [[nodiscard]] bool has_errors() const {
+    for (const auto& d : diagnostics_) {
+      if (d.severity == Severity::kError) return true;
+    }
+    return false;
+  }
   [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
   [[nodiscard]] std::size_t count(Rule rule) const {
     std::size_t n = 0;
@@ -54,8 +94,30 @@ class DiagnosticEngine {
     return n;
   }
   [[nodiscard]] bool has(Rule rule) const { return count(rule) > 0; }
+  [[nodiscard]] std::size_t count_code(std::string_view code) const {
+    std::size_t n = 0;
+    for (const auto& d : diagnostics_) n += d.code == code ? 1 : 0;
+    return n;
+  }
+  [[nodiscard]] bool has_code(std::string_view code) const { return count_code(code) > 0; }
+  /// First diagnostic carrying @p code (nullptr if none).
+  [[nodiscard]] const Diagnostic* find_code(std::string_view code) const {
+    for (const auto& d : diagnostics_) {
+      if (d.code == code) return &d;
+    }
+    return nullptr;
+  }
   [[nodiscard]] std::string to_string() const;
+  /// Renders every diagnostic as a JSON array (stable key order), for
+  /// `privagicc --lint=json` and CI diffing.
+  [[nodiscard]] std::string to_json() const;
   void clear() { diagnostics_.clear(); }
+
+  /// Appends every diagnostic of @p other (used by the lint driver to merge
+  /// checker and lint findings into one report).
+  void merge(const DiagnosticEngine& other) {
+    for (const auto& d : other.diagnostics()) diagnostics_.push_back(d);
+  }
 
  private:
   std::vector<Diagnostic> diagnostics_;

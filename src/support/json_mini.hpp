@@ -1,0 +1,251 @@
+// A minimal JSON reader for the repo's own machine-readable artifacts
+// (BENCH_*.json metric snapshots, bench/baselines.json). Recursive-descent,
+// no dependencies, tolerant of nothing: the inputs are produced by
+// BenchJsonWriter or checked in by hand, so any parse error is a bug worth
+// failing loudly on.
+//
+// Numbers are held as double (the writer emits %.17g doubles and 64-bit
+// counters; counters up to 2^53 round-trip exactly, which covers every
+// deterministic metric the baselines pin). Object key order is preserved.
+#pragma once
+
+#include <cctype>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace privagic::support::json {
+
+struct Value {
+  enum class Kind : std::uint8_t { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Value> array;
+  std::vector<std::pair<std::string, Value>> object;  // insertion order
+
+  [[nodiscard]] bool is_object() const { return kind == Kind::kObject; }
+  [[nodiscard]] bool is_number() const { return kind == Kind::kNumber; }
+  [[nodiscard]] bool is_string() const { return kind == Kind::kString; }
+
+  /// Member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const Value* find(std::string_view key) const {
+    if (kind != Kind::kObject) return nullptr;
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+struct ParseResult {
+  bool ok = false;
+  Value value;
+  std::string error;  // "offset N: message" when !ok
+};
+
+namespace detail {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  ParseResult run() {
+    ParseResult out;
+    skip_ws();
+    if (!parse_value(out.value)) {
+      out.error = "offset " + std::to_string(pos_) + ": " + error_;
+      return out;
+    }
+    skip_ws();
+    if (pos_ != text_.size()) {
+      out.error = "offset " + std::to_string(pos_) + ": trailing characters";
+      return out;
+    }
+    out.ok = true;
+    return out;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  bool fail(std::string msg) {
+    if (error_.empty()) error_ = std::move(msg);
+    return false;
+  }
+
+  [[nodiscard]] bool at_end() const { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const { return text_[pos_]; }
+
+  bool consume(char c) {
+    if (at_end() || text_[pos_] != c) return fail(std::string("expected '") + c + "'");
+    ++pos_;
+    return true;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) {
+      return fail("expected '" + std::string(lit) + "'");
+    }
+    pos_ += lit.size();
+    return true;
+  }
+
+  bool parse_value(Value& out) {
+    if (at_end()) return fail("unexpected end of input");
+    switch (peek()) {
+      case '{': return parse_object(out);
+      case '[': return parse_array(out);
+      case '"':
+        out.kind = Value::Kind::kString;
+        return parse_string(out.string);
+      case 't':
+        out.kind = Value::Kind::kBool;
+        out.boolean = true;
+        return consume_literal("true");
+      case 'f':
+        out.kind = Value::Kind::kBool;
+        out.boolean = false;
+        return consume_literal("false");
+      case 'n':
+        out.kind = Value::Kind::kNull;
+        return consume_literal("null");
+      default:
+        return parse_number(out);
+    }
+  }
+
+  bool parse_object(Value& out) {
+    out.kind = Value::Kind::kObject;
+    if (!consume('{')) return false;
+    skip_ws();
+    if (!at_end() && peek() == '}') return consume('}');
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (!consume(':')) return false;
+      skip_ws();
+      Value member;
+      if (!parse_value(member)) return false;
+      out.object.emplace_back(std::move(key), std::move(member));
+      skip_ws();
+      if (at_end()) return fail("unterminated object");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      return consume('}');
+    }
+  }
+
+  bool parse_array(Value& out) {
+    out.kind = Value::Kind::kArray;
+    if (!consume('[')) return false;
+    skip_ws();
+    if (!at_end() && peek() == ']') return consume(']');
+    while (true) {
+      skip_ws();
+      Value element;
+      if (!parse_value(element)) return false;
+      out.array.push_back(std::move(element));
+      skip_ws();
+      if (at_end()) return fail("unterminated array");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      return consume(']');
+    }
+  }
+
+  bool parse_string(std::string& out) {
+    if (!consume('"')) return false;
+    while (!at_end() && peek() != '"') {
+      char c = text_[pos_++];
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (at_end()) return fail("unterminated escape");
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          // BenchJsonWriter only emits \u00XX for control bytes; decode the
+          // latin-1 subset and reject anything wider.
+          if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4U;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return fail("bad \\u escape");
+            }
+          }
+          if (code > 0xFF) return fail("\\u escape beyond latin-1 unsupported");
+          out += static_cast<char>(code);
+          break;
+        }
+        default:
+          return fail("unknown escape");
+      }
+    }
+    return consume('"');
+  }
+
+  bool parse_number(Value& out) {
+    const std::size_t start = pos_;
+    if (!at_end() && peek() == '-') ++pos_;
+    while (!at_end() && (std::isdigit(static_cast<unsigned char>(peek())) != 0 ||
+                         peek() == '.' || peek() == 'e' || peek() == 'E' ||
+                         peek() == '+' || peek() == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return fail("expected a value");
+    const std::string token(text_.substr(start, pos_ - start));
+    std::size_t consumed = 0;
+    try {
+      out.number = std::stod(token, &consumed);
+    } catch (...) {
+      return fail("bad number '" + token + "'");
+    }
+    if (consumed != token.size()) return fail("bad number '" + token + "'");
+    out.kind = Value::Kind::kNumber;
+    return true;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace detail
+
+[[nodiscard]] inline ParseResult parse(std::string_view text) {
+  return detail::Parser(text).run();
+}
+
+}  // namespace privagic::support::json

@@ -1,0 +1,806 @@
+// Tests for the lint framework (src/analysis): SCC order, points-to/escape,
+// the advisory taint lattice, each lint pass (one firing and one non-firing
+// fixture per L-code), the differential check against the sequential
+// dataflow baseline, and the under-colored kvcache acceptance scenario.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <utility>
+
+#include "analysis/lints.hpp"
+#include "analysis/pass_manager.hpp"
+#include "analysis/points_to.hpp"
+#include "analysis/scc.hpp"
+#include "analysis/taint_advisor.hpp"
+#include "dataflow/taint.hpp"
+#include "ir/callgraph.hpp"
+#include "ir/parser.hpp"
+
+namespace privagic::analysis {
+namespace {
+
+std::unique_ptr<ir::Module> parse_or_die(const char* text) {
+  auto parsed = ir::parse_module(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.message();
+  return std::move(parsed).value();
+}
+
+const ir::Instruction* find_inst(const ir::Function& fn, std::string_view name) {
+  for (const auto& bb : fn.blocks()) {
+    for (const auto& inst : bb->instructions()) {
+      if (inst->name() == name) return inst.get();
+    }
+  }
+  return nullptr;
+}
+
+/// Parses, runs the full default lint pipeline, and returns the merged
+/// diagnostics. The module is discarded (the pipeline mutates it).
+sectype::DiagnosticEngine run_lints(const char* text,
+                                    sectype::Mode mode = sectype::Mode::kHardened) {
+  auto module = parse_or_die(text);
+  PassManager pm = PassManager::with_default_passes(mode);
+  return pm.run(*module);
+}
+
+// ---------------------------------------------------------------------------
+// SCC walk
+// ---------------------------------------------------------------------------
+
+TEST(SccTest, BottomUpOrderAndCycles) {
+  auto module = parse_or_die(R"(
+module "sccs"
+define i64 @leaf(i64 %x) {
+entry:
+  ret i64 %x
+}
+define i64 @mid(i64 %x) {
+entry:
+  %r = call i64 @leaf(i64 %x)
+  ret i64 %r
+}
+define i64 @top(i64 %x) entry {
+entry:
+  %r = call i64 @mid(i64 %x)
+  ret i64 %r
+}
+define i64 @even(i64 %n) entry {
+entry:
+  %r = call i64 @odd(i64 %n)
+  ret i64 %r
+}
+define i64 @odd(i64 %n) {
+entry:
+  %r = call i64 @even(i64 %n)
+  ret i64 %r
+}
+)");
+  const ir::CallGraph cg(*module);
+  const auto sccs = bottom_up_sccs(*module, cg);
+
+  auto position = [&sccs](std::string_view name) {
+    for (std::size_t i = 0; i < sccs.size(); ++i) {
+      for (const ir::Function* fn : sccs[i]) {
+        if (fn->name() == name) return i;
+      }
+    }
+    ADD_FAILURE() << name << " missing from SCCs";
+    return std::size_t{0};
+  };
+
+  // Callee-first: leaf before mid before top.
+  EXPECT_LT(position("leaf"), position("mid"));
+  EXPECT_LT(position("mid"), position("top"));
+  // even/odd collapse into one component of size 2.
+  EXPECT_EQ(position("even"), position("odd"));
+  EXPECT_EQ(sccs[position("even")].size(), 2u);
+  // Every defined function appears exactly once.
+  std::size_t members = 0;
+  for (const Scc& scc : sccs) members += scc.size();
+  EXPECT_EQ(members, 5u);
+
+  EXPECT_TRUE(in_cycle(sccs, module->function_by_name("even"), cg));
+  EXPECT_TRUE(in_cycle(sccs, module->function_by_name("odd"), cg));
+  EXPECT_FALSE(in_cycle(sccs, module->function_by_name("leaf"), cg));
+  EXPECT_FALSE(in_cycle(sccs, module->function_by_name("top"), cg));
+}
+
+// ---------------------------------------------------------------------------
+// Points-to / escape
+// ---------------------------------------------------------------------------
+
+TEST(PointsToTest, TracksAllocationSitesAndEscape) {
+  auto module = parse_or_die(R"(
+module "pts"
+declare void @sink(ptr<i64>)
+define i64 @f() entry {
+entry:
+  %leaked = alloca i64
+  %confined = alloca i64
+  store i64 1, ptr<i64> %leaked
+  store i64 2, ptr<i64> %confined
+  call void @sink(ptr<i64> %leaked)
+  %v = load ptr<i64> %confined
+  ret i64 %v
+}
+)");
+  PointsTo pts(*module);
+  pts.run();
+
+  const ir::Function& f = *module->function_by_name("f");
+  const ir::Instruction* leaked = find_inst(f, "leaked");
+  const ir::Instruction* confined = find_inst(f, "confined");
+  ASSERT_NE(leaked, nullptr);
+  ASSERT_NE(confined, nullptr);
+
+  // Each alloca points to itself and nothing else.
+  EXPECT_EQ(pts.points_to(leaked).size(), 1u);
+  EXPECT_TRUE(pts.points_to(leaked).contains(leaked));
+  EXPECT_TRUE(pts.points_to(confined).contains(confined));
+
+  // Escape: the call argument escapes, the load/store-only slot does not.
+  EXPECT_TRUE(pts.escapes(leaked));
+  EXPECT_FALSE(pts.escapes(confined));
+  ASSERT_NE(pts.escape_site(leaked), nullptr);
+  EXPECT_EQ(pts.escape_site(leaked)->opcode(), ir::Opcode::kCall);
+
+  EXPECT_EQ(pts.object_name(leaked), "%leaked (alloca in @f)");
+  EXPECT_EQ(pts.owner(leaked), &f);
+}
+
+TEST(PointsToTest, GlobalsPointToThemselvesAndAlwaysEscape) {
+  auto module = parse_or_die(R"(
+module "pts_globals"
+global i64 @g
+define void @f() entry {
+entry:
+  store i64 7, ptr<i64> @g
+  ret void
+}
+)");
+  PointsTo pts(*module);
+  pts.run();
+  const ir::Value* g = module->global_by_name("g");
+  ASSERT_NE(g, nullptr);
+  // The public query must agree with the solver's inline handling: a global
+  // names its own storage even when used directly as a store target.
+  EXPECT_TRUE(pts.points_to(g).contains(g));
+  EXPECT_TRUE(pts.escapes(g));
+  EXPECT_EQ(pts.object_name(g), "@g");
+  EXPECT_EQ(pts.owner(g), nullptr);
+}
+
+TEST(PointsToTest, ContentsFlowThroughStoresAndLoads) {
+  auto module = parse_or_die(R"(
+module "pts_contents"
+struct %box { i64 payload }
+global ptr<%box> @slot
+define i64 @f() entry {
+entry:
+  %b = heap_alloc %box
+  store ptr<%box> %b, ptr<ptr<%box>> @slot
+  %r = load ptr<ptr<%box>> @slot
+  %p = gep ptr<%box> %r, field 0
+  %v = load ptr<i64> %p
+  ret i64 %v
+}
+)");
+  PointsTo pts(*module);
+  pts.run();
+  const ir::Function& f = *module->function_by_name("f");
+  const ir::Instruction* box = find_inst(f, "b");
+  const ir::Instruction* reloaded = find_inst(f, "r");
+  const ir::Value* slot = module->global_by_name("slot");
+  ASSERT_NE(box, nullptr);
+
+  // The box's address was stored into @slot, so the reload sees it...
+  EXPECT_TRUE(pts.contents(slot).contains(box));
+  EXPECT_TRUE(pts.points_to(reloaded).contains(box));
+  // ...and reachability through the escaping global marks the box escaped.
+  EXPECT_TRUE(pts.escapes(box));
+}
+
+// ---------------------------------------------------------------------------
+// Advisory taint
+// ---------------------------------------------------------------------------
+
+TEST(TaintAdvisorTest, PropagatesThroughRegistersAndMemory) {
+  auto module = parse_or_die(R"(
+module "taint"
+global i64 @secret color(red)
+global i64 @plain
+declare i64 @declassify(i64) ignore
+define i64 @f() entry {
+entry:
+  %s = load ptr<i64 color(red)> @secret
+  %x = add i64 %s, i64 1
+  store i64 %x, ptr<i64> @plain
+  %p = load ptr<i64> @plain
+  %d = call i64 @declassify(i64 %p)
+  ret i64 %d
+}
+)");
+  PointsTo pts(*module);
+  pts.run();
+  TaintAdvisor taint(*module, pts);
+  taint.run();
+
+  const ir::Function& f = *module->function_by_name("f");
+  const sectype::Color red = sectype::Color::named("red");
+
+  // Register chain: load -> add both carry {red}.
+  EXPECT_TRUE(taint.value_colors(find_inst(f, "s")).contains(red));
+  EXPECT_TRUE(taint.value_colors(find_inst(f, "x")).contains(red));
+  EXPECT_TRUE(taint.is_secret(find_inst(f, "x")));
+
+  // Memory: the uncolored global is tainted by the store, and the blamed
+  // site is that store; the reload observes the memory taint.
+  const ir::Value* plain = module->global_by_name("plain");
+  EXPECT_TRUE(taint.memory_colors(plain).contains(red));
+  const ir::Instruction* site = taint.tainting_store(plain, red);
+  ASSERT_NE(site, nullptr);
+  EXPECT_EQ(site->opcode(), ir::Opcode::kStore);
+  EXPECT_TRUE(taint.value_colors(find_inst(f, "p")).contains(red));
+
+  // Declassification boundary: the ignore call's result is clean.
+  EXPECT_FALSE(taint.is_secret(find_inst(f, "d")));
+}
+
+TEST(TaintAdvisorTest, ReservedColorsAreNotSecrets) {
+  auto module = parse_or_die(R"(
+module "taint_reserved"
+global i64 @shared color(S)
+global i64 @plain
+define void @f() entry {
+entry:
+  %v = load ptr<i64 color(S)> @shared
+  store i64 %v, ptr<i64> @plain
+  ret void
+}
+)");
+  PointsTo pts(*module);
+  pts.run();
+  TaintAdvisor taint(*module, pts);
+  taint.run();
+  // S marks unsafe shared memory, not a secret: nothing is tainted.
+  EXPECT_FALSE(taint.is_secret(find_inst(*module->function_by_name("f"), "v")));
+  EXPECT_TRUE(taint.memory_colors(module->global_by_name("plain")).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Differential check against the sequential dataflow baseline (§3)
+// ---------------------------------------------------------------------------
+
+/// Globals the advisor would protect: declared named color, or named colors
+/// stored into them.
+std::set<std::string> advisor_protected_globals(const ir::Module& module,
+                                                const TaintAdvisor& taint) {
+  std::set<std::string> out;
+  for (const auto& g : module.globals()) {
+    const bool declared =
+        !g->color().empty() && !sectype::Color::is_reserved_name(g->color());
+    if (declared || !taint.memory_colors(g.get()).empty()) out.insert(g->name());
+  }
+  return out;
+}
+
+TEST(DifferentialTest, AgreesWithDataflowBaselineOnSingleThreadedFixture) {
+  // Named colors only, no declassification: both analyses must protect
+  // exactly {secret, spill} — the seed and the memory it taints — and
+  // neither may touch @clean.
+  const char* text = R"(
+module "differential"
+global i64 @secret color(red)
+global i64 @spill
+global i64 @clean
+define i64 @work() entry {
+entry:
+  %s = load ptr<i64 color(red)> @secret
+  %x = add i64 %s, i64 3
+  store i64 %x, ptr<i64> @spill
+  %c = load ptr<i64> @clean
+  ret i64 %c
+}
+)";
+  auto module = parse_or_die(text);
+  PointsTo pts(*module);
+  pts.run();
+  TaintAdvisor advisor(*module, pts);
+  advisor.run();
+
+  auto baseline_module = parse_or_die(text);
+  dataflow::TaintAnalysis baseline(*baseline_module);
+  baseline.run();
+
+  EXPECT_EQ(advisor_protected_globals(*module, advisor), baseline.protected_globals());
+  EXPECT_EQ(advisor_protected_globals(*module, advisor),
+            (std::set<std::string>{"secret", "spill"}));
+}
+
+TEST(DifferentialTest, DeclassificationMakesAdvisorASubsetOfBaseline) {
+  // The advisor clears taint at the ignore boundary; the baseline has no
+  // such notion. Advisor result must therefore be a subset.
+  const char* text = R"(
+module "differential_declassify"
+global i64 @secret color(red)
+global i64 @out
+declare i64 @declassify(i64) ignore
+define i64 @f() entry {
+entry:
+  %s = load ptr<i64 color(red)> @secret
+  %d = call i64 @declassify(i64 %s)
+  store i64 %d, ptr<i64> @out
+  ret i64 %d
+}
+)";
+  auto module = parse_or_die(text);
+  PointsTo pts(*module);
+  pts.run();
+  TaintAdvisor advisor(*module, pts);
+  advisor.run();
+
+  auto baseline_module = parse_or_die(text);
+  dataflow::TaintAnalysis baseline(*baseline_module);
+  baseline.run();
+
+  const auto ours = advisor_protected_globals(*module, advisor);
+  const auto theirs = baseline.protected_globals();
+  EXPECT_EQ(ours, (std::set<std::string>{"secret"}));  // @out was declassified into
+  for (const auto& name : ours) {
+    EXPECT_TRUE(theirs.contains(name)) << name << " protected by advisor only";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// L101 — under-coloring advisor
+// ---------------------------------------------------------------------------
+
+TEST(UnderColoringTest, FiresOnColoredStoreToUncoloredGlobal) {
+  const auto diags = run_lints(R"(
+module "l101_fire"
+global i64 @secret color(red)
+global i64 @plain
+define void @f() entry {
+entry:
+  %s = load ptr<i64 color(red)> @secret
+  store i64 %s, ptr<i64> @plain
+  ret void
+}
+)");
+  ASSERT_TRUE(diags.has_code("L101"));
+  const sectype::Diagnostic* d = diags.find_code("L101");
+  EXPECT_EQ(d->severity, sectype::Severity::kWarning);
+  EXPECT_NE(d->message.find("@plain"), std::string::npos) << d->message;
+  EXPECT_NE(d->message.find("red"), std::string::npos) << d->message;
+  EXPECT_NE(d->fixit.find("color(red)"), std::string::npos) << d->fixit;
+  EXPECT_NE(d->fixit.find("i64"), std::string::npos) << d->fixit;
+  // The blamed instruction is the store itself.
+  EXPECT_NE(d->instruction.find("store"), std::string::npos) << d->instruction;
+}
+
+TEST(UnderColoringTest, RanksMultiColorLocationsFirst) {
+  const auto diags = run_lints(R"(
+module "l101_rank"
+global i64 @a color(red)
+global i64 @b color(blue)
+global i64 @mixed
+global i64 @single
+define void @f() entry {
+entry:
+  %x = load ptr<i64 color(red)> @a
+  store i64 %x, ptr<i64> @mixed
+  store i64 %x, ptr<i64> @single
+  ret void
+}
+define void @g() entry {
+entry:
+  %y = load ptr<i64 color(blue)> @b
+  store i64 %y, ptr<i64> @mixed
+  ret void
+}
+)");
+  EXPECT_EQ(diags.count_code("L101"), 2u);
+  // First finding is the two-color location, with split-structure advice.
+  const sectype::Diagnostic* first = diags.find_code("L101");
+  EXPECT_NE(first->message.find("@mixed"), std::string::npos) << first->message;
+  EXPECT_NE(first->fixit.find("split"), std::string::npos) << first->fixit;
+}
+
+TEST(UnderColoringTest, QuietOnProperlyColoredProgram) {
+  const auto diags = run_lints(R"(
+module "l101_clean"
+global i64 @secret color(red)
+global i64 @copy color(red)
+define void @f() entry {
+entry:
+  %s = load ptr<i64 color(red)> @secret
+  store i64 %s, ptr<i64 color(red)> @copy
+  ret void
+}
+)");
+  EXPECT_FALSE(diags.has_code("L101"));
+  EXPECT_FALSE(diags.has_errors());  // and the type checker is happy too
+}
+
+// ---------------------------------------------------------------------------
+// L201/L202 — declassification audit
+// ---------------------------------------------------------------------------
+
+TEST(DeclassifyAuditTest, FiresL201OnDeadBoundaryCall) {
+  const auto diags = run_lints(R"(
+module "l201_fire"
+global i64 @secret color(red)
+declare i64 @declassify(i64) ignore
+define void @f() entry {
+entry:
+  %s = load ptr<i64 color(red)> @secret
+  %dead = call i64 @declassify(i64 %s)
+  ret void
+}
+)");
+  ASSERT_TRUE(diags.has_code("L201"));
+  const sectype::Diagnostic* d = diags.find_code("L201");
+  EXPECT_NE(d->instruction.find("declassify"), std::string::npos) << d->instruction;
+  EXPECT_NE(d->fixit.find("declassify"), std::string::npos) << d->fixit;
+}
+
+TEST(DeclassifyAuditTest, QuietWhenResultIsConsumed) {
+  // Returned, stored (classify direction), or steering a branch all count.
+  const auto diags = run_lints(R"(
+module "l201_quiet"
+global i64 @store_cell color(red)
+declare i64 @classify(i64) ignore
+declare i64 @declassify(i64) ignore
+define i64 @f(i64 %pub) entry {
+entry:
+  %c = call i64 @classify(i64 %pub)
+  store i64 %c, ptr<i64 color(red)> @store_cell
+  %s = load ptr<i64 color(red)> @store_cell
+  %d = call i64 @declassify(i64 %s)
+  ret i64 %d
+}
+)");
+  EXPECT_FALSE(diags.has_code("L201"));
+}
+
+TEST(DeclassifyAuditTest, FiresL202OnRawSecretLoadDeclassification) {
+  const auto diags = run_lints(R"(
+module "l202_fire"
+global i64 @secret color(red)
+declare i64 @declassify(i64) ignore
+define i64 @f() entry {
+entry:
+  %s = load ptr<i64 color(red)> @secret
+  %d = call i64 @declassify(i64 %s)
+  ret i64 %d
+}
+)");
+  ASSERT_TRUE(diags.has_code("L202"));
+  const sectype::Diagnostic* d = diags.find_code("L202");
+  EXPECT_NE(d->message.find("raw secret load"), std::string::npos) << d->message;
+  EXPECT_NE(d->message.find("red"), std::string::npos) << d->message;
+}
+
+TEST(DeclassifyAuditTest, QuietL202OnDerivedValueDeclassification) {
+  // Declassifying a *comparison* of the secret (the §6.4 narrow pattern)
+  // is not flagged: only raw loads are.
+  const auto diags = run_lints(R"(
+module "l202_quiet"
+global i64 @secret color(red)
+declare i64 @declassify(i64) ignore
+define i64 @f(i64 %guess) entry {
+entry:
+  %s = load ptr<i64 color(red)> @secret
+  %eq = icmp eq i64 %s, %guess
+  %wide = cast zext %eq to i64
+  %d = call i64 @declassify(i64 %wide)
+  ret i64 %d
+}
+)");
+  EXPECT_FALSE(diags.has_code("L202"));
+}
+
+// ---------------------------------------------------------------------------
+// L301/L302 — chunk-cost estimator
+// ---------------------------------------------------------------------------
+
+TEST(ChunkCostTest, EmitsPerSpecializationNotes) {
+  const auto diags = run_lints(R"(
+module "l301"
+global i64 @a color(red)
+define void @touch_red() entry {
+entry:
+  %x = load ptr<i64 color(red)> @a
+  store i64 %x, ptr<i64 color(red)> @a
+  ret void
+}
+)");
+  ASSERT_TRUE(diags.has_code("L301"));
+  const sectype::Diagnostic* d = diags.find_code("L301");
+  EXPECT_EQ(d->severity, sectype::Severity::kNote);
+  EXPECT_NE(d->message.find("predicted chunks"), std::string::npos) << d->message;
+  EXPECT_NE(d->message.find("red"), std::string::npos) << d->message;
+  EXPECT_FALSE(diags.has_code("L302"));  // one color: no explosion
+}
+
+TEST(ChunkCostTest, WarnsOnChunkExplosion) {
+  // Three predicted chunks {U, red, blue}: the function's control flow is
+  // replicated into each (§7.3.1), which L302 surfaces as a warning.
+  const auto diags = run_lints(R"(
+module "l302"
+global i64 @a color(red)
+global i64 @b color(blue)
+declare void @log_line(i64, i64)
+define void @fat() entry {
+entry:
+  %x = load ptr<i64 color(red)> @a
+  store i64 %x, ptr<i64 color(red)> @a
+  %y = load ptr<i64 color(blue)> @b
+  store i64 %y, ptr<i64 color(blue)> @b
+  call void @log_line(i64 0, i64 0)
+  ret void
+}
+)");
+  ASSERT_TRUE(diags.has_code("L302"));
+  const sectype::Diagnostic* d = diags.find_code("L302");
+  EXPECT_EQ(d->severity, sectype::Severity::kWarning);
+  EXPECT_NE(d->message.find("chunk explosion"), std::string::npos) << d->message;
+  EXPECT_NE(d->message.find("3 chunks"), std::string::npos) << d->message;
+}
+
+// ---------------------------------------------------------------------------
+// L401/L402 — escape report
+// ---------------------------------------------------------------------------
+
+TEST(EscapeReportTest, WarnsOnAddressEscapeAndNamesTheInstruction) {
+  const auto diags = run_lints(R"(
+module "l401"
+declare void @sink(ptr<i64>)
+define void @f() entry {
+entry:
+  %buf = alloca i64
+  store i64 1, ptr<i64> %buf
+  call void @sink(ptr<i64> %buf)
+  ret void
+}
+)");
+  ASSERT_TRUE(diags.has_code("L401"));
+  const sectype::Diagnostic* d = diags.find_code("L401");
+  EXPECT_EQ(d->severity, sectype::Severity::kWarning);
+  EXPECT_NE(d->message.find("escapes"), std::string::npos) << d->message;
+  EXPECT_NE(d->message.find("@sink"), std::string::npos) << d->message;
+  EXPECT_FALSE(diags.has_code("L402"));
+}
+
+TEST(EscapeReportTest, NotesIntentionalColorPin) {
+  const auto diags = run_lints(R"(
+module "l401_pin"
+define i64 @f() entry {
+entry:
+  %slot = alloca i64 color(red)
+  store i64 5, ptr<i64 color(red)> %slot
+  %v = load ptr<i64 color(red)> %slot
+  %d = add i64 %v, i64 0
+  ret i64 %d
+}
+)",
+                               sectype::Mode::kRelaxed);
+  ASSERT_TRUE(diags.has_code("L401"));
+  const sectype::Diagnostic* d = diags.find_code("L401");
+  EXPECT_EQ(d->severity, sectype::Severity::kNote);  // declared pin, not a leak
+  EXPECT_NE(d->message.find("color(red)"), std::string::npos) << d->message;
+}
+
+TEST(EscapeReportTest, NotesPromotedAllocas) {
+  const auto diags = run_lints(R"(
+module "l402"
+define i64 @f() entry {
+entry:
+  %t = alloca i64
+  store i64 5, ptr<i64> %t
+  %v = load ptr<i64> %t
+  ret i64 %v
+}
+)");
+  ASSERT_TRUE(diags.has_code("L402"));
+  EXPECT_FALSE(diags.has_code("L401"));
+  const sectype::Diagnostic* d = diags.find_code("L402");
+  EXPECT_NE(d->message.find("promoted"), std::string::npos) << d->message;
+}
+
+// ---------------------------------------------------------------------------
+// L501 — cross-color race lint
+// ---------------------------------------------------------------------------
+
+// The bank fixture (Figure 1): one uncolored heap object with blue and red
+// colored fields, written by chunks of both colors.
+const char* const kRacyBank = R"(
+module "l501"
+struct %account { i64 name color(blue), f64 balance color(red) }
+global ptr<%account> @acc
+define void @create(i64 %name, f64 %balance) entry {
+entry:
+  %a = heap_alloc %account
+  %np = gep ptr<%account> %a, field 0
+  store i64 %name, ptr<i64 color(blue)> %np
+  %bp = gep ptr<%account> %a, field 1
+  store f64 %balance, ptr<f64 color(red)> %bp
+  store ptr<%account> %a, ptr<ptr<%account>> @acc
+  ret void
+}
+)";
+
+TEST(CrossColorRaceTest, FiresOnUnsynchronizedMultiColorWriters) {
+  const auto diags = run_lints(kRacyBank, sectype::Mode::kRelaxed);
+  ASSERT_TRUE(diags.has_code("L501"));
+  const sectype::Diagnostic* d = diags.find_code("L501");
+  EXPECT_EQ(d->severity, sectype::Severity::kWarning);
+  EXPECT_NE(d->message.find("blue"), std::string::npos) << d->message;
+  EXPECT_NE(d->message.find("red"), std::string::npos) << d->message;
+  EXPECT_NE(d->fixit.find("pvg.ack"), std::string::npos) << d->fixit;
+}
+
+TEST(CrossColorRaceTest, SuppressedWhenWritersSynchronize) {
+  const auto diags = run_lints(R"(
+module "l501_barrier"
+struct %account { i64 name color(blue), f64 balance color(red) }
+global ptr<%account> @acc
+declare void @pvg.ack(i64, i64)
+declare void @pvg.wait_ack(i64)
+define void @create(i64 %name, f64 %balance) entry {
+entry:
+  %a = heap_alloc %account
+  %np = gep ptr<%account> %a, field 0
+  store i64 %name, ptr<i64 color(blue)> %np
+  call void @pvg.ack(i64 0, i64 7)
+  call void @pvg.wait_ack(i64 7)
+  %bp = gep ptr<%account> %a, field 1
+  store f64 %balance, ptr<f64 color(red)> %bp
+  store ptr<%account> %a, ptr<ptr<%account>> @acc
+  ret void
+}
+)",
+                               sectype::Mode::kRelaxed);
+  EXPECT_FALSE(diags.has_code("L501"));
+}
+
+// ---------------------------------------------------------------------------
+// Acceptance: the under-colored kvcache variant (examples/pir/
+// undercolored_kv.pir) — the lint must name the exact location to color.
+// ---------------------------------------------------------------------------
+
+const char* const kUndercoloredKv = R"(
+module "undercolored_kv"
+global [256 x i64] @map_keys color(store)
+global [256 x i64] @map_vals color(store)
+global i64 @last_key = -1
+global i64 @last_value = 0
+declare i64 @classify(i64) ignore
+declare i64 @declassify(i64) ignore
+define i64 @cache_get(i64 %key) entry {
+entry:
+  %ck = call i64 @classify(i64 %key)
+  %idx = and i64 %ck, i64 255
+  %kp = gep ptr<[256 x i64] color(store)> @map_keys, index %idx
+  %sk = load ptr<i64 color(store)> %kp
+  %eq = icmp eq i64 %sk, %ck
+  cond_br i1 %eq, %hit, %miss
+hit:
+  %vp = gep ptr<[256 x i64] color(store)> @map_vals, index %idx
+  %v = load ptr<i64 color(store)> %vp
+  store i64 %sk, ptr<i64> @last_key
+  store i64 %v, ptr<i64> @last_value
+  br %join
+miss:
+  br %join
+join:
+  %sel = phi i64 [ %v, %hit ], [ i64 0, %miss ]
+  %dv = call i64 @declassify(i64 %sel)
+  ret i64 %dv
+}
+)";
+
+TEST(UndercoloredKvTest, AdvisorNamesTheExactLocationsToColor) {
+  const auto diags = run_lints(kUndercoloredKv);
+  EXPECT_EQ(diags.count_code("L101"), 2u);
+  bool named_last_value = false;
+  bool named_last_key = false;
+  for (const auto& d : diags.diagnostics()) {
+    if (d.code != "L101") continue;
+    EXPECT_NE(d.message.find("store"), std::string::npos) << d.message;  // the color
+    if (d.message.find("@last_value") != std::string::npos) {
+      named_last_value = true;
+      EXPECT_NE(d.fixit.find("coloring type i64 at @last_value with color(store)"),
+                std::string::npos)
+          << d.fixit;
+    }
+    if (d.message.find("@last_key") != std::string::npos) named_last_key = true;
+  }
+  EXPECT_TRUE(named_last_value);
+  EXPECT_TRUE(named_last_key);
+}
+
+TEST(UndercoloredKvTest, FixedVariantIsQuietAndTypeChecks) {
+  // The exact fix L101 suggests: color the two memo globals.
+  const auto diags = run_lints(R"(
+module "colored_kv"
+global [256 x i64] @map_keys color(store)
+global [256 x i64] @map_vals color(store)
+global i64 @last_key color(store)
+global i64 @last_value color(store)
+declare i64 @classify(i64) ignore
+declare i64 @declassify(i64) ignore
+define i64 @cache_get(i64 %key) entry {
+entry:
+  %ck = call i64 @classify(i64 %key)
+  %idx = and i64 %ck, i64 255
+  %kp = gep ptr<[256 x i64] color(store)> @map_keys, index %idx
+  %sk = load ptr<i64 color(store)> %kp
+  %eq = icmp eq i64 %sk, %ck
+  cond_br i1 %eq, %hit, %miss
+hit:
+  %vp = gep ptr<[256 x i64] color(store)> @map_vals, index %idx
+  %v = load ptr<i64 color(store)> %vp
+  store i64 %sk, ptr<i64 color(store)> @last_key
+  store i64 %v, ptr<i64 color(store)> @last_value
+  br %join
+miss:
+  br %join
+join:
+  %sel = phi i64 [ %v, %hit ], [ i64 0, %miss ]
+  %dv = call i64 @declassify(i64 %sel)
+  ret i64 %dv
+}
+)");
+  EXPECT_FALSE(diags.has_code("L101"));
+  EXPECT_FALSE(diags.has_errors());
+}
+
+// ---------------------------------------------------------------------------
+// Pass manager plumbing
+// ---------------------------------------------------------------------------
+
+TEST(PassManagerTest, MergesTypeCheckerDiagnosticsAndKeepsFacts) {
+  auto module = parse_or_die(R"(
+module "pm"
+global i64 @secret color(red)
+global i64 @plain
+define void @f() entry {
+entry:
+  %s = load ptr<i64 color(red)> @secret
+  store i64 %s, ptr<i64> @plain
+  ret void
+}
+)");
+  PassManager pm = PassManager::with_default_passes(sectype::Mode::kHardened);
+  const auto& diags = pm.run(*module);
+
+  // The direct leak is a type error (E001) and the lint layer still ran on
+  // the failed module: both code spaces appear in one merged engine.
+  EXPECT_TRUE(diags.has_errors());
+  EXPECT_TRUE(diags.has_code("E001"));
+  EXPECT_TRUE(diags.has_code("L101"));
+  EXPECT_FALSE(pm.context().type_check_ok);
+  ASSERT_NE(pm.context().points_to, nullptr);
+  ASSERT_NE(pm.context().taint, nullptr);
+  EXPECT_FALSE(pm.context().sccs.empty());
+}
+
+TEST(PassManagerTest, LintsNeverFailACleanCompile) {
+  const auto diags = run_lints(R"(
+module "pm_clean"
+global i64 @cell color(red)
+define void @f() entry {
+entry:
+  %v = load ptr<i64 color(red)> @cell
+  store i64 %v, ptr<i64 color(red)> @cell
+  ret void
+}
+)");
+  EXPECT_FALSE(diags.has_errors());     // notes/warnings only
+  EXPECT_TRUE(diags.has_code("L301"));  // but the estimator did speak
+}
+
+}  // namespace
+}  // namespace privagic::analysis

@@ -100,7 +100,9 @@ TEST(TreeMapTest, InvariantsHoldDuringInsertions) {
   Xoshiro256 rng(7);
   for (int i = 0; i < 5'000; ++i) {
     tree.put(rng.next(), {8, 0});
-    if (i % 500 == 0) ASSERT_TRUE(tree.valid()) << "after " << i << " inserts";
+    if (i % 500 == 0) {
+      ASSERT_TRUE(tree.valid()) << "after " << i << " inserts";
+    }
   }
   EXPECT_TRUE(tree.valid());
 }
@@ -116,7 +118,9 @@ TEST(TreeMapTest, InvariantsHoldDuringDeletions) {
   }
   for (std::size_t i = 0; i < keys.size(); ++i) {
     ASSERT_TRUE(tree.remove(keys[i]));
-    if (i % 250 == 0) ASSERT_TRUE(tree.valid()) << "after " << i << " removes";
+    if (i % 250 == 0) {
+      ASSERT_TRUE(tree.valid()) << "after " << i << " removes";
+    }
   }
   EXPECT_EQ(tree.size(), 0u);
   EXPECT_TRUE(tree.valid());

@@ -467,6 +467,98 @@ TEST(VerifierTest, CatchesPhiIncomingMismatch) {
   EXPECT_NE(errors[0].find("incomings"), std::string::npos);
 }
 
+TEST(VerifierTest, CatchesRetTypeMismatch) {
+  // Function returns i32 but the ret hands back an i64.
+  Module module("m");
+  TypeContext& types = module.types();
+  Function* f = module.create_function(types.func(types.i32(), {}), "f");
+  BasicBlock* entry = f->create_block("entry");
+  IRBuilder b(module);
+  b.set_insertion_point(entry);
+  b.ret(module.const_i64(7));
+  auto errors = verify_module(module);
+  ASSERT_FALSE(errors.empty());
+  EXPECT_NE(errors[0].find("returns i64 but function returns i32"), std::string::npos);
+}
+
+TEST(VerifierTest, CatchesRetVoidFromValueFunction) {
+  Module module("m");
+  TypeContext& types = module.types();
+  Function* f = module.create_function(types.func(types.i32(), {}), "f");
+  BasicBlock* entry = f->create_block("entry");
+  IRBuilder b(module);
+  b.set_insertion_point(entry);
+  b.ret_void();
+  auto errors = verify_module(module);
+  ASSERT_FALSE(errors.empty());
+  EXPECT_NE(errors[0].find("ret void"), std::string::npos);
+}
+
+TEST(VerifierTest, CatchesRetValueFromVoidFunction) {
+  Module module("m");
+  TypeContext& types = module.types();
+  Function* f = module.create_function(types.func(types.void_type(), {}), "f");
+  BasicBlock* entry = f->create_block("entry");
+  IRBuilder b(module);
+  b.set_insertion_point(entry);
+  b.ret(module.const_i32(1));
+  auto errors = verify_module(module);
+  ASSERT_FALSE(errors.empty());
+  EXPECT_NE(errors[0].find("function returns void"), std::string::npos);
+}
+
+TEST(VerifierTest, CatchesPhiIncomingTypeMismatch) {
+  // A diamond whose phi is typed i32 but one incoming value is i64.
+  Module module("m");
+  TypeContext& types = module.types();
+  Function* f = module.create_function(types.func(types.i32(), {types.i1()}), "f");
+  Argument* c = f->add_argument("c");
+  BasicBlock* entry = f->create_block("entry");
+  BasicBlock* then_bb = f->create_block("then");
+  BasicBlock* else_bb = f->create_block("else");
+  BasicBlock* join = f->create_block("join");
+  IRBuilder b(module);
+  b.set_insertion_point(entry);
+  b.cond_br(c, then_bb, else_bb);
+  b.set_insertion_point(then_bb);
+  b.br(join);
+  b.set_insertion_point(else_bb);
+  b.br(join);
+  b.set_insertion_point(join);
+  PhiInst* phi = b.phi(types.i32(), "p");
+  phi->add_incoming(module.const_i32(1), then_bb);
+  phi->add_incoming(module.const_i64(2), else_bb);
+  b.ret(phi);
+  auto errors = verify_module(module);
+  ASSERT_FALSE(errors.empty());
+  EXPECT_NE(errors[0].find("incoming 1 has type i64, phi has type i32"), std::string::npos);
+}
+
+TEST(VerifierTest, AcceptsMatchingRetAndPhiTypes) {
+  // Positive control for the two new checks: a well-typed diamond passes.
+  Module module("m");
+  TypeContext& types = module.types();
+  Function* f = module.create_function(types.func(types.i32(), {types.i1()}), "f");
+  Argument* c = f->add_argument("c");
+  BasicBlock* entry = f->create_block("entry");
+  BasicBlock* then_bb = f->create_block("then");
+  BasicBlock* else_bb = f->create_block("else");
+  BasicBlock* join = f->create_block("join");
+  IRBuilder b(module);
+  b.set_insertion_point(entry);
+  b.cond_br(c, then_bb, else_bb);
+  b.set_insertion_point(then_bb);
+  b.br(join);
+  b.set_insertion_point(else_bb);
+  b.br(join);
+  b.set_insertion_point(join);
+  PhiInst* phi = b.phi(types.i32(), "p");
+  phi->add_incoming(module.const_i32(1), then_bb);
+  phi->add_incoming(module.const_i32(2), else_bb);
+  b.ret(phi);
+  EXPECT_TRUE(verify_module(module).empty());
+}
+
 // ---------------------------------------------------------------------------
 // mem2reg
 // ---------------------------------------------------------------------------

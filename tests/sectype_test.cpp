@@ -3,6 +3,9 @@
 // paper's running examples (Figures 1, 3, 4, and 6).
 #include <gtest/gtest.h>
 
+#include <set>
+#include <utility>
+
 #include "ir/parser.hpp"
 #include "ir/printer.hpp"
 #include "sectype/analysis.hpp"
@@ -1041,6 +1044,230 @@ entry:
   const SpecFacts* facts = ta.reachable_specs().at(0);
   const ir::Instruction* call = m->function_by_name("f")->entry_block()->instruction(0);
   EXPECT_TRUE(facts->placement(call).is_untrusted());
+}
+
+// ---------------------------------------------------------------------------
+// Stable diagnostic codes (E001…E014): machine-readable, append-only
+// ---------------------------------------------------------------------------
+
+TEST(DiagnosticCodeTest, RuleCodesAreStableAndUnique) {
+  // The code table is a contract with CI and editor tooling: enum order is
+  // frozen, so these literals must never change.
+  const std::pair<Rule, const char*> expected[] = {
+      {Rule::kDirectLeak, "E001"},     {Rule::kAccessPlacement, "E002"},
+      {Rule::kIndirectLeak, "E003"},   {Rule::kPointerCast, "E004"},
+      {Rule::kImplicitLeak, "E005"},   {Rule::kIntegrity, "E006"},
+      {Rule::kIago, "E007"},           {Rule::kExternalCall, "E008"},
+      {Rule::kWithinCall, "E009"},     {Rule::kReturnConflict, "E010"},
+      {Rule::kMixedStructure, "E011"}, {Rule::kFreeArgument, "E012"},
+      {Rule::kReservedColor, "E013"},  {Rule::kPointerForge, "E014"},
+  };
+  std::set<std::string> seen;
+  for (const auto& [rule, code] : expected) {
+    EXPECT_EQ(rule_code(rule), code) << rule_name(rule);
+    EXPECT_TRUE(seen.insert(std::string(code)).second) << "duplicate code " << code;
+  }
+  EXPECT_EQ(rule_code(Rule::kLint), "");  // lints carry their own L-codes
+}
+
+namespace {
+
+/// Runs the checker over @p text in @p mode and returns its diagnostics.
+DiagnosticEngine diags_for(const char* text, Mode mode) {
+  auto m = parse_or_die(text);
+  TypeAnalysis ta(*m, mode);
+  EXPECT_FALSE(ta.run());
+  DiagnosticEngine out;
+  out.merge(ta.diagnostics());
+  return out;
+}
+
+}  // namespace
+
+TEST(DiagnosticCodeTest, DirectLeakCarriesE001) {
+  const auto d = diags_for(R"(
+module "m"
+global i32 @secret = 0 color(blue)
+global i32 @out = 0
+define void @f() entry {
+entry:
+  %s = load ptr<i32 color(blue)> @secret
+  store i32 %s, ptr<i32> @out
+  ret void
+}
+)",
+                           Mode::kRelaxed);
+  EXPECT_TRUE(d.has_code("E001")) << d.to_string();
+  ASSERT_NE(d.find_code("E001"), nullptr);
+  EXPECT_EQ(d.find_code("E001")->severity, Severity::kError);
+}
+
+TEST(DiagnosticCodeTest, PointerCastCarriesE004) {
+  const auto d = diags_for(R"(
+module "m"
+global i32 @secret = 0 color(blue)
+define void @f() entry {
+entry:
+  %p = cast bitcast ptr<i32 color(blue)> @secret to ptr<i32>
+  ret void
+}
+)",
+                           Mode::kRelaxed);
+  EXPECT_TRUE(d.has_code("E004")) << d.to_string();
+}
+
+TEST(DiagnosticCodeTest, ImplicitLeakCarriesE005) {
+  const auto d = diags_for(R"(
+module "m"
+global i32 @x = 0
+global i32 @b = 0 color(blue)
+define void @f() entry {
+entry:
+  %bv = load ptr<i32 color(blue)> @b
+  %c = icmp eq i32 %bv, i32 42
+  cond_br i1 %c, %then, %join
+then:
+  store i32 1, ptr<i32> @x
+  br %join
+join:
+  ret void
+}
+)",
+                           Mode::kRelaxed);
+  EXPECT_TRUE(d.has_code("E005")) << d.to_string();
+}
+
+TEST(DiagnosticCodeTest, IagoCarriesE007) {
+  const auto d = diags_for(R"(
+module "m"
+global i32 @input = 0
+global i32 @secret = 0 color(blue)
+global i32 @out = 0 color(blue)
+define void @f() entry {
+entry:
+  %u = load ptr<i32> @input
+  %s = load ptr<i32 color(blue)> @secret
+  %sum = add i32 %u, i32 %s
+  store i32 %sum, ptr<i32 color(blue)> @out
+  ret void
+}
+)",
+                           Mode::kHardened);
+  EXPECT_TRUE(d.has_code("E007")) << d.to_string();
+}
+
+TEST(DiagnosticCodeTest, ExternalCallCarriesE008) {
+  const auto d = diags_for(R"(
+module "m"
+global i32 @secret = 0 color(blue)
+declare void @log(i32)
+define void @f() entry {
+entry:
+  %s = load ptr<i32 color(blue)> @secret
+  call void @log(i32 %s)
+  ret void
+}
+)",
+                           Mode::kRelaxed);
+  EXPECT_TRUE(d.has_code("E008")) << d.to_string();
+}
+
+TEST(DiagnosticCodeTest, ReturnConflictCarriesE010) {
+  const auto d = diags_for(R"(
+module "m"
+global i32 @b = 0 color(blue)
+global i32 @r = 0 color(red)
+global i32 @sel = 0
+define i32 @pick() entry {
+entry:
+  %c = load ptr<i32> @sel
+  %cc = icmp eq i32 %c, i32 0
+  cond_br i1 %cc, %takeb, %taker
+takeb:
+  %x = load ptr<i32 color(blue)> @b
+  ret i32 %x
+taker:
+  %y = load ptr<i32 color(red)> @r
+  ret i32 %y
+}
+)",
+                           Mode::kRelaxed);
+  EXPECT_TRUE(d.has_code("E010")) << d.to_string();
+}
+
+TEST(DiagnosticCodeTest, MixedStructureCarriesE011) {
+  const auto d = diags_for(R"(
+module "m"
+struct %account { i64 name color(blue), f64 balance color(red) }
+define void @create() entry {
+entry:
+  %a = heap_alloc %account
+  %bp = gep ptr<%account> %a, field 1
+  store f64 0, ptr<f64 color(red)> %bp
+  ret void
+}
+)",
+                           Mode::kHardened);
+  EXPECT_TRUE(d.has_code("E011")) << d.to_string();
+}
+
+TEST(DiagnosticCodeTest, ReservedColorCarriesE013) {
+  const auto d = diags_for(R"(
+module "m"
+global i32 @g = 0 color(F)
+)",
+                           Mode::kRelaxed);
+  EXPECT_TRUE(d.has_code("E013")) << d.to_string();
+}
+
+TEST(DiagnosticCodeTest, PointerForgeCarriesE014) {
+  const auto d = diags_for(R"(
+module "m"
+define void @f(i64 %addr) entry {
+entry:
+  %p = cast inttoptr i64 %addr to ptr<i32 color(blue)>
+  ret void
+}
+)",
+                           Mode::kRelaxed);
+  EXPECT_TRUE(d.has_code("E014")) << d.to_string();
+}
+
+TEST(DiagnosticCodeTest, CleanProgramHasNoCodes) {
+  auto m = parse_or_die(R"(
+module "m"
+global i32 @secret = 0 color(blue)
+define i32 @f() entry {
+entry:
+  %s = load ptr<i32 color(blue)> @secret
+  %t = add i32 %s, i32 1
+  store i32 %t, ptr<i32 color(blue)> @secret
+  ret i32 0
+}
+)");
+  TypeAnalysis ta(*m, Mode::kRelaxed);
+  EXPECT_TRUE(ta.run()) << ta.diagnostics().to_string();
+  EXPECT_TRUE(ta.diagnostics().diagnostics().empty());
+}
+
+TEST(DiagnosticCodeTest, LintSeverityDoesNotFailCompile) {
+  DiagnosticEngine eng;
+  eng.lint("L101", Severity::kWarning, "f", "store i32 %s, ptr<i32> @g", "advice", "a fix");
+  eng.lint("L301", Severity::kNote, "f", "", "cost note");
+  EXPECT_FALSE(eng.has_errors());  // warnings and notes never gate
+  EXPECT_TRUE(eng.has_code("L101"));
+  EXPECT_EQ(eng.count_code("L301"), 1u);
+  EXPECT_TRUE(eng.has(Rule::kLint));
+
+  eng.report(Rule::kDirectLeak, "f", "store ...", "leak");
+  EXPECT_TRUE(eng.has_errors());
+
+  // JSON rendering carries the stable keys CI diffs on.
+  const std::string json = eng.to_json();
+  EXPECT_NE(json.find("\"code\": \"L101\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"severity\": \"warning\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"fixit\": \"a fix\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"code\": \"E001\""), std::string::npos) << json;
 }
 
 }  // namespace

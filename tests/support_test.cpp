@@ -4,6 +4,9 @@
 
 #include <map>
 
+#include "support/bench_check.hpp"
+#include "support/bench_json.hpp"
+#include "support/json_mini.hpp"
 #include "support/rng.hpp"
 #include "support/sim_clock.hpp"
 #include "support/status.hpp"
@@ -168,6 +171,113 @@ TEST(ResultTest, MoveOutValue) {
   Result<std::unique_ptr<int>> r(std::make_unique<int>(9));
   auto owned = std::move(r).value();
   EXPECT_EQ(*owned, 9);
+}
+
+// ---------------------------------------------------------------------------
+// json_mini
+// ---------------------------------------------------------------------------
+
+TEST(JsonMiniTest, ParsesScalarsAndNesting) {
+  const auto r = support::json::parse(
+      R"({"name": "trace\nx", "n": -12, "pi": 3.5, "on": true, "off": false,
+          "nothing": null, "list": [1, 2, 3], "inner": {"k": 7}})");
+  ASSERT_TRUE(r.ok) << r.error;
+  const auto& v = r.value;
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.find("name")->string, "trace\nx");
+  EXPECT_EQ(v.find("n")->number, -12.0);
+  EXPECT_EQ(v.find("pi")->number, 3.5);
+  EXPECT_TRUE(v.find("on")->boolean);
+  EXPECT_FALSE(v.find("off")->boolean);
+  EXPECT_EQ(v.find("nothing")->kind, support::json::Value::Kind::kNull);
+  ASSERT_EQ(v.find("list")->array.size(), 3u);
+  EXPECT_EQ(v.find("list")->array[2].number, 3.0);
+  EXPECT_EQ(v.find("inner")->find("k")->number, 7.0);
+  EXPECT_EQ(v.find("absent"), nullptr);
+}
+
+TEST(JsonMiniTest, PreservesKeyOrderAndRoundTripsCounters) {
+  const auto r = support::json::parse(R"({"b": 1, "a": 2, "big": 9007199254740992})");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.value.object[0].first, "b");
+  EXPECT_EQ(r.value.object[1].first, "a");
+  // 2^53: the largest contiguous integer a double holds exactly — every
+  // deterministic counter the baselines pin is far below this.
+  EXPECT_EQ(r.value.find("big")->number, 9007199254740992.0);
+}
+
+TEST(JsonMiniTest, RejectsMalformedInput) {
+  EXPECT_FALSE(support::json::parse("{").ok);
+  EXPECT_FALSE(support::json::parse(R"({"a" 1})").ok);
+  EXPECT_FALSE(support::json::parse(R"({"a": 1} trailing)").ok);
+  EXPECT_FALSE(support::json::parse(R"({"a": 00x})").ok);
+  EXPECT_FALSE(support::json::parse("").ok);
+}
+
+TEST(JsonMiniTest, ParsesBenchWriterOutput) {
+  // The writer's own rendering must be readable by the checker's parser.
+  support::BenchJsonWriter w("roundtrip");
+  w.meta("threads", 4);
+  w.add_row().set("name", "a\"b").set("ops", std::int64_t{123});
+  w.metric("runtime.msg_sends.color0", std::uint64_t{42});
+  const auto r = support::json::parse(w.to_string());
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.value.find("benchmark")->string, "roundtrip");
+  EXPECT_EQ(r.value.find("rows")->array[0].find("name")->string, "a\"b");
+  EXPECT_EQ(r.value.find("metrics")->find("runtime.msg_sends.color0")->number, 42.0);
+}
+
+// ---------------------------------------------------------------------------
+// bench_check
+// ---------------------------------------------------------------------------
+
+namespace {
+
+support::json::Value parse_or_die_json(const char* text) {
+  auto r = support::json::parse(text);
+  EXPECT_TRUE(r.ok) << r.error;
+  return std::move(r.value);
+}
+
+}  // namespace
+
+TEST(BenchCheckTest, PassesWithinTolerance) {
+  const auto baselines = parse_or_die_json(
+      R"({"bench": {"msgs": {"value": 1000, "tol_pct": 1.0}, "bytes": {"value": 64, "tol_pct": 0.0}}})");
+  const auto snapshot = parse_or_die_json(
+      R"({"benchmark": "bench", "metrics": {"msgs": 1009, "bytes": 64, "wait_ns": 123456}})");
+  const auto report = support::check_bench(baselines, snapshot);
+  EXPECT_FALSE(report.skipped);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  EXPECT_EQ(report.findings.size(), 2u);  // unpinned wait_ns is ignored
+}
+
+TEST(BenchCheckTest, FailsOnDrift) {
+  const auto baselines =
+      parse_or_die_json(R"({"bench": {"msgs": {"value": 1000, "tol_pct": 0.5}}})");
+  const auto snapshot =
+      parse_or_die_json(R"({"benchmark": "bench", "metrics": {"msgs": 1006}})");
+  const auto report = support::check_bench(baselines, snapshot);
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(report.to_string().find("FAIL"), std::string::npos);
+  EXPECT_NE(report.to_string().find("drift"), std::string::npos);
+}
+
+TEST(BenchCheckTest, FailsOnMissingPinnedKey) {
+  const auto baselines =
+      parse_or_die_json(R"({"bench": {"msgs": {"value": 1000, "tol_pct": 0}}})");
+  const auto snapshot = parse_or_die_json(R"({"benchmark": "bench", "metrics": {}})");
+  const auto report = support::check_bench(baselines, snapshot);
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(report.to_string().find("missing from snapshot"), std::string::npos);
+}
+
+TEST(BenchCheckTest, SkipsUnknownBenchmark) {
+  const auto baselines = parse_or_die_json(R"({"other": {}})");
+  const auto snapshot = parse_or_die_json(R"({"benchmark": "bench", "metrics": {"x": 1}})");
+  const auto report = support::check_bench(baselines, snapshot);
+  EXPECT_TRUE(report.skipped);
+  EXPECT_TRUE(report.ok());
 }
 
 }  // namespace

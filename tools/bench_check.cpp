@@ -1,0 +1,69 @@
+// bench_check — CI gate for deterministic benchmark counters.
+//
+//   bench_check baselines.json BENCH_a.json [BENCH_b.json ...]
+//
+// Each snapshot's "metrics" are compared against the per-benchmark pinned
+// keys in the baselines file (see src/support/bench_check.hpp for the
+// format and tolerance semantics). Exit status: 0 when every pinned key is
+// within tolerance (snapshots without baselines are skipped with a notice),
+// 1 on drift or a missing pinned key, 2 on usage/parse errors.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "support/bench_check.hpp"
+
+namespace {
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  out = buf.str();
+  return true;
+}
+
+bool parse_file(const std::string& path, privagic::support::json::Value& out) {
+  std::string text;
+  if (!read_file(path, text)) {
+    std::fprintf(stderr, "bench_check: cannot open '%s'\n", path.c_str());
+    return false;
+  }
+  auto parsed = privagic::support::json::parse(text);
+  if (!parsed.ok) {
+    std::fprintf(stderr, "bench_check: %s: %s\n", path.c_str(), parsed.error.c_str());
+    return false;
+  }
+  out = std::move(parsed.value);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr, "usage: bench_check baselines.json BENCH_a.json [BENCH_b.json ...]\n");
+    return 2;
+  }
+
+  privagic::support::json::Value baselines;
+  if (!parse_file(argv[1], baselines)) return 2;
+
+  bool failed = false;
+  for (int i = 2; i < argc; ++i) {
+    privagic::support::json::Value snapshot;
+    if (!parse_file(argv[i], snapshot)) return 2;
+    const auto report = privagic::support::check_bench(baselines, snapshot);
+    std::printf("== %s (%s)\n%s", argv[i], report.benchmark.c_str(),
+                report.to_string().c_str());
+    failed |= !report.ok();
+  }
+  if (failed) {
+    std::fprintf(stderr,
+                 "bench_check: deterministic counter drift detected; if intentional, "
+                 "update bench/baselines.json\n");
+  }
+  return failed ? 1 : 0;
+}

@@ -9,6 +9,11 @@
 //   --chunks                  print the chunk inventory (name → color)
 //   --colors                  print per-specialization color sets (§7.3.1)
 //   --tcb                     print per-color instruction counts (Table 4)
+//   --lint[=json]             run the static-analysis lint passes and print
+//                             the merged report (text or JSON), then stop.
+//                             Informational: exits 0 even when lints fire,
+//                             and even when the type checker rejects the
+//                             program (the report contains its E-codes).
 //   --run ENTRY [ARGS...]     execute an interface on the simulated machine
 //   --trace-out=FILE          capture a Chrome trace_event JSON of the --run
 //                             execution (load in chrome://tracing / perfetto)
@@ -24,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/pass_manager.hpp"
 #include "interp/machine.hpp"
 #include "ir/parser.hpp"
 #include "obs/metrics.hpp"
@@ -40,7 +46,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: privagicc [--mode=hardened|relaxed] [--split-structs] [--gather-shared]\n"
                "                 [--emit-input] [--emit-partitioned] [--chunks]\n"
-               "                 [--colors] [--tcb] [--run ENTRY [ARGS...]]\n"
+               "                 [--colors] [--tcb] [--lint[=json]] [--run ENTRY [ARGS...]]\n"
                "                 [--trace-out=FILE] file.pir\n");
   return 2;
 }
@@ -58,6 +64,8 @@ int main(int argc, char** argv) {
   bool show_chunks = false;
   bool show_colors = false;
   bool show_tcb = false;
+  bool lint = false;
+  bool lint_json = false;
   std::string run_entry;
   std::vector<std::int64_t> run_args;
   std::string trace_out;
@@ -83,6 +91,11 @@ int main(int argc, char** argv) {
       show_colors = true;
     } else if (arg == "--tcb") {
       show_tcb = true;
+    } else if (arg == "--lint") {
+      lint = true;
+    } else if (arg == "--lint=json") {
+      lint = true;
+      lint_json = true;
     } else if (arg.rfind("--trace-out=", 0) == 0) {
       trace_out = arg.substr(std::strlen("--trace-out="));
       if (trace_out.empty()) return usage();
@@ -132,6 +145,33 @@ int main(int argc, char** argv) {
   }
   if (emit_input) {
     std::fputs(ir::print_module(*module).c_str(), stdout);
+    return 0;
+  }
+
+  if (lint) {
+    // The pass manager runs the type checker itself (and mem2reg with it),
+    // so the lint path owns the module from here. Advisory by design: the
+    // exit status stays 0 so CI can diff findings without gating on them.
+    auto pm = analysis::PassManager::with_default_passes(mode);
+    const auto& diags = pm.run(*module);
+    if (lint_json) {
+      std::printf("%s\n", diags.to_json().c_str());
+    } else {
+      std::fputs(diags.to_string().c_str(), stdout);
+      std::size_t errors = 0;
+      std::size_t warnings = 0;
+      std::size_t notes = 0;
+      for (const auto& d : diags.diagnostics()) {
+        switch (d.severity) {
+          case sectype::Severity::kError: ++errors; break;
+          case sectype::Severity::kWarning: ++warnings; break;
+          case sectype::Severity::kNote: ++notes; break;
+        }
+      }
+      std::printf("lint: %zu error%s, %zu warning%s, %zu note%s\n", errors,
+                  errors == 1 ? "" : "s", warnings, warnings == 1 ? "" : "s", notes,
+                  notes == 1 ? "" : "s");
+    }
     return 0;
   }
 
