@@ -39,7 +39,7 @@ void BM_LockChannelSingleThread(benchmark::State& state) {
   std::uint64_t v = 0;
   for (auto _ : state) {
     q.push(v);
-    benchmark::DoNotOptimize(q.pop());
+    benchmark::DoNotOptimize(*q.pop());
     ++v;
   }
   state.SetItemsProcessed(state.iterations());
@@ -72,19 +72,18 @@ void BM_LockChannelPingPong(benchmark::State& state) {
   runtime::LockChannel<std::uint64_t> request;
   runtime::LockChannel<std::uint64_t> response;
   std::thread echo([&] {
-    while (true) {
-      const std::uint64_t v = request.pop();
-      if (v == ~0ull) return;
-      response.push(v + 1);
-    }
+    // Sticky stop instead of a magic-value sentinel: if the measuring thread
+    // dies (or simply finishes), stop() unblocks this pop — the old
+    // wait-for-nonempty pop() hung forever here.
+    while (auto v = request.pop()) response.push(*v + 1);
   });
   std::uint64_t v = 0;
   for (auto _ : state) {
     request.push(v);
-    benchmark::DoNotOptimize(response.pop());
+    benchmark::DoNotOptimize(*response.pop());
     ++v;
   }
-  request.push(~0ull);
+  request.stop();
   echo.join();
   state.SetItemsProcessed(state.iterations());
 }

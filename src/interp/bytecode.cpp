@@ -599,6 +599,9 @@ std::int64_t BytecodeExecutor::call_indirect(const DecodedFunction* f, const Dec
     const DecodedFunction* df = m_.code_->get(callee);
     return run(df, view);
   }
+  // Flush point: external code may depend on messages batched but not yet
+  // delivered (same rule as the tree-walker's dispatch()).
+  rt_.flush_current();
   return m_.call_external(callee, view, me_);
 }
 
@@ -822,6 +825,7 @@ std::int64_t BytecodeExecutor::run(const DecodedFunction* f,
           call_args = heap.data();
         }
         for (std::uint16_t i = 0; i < o.nargs; ++i) call_args[i] = frame[slots[i]];
+        rt_.flush_current();  // flush point: leaving the runtime's control
         const std::int64_t r =
             m_.call_external(static_cast<const ir::Function*>(o.target),
                              std::span<const std::int64_t>(call_args, o.nargs), me_);

@@ -403,6 +403,9 @@ class Executor {
       Executor nested(m_, rt_, me_);
       return nested.run(callee, args);
     }
+    // Flush point: external code may block on effects of messages we have
+    // batched but not delivered (net_send → another machine thread, etc.).
+    rt_.flush_current();
     return m_.call_external(callee, args, me_);
   }
 
@@ -451,6 +454,9 @@ runtime::ThreadRuntime& Machine::runtime_for_current_thread() {
     options.max_retries = recovery_max_retries_;
     options.watchdog_deadline = watchdog_deadline_;
     options.injector = injector_;
+    options.max_batch = call_path_max_batch_;
+    options.adaptive_wait = call_path_adaptive_wait_;
+    options.direct_dispatch = call_path_direct_dispatch_;
     slot = std::make_unique<runtime::ThreadRuntime>(
         program_.color_table.size(),
         [this, cell](std::size_t, std::uint64_t chunk, std::int64_t tags,
@@ -545,7 +551,7 @@ runtime::RuntimeStats::Snapshot Machine::runtime_stats() const {
     const std::lock_guard<std::mutex> lock(runtimes_mu_);
     for (const auto& [tid, rt] : runtimes_) {
       (void)tid;
-      total.accumulate(rt->stats().snapshot());
+      total.accumulate(rt->stats_snapshot());
     }
   }
   const runtime::RuntimeStats::Snapshot snap = total.snapshot();
@@ -563,6 +569,10 @@ runtime::RuntimeStats::Snapshot Machine::runtime_stats() const {
     reg.counter("runtime.retransmits").set(snap.retransmits);
     reg.counter("runtime.watchdog_fires").set(snap.watchdog_fires);
     reg.counter("runtime.poisoned_workers").set(snap.poisoned_workers);
+    reg.counter("runtime.batched_messages").set(snap.batched_messages);
+    reg.counter("runtime.batch_flushes").set(snap.batch_flushes);
+    reg.counter("runtime.calls_elided").set(snap.calls_elided);
+    reg.counter("runtime.slab_highwater").set(snap.slab_highwater);
   }
   return snap;
 }
@@ -621,7 +631,12 @@ Result<std::int64_t> Machine::call(const std::string& name, std::vector<std::int
   }
   CallSpan span(span_token);
   try {
-    const std::int64_t r = exec_function(runtime_for_current_thread(), fn, args, sgx::kUnsafe);
+    runtime::ThreadRuntime& rt = runtime_for_current_thread();
+    const std::int64_t r = exec_function(rt, fn, args, sgx::kUnsafe);
+    // Flush point: the application thread may now leave the runtime's
+    // control for arbitrarily long (this is the interface boundary), so any
+    // trailing sibling cont/ack it batched must become visible to workers.
+    rt.flush_current();
     span.result = r;
     // Snapshot the worker-side failure under the lock AND clear it, so one
     // failed call does not poison every later call on this machine.

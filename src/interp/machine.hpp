@@ -142,6 +142,18 @@ class Machine {
   /// created from now on (tests/bench: call before the first call()).
   void set_fault_injector(runtime::FaultInjector* injector) { injector_ = injector; }
 
+  /// Call-path tuning for worker groups created from now on (groups are
+  /// lazy, one per calling host thread — configure before the first call()).
+  /// @p max_batch <= 1 restores push-per-send; @p adaptive_wait toggles the
+  /// mailbox spin→yield→park tiers; @p direct_dispatch toggles same-color
+  /// inline dispatch. Defaults reproduce RecoveryOptions' defaults (batching
+  /// on); bench/call_path measures both configurations in one process.
+  void set_call_path(std::size_t max_batch, bool adaptive_wait, bool direct_dispatch) {
+    call_path_max_batch_ = max_batch;
+    call_path_adaptive_wait_ = adaptive_wait;
+    call_path_direct_dispatch_ = direct_dispatch;
+  }
+
   /// Aggregated recovery/fault counters over every worker group.
   [[nodiscard]] runtime::RuntimeStats::Snapshot runtime_stats() const;
 
@@ -202,6 +214,10 @@ class Machine {
   int recovery_max_retries_ = 3;
   std::chrono::milliseconds watchdog_deadline_{0};
   runtime::FaultInjector* injector_ = nullptr;
+  // Batched call-path configuration (see set_call_path / RecoveryOptions).
+  std::size_t call_path_max_batch_ = runtime::RecoveryOptions{}.max_batch;
+  bool call_path_adaptive_wait_ = true;
+  bool call_path_direct_dispatch_ = true;
   static constexpr std::uint64_t kMaxInstructions = 200'000'000;
   static constexpr std::uint64_t kPointerAuthSecret = 0xC0FFEE123456789Bull;
 };

@@ -236,6 +236,18 @@ inline void on_mailbox_depth(std::size_t depth) {
   }
 }
 
+/// One sender-side outbox slot delivered as a batch of @p msgs messages
+/// (workers.hpp flush_one). Unsampled: flushes are already coalesced — at
+/// most one per max_batch messages — so the histogram write is off the
+/// per-message path, and the deterministic .count/.sum (= batch_flushes /
+/// batched_messages) are what bench_check pins for bench/call_path.
+inline void on_batch_flush(std::size_t msgs) {
+  if (metrics_enabled()) {
+    static Histogram& h = MetricsRegistry::global().histogram("runtime.msgs_per_flush");
+    h.record(msgs);
+  }
+}
+
 /// SPSC ring depth observed right after an enqueue (producer side).
 inline void on_spsc_depth(std::size_t depth) {
   if (metrics_enabled()) {
@@ -364,6 +376,7 @@ inline void on_retransmit(std::int64_t, std::int64_t) {}
 inline void on_watchdog_fire(std::int64_t) {}
 inline void on_worker_poisoned(std::int64_t) {}
 inline void on_mailbox_depth(std::size_t) {}
+inline void on_batch_flush(std::size_t) {}
 inline void on_spsc_depth(std::size_t) {}
 inline void on_fault_verdict(std::uint8_t) {}
 [[nodiscard]] inline std::uint64_t on_call_enter(std::int64_t, std::int64_t) { return 0; }

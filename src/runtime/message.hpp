@@ -13,6 +13,8 @@
 //     the enclaves but not by the attacker. 0 when the guard is disabled.
 #pragma once
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
 
 #include "support/rng.hpp"
@@ -80,6 +82,28 @@ struct Message {
   [[nodiscard]] bool is_control() const {
     return kind == MsgKind::kSpawn || kind == MsgKind::kStop || kind == MsgKind::kPoison;
   }
+};
+
+/// A fixed-capacity run of messages bound for one mailbox — the slot type of
+/// the sender-side batching slab (workers.hpp). One MessageBatch per target
+/// color lives inline in the sending thread's OutboxSet, so enqueueing a
+/// message is a single struct copy into pre-owned storage: the batched call
+/// path allocates nothing per message. kCapacity bounds how many messages can
+/// ever be deferred between two flush points; RecoveryOptions::max_batch may
+/// lower (never raise) the effective bound.
+struct MessageBatch {
+  static constexpr std::size_t kCapacity = 16;
+
+  std::array<Message, kCapacity> slots{};
+  std::size_t count = 0;
+
+  [[nodiscard]] bool empty() const { return count == 0; }
+  [[nodiscard]] const Message* data() const { return slots.data(); }
+
+  /// Appends @p m; the caller must flush before appending past capacity.
+  void push(const Message& m) { slots[count++] = m; }
+
+  void clear() { count = 0; }
 };
 
 /// MAC over every semantic field of @p m (stand-in for the HMAC a production

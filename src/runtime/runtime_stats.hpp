@@ -37,6 +37,21 @@ struct RuntimeStats {
   std::atomic<std::uint64_t> watchdog_fires{0};      // watchdog unwedged a blocked worker
   std::atomic<std::uint64_t> poisoned_workers{0};    // workers marked unrecoverable
 
+  // Batched call path (perf PR). batched_messages / batch_flushes give the
+  // mean coalescing factor; slab_highwater is a *maximum* (deepest outbox
+  // slot ever flushed), not a sum — snapshot/accumulate treat it as such.
+  std::atomic<std::uint64_t> batched_messages{0};    // messages delivered via push_batch
+  std::atomic<std::uint64_t> batch_flushes{0};       // outbox flushes (>=1 message each)
+  std::atomic<std::uint64_t> calls_elided{0};        // same-color spawns run inline
+  std::atomic<std::uint64_t> slab_highwater{0};      // max messages in one flushed slot
+
+  /// Monotonic max update for slab_highwater (relaxed CAS loop).
+  static void raise_max(std::atomic<std::uint64_t>& a, std::uint64_t v) {
+    std::uint64_t cur = a.load(std::memory_order_relaxed);
+    while (cur < v && !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
   /// Plain-value snapshot (tests, bench rows).
   struct Snapshot {
     std::uint64_t messages_sent = 0;
@@ -48,6 +63,10 @@ struct RuntimeStats {
     std::uint64_t retransmits = 0;
     std::uint64_t watchdog_fires = 0;
     std::uint64_t poisoned_workers = 0;
+    std::uint64_t batched_messages = 0;
+    std::uint64_t batch_flushes = 0;
+    std::uint64_t calls_elided = 0;
+    std::uint64_t slab_highwater = 0;
   };
 
   [[nodiscard]] Snapshot snapshot() const {
@@ -61,6 +80,10 @@ struct RuntimeStats {
     s.retransmits = retransmits.load(std::memory_order_relaxed);
     s.watchdog_fires = watchdog_fires.load(std::memory_order_relaxed);
     s.poisoned_workers = poisoned_workers.load(std::memory_order_relaxed);
+    s.batched_messages = batched_messages.load(std::memory_order_relaxed);
+    s.batch_flushes = batch_flushes.load(std::memory_order_relaxed);
+    s.calls_elided = calls_elided.load(std::memory_order_relaxed);
+    s.slab_highwater = slab_highwater.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -74,6 +97,10 @@ struct RuntimeStats {
     retransmits.fetch_add(s.retransmits, std::memory_order_relaxed);
     watchdog_fires.fetch_add(s.watchdog_fires, std::memory_order_relaxed);
     poisoned_workers.fetch_add(s.poisoned_workers, std::memory_order_relaxed);
+    batched_messages.fetch_add(s.batched_messages, std::memory_order_relaxed);
+    batch_flushes.fetch_add(s.batch_flushes, std::memory_order_relaxed);
+    calls_elided.fetch_add(s.calls_elided, std::memory_order_relaxed);
+    raise_max(slab_highwater, s.slab_highwater);  // a max, not a sum
   }
 };
 

@@ -21,6 +21,7 @@
 // compiles down to the seed's ring logic plus one null check.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstddef>
 #include <new>
@@ -97,6 +98,31 @@ class SpscQueue {
   /// Producer side; spins (with yields) until space is available.
   void push(const T& value) {
     while (!try_push(value)) std::this_thread::yield();
+  }
+
+  /// Producer side, batched: writes as many of @p values as fit and makes
+  /// them visible with a SINGLE release store of the head index — the
+  /// consumer sees the whole prefix at once, so a batch of n costs one
+  /// cross-core publish instead of n. Returns how many were accepted
+  /// (a prefix; the caller retries the rest when the ring was full). With an
+  /// injector attached the batch degrades to per-value try_push, because
+  /// fault crossings are counted per message.
+  std::size_t try_push_batch(const T* values, std::size_t n) {
+    if (n == 0) return 0;
+    if (injector_ != nullptr) {
+      std::size_t accepted = 0;
+      while (accepted < n && try_push(values[accepted])) ++accepted;
+      return accepted;
+    }
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    const std::size_t free = capacity() - (head - tail);
+    const std::size_t take = std::min(n, free);
+    if (take == 0) return 0;
+    for (std::size_t i = 0; i < take; ++i) slots_[(head + i) & mask_] = values[i];
+    head_.store(head + take, std::memory_order_release);
+    obs::on_spsc_depth(head + take - tail);
+    return take;
   }
 
   /// Consumer side. Returns false when empty.

@@ -6,6 +6,12 @@
 // slot, and the enclave-side worker polls it under the same mutex. The
 // ablation benchmark (bench/ablation_queue) measures the two channel types
 // against each other on identical traffic.
+//
+// Shutdown is *sticky*, matching Mailbox: stop() sets a flag and wakes every
+// blocked popper — present and future — after the queue drains. The original
+// pop() waited on "queue non-empty" alone, so a consumer blocked in pop()
+// when its producer died waited forever (ablation_queue could hang if a
+// worker exited mid-run); pop() now returns nullopt once stopped + drained.
 #pragma once
 
 #include <condition_variable>
@@ -26,6 +32,16 @@ class LockChannel {
     cv_.push_.notify_one();
   }
 
+  /// Sticky shutdown: every pop() — blocked now or called later — returns
+  /// nullopt once the queued values are drained. Idempotent.
+  void stop() {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      stopped_ = true;
+    }
+    cv_.push_.notify_all();
+  }
+
   bool try_pop(T& out) {
     const std::lock_guard<std::mutex> lock(mu_);
     if (queue_.empty()) return false;
@@ -34,9 +50,12 @@ class LockChannel {
     return true;
   }
 
-  T pop() {
+  /// Blocks until a value or a sticky stop; queued values win over the stop
+  /// (drain-before-report, like Mailbox).
+  std::optional<T> pop() {
     std::unique_lock<std::mutex> lock(mu_);
-    cv_.push_.wait(lock, [&] { return !queue_.empty(); });
+    cv_.push_.wait(lock, [&] { return !queue_.empty() || stopped_; });
+    if (queue_.empty()) return std::nullopt;  // stopped and drained
     T out = queue_.front();
     queue_.pop();
     return out;
@@ -53,6 +72,7 @@ class LockChannel {
     std::condition_variable push_;
   } cv_;
   std::queue<T> queue_;
+  bool stopped_ = false;
 };
 
 }  // namespace privagic::runtime

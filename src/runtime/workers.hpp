@@ -40,9 +40,34 @@
 //
 // All defaults keep the seed semantics (infinite waits, no watchdog): the
 // recovery machinery activates only through RecoveryOptions.
+//
+// == Batched call path (perf PR; DESIGN.md §11) ==
+//
+// Sends no longer push the target mailbox directly. Each sending thread owns
+// an OutboxSet — a fixed-size slab with one MessageBatch per target color —
+// and send() appends into it: a struct copy into pre-owned storage, no
+// allocation, no lock, no wake. The batch travels as one Mailbox::push_batch
+// when (a) the slot fills, (b) the sender reaches any blocking point (every
+// wait / the worker idle loop / shutdown), or (c) the embedder calls
+// flush_current() before leaving the runtime (the interpreter flushes before
+// external calls and at interface-call return). Because every thread flushes
+// before it can observe or wait on anything, per-(sender,target) FIFO order
+// and the §5 visible-effect barriers are exactly those of the unbatched
+// path; all recovery bookkeeping (seq, MAC, sent log, counters) still
+// happens at enqueue time, so retransmission and the scripted fault
+// crossings are unchanged.
+//
+// Same-color direct dispatch: a message whose target color IS the sender's
+// own color never needs to cross unsafe memory at all — it is queued on the
+// sending thread's private self-queue and consumed at that thread's next
+// wait (spawns run inline via the chunk runner; counted in
+// stats().calls_elided, and the dispatch itself still appears in the
+// interp.chunks_dispatched metric). Self messages carry no seq/MAC and are
+// invisible to the injector: nothing the attacker owns ever holds them.
 #pragma once
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -54,7 +79,6 @@
 #include <optional>
 #include <string>
 #include <thread>
-#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -100,6 +124,18 @@ struct RecoveryOptions {
   std::chrono::milliseconds watchdog_deadline{0};
   /// Adversarial interposer on every mailbox push (nullptr = clean runs).
   FaultInjector* injector = nullptr;
+  /// Sender-side batching: consecutive sends to the same worker coalesce in
+  /// the sending thread's outbox and cross the mailbox as one push_batch of
+  /// up to this many messages (capped by MessageBatch::kCapacity), flushed
+  /// at every blocking point. <= 1 restores the push-per-send path.
+  std::size_t max_batch = 8;
+  /// Spin→yield→park tiers on mailbox waits (Mailbox::set_adaptive) instead
+  /// of parking immediately, so short round-trips skip the futex sleep.
+  bool adaptive_wait = true;
+  /// Run same-color spawns inline on the sending thread and keep same-color
+  /// cont/ack off the shared queues entirely (see header comment). Elided
+  /// spawns are counted in stats().calls_elided.
+  bool direct_dispatch = true;
 };
 
 class ThreadRuntime {
@@ -120,6 +156,7 @@ class ThreadRuntime {
   ThreadRuntime(std::size_t num_colors, ChunkRunner runner, RecoveryOptions options)
       : runner_(std::move(runner)),
         options_(options),
+        max_batch_(std::min(options.max_batch, MessageBatch::kCapacity)),
         mailboxes_(num_colors),
         seen_(num_colors),
         sent_log_(num_colors),
@@ -130,6 +167,7 @@ class ThreadRuntime {
       if (options_.injector != nullptr) {
         mailboxes_[c]->set_injector(options_.injector, c);
       }
+      mailboxes_[c]->set_adaptive(options_.adaptive_wait);
       poisoned_[c].store(false, std::memory_order_relaxed);
       blocked_since_ms_[c].store(kNotBlocked, std::memory_order_relaxed);
     }
@@ -148,6 +186,7 @@ class ThreadRuntime {
   void shutdown() {
     if (stopped_) return;
     stopped_ = true;
+    flush_current();  // don't let queued protocol messages rot behind the stops
     if (watchdog_.joinable()) {
       {
         const std::lock_guard<std::mutex> lock(watchdog_mu_);
@@ -185,6 +224,13 @@ class ThreadRuntime {
     mailboxes_[index(target_color)]->push(m);
   }
 
+  /// Flushes every batch the *calling thread* has deferred. Every wait and
+  /// the worker idle loop flush implicitly; embedders call this before
+  /// leaving the runtime's control for a while (the interpreter: before an
+  /// external call, at interface-call return) so no recipient waits on a
+  /// message parked in our outbox.
+  void flush_current() { flush_outbox(thread_outbox(0)); }
+
   /// Blocks worker @p me until a cont with @p tag arrives; serves spawns
   /// re-entrantly while waiting. Throws RuntimeFault when recovery gives up.
   std::int64_t wait(std::size_t me, std::int64_t tag) {
@@ -200,6 +246,24 @@ class ThreadRuntime {
   [[nodiscard]] std::size_t num_colors() const { return mailboxes_.size(); }
 
   [[nodiscard]] const RuntimeStats& stats() const { return stats_; }
+
+  /// Coherent counter snapshot including the thread-private flush accounting
+  /// that flush_one keeps out of the shared RuntimeStats atomics. Callers
+  /// that need batch_flushes / batched_messages / slab_highwater must use
+  /// this instead of stats().snapshot().
+  [[nodiscard]] RuntimeStats::Snapshot stats_snapshot() const {
+    RuntimeStats::Snapshot snap = stats_.snapshot();
+    const std::lock_guard<std::mutex> lock(outbox_mu_);
+    for (const auto& set : outbox_sets_) {
+      snap.batch_flushes += set->batch_flushes.load(std::memory_order_relaxed);
+      snap.batched_messages +=
+          set->batched_messages.load(std::memory_order_relaxed);
+      snap.slab_highwater = std::max(
+          snap.slab_highwater,
+          set->slab_highwater.load(std::memory_order_relaxed));
+    }
+    return snap;
+  }
 
   /// Forged spawn messages dropped by the guard so far (seed-compatible
   /// alias for stats().forged_spawn_rejects).
@@ -228,25 +292,132 @@ class ThreadRuntime {
     return static_cast<std::size_t>(color);
   }
 
-  /// Stamps seq + MAC, records the message for retransmission, and pushes it
-  /// through the (possibly adversarial) mailbox.
+  /// One sending thread's view of this runtime: a fixed slab of per-target
+  /// batches plus the same-color self-queue. Created once per (thread,
+  /// runtime) pair and owned by the runtime; only its creating thread ever
+  /// touches it, so nothing here is synchronized.
+  struct OutboxSet {
+    std::size_t sender = 0;              // this thread's color identity
+    std::vector<MessageBatch> out;       // slab: one slot per target color
+    std::deque<Message> self;            // same-color loopback (never crosses)
+    // Flush accounting. Single-writer: only the owning thread updates these,
+    // so the hot path uses plain load+store pairs (no RMW, no lock prefix,
+    // no cross-thread cache-line bouncing); stats_snapshot() folds them in
+    // with relaxed loads from the aggregating thread.
+    std::atomic<std::uint64_t> batch_flushes{0};
+    std::atomic<std::uint64_t> batched_messages{0};
+    std::atomic<std::uint64_t> slab_highwater{0};
+  };
+
+  /// Returns the calling thread's OutboxSet for *this* runtime, creating it
+  /// with color identity @p sender on first use (worker threads register
+  /// their own color at loop entry; any other thread — the application
+  /// thread, an embedder — acts as U, matching the seed model where the
+  /// caller IS the color-0 worker). The lookup is a thread-local list keyed
+  /// by a monotonic runtime uid (never a recycled pointer), move-to-front so
+  /// the hot runtime costs one compare.
+  OutboxSet& thread_outbox(std::size_t sender) {
+    thread_local std::vector<std::pair<std::uint64_t, OutboxSet*>> cache;
+    for (std::size_t i = 0; i < cache.size(); ++i) {
+      if (cache[i].first == uid_) {
+        if (i != 0) std::swap(cache[0], cache[i]);
+        return *cache[0].second;
+      }
+    }
+    auto set = std::make_unique<OutboxSet>();
+    set->sender = sender;
+    set->out.resize(mailboxes_.size());
+    OutboxSet* raw = set.get();
+    {
+      const std::lock_guard<std::mutex> lock(outbox_mu_);
+      outbox_sets_.push_back(std::move(set));
+    }
+    cache.emplace_back(uid_, raw);
+    std::swap(cache[0], cache.back());
+    return *raw;
+  }
+
+  /// Delivers one outbox slot as a single push_batch and accounts for it.
+  void flush_one(OutboxSet& ob, std::size_t target) {
+    MessageBatch& b = ob.out[target];
+    if (b.empty()) return;
+    ob.batch_flushes.store(
+        ob.batch_flushes.load(std::memory_order_relaxed) + 1,
+        std::memory_order_relaxed);
+    ob.batched_messages.store(
+        ob.batched_messages.load(std::memory_order_relaxed) + b.count,
+        std::memory_order_relaxed);
+    if (b.count > ob.slab_highwater.load(std::memory_order_relaxed)) {
+      ob.slab_highwater.store(b.count, std::memory_order_relaxed);
+    }
+    obs::on_batch_flush(b.count);
+    mailboxes_[target]->push_batch(b.data(), b.count);
+    b.clear();
+  }
+
+  void flush_outbox(OutboxSet& ob) {
+    for (std::size_t t = 0; t < ob.out.size(); ++t) flush_one(ob, t);
+  }
+
+  /// Removes the first control message — or, unless @p control_only, the
+  /// first (kind, tag) match — from the calling thread's self-queue,
+  /// mirroring Mailbox::take's arrival-order rule.
+  std::optional<Message> take_self(OutboxSet& ob, MsgKind kind, std::int64_t tag,
+                                   bool control_only) {
+    for (auto it = ob.self.begin(); it != ob.self.end(); ++it) {
+      const bool match = !control_only && it->kind == kind && it->tag == tag;
+      if (it->is_control() || match) {
+        Message m = *it;
+        ob.self.erase(it);
+        return m;
+      }
+    }
+    return std::nullopt;
+  }
+
+  /// Stamps seq + MAC, records the message for retransmission, and enqueues
+  /// it in the calling thread's outbox (flushed through the possibly
+  /// adversarial mailbox at the next flush point). Same-color messages
+  /// short-circuit to the self-queue: they never touch unsafe memory, so
+  /// they carry no seq/MAC and are invisible to the injector and to the
+  /// messages_sent / msg_sends accounting (elided spawns surface in
+  /// calls_elided instead, keeping the observability totals reconcilable).
   void send(std::int64_t target_color, Message m) {
     const std::size_t target = index(target_color);
+    OutboxSet& ob = thread_outbox(0);
+    if (options_.direct_dispatch && target == ob.sender) {
+      ob.self.push_back(m);
+      return;
+    }
     m.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
     m.auth = message_mac(m, options_.spawn_secret);
     stats_.messages_sent.fetch_add(1, std::memory_order_relaxed);
     {
       const std::lock_guard<std::mutex> lock(sent_mu_);
-      auto& log = sent_log_[target];
-      log.push_back(m);
-      if (log.size() > kSentLogCap) log.pop_front();
+      sent_log_[target].push(m);
     }
-    // Timestamp before the push (the notify inside can deschedule us — see
-    // msg_send_tick), record after it so the hook body never delays the
-    // receiver's wakeup.
+    if (max_batch_ <= 1) {
+      // Unbatched path (max_batch <= 1): push-per-send, as the seed did.
+      // Timestamp before the push (the notify inside can deschedule us — see
+      // msg_send_tick), record after it so the hook body never delays the
+      // receiver's wakeup.
+      const std::uint64_t send_tick =
+          obs::msg_send_tick(static_cast<std::uint8_t>(m.kind));
+      mailboxes_[target]->push(m);
+      obs::on_msg_send(send_tick, target_color, static_cast<std::uint8_t>(m.kind),
+                       m.tag, static_cast<std::int64_t>(m.chunk));
+      return;
+    }
+    MessageBatch& b = ob.out[target];
+    if (b.count >= max_batch_) flush_one(ob, target);
+    // All protocol bookkeeping happened above, at enqueue time — only the
+    // mailbox crossing is deferred. The send event/counter fires here too:
+    // "sent" means "handed to the runtime", and keeping it at enqueue keeps
+    // the trace chain (send before its chunk dispatch) and the deterministic
+    // per-color counters identical to the unbatched path.
     const std::uint64_t send_tick =
         obs::msg_send_tick(static_cast<std::uint8_t>(m.kind));
-    mailboxes_[target]->push(m);
+    b.push(m);
     obs::on_msg_send(send_tick, target_color, static_cast<std::uint8_t>(m.kind), m.tag,
                      static_cast<std::int64_t>(m.chunk));
   }
@@ -259,10 +430,11 @@ class ThreadRuntime {
     std::vector<std::pair<std::size_t, Message>> resend;  // (target, message)
     {
       const std::lock_guard<std::mutex> lock(sent_mu_);
-      auto& log = sent_log_[me];
-      for (auto it = log.rbegin(); it != log.rend(); ++it) {
-        if (it->kind == kind && it->tag == tag) {
-          resend.emplace_back(me, *it);
+      const auto& log = sent_log_[me];
+      for (std::size_t i = log.size(); i-- > 0;) {
+        const Message& logged = log.from_oldest(i);
+        if (logged.kind == kind && logged.tag == tag) {
+          resend.emplace_back(me, logged);
           break;
         }
       }
@@ -277,7 +449,7 @@ class ThreadRuntime {
           const auto& l = sent_log_[c];
           const std::size_t n = std::min(l.size(), kGoBackWindow);
           for (std::size_t i = l.size() - n; i < l.size(); ++i) {
-            resend.emplace_back(c, l[i]);
+            resend.emplace_back(c, l.from_oldest(i));
           }
         }
         std::sort(resend.begin(), resend.end(),
@@ -322,6 +494,9 @@ class ThreadRuntime {
   }
 
   void mark_blocked(std::size_t me, bool blocked) {
+    // Without a watchdog nobody ever reads these timestamps; skip the clock
+    // read + store pair on the wait hot path entirely.
+    if (options_.watchdog_deadline.count() <= 0) return;
     if (blocked) {
       const auto now_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
                               std::chrono::steady_clock::now().time_since_epoch())
@@ -363,7 +538,28 @@ class ThreadRuntime {
     const bool timed = base.count() > 0;
     auto attempt_deadline = base;
     int attempt = 0;
+    OutboxSet& ob = thread_outbox(me);
     while (true) {
+      // Flush point (§5 barrier): nothing we sent may stay deferred while we
+      // wait for an answer that could depend on it. Runs every iteration so
+      // messages produced by an inline-served spawn below are visible before
+      // its sibling cont/ack is returned or awaited.
+      flush_outbox(ob);
+      if (options_.direct_dispatch) {
+        if (auto sm = take_self(ob, kind, tag, /*control_only=*/false)) {
+          if (sm->kind == MsgKind::kSpawn) {
+            // Same-color direct dispatch: run the chunk inline on this very
+            // thread — the queue round-trip (and its MAC/seq machinery) is
+            // elided entirely. The runner's own dispatch hook still records
+            // the chunk, so interp.chunks_dispatched totals reconcile with
+            // msg-recv counts + calls_elided.
+            stats_.calls_elided.fetch_add(1, std::memory_order_relaxed);
+            runner_(me, sm->chunk, sm->tags, sm->leader, sm->flags);
+            continue;  // re-flush, keep scanning
+          }
+          return *sm;  // matching cont/ack without any crossing
+        }
+      }
       std::optional<Message> m;
       mark_blocked(me, true);
       obs::on_wait_entry();  // idle moment: drain staged wake-path events
@@ -420,7 +616,28 @@ class ThreadRuntime {
     struct StagedFlush {
       ~StagedFlush() { obs::on_worker_exit(); }
     } flush_on_exit;
+    // Register this thread's color identity before any traffic: sends from
+    // chunks running here are stamped as color `me`, which is what makes the
+    // same-color shortcut in send() safe to take.
+    OutboxSet& ob = thread_outbox(me);
     while (true) {
+      flush_outbox(ob);  // idle point: everything deferred becomes visible
+      if (options_.direct_dispatch) {
+        // Serve same-color spawns queued by the chunk that just finished
+        // (its nested waits drain these too; this covers trailing ones).
+        if (auto sm = take_self(ob, MsgKind::kStop, 0, /*control_only=*/true)) {
+          if (sm->kind == MsgKind::kSpawn) {
+            stats_.calls_elided.fetch_add(1, std::memory_order_relaxed);
+            try {
+              runner_(me, sm->chunk, sm->tags, sm->leader, sm->flags);
+            } catch (const WorkerStopped&) {
+              return;
+            } catch (const RuntimeFault&) {
+            }
+          }
+          continue;
+        }
+      }
       obs::on_wait_entry();
       Message m = mailboxes_[me]->next_control();
       if (m.kind == MsgKind::kStop) return;
@@ -467,31 +684,89 @@ class ThreadRuntime {
   }
 
   /// Sliding window of consumed sequence numbers (single consumer per color).
+  /// A fixed circular bitmap over the last kSeqWindowCap sequence values —
+  /// the classic anti-replay window. insert() is a handful of word ops on the
+  /// receive hot path (the unordered_set + deque it replaces cost a hash
+  /// insert plus eviction churn per message). Semantics at the boundary are
+  /// strictly safer than insertion-order eviction: a sequence value older
+  /// than the window is *rejected* as a replay instead of re-accepted.
   struct SeqWindow {
-    std::unordered_set<std::uint64_t> seen;
-    std::deque<std::uint64_t> order;
+    std::array<std::uint64_t, kSeqWindowCap / 64> bits{};
+    std::uint64_t max_seq = 0;
 
-    /// Returns false when @p seq was already consumed.
-    bool insert(std::uint64_t seq, std::size_t cap) {
-      if (!seen.insert(seq).second) return false;
-      order.push_back(seq);
-      if (order.size() > cap) {
-        seen.erase(order.front());
-        order.pop_front();
+    /// Returns false when @p seq was already consumed (or predates the
+    /// window, which the protocol treats the same way).
+    bool insert(std::uint64_t seq, std::size_t /*cap*/) {
+      if (seq > max_seq) {
+        const std::uint64_t delta = seq - max_seq;
+        if (delta >= kSeqWindowCap) {
+          bits.fill(0);  // the whole window slid past; nothing to keep
+        } else {
+          // Invalidate the recycled slots between the old and new maximum.
+          for (std::uint64_t s = max_seq + 1; s < seq; ++s) clear(s);
+        }
+        max_seq = seq;
+        set(seq);
+        return true;
       }
+      if (max_seq - seq >= kSeqWindowCap) return false;  // beyond the window
+      if (test(seq)) return false;
+      set(seq);
       return true;
+    }
+
+   private:
+    [[nodiscard]] bool test(std::uint64_t seq) const {
+      return (bits[(seq % kSeqWindowCap) / 64] >> (seq % 64)) & 1u;
+    }
+    void set(std::uint64_t seq) { bits[(seq % kSeqWindowCap) / 64] |= 1ull << (seq % 64); }
+    void clear(std::uint64_t seq) { bits[(seq % kSeqWindowCap) / 64] &= ~(1ull << (seq % 64)); }
+  };
+
+  /// Fixed ring holding the last kSentLogCap messages sent to one color —
+  /// the retransmission source. A plain overwrite ring: push is one slot
+  /// store on the send hot path (the deque it replaces paid push/pop churn
+  /// per message once full). Storage is allocated on first use so idle
+  /// colors cost nothing.
+  struct SentRing {
+    std::vector<Message> buf;
+    std::uint64_t count = 0;  // total pushes; send #i lives in buf[i % cap]
+
+    void push(const Message& m) {
+      if (buf.empty()) buf.resize(kSentLogCap);
+      buf[count % kSentLogCap] = m;
+      ++count;
+    }
+    [[nodiscard]] std::size_t size() const {
+      return static_cast<std::size_t>(std::min<std::uint64_t>(count, kSentLogCap));
+    }
+    /// @p i counts from the oldest retained entry (0) to the newest.
+    [[nodiscard]] const Message& from_oldest(std::size_t i) const {
+      return buf[(count - size() + i) % kSentLogCap];
     }
   };
 
+  /// Monotonic id distinguishing runtime instances in the thread-local
+  /// outbox cache — a destroyed runtime's id is never reused, so a stale
+  /// cache entry can never alias a new runtime at the same address.
+  static std::uint64_t next_uid() {
+    static std::atomic<std::uint64_t> n{1};
+    return n.fetch_add(1, std::memory_order_relaxed);
+  }
+
   ChunkRunner runner_;
   RecoveryOptions options_;
+  const std::uint64_t uid_ = next_uid();
+  std::size_t max_batch_ = 1;
+  mutable std::mutex outbox_mu_;
+  std::vector<std::unique_ptr<OutboxSet>> outbox_sets_;  // owned; per thread
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::vector<std::thread> workers_;
   RuntimeStats stats_;
   std::atomic<std::uint64_t> next_seq_{1};
   std::vector<SeqWindow> seen_;                 // per color; consumer-thread-only
   std::mutex sent_mu_;
-  std::vector<std::deque<Message>> sent_log_;   // per target color, safe memory
+  std::vector<SentRing> sent_log_;              // per target color, safe memory
   std::vector<std::atomic<bool>> poisoned_;
   std::atomic<bool> any_poisoned_{false};
   std::vector<std::atomic<std::int64_t>> blocked_since_ms_;

@@ -22,6 +22,7 @@
 #include "runtime/fault_injector.hpp"
 #include "runtime/mailbox.hpp"
 #include "runtime/spsc_queue.hpp"
+#include "runtime/switchless.hpp"
 #include "runtime/workers.hpp"
 #include "support/status.hpp"
 
@@ -439,6 +440,199 @@ TEST(SpscFaultTest, CorruptAndHeldBackValues) {
   ASSERT_TRUE(q.try_pop(v));
   EXPECT_EQ(v, 0xBBBBu);  // the reordered value
   EXPECT_FALSE(q.try_pop(v));
+}
+
+// ---------------------------------------------------------------------------
+// Batched call path: faults land on batched slots exactly as on singles, and
+// the sender-side flush accounting stays exact.
+// ---------------------------------------------------------------------------
+
+TEST(BatchedFaultTest, DropDuplicateReorderOnBatchedSlotsConverge) {
+  // Crossings under the lock-step echo (identical batched or not, because
+  // push_batch advances the injector per message): 0 spawn, 1 req0 (drop,
+  // +1 shift for the retransmit), 3 reply0 (duplicate: the stale copy is
+  // discarded by the driver's round-1 wait), 4 req1 (held back until the
+  // worker's retransmit releases it, +1 shift; the late original is
+  // discarded by the worker's round-2 wait), 6 reply1, 7 req2, 8 reply2,
+  // 9 ack.
+  FaultInjector injector(FaultConfig{});
+  injector.script(1, FaultKind::kDrop);
+  injector.script(3, FaultKind::kDuplicate);
+  injector.script(4, FaultKind::kReorder);
+
+  RecoveryOptions options;
+  options.wait_deadline = 50ms;       // the worker recovers lost requests
+  options.app_wait_deadline = 400ms;
+  options.max_retries = 4;
+  options.injector = &injector;
+  options.max_batch = 8;              // pin the batched path explicitly
+  EchoHarness echo(options);
+  EXPECT_EQ(echo.drive(3), EchoHarness::expected(3));
+
+  const auto s = echo.rt->stats_snapshot();
+  EXPECT_EQ(s.wait_timeouts, 2u);           // drop + held-back request
+  EXPECT_EQ(s.retransmits, 2u);
+  EXPECT_EQ(s.duplicates_discarded, 2u);    // scripted dup + released original
+  EXPECT_EQ(s.poisoned_workers, 0u);
+  // Flush accounting: every cross-color message left through the outbox slab.
+  EXPECT_GT(s.batch_flushes, 0u);
+  EXPECT_GE(s.batched_messages, s.batch_flushes);
+  EXPECT_GE(s.slab_highwater, 1u);
+  // The flush counters live in the thread-private outboxes, not the shared
+  // atomics — stats() alone must NOT see them (that is the perf contract).
+  EXPECT_EQ(echo.rt->stats().snapshot().batch_flushes, 0u);
+}
+
+TEST(BatchedFaultTest, BatchedAndUnbatchedRecoveriesAgree) {
+  // The same scripted attacker against both call paths: identical sums and
+  // identical idempotence counters, only the flush accounting differs.
+  auto run = [](std::size_t max_batch) {
+    FaultInjector injector(FaultConfig{});
+    injector.script(1, FaultKind::kDrop);
+    injector.script(4, FaultKind::kDuplicate);
+    RecoveryOptions options;
+    options.wait_deadline = 50ms;
+    options.app_wait_deadline = 400ms;
+    options.max_retries = 4;
+    options.injector = &injector;
+    options.max_batch = max_batch;
+    EchoHarness echo(options);
+    EXPECT_EQ(echo.drive(3), EchoHarness::expected(3));
+    return echo.rt->stats_snapshot();
+  };
+  const auto batched = run(8);
+  const auto unbatched = run(1);
+  EXPECT_EQ(batched.messages_sent, unbatched.messages_sent);
+  EXPECT_EQ(batched.duplicates_discarded, unbatched.duplicates_discarded);
+  EXPECT_EQ(batched.retransmits, unbatched.retransmits);
+  EXPECT_EQ(batched.wait_timeouts, unbatched.wait_timeouts);
+  EXPECT_GT(batched.batch_flushes, 0u);
+  EXPECT_EQ(unbatched.batch_flushes, 0u);  // push-per-send path restored
+}
+
+TEST(BatchedFaultTest, CorruptedBatchedSlotIsQuarantinedAndRecovered) {
+  // MAC quarantine on a message that crossed inside a batch: same recovery
+  // as the unbatched corrupt test, batched path pinned explicitly.
+  FaultInjector injector(FaultConfig{});
+  injector.script(2, FaultKind::kCorrupt);  // round-0 reply payload flipped
+
+  RecoveryOptions options;
+  options.spawn_secret = 0xFEEDFACE;
+  options.wait_deadline = 400ms;
+  options.app_wait_deadline = 50ms;
+  options.max_retries = 4;
+  options.injector = &injector;
+  options.max_batch = 8;
+  EchoHarness echo(options);
+  EXPECT_EQ(echo.drive(3), EchoHarness::expected(3));
+
+  const auto s = echo.rt->stats_snapshot();
+  EXPECT_EQ(s.corrupt_dropped, 1u);
+  EXPECT_EQ(s.retransmits, 1u);
+  EXPECT_GT(s.batch_flushes, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Same-color direct dispatch: spawns served inline, nothing crosses a queue
+// ---------------------------------------------------------------------------
+
+TEST(DirectDispatchTest, SameColorSpawnIsServedInlineWithoutMessages) {
+  std::atomic<int> runs{0};
+  ThreadRuntime* rtp = nullptr;
+  ThreadRuntime rt(2, [&](std::size_t, std::uint64_t, std::int64_t tags,
+                          std::int64_t leader, std::int64_t) {
+    ++runs;
+    rtp->ack(leader, tags + 200);
+  }, RecoveryOptions{});
+  rtp = &rt;
+
+  // Target color 0 == the calling thread's own color: the spawn, its inline
+  // serve, and the ack all stay on this thread's self-queue.
+  rt.spawn(/*target_color=*/0, /*chunk=*/7, /*tags=*/1000, /*leader=*/0, 0);
+  rt.wait_ack(0, 1200);
+  EXPECT_EQ(runs.load(), 1);
+  const auto s = rt.stats_snapshot();
+  EXPECT_EQ(s.calls_elided, 1u);
+  EXPECT_EQ(s.messages_sent, 0u) << "elided calls must not touch unsafe memory";
+  EXPECT_EQ(s.batch_flushes, 0u);
+}
+
+TEST(DirectDispatchTest, DisablingDirectDispatchRoutesThroughQueues) {
+  std::atomic<int> runs{0};
+  ThreadRuntime* rtp = nullptr;
+  RecoveryOptions options;
+  options.direct_dispatch = false;
+  ThreadRuntime rt(2, [&](std::size_t, std::uint64_t, std::int64_t tags,
+                          std::int64_t leader, std::int64_t) {
+    ++runs;
+    rtp->ack(leader, tags + 200);
+  }, options);
+  rtp = &rt;
+
+  rt.spawn(0, 7, 1000, 0, 0);
+  rt.wait_ack(0, 1200);
+  EXPECT_EQ(runs.load(), 1);
+  const auto s = rt.stats_snapshot();
+  EXPECT_EQ(s.calls_elided, 0u);
+  EXPECT_EQ(s.messages_sent, 2u);  // the spawn and the ack, seq'd and MAC'd
+}
+
+// ---------------------------------------------------------------------------
+// Mailbox push_batch: one crossing, per-message injector filtering
+// ---------------------------------------------------------------------------
+
+TEST(MailboxFaultTest, PushBatchDeliversInOrderAndFiltersPerMessage) {
+  FaultInjector injector(FaultConfig{});
+  injector.script(1, FaultKind::kDrop);  // second message of the batch
+
+  Mailbox box;
+  box.set_injector(&injector, /*channel=*/0);
+  const Message batch[4] = {Message::cont(1, 11), Message::cont(2, 22),
+                            Message::cont(3, 33), Message::cont(4, 44)};
+  box.push_batch(batch, 4);
+  EXPECT_EQ(box.next(MsgKind::kCont, 1).payload, 11);
+  EXPECT_EQ(box.next(MsgKind::kCont, 3).payload, 33);  // tag 2 was dropped
+  EXPECT_EQ(box.next(MsgKind::kCont, 4).payload, 44);
+  EXPECT_EQ(box.next_for(MsgKind::kCont, 2, 30ms), std::nullopt);
+  EXPECT_EQ(injector.counts().drops, 1u);
+}
+
+TEST(MailboxFaultTest, PushBatchWakesABlockedWaiter) {
+  Mailbox box;
+  box.set_adaptive(true);  // exercise the spin→yield→park tiers too
+  std::atomic<std::int64_t> got{0};
+  std::thread waiter([&] { got = box.next(MsgKind::kCont, 9).payload; });
+  std::this_thread::sleep_for(50ms);  // let the waiter reach the parked tier
+  const Message batch[2] = {Message::cont(8, 80), Message::cont(9, 90)};
+  box.push_batch(batch, 2);
+  waiter.join();
+  EXPECT_EQ(got.load(), 90);
+  EXPECT_EQ(box.next(MsgKind::kCont, 8).payload, 80);
+}
+
+// ---------------------------------------------------------------------------
+// LockChannel sticky stop (the switchless benchmark channel)
+// ---------------------------------------------------------------------------
+
+TEST(LockChannelTest, StickyStopWakesBlockedAndFuturePoppers) {
+  LockChannel<int> ch;
+  std::atomic<int> woken{0};
+  std::vector<std::thread> poppers;
+  for (int i = 0; i < 2; ++i) {
+    poppers.emplace_back([&] {
+      if (ch.pop() == std::nullopt) ++woken;
+    });
+  }
+  std::this_thread::sleep_for(50ms);
+  ch.stop();
+  for (auto& t : poppers) t.join();
+  EXPECT_EQ(woken.load(), 2);
+  // Stop is sticky: a popper arriving after shutdown returns immediately.
+  EXPECT_EQ(ch.pop(), std::nullopt);
+  // But queued values still drain before the stop is reported.
+  ch.push(5);
+  EXPECT_EQ(ch.pop(), std::optional<int>(5));
+  EXPECT_EQ(ch.pop(), std::nullopt);
 }
 
 // ---------------------------------------------------------------------------

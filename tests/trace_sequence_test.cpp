@@ -15,6 +15,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "partition/partitioner.hpp"
+#include "runtime/workers.hpp"
 
 namespace privagic::interp {
 namespace {
@@ -168,6 +169,62 @@ TEST(TraceSequenceTest, TreeWalkerEmitsCanonicalTwoColorChain) {
 
 TEST(TraceSequenceTest, DecodedEngineEmitsCanonicalTwoColorChain) {
   check_sequence(ExecMode::kDecoded);
+}
+
+TEST(TraceSequenceTest, ElidedSameColorCallLeavesNoMessageEventsButReconciles) {
+  // Same-color direct dispatch: the spawn is served inline on the sending
+  // thread, so the trace must contain NO msg_send/msg_recv events — yet the
+  // chunk dispatch still appears (the runner's hook fires as usual), which is
+  // what keeps chunks_dispatched == msg-delivered spawns + calls_elided.
+  obs::Tracer& tracer = obs::Tracer::instance();
+  tracer.clear();
+  obs::MetricsRegistry::global().reset_all();
+  obs::set_metrics_enabled(true);
+  tracer.enable();
+
+  runtime::ThreadRuntime* rtp = nullptr;
+  {
+    runtime::ThreadRuntime rt(
+        2,
+        [&rtp](std::size_t me, std::uint64_t chunk, std::int64_t tags,
+               std::int64_t leader, std::int64_t) {
+          // A real runner (Machine's trampoline) records the dispatch; this
+          // harness does the same so the reconciliation totals are honest.
+          obs::on_chunk_dispatch(static_cast<std::int64_t>(me),
+                                 static_cast<std::int64_t>(chunk), leader);
+          rtp->ack(leader, tags + 200);
+        },
+        runtime::RecoveryOptions{});
+    rtp = &rt;
+    rt.spawn(/*target_color=*/0, /*chunk=*/7, /*tags=*/1000, /*leader=*/0, 0);
+    rt.wait_ack(0, 1200);
+    const auto s = rt.stats_snapshot();
+    EXPECT_EQ(s.calls_elided, 1u);
+    EXPECT_EQ(s.messages_sent, 0u);
+    rt.shutdown();
+  }
+
+  tracer.disable();
+  obs::set_metrics_enabled(false);
+  std::vector<TraceEvent> events;
+  for (const auto& d : tracer.drain()) {
+    events.insert(events.end(), d.events.begin(), d.events.end());
+  }
+  tracer.clear();
+
+  std::size_t msg_events = 0;
+  std::size_t dispatches = 0;
+  for (const TraceEvent& e : events) {
+    if (e.kind == EventKind::kMsgSend || e.kind == EventKind::kMsgRecv) ++msg_events;
+    if (e.kind == EventKind::kChunkDispatch) ++dispatches;
+  }
+  EXPECT_EQ(msg_events, 0u) << "an elided call must never touch the queues";
+  EXPECT_EQ(dispatches, 1u);
+  auto& chunks = obs::MetricsRegistry::global().per_color("interp.chunks_dispatched");
+  EXPECT_EQ(chunks.value(0), 1u);
+  auto& sends = obs::MetricsRegistry::global().per_color("runtime.msg_sends");
+  EXPECT_EQ(sends.value(0), 0u);
+  obs::MetricsRegistry::global().reset_all();
 }
 
 TEST(TraceSequenceTest, DecodedEngineRecordsBudgetFlushes) {

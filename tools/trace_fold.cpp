@@ -1,0 +1,180 @@
+// trace_fold — collapse a TRACE_*.json capture into folded-stack lines.
+//
+//   trace_fold TRACE_kvcache.json [out.folded]
+//
+// Reads the Chrome trace_event JSON written by obs::TraceWriter and emits
+// the collapsed-stack format flamegraph.pl / speedscope / inferno consume:
+// one line per unique stack, "frame1;frame2;frame3 <weight>", weight in
+// integer nanoseconds.
+//
+// Folding rule: within each thread (tid), a "chunk_dispatch" instant marks
+// which partition chunk that worker is serving until its next dispatch, so
+// every duration slice ("Machine::call" interface calls and "wait" blocked
+// intervals) is attributed under the stack
+//
+//   color<c>;chunk<id>;<fn<idx> | wait>
+//
+// using the nearest dispatch at or before the slice's *end* timestamp (the
+// events are stamped at completion). Slices seen before the thread's first
+// dispatch fold under "color<c>;-" — on the leader thread that is the normal
+// shape, since U dispatches into other colors rather than receiving chunks.
+// Nested same-thread slices subtract inner time from the enclosing slice, so
+// weights are self-time and the per-color totals add up.
+//
+// Output is deterministically ordered (by stack string), so two captures of
+// the same deterministic workload diff cleanly.
+#include <algorithm>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "support/json_mini.hpp"
+
+namespace {
+
+using privagic::support::json::Value;
+
+/// One duration slice ("X" event) in a thread's timeline.
+struct Slice {
+  double start_us = 0.0;
+  double end_us = 0.0;
+  std::int64_t color = 0;
+  std::string frame;      // "fn<idx>" or "wait"
+  double child_us = 0.0;  // time covered by nested same-thread slices
+};
+
+/// One chunk_dispatch instant.
+struct Dispatch {
+  double ts_us = 0.0;
+  std::int64_t chunk = 0;
+};
+
+struct Timeline {
+  std::vector<Slice> slices;
+  std::vector<Dispatch> dispatches;
+};
+
+std::int64_t arg_i64(const Value& event, const char* key, std::int64_t fallback) {
+  const Value* args = event.find("args");
+  const Value* v = args != nullptr ? args->find(key) : nullptr;
+  return v != nullptr && v->is_number() ? static_cast<std::int64_t>(v->number)
+                                        : fallback;
+}
+
+double num_or(const Value& event, const char* key, double fallback) {
+  const Value* v = event.find(key);
+  return v != nullptr && v->is_number() ? v->number : fallback;
+}
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  out = buf.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2 || argc > 3) {
+    std::fprintf(stderr, "usage: trace_fold TRACE.json [out.folded]\n");
+    return 2;
+  }
+
+  std::string text;
+  if (!read_file(argv[1], text)) {
+    std::fprintf(stderr, "trace_fold: cannot open '%s'\n", argv[1]);
+    return 2;
+  }
+  const auto parsed = privagic::support::json::parse(text);
+  if (!parsed.ok) {
+    std::fprintf(stderr, "trace_fold: %s: %s\n", argv[1], parsed.error.c_str());
+    return 2;
+  }
+  const Value* events = parsed.value.find("traceEvents");
+  if (events == nullptr || events->kind != Value::Kind::kArray) {
+    std::fprintf(stderr, "trace_fold: %s: no traceEvents array\n", argv[1]);
+    return 2;
+  }
+
+  // Split the capture per thread. TraceWriter sorts globally by timestamp,
+  // so each per-tid sequence arrives time-ordered too.
+  std::map<std::int64_t, Timeline> threads;
+  for (const Value& e : events->array) {
+    const Value* name = e.find("name");
+    if (name == nullptr || !name->is_string()) continue;
+    const auto tid = static_cast<std::int64_t>(num_or(e, "tid", 0.0));
+    if (name->string == "chunk_dispatch") {
+      threads[tid].dispatches.push_back(
+          Dispatch{num_or(e, "ts", 0.0), arg_i64(e, "chunk", -1)});
+    } else if (name->string == "Machine::call" || name->string == "wait") {
+      Slice s;
+      s.start_us = num_or(e, "ts", 0.0);
+      s.end_us = s.start_us + num_or(e, "dur", 0.0);
+      s.color = arg_i64(e, "color", -1);
+      if (name->string == "wait") {
+        s.frame = "wait";
+      } else {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "fn%" PRId64, arg_i64(e, "fn_token", -1));
+        s.frame = buf;
+      }
+      threads[tid].slices.push_back(std::move(s));
+    }
+  }
+
+  std::map<std::string, std::uint64_t> folded;
+  for (auto& [tid, tl] : threads) {
+    (void)tid;
+    // Self-time: charge each slice's span to the innermost slice covering it.
+    // Slices on one thread nest (an external call re-enters the interpreter)
+    // but never partially overlap, so the latest-started slice enclosing this
+    // one is its direct parent.
+    std::sort(tl.slices.begin(), tl.slices.end(),
+              [](const Slice& a, const Slice& b) {
+                return a.start_us != b.start_us ? a.start_us < b.start_us
+                                                : a.end_us > b.end_us;
+              });
+    std::vector<Slice*> open;
+    for (Slice& s : tl.slices) {
+      while (!open.empty() && open.back()->end_us <= s.start_us) open.pop_back();
+      if (!open.empty()) open.back()->child_us += s.end_us - s.start_us;
+      open.push_back(&s);
+    }
+    for (const Slice& s : tl.slices) {
+      // Nearest dispatch at or before the slice end (events are stamped at
+      // completion; the dispatch that *caused* this work precedes its end).
+      const auto it = std::upper_bound(
+          tl.dispatches.begin(), tl.dispatches.end(), s.end_us,
+          [](double ts, const Dispatch& d) { return ts < d.ts_us; });
+      char stack[96];
+      if (it == tl.dispatches.begin()) {
+        std::snprintf(stack, sizeof stack, "color%" PRId64 ";-;%s", s.color,
+                      s.frame.c_str());
+      } else {
+        std::snprintf(stack, sizeof stack, "color%" PRId64 ";chunk%" PRId64 ";%s",
+                      s.color, std::prev(it)->chunk, s.frame.c_str());
+      }
+      const double self_us = s.end_us - s.start_us - s.child_us;
+      folded[stack] += static_cast<std::uint64_t>(self_us > 0 ? self_us * 1000.0 : 0);
+    }
+  }
+
+  std::FILE* out = argc == 3 ? std::fopen(argv[2], "w") : stdout;
+  if (out == nullptr) {
+    std::fprintf(stderr, "trace_fold: cannot write '%s'\n", argv[2]);
+    return 2;
+  }
+  for (const auto& [stack, ns] : folded) {
+    std::fprintf(out, "%s %" PRIu64 "\n", stack.c_str(), ns);
+  }
+  if (out != stdout) std::fclose(out);
+  return 0;
+}
