@@ -457,6 +457,23 @@ runtime::ThreadRuntime& Machine::runtime_for_current_thread() {
     options.max_batch = call_path_max_batch_;
     options.adaptive_wait = call_path_adaptive_wait_;
     options.direct_dispatch = call_path_direct_dispatch_;
+    options.checkpoint = crash_recovery_;
+    if (options.checkpoint.enabled) {
+      // Per-color checkpoints carry the color's SimMemory image, so a
+      // restarted enclave resumes with the globals/heap it crashed with.
+      // Caller-supplied hooks (tests attacking the serializer) take priority.
+      if (!options.checkpoint.state_snapshot) {
+        options.checkpoint.state_snapshot = [this](std::size_t color) {
+          return memory_->serialize_color(static_cast<sgx::ColorId>(color));
+        };
+      }
+      if (!options.checkpoint.state_restore) {
+        options.checkpoint.state_restore = [this](std::size_t color,
+                                                  std::span<const std::byte> image) {
+          memory_->restore_color(static_cast<sgx::ColorId>(color), image);
+        };
+      }
+    }
     slot = std::make_unique<runtime::ThreadRuntime>(
         program_.color_table.size(),
         [this, cell](std::size_t, std::uint64_t chunk, std::int64_t tags,
@@ -573,6 +590,18 @@ runtime::RuntimeStats::Snapshot Machine::runtime_stats() const {
     reg.counter("runtime.batch_flushes").set(snap.batch_flushes);
     reg.counter("runtime.calls_elided").set(snap.calls_elided);
     reg.counter("runtime.slab_highwater").set(snap.slab_highwater);
+    reg.counter("runtime.worker_crashes").set(snap.worker_crashes);
+    reg.counter("runtime.failovers").set(snap.failovers);
+    reg.counter("runtime.cold_restarts").set(snap.cold_restarts);
+    reg.counter("runtime.checkpoints_taken").set(snap.checkpoints_taken);
+    reg.counter("runtime.checkpoint_bytes").set(snap.checkpoint_bytes);
+    reg.counter("runtime.journal_entries").set(snap.journal_entries);
+    reg.counter("runtime.replay_entries").set(snap.replay_entries);
+    reg.counter("runtime.replayed_sends").set(snap.replayed_sends);
+    reg.counter("runtime.checkpoint_rejects_stale").set(snap.checkpoint_rejects_stale);
+    reg.counter("runtime.checkpoint_rejects_tampered")
+        .set(snap.checkpoint_rejects_tampered);
+    reg.counter("runtime.restart_ns_charged").set(snap.restart_ns_charged);
   }
   return snap;
 }

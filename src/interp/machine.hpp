@@ -128,14 +128,40 @@ class Machine {
   /// waits are timed with bounded retry + retransmission, and — when
   /// @p watchdog_deadline is non-zero — a watchdog unwedges workers blocked
   /// past it. A wait that exhausts recovery surfaces from call() as a Status
-  /// with code kTimeout / kWorkerPoisoned instead of deadlocking.
-  void enable_fault_recovery(std::chrono::milliseconds wait_deadline,
+  /// with a typed code (kTimeout / kRetransmitExhausted / kWatchdogTimeout /
+  /// kWorkerPoisoned / kAttestationFailed) instead of deadlocking.
+  /// Microsecond-typed so failover configs can run sub-ms deadlines;
+  /// millisecond literals convert implicitly.
+  void enable_fault_recovery(std::chrono::microseconds wait_deadline,
                              int max_retries = 3,
-                             std::chrono::milliseconds watchdog_deadline =
-                                 std::chrono::milliseconds{0}) {
+                             std::chrono::microseconds watchdog_deadline =
+                                 std::chrono::microseconds{0}) {
     recovery_deadline_ = wait_deadline;
     recovery_max_retries_ = max_retries;
     watchdog_deadline_ = watchdog_deadline;
+  }
+
+  /// Enables §12 crash recovery for worker groups created from now on. The
+  /// machine fills in the embedder state hooks itself — a color's checkpoint
+  /// payload embeds its SimMemory region image (sgx::SimMemory::
+  /// serialize_color), so a restarted enclave resumes with the memory it
+  /// crashed with. Pass options with enabled=true (and hot_failover for warm
+  /// standby takeover); any state_snapshot/state_restore already set win.
+  void enable_crash_recovery(runtime::CheckpointOptions options) {
+    crash_recovery_ = std::move(options);
+  }
+
+  /// Attacker hooks over the §12 machinery of the CALLING host thread's
+  /// worker group (created on first use, like every other group hook here).
+  void arm_worker_crash(std::size_t color, runtime::CrashPoint point,
+                        std::uint64_t nth = 0) {
+    runtime_for_current_thread().arm_crash(color, point, nth);
+  }
+  void inject_worker_crash(std::int64_t color) {
+    runtime_for_current_thread().inject_crash(color);
+  }
+  void tamper_worker_checkpoint(std::size_t color) {
+    runtime_for_current_thread().tamper_checkpoint(color);
   }
 
   /// Attaches an adversarial interposer to every mailbox of worker groups
@@ -210,9 +236,10 @@ class Machine {
   std::atomic<bool> pointer_auth_{false};
   std::atomic<bool> external_log_enabled_{false};
   // Recovery configuration applied to lazily created worker groups.
-  std::chrono::milliseconds recovery_deadline_{0};
+  std::chrono::microseconds recovery_deadline_{0};
   int recovery_max_retries_ = 3;
-  std::chrono::milliseconds watchdog_deadline_{0};
+  std::chrono::microseconds watchdog_deadline_{0};
+  runtime::CheckpointOptions crash_recovery_{};  // §12; disabled by default
   runtime::FaultInjector* injector_ = nullptr;
   // Batched call-path configuration (see set_call_path / RecoveryOptions).
   std::size_t call_path_max_batch_ = runtime::RecoveryOptions{}.max_batch;

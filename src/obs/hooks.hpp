@@ -226,6 +226,52 @@ inline void on_worker_poisoned(std::int64_t color) {
   if (tracing_enabled()) emit(EventKind::kWorkerPoisoned, color);
 }
 
+// -- runtime: crash recovery (DESIGN.md §12) ----------------------------------
+
+/// Enclave @p color died at protocol point @p crash_point (CrashPoint value).
+inline void on_worker_crash(std::int64_t color, std::uint8_t crash_point) {
+  if (tracing_enabled()) emit(EventKind::kWorkerCrash, color, crash_point);
+  if (metrics_enabled()) {
+    static Counter& crashes = MetricsRegistry::global().counter("runtime.worker_crashes");
+    crashes.add();
+  }
+}
+
+/// A warm replica took over @p color's mailbox; @p replay_entries journal
+/// entries stand between the checkpoint and live traffic.
+inline void on_failover(std::int64_t color, std::int64_t replay_entries) {
+  if (tracing_enabled()) emit(EventKind::kFailover, color, replay_entries);
+  if (metrics_enabled()) {
+    static Counter& failovers = MetricsRegistry::global().counter("runtime.failovers");
+    failovers.add();
+  }
+}
+
+/// Worker @p color compacted its journal into a sealed checkpoint.
+inline void on_checkpoint(std::int64_t color, std::int64_t epoch, std::int64_t bytes) {
+  if (tracing_enabled()) {
+    emit(EventKind::kCheckpoint, color, epoch, bytes);
+  }
+  if (metrics_enabled()) {
+    static Histogram& h = MetricsRegistry::global().histogram("runtime.checkpoint_bytes");
+    h.record(static_cast<std::uint64_t>(bytes));
+  }
+}
+
+/// A restarting/failing-over worker re-attested checkpoint @p epoch;
+/// @p verdict is the AttestVerdict value (0 ok, 1 stale, 2 tampered).
+inline void on_restore(std::int64_t color, std::int64_t epoch, std::uint8_t verdict) {
+  if (tracing_enabled()) {
+    emit(EventKind::kRestore, color, epoch, static_cast<std::int64_t>(verdict));
+  }
+  if (metrics_enabled()) {
+    static Counter& ok = MetricsRegistry::global().counter("runtime.restores_ok");
+    static Counter& rejected =
+        MetricsRegistry::global().counter("runtime.restores_rejected");
+    (verdict == 0 ? ok : rejected).add();
+  }
+}
+
 // -- runtime: queues ----------------------------------------------------------
 
 /// Mailbox depth observed right after a push (sampled; see sampled_8th).
@@ -375,6 +421,10 @@ inline void on_worker_exit() {}
 inline void on_retransmit(std::int64_t, std::int64_t) {}
 inline void on_watchdog_fire(std::int64_t) {}
 inline void on_worker_poisoned(std::int64_t) {}
+inline void on_worker_crash(std::int64_t, std::uint8_t) {}
+inline void on_failover(std::int64_t, std::int64_t) {}
+inline void on_checkpoint(std::int64_t, std::int64_t, std::int64_t) {}
+inline void on_restore(std::int64_t, std::int64_t, std::uint8_t) {}
 inline void on_mailbox_depth(std::size_t) {}
 inline void on_batch_flush(std::size_t) {}
 inline void on_spsc_depth(std::size_t) {}

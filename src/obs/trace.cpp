@@ -52,6 +52,10 @@ const char* event_kind_name(EventKind kind) {
     case EventKind::kWatchdogFire: return "watchdog_fire";
     case EventKind::kRetransmit: return "retransmit";
     case EventKind::kWorkerPoisoned: return "worker_poisoned";
+    case EventKind::kWorkerCrash: return "worker_crash";
+    case EventKind::kFailover: return "failover";
+    case EventKind::kCheckpoint: return "checkpoint";
+    case EventKind::kRestore: return "restore";
   }
   return "unknown";
 }

@@ -50,6 +50,10 @@ enum class EventKind : std::uint8_t {
   kWatchdogFire,   // color=unwedged worker
   kRetransmit,     // a=tag, color=waiter that triggered the resend
   kWorkerPoisoned, // color=poisoned worker
+  kWorkerCrash,    // a=CrashPoint, color=crashed worker (DESIGN.md §12)
+  kFailover,       // a=journal entries to replay, color=color taken over
+  kCheckpoint,     // a=epoch, b=payload bytes, color=sealing worker
+  kRestore,        // a=epoch, b=AttestVerdict, color=restoring worker
 };
 
 [[nodiscard]] const char* event_kind_name(EventKind kind);

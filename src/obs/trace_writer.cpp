@@ -15,6 +15,7 @@ const char* msg_kind_name(std::uint8_t kind) {
     case 2: return "ack";
     case 3: return "stop";
     case 4: return "poison";
+    case 5: return "crash";
     default: return "?";
   }
 }
@@ -27,6 +28,17 @@ const char* fault_kind_label(std::uint8_t kind) {
     case 3: return "reorder";
     case 4: return "corrupt";
     case 5: return "delay";
+    case 6: return "crash";
+    default: return "?";
+  }
+}
+
+const char* crash_point_label(std::int64_t point) {
+  switch (point) {
+    case 0: return "wait-entry";
+    case 1: return "pre-send";
+    case 2: return "mid-batch";
+    case 3: return "post-checkpoint";
     default: return "?";
   }
 }
@@ -85,6 +97,21 @@ void append_args(std::string& out, const TraceEvent& e) {
       break;
     case EventKind::kRetransmit:
       append_kv_i64(out, "tag", e.a, &first);
+      break;
+    case EventKind::kWorkerCrash:
+      append_kv_str(out, "at", crash_point_label(e.a), &first);
+      break;
+    case EventKind::kFailover:
+      append_kv_i64(out, "replay_entries", e.a, &first);
+      break;
+    case EventKind::kCheckpoint:
+      append_kv_i64(out, "epoch", e.a, &first);
+      append_kv_i64(out, "bytes", e.b, &first);
+      break;
+    case EventKind::kRestore:
+      append_kv_i64(out, "epoch", e.a, &first);
+      append_kv_str(out, "verdict",
+                    e.b == 0 ? "ok" : (e.b == 1 ? "stale" : "tampered"), &first);
       break;
     case EventKind::kWatchdogFire:
     case EventKind::kWorkerPoisoned:

@@ -14,6 +14,7 @@ const char* fault_kind_name(FaultKind kind) {
     case FaultKind::kReorder: return "reorder";
     case FaultKind::kCorrupt: return "corrupt";
     case FaultKind::kDelay: return "delay";
+    case FaultKind::kCrash: return "crash";
   }
   return "?";
 }
@@ -53,6 +54,8 @@ FaultKind FaultInjector::classify_locked() {
   if (u < edge) { count_locked(FaultKind::kCorrupt); return FaultKind::kCorrupt; }
   edge += config_.delay;
   if (u < edge) { count_locked(FaultKind::kDelay); return FaultKind::kDelay; }
+  edge += config_.crash;
+  if (u < edge) { count_locked(FaultKind::kCrash); return FaultKind::kCrash; }
   return FaultKind::kNone;
 }
 
@@ -64,6 +67,7 @@ void FaultInjector::count_locked(FaultKind kind) {
     case FaultKind::kReorder: ++counts_.reorders; break;
     case FaultKind::kCorrupt: ++counts_.corrupts; break;
     case FaultKind::kDelay: ++counts_.delays; break;
+    case FaultKind::kCrash: ++counts_.crashes; break;
   }
 }
 
@@ -102,6 +106,14 @@ void FaultInjector::filter(std::size_t channel, const Message& m,
     case FaultKind::kDelay:
       ch.held.push_back(
           {m, ch.pushes + static_cast<std::uint64_t>(config_.delay_crossings)});
+      break;
+    case FaultKind::kCrash:
+      // The enclave dies just as this message lands: the kCrash control is
+      // queued AHEAD of it (Mailbox::take prefers the earlier control), so
+      // the worker aborts before consuming the request. The request itself
+      // survives in the unsafe-memory queue — only in-enclave state is lost.
+      out.push_back(Message::crash());
+      out.push_back(m);
       break;
   }
   for (auto it = ch.held.begin(); it != ch.held.end();) {

@@ -43,6 +43,7 @@ enum class FaultKind : std::uint8_t {
   kReorder,    // message held back behind the next one on the same channel
   kCorrupt,    // payload bits flipped (MAC left stale → detectable under a guard)
   kDelay,      // message held back for cfg.delay_crossings pushes on the channel
+  kCrash,      // the receiving worker's enclave dies as this message lands
 };
 
 [[nodiscard]] const char* fault_kind_name(FaultKind kind);
@@ -55,6 +56,12 @@ struct FaultConfig {
   double reorder = 0.0;
   double corrupt = 0.0;
   double delay = 0.0;
+  // Probability that a crossing kills the *receiving* worker: a kCrash
+  // control message is queued ahead of the (still delivered) message, so the
+  // enclave dies just as the request reaches it. Meaningful only against a
+  // runtime with crash recovery enabled (workers.hpp CheckpointOptions);
+  // without it the victim color is poisoned.
+  double crash = 0.0;
   // A delayed message is released after this many later pushes to its
   // channel (reorder always uses 1).
   int delay_crossings = 2;
@@ -98,6 +105,7 @@ class FaultInjector {
     std::uint64_t reorders = 0;
     std::uint64_t corrupts = 0;
     std::uint64_t delays = 0;
+    std::uint64_t crashes = 0;
   };
   [[nodiscard]] Counts counts() const;
 

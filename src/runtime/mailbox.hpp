@@ -101,7 +101,12 @@ class Mailbox {
         }
         stopped_ = true;
         wake = broadcast = true;
-      } else if (m.kind == MsgKind::kPoison || injector_ == nullptr) {
+      } else if (m.kind == MsgKind::kPoison || m.kind == MsgKind::kCrash ||
+                 injector_ == nullptr) {
+        // kPoison (watchdog) and kCrash (crash injection / replica handoff)
+        // are runtime-internal control: they model events *about* the
+        // channel's endpoints, not traffic on the channel, so the attacker
+        // interposer never sees them.
         queue_.push_back(m);
         depth = queue_.size();
         wake = waiters_ > 0;
@@ -268,9 +273,17 @@ class Mailbox {
       // in the yield tier and idle workers converge to parking.
       const std::uint64_t seen = version_.load(std::memory_order_relaxed);
       const std::uint32_t budget = spin_budget_.load(std::memory_order_relaxed);
+      // Sub-millisecond deadlines (the failover-tuned recovery configs) never
+      // park: a futex sleep's wake latency is the same order as the whole
+      // deadline, so parking would turn every such wait into a guaranteed
+      // timeout. Spin/yield to the deadline instead — the retry loop above us
+      // is already bounded, so the burn is capped at kSpinParkThreshold.
+      const bool spin_out_deadline =
+          deadline.has_value() &&
+          *deadline - std::chrono::steady_clock::now() <= kSpinParkThreshold;
       lock.unlock();
       bool delivered = false;
-      for (std::uint32_t i = 0; i < budget; ++i) {
+      for (std::uint32_t i = 0; spin_out_deadline || i < budget; ++i) {
         if (version_.load(std::memory_order_acquire) != seen) {
           delivered = true;
           break;
@@ -323,6 +336,9 @@ class Mailbox {
   static constexpr std::uint32_t kPauseIters = 16;
   static constexpr std::uint32_t kSpinMin = 64;
   static constexpr std::uint32_t kSpinMax = 1024;
+  // Timed waits whose remaining deadline is at most this never park (see the
+  // adaptive tier above).
+  static constexpr std::chrono::milliseconds kSpinParkThreshold{2};
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

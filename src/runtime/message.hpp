@@ -21,7 +21,7 @@
 
 namespace privagic::runtime {
 
-enum class MsgKind : std::uint8_t { kSpawn, kCont, kAck, kStop, kPoison };
+enum class MsgKind : std::uint8_t { kSpawn, kCont, kAck, kStop, kPoison, kCrash };
 
 struct Message {
   MsgKind kind = MsgKind::kCont;
@@ -78,9 +78,21 @@ struct Message {
     m.kind = MsgKind::kPoison;
     return m;
   }
+  /// Kill signal for the worker that pops it: the enclave aborts on the spot,
+  /// losing every byte of in-enclave state (DESIGN.md §12). Produced by the
+  /// FaultInjector's crash mode or ThreadRuntime::inject_crash; like kPoison
+  /// it is runtime-internal control and carries no seq/MAC — the threat model
+  /// already grants the attacker the power to kill an enclave at will (a
+  /// denial, never a disclosure).
+  static Message crash() {
+    Message m;
+    m.kind = MsgKind::kCrash;
+    return m;
+  }
 
   [[nodiscard]] bool is_control() const {
-    return kind == MsgKind::kSpawn || kind == MsgKind::kStop || kind == MsgKind::kPoison;
+    return kind == MsgKind::kSpawn || kind == MsgKind::kStop ||
+           kind == MsgKind::kPoison || kind == MsgKind::kCrash;
   }
 };
 

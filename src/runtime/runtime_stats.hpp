@@ -45,6 +45,20 @@ struct RuntimeStats {
   std::atomic<std::uint64_t> calls_elided{0};        // same-color spawns run inline
   std::atomic<std::uint64_t> slab_highwater{0};      // max messages in one flushed slot
 
+  // Crash recovery (DESIGN.md §12). restart_ns_charged is simulated time
+  // from the SGX cost model (rebuild + re-attestation), not wall clock.
+  std::atomic<std::uint64_t> worker_crashes{0};      // enclave deaths observed
+  std::atomic<std::uint64_t> failovers{0};           // warm replica takeovers
+  std::atomic<std::uint64_t> cold_restarts{0};       // in-place restarts (no replica)
+  std::atomic<std::uint64_t> checkpoints_taken{0};   // journal compactions sealed
+  std::atomic<std::uint64_t> checkpoint_bytes{0};    // total sealed payload bytes
+  std::atomic<std::uint64_t> journal_entries{0};     // protocol events journaled
+  std::atomic<std::uint64_t> replay_entries{0};      // journal entries walked on recovery
+  std::atomic<std::uint64_t> replayed_sends{0};      // sends re-pushed during replay
+  std::atomic<std::uint64_t> checkpoint_rejects_stale{0};    // re-attest: rollback
+  std::atomic<std::uint64_t> checkpoint_rejects_tampered{0}; // re-attest: forged
+  std::atomic<std::uint64_t> restart_ns_charged{0};  // simulated restart/attest cost
+
   /// Monotonic max update for slab_highwater (relaxed CAS loop).
   static void raise_max(std::atomic<std::uint64_t>& a, std::uint64_t v) {
     std::uint64_t cur = a.load(std::memory_order_relaxed);
@@ -67,6 +81,17 @@ struct RuntimeStats {
     std::uint64_t batch_flushes = 0;
     std::uint64_t calls_elided = 0;
     std::uint64_t slab_highwater = 0;
+    std::uint64_t worker_crashes = 0;
+    std::uint64_t failovers = 0;
+    std::uint64_t cold_restarts = 0;
+    std::uint64_t checkpoints_taken = 0;
+    std::uint64_t checkpoint_bytes = 0;
+    std::uint64_t journal_entries = 0;
+    std::uint64_t replay_entries = 0;
+    std::uint64_t replayed_sends = 0;
+    std::uint64_t checkpoint_rejects_stale = 0;
+    std::uint64_t checkpoint_rejects_tampered = 0;
+    std::uint64_t restart_ns_charged = 0;
   };
 
   [[nodiscard]] Snapshot snapshot() const {
@@ -84,6 +109,19 @@ struct RuntimeStats {
     s.batch_flushes = batch_flushes.load(std::memory_order_relaxed);
     s.calls_elided = calls_elided.load(std::memory_order_relaxed);
     s.slab_highwater = slab_highwater.load(std::memory_order_relaxed);
+    s.worker_crashes = worker_crashes.load(std::memory_order_relaxed);
+    s.failovers = failovers.load(std::memory_order_relaxed);
+    s.cold_restarts = cold_restarts.load(std::memory_order_relaxed);
+    s.checkpoints_taken = checkpoints_taken.load(std::memory_order_relaxed);
+    s.checkpoint_bytes = checkpoint_bytes.load(std::memory_order_relaxed);
+    s.journal_entries = journal_entries.load(std::memory_order_relaxed);
+    s.replay_entries = replay_entries.load(std::memory_order_relaxed);
+    s.replayed_sends = replayed_sends.load(std::memory_order_relaxed);
+    s.checkpoint_rejects_stale =
+        checkpoint_rejects_stale.load(std::memory_order_relaxed);
+    s.checkpoint_rejects_tampered =
+        checkpoint_rejects_tampered.load(std::memory_order_relaxed);
+    s.restart_ns_charged = restart_ns_charged.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -101,6 +139,19 @@ struct RuntimeStats {
     batch_flushes.fetch_add(s.batch_flushes, std::memory_order_relaxed);
     calls_elided.fetch_add(s.calls_elided, std::memory_order_relaxed);
     raise_max(slab_highwater, s.slab_highwater);  // a max, not a sum
+    worker_crashes.fetch_add(s.worker_crashes, std::memory_order_relaxed);
+    failovers.fetch_add(s.failovers, std::memory_order_relaxed);
+    cold_restarts.fetch_add(s.cold_restarts, std::memory_order_relaxed);
+    checkpoints_taken.fetch_add(s.checkpoints_taken, std::memory_order_relaxed);
+    checkpoint_bytes.fetch_add(s.checkpoint_bytes, std::memory_order_relaxed);
+    journal_entries.fetch_add(s.journal_entries, std::memory_order_relaxed);
+    replay_entries.fetch_add(s.replay_entries, std::memory_order_relaxed);
+    replayed_sends.fetch_add(s.replayed_sends, std::memory_order_relaxed);
+    checkpoint_rejects_stale.fetch_add(s.checkpoint_rejects_stale,
+                                       std::memory_order_relaxed);
+    checkpoint_rejects_tampered.fetch_add(s.checkpoint_rejects_tampered,
+                                          std::memory_order_relaxed);
+    restart_ns_charged.fetch_add(s.restart_ns_charged, std::memory_order_relaxed);
   }
 };
 

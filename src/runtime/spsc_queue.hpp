@@ -90,6 +90,12 @@ class SpscQueue {
       case FaultKind::kDelay:
         held_.push_back({value, pushes_ + 2});
         break;
+      case FaultKind::kCrash:
+        // Crash scheduling is a Mailbox-level concern (a kCrash control
+        // message precedes the doomed delivery); a raw SPSC channel just
+        // passes the value through untouched.
+        publish(head, value);
+        break;
     }
     release_due_held();
     return true;

@@ -64,6 +64,24 @@
 // stats().calls_elided, and the dispatch itself still appears in the
 // interp.chunks_dispatched metric). Self messages carry no seq/MAC and are
 // invisible to the injector: nothing the attacker owns ever holds them.
+//
+// == Crash recovery (robustness PR; DESIGN.md §12) ==
+//
+// The fault model above covers the *wire*; CheckpointOptions extends it to
+// the death of an enclave worker itself (FaultKind::kCrash, armed crash
+// points, ThreadRuntime::inject_crash). A crash throws WorkerCrashed through
+// the chunk code — every byte of in-enclave state (outbox slabs, self-queue,
+// the running chunk's stack) is discarded — and the color's lifecycle loop
+// recovers from the sealed checkpoint + write-ahead journal kept in unsafe
+// memory (checkpoint.hpp): re-attest (measurement + monotonic-epoch check,
+// charged through the SGX cost model), restore the dedup window and the
+// embedder's memory image, then replay the journal. Replayed receives come
+// from the log (their seqs re-enter the window), replayed sends keep their
+// ORIGINAL seq so the receiver's dedup window makes redelivery — ours or an
+// in-flight retransmission's — land exactly once. With hot_failover a warm
+// standby replica per color takes over the mailbox instead, paying only the
+// attestation handshake on the critical path while the dead worker rebuilds
+// in the background and becomes the new standby.
 #pragma once
 
 #include <algorithm>
@@ -72,6 +90,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <cstring>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -83,6 +102,7 @@
 #include <vector>
 
 #include "obs/hooks.hpp"
+#include "runtime/checkpoint.hpp"
 #include "runtime/fault_injector.hpp"
 #include "runtime/mailbox.hpp"
 #include "runtime/runtime_stats.hpp"
@@ -97,6 +117,13 @@ namespace privagic::runtime {
 /// protocol alive) must not swallow it — only the worker idle loop does.
 struct WorkerStopped {};
 
+/// Thrown through chunk code when the worker's enclave dies (a kCrash control
+/// message or an armed crash point). Like WorkerStopped it is deliberately
+/// NOT a std::exception: embedder error handling must not swallow it — only
+/// the color's lifecycle loop (worker_lifecycle) catches it and runs the §12
+/// restart/failover protocol.
+struct WorkerCrashed {};
+
 /// Knobs for the fault-recovery protocol. The zero-initialized defaults
 /// reproduce the seed runtime exactly: untimed waits, no watchdog, no
 /// injector. (RuntimeFault, in runtime_stats.hpp, *is* a std::exception —
@@ -107,21 +134,25 @@ struct RecoveryOptions {
   /// corrupted ones pushed into the unsafe-memory queues are quarantined.
   std::uint64_t spawn_secret = 0;
   /// Base deadline for one wait attempt; 0 = wait forever (seed behavior).
-  std::chrono::milliseconds wait_deadline{0};
+  /// Microsecond-typed so crash-recovery configs can run sub-millisecond
+  /// deadlines (Mailbox spins those out instead of parking); millisecond
+  /// literals keep working through the implicit lossless conversion.
+  std::chrono::microseconds wait_deadline{0};
   /// Deadline override for the application worker (U, color 0); 0 = use
   /// wait_deadline. When a message is lost, *both* ends of the exchange are
   /// usually blocked; giving one side headroom over the other makes exactly
   /// one of them time out and recover, which keeps the retry/retransmit
   /// counters deterministic for the scripted fault tests.
-  std::chrono::milliseconds app_wait_deadline{0};
+  std::chrono::microseconds app_wait_deadline{0};
   /// Backoff rounds after the first timeout before the wait gives up. The
   /// attempt deadline doubles each round (d, 2d, 4d, ...).
   int max_retries = 3;
   /// Re-push the awaited message from the sender-side log on each retry.
   bool retransmit = true;
   /// Deadline after which the watchdog unwedges a blocked worker with a
-  /// kPoison message; 0 disables the watchdog thread.
-  std::chrono::milliseconds watchdog_deadline{0};
+  /// kPoison message; 0 disables the watchdog thread. The watchdog itself
+  /// tracks blocked episodes at millisecond granularity.
+  std::chrono::microseconds watchdog_deadline{0};
   /// Adversarial interposer on every mailbox push (nullptr = clean runs).
   FaultInjector* injector = nullptr;
   /// Sender-side batching: consecutive sends to the same worker coalesce in
@@ -136,6 +167,10 @@ struct RecoveryOptions {
   /// cont/ack off the shared queues entirely (see header comment). Elided
   /// spawns are counted in stats().calls_elided.
   bool direct_dispatch = true;
+  /// Crash recovery (DESIGN.md §12): per-color sealed checkpoints + journal,
+  /// re-attestation on restart, optional warm-replica failover. Disabled by
+  /// default — a crash then permanently poisons the victim color.
+  CheckpointOptions checkpoint{};
 };
 
 class ThreadRuntime {
@@ -155,13 +190,17 @@ class ThreadRuntime {
 
   ThreadRuntime(std::size_t num_colors, ChunkRunner runner, RecoveryOptions options)
       : runner_(std::move(runner)),
-        options_(options),
-        max_batch_(std::min(options.max_batch, MessageBatch::kCapacity)),
+        options_(std::move(options)),
+        max_batch_(std::min(options_.max_batch, MessageBatch::kCapacity)),
+        seal_secret_(options_.checkpoint.seal_secret != 0
+                         ? options_.checkpoint.seal_secret
+                         : options_.spawn_secret ^ kSealSalt),
         mailboxes_(num_colors),
         seen_(num_colors),
         sent_log_(num_colors),
         poisoned_(num_colors),
-        blocked_since_ms_(num_colors) {
+        blocked_since_ms_(num_colors),
+        armed_(num_colors) {
     for (std::size_t c = 0; c < num_colors; ++c) {
       mailboxes_[c] = std::make_unique<Mailbox>();
       if (options_.injector != nullptr) {
@@ -170,9 +209,18 @@ class ThreadRuntime {
       mailboxes_[c]->set_adaptive(options_.adaptive_wait);
       poisoned_[c].store(false, std::memory_order_relaxed);
       blocked_since_ms_[c].store(kNotBlocked, std::memory_order_relaxed);
+      for (auto& a : armed_[c]) a.store(-1, std::memory_order_relaxed);
+      recovery_.push_back(std::make_unique<ColorRecovery>());
     }
+    // One worker per enclave color, plus a warm standby replica each when hot
+    // failover is on. The replica parks on the color's handoff gate; nothing
+    // about the mailbox changes — whichever thread is active serves it.
+    const std::size_t replicas =
+        (options_.checkpoint.enabled && options_.checkpoint.hot_failover) ? 2 : 1;
     for (std::size_t c = 1; c < num_colors; ++c) {
-      workers_.emplace_back([this, c] { worker_loop(c); });
+      for (std::size_t r = 0; r < replicas; ++r) {
+        workers_.emplace_back([this, c, r] { worker_lifecycle(c, /*primary=*/r == 0); });
+      }
     }
     if (options_.watchdog_deadline.count() > 0) {
       watchdog_ = std::thread([this] { watchdog_loop(); });
@@ -198,6 +246,16 @@ class ThreadRuntime {
     for (std::size_t c = 1; c < mailboxes_.size(); ++c) {
       mailboxes_[c]->push(Message::stop());
     }
+    // Release any parked standby replicas (and any crashed worker that is
+    // mid-rebuild and about to park); the active workers exit via the sticky
+    // stop above.
+    for (std::size_t c = 1; c < recovery_.size(); ++c) {
+      {
+        const std::lock_guard<std::mutex> lock(recovery_[c]->mu);
+        recovery_[c]->stop = true;
+      }
+      recovery_[c]->cv.notify_all();
+    }
     for (auto& t : workers_) t.join();
     workers_.clear();
   }
@@ -222,6 +280,57 @@ class ThreadRuntime {
   /// the queues in unsafe memory.
   void inject_raw(std::int64_t target_color, const Message& m) {
     mailboxes_[index(target_color)]->push(m);
+  }
+
+  // -- Crash-recovery hooks (tests / fault harnesses; DESIGN.md §12) -----------
+
+  /// Kills worker @p target_color's enclave at its next blocking point: a
+  /// kCrash control message is queued on its mailbox (bypassing the
+  /// injector — this models the attacker's kill switch, not wire traffic).
+  void inject_crash(std::int64_t target_color) {
+    mailboxes_[index(target_color)]->push(Message::crash());
+  }
+
+  /// Arms a deterministic crash for @p color: the (@p nth + 1)-th time that
+  /// worker reaches protocol point @p point, its enclave dies. One-shot; the
+  /// arming is consumed by the crash.
+  void arm_crash(std::size_t color, CrashPoint point, std::uint64_t nth = 0) {
+    armed_[index(static_cast<std::int64_t>(color))][static_cast<std::size_t>(point)]
+        .store(static_cast<std::int64_t>(nth), std::memory_order_relaxed);
+  }
+
+  /// Attacker hooks over the sealed state in unsafe memory: read a copy,
+  /// substitute an older copy (rollback), or flip payload bits (forgery).
+  /// Re-attestation must reject the latter two — the §12 pin tests drive it.
+  [[nodiscard]] SealedCheckpoint checkpoint_copy(std::size_t color) const {
+    ColorRecovery& rec = *recovery_[color];
+    const std::lock_guard<std::mutex> lock(rec.mu);
+    return rec.checkpoint;
+  }
+  void substitute_checkpoint(std::size_t color, SealedCheckpoint cp) {
+    ColorRecovery& rec = *recovery_[color];
+    const std::lock_guard<std::mutex> lock(rec.mu);
+    rec.checkpoint = std::move(cp);
+  }
+  void tamper_checkpoint(std::size_t color) {
+    ColorRecovery& rec = *recovery_[color];
+    const std::lock_guard<std::mutex> lock(rec.mu);
+    if (!rec.checkpoint.payload.empty()) {
+      rec.checkpoint.payload.front() ^= std::byte{0x5A};
+    } else {
+      rec.checkpoint.measurement ^= 1;
+    }
+  }
+
+  [[nodiscard]] std::uint64_t checkpoint_epoch(std::size_t color) const {
+    ColorRecovery& rec = *recovery_[color];
+    const std::lock_guard<std::mutex> lock(rec.mu);
+    return rec.checkpoint.epoch;
+  }
+  [[nodiscard]] std::size_t journal_size(std::size_t color) const {
+    ColorRecovery& rec = *recovery_[color];
+    const std::lock_guard<std::mutex> lock(rec.mu);
+    return rec.journal.size();
   }
 
   /// Flushes every batch the *calling thread* has deferred. Every wait and
@@ -284,12 +393,473 @@ class ThreadRuntime {
   static constexpr std::size_t kSentLogCap = 512;   // per-color retransmit window
   static constexpr std::size_t kSeqWindowCap = 8192;  // per-color dedup window
   static constexpr std::size_t kGoBackWindow = 8;   // fallback resend breadth
+  // Domain-separates the checkpoint-sealing key from the message MAC key
+  // when both are derived from the one spawn_secret.
+  static constexpr std::uint64_t kSealSalt = 0x5EA1'5EC4'E7B1'7E5Dull;
 
   [[nodiscard]] std::size_t index(std::int64_t color) const {
     if (color < 0 || static_cast<std::size_t>(color) >= mailboxes_.size()) {
       throw std::out_of_range("bad color id " + std::to_string(color));
     }
     return static_cast<std::size_t>(color);
+  }
+
+  struct OutboxSet;  // defined below; the replay helpers take it by reference
+
+  // -- Crash recovery state (DESIGN.md §12) ------------------------------------
+
+  /// One enclave color's recoverable state: the sealed snapshot + write-ahead
+  /// journal living (conceptually) in unsafe memory, the trusted monotonic
+  /// epoch counter that defeats rollback, and the failover handoff gate.
+  ///
+  /// Locking: checkpoint / journal / committed_epoch / handoff / stop are
+  /// shared (worker appends, standby copies on takeover, test hooks attack) —
+  /// all under `mu`, which doubles as the happens-before edge of a handoff:
+  /// the dying active locks it to set `handoff`, the standby locks it to
+  /// consume, so every preceding plain write (the seq window, the journal) is
+  /// visible to the replica. The replay fields and `depth` below the marker
+  /// are touched only by the color's currently-active thread — exactly one
+  /// exists at any time — and need no lock.
+  struct ColorRecovery {
+    mutable std::mutex mu;
+    std::condition_variable cv;
+    SealedCheckpoint checkpoint;
+    std::vector<JournalEntry> journal;
+    std::uint64_t committed_epoch = 0;  // trusted counter; bumped at each seal
+    bool handoff = false;               // a crash wants the standby to take over
+    bool stop = false;
+    // -- active-thread-only from here --
+    std::vector<JournalEntry> replay;   // journal copy being replayed
+    std::size_t cursor = 0;
+    std::size_t replay_sends_total = 0;
+    std::size_t replay_sends_seen = 0;
+    bool replaying = false;
+    int depth = 0;                      // chunk nesting; compaction only at 0
+  };
+
+  /// True when worker @p me's protocol events must hit the journal: crash
+  /// recovery is on and @p me is an enclave (U runs outside any enclave — it
+  /// cannot crash, so it logs nothing).
+  [[nodiscard]] bool journaled(std::size_t me) const {
+    return options_.checkpoint.enabled && me != 0;
+  }
+
+  void journal_append(std::size_t me, JournalOp op, std::uint64_t target,
+                      const Message& m) {
+    ColorRecovery& rec = *recovery_[me];
+    const std::lock_guard<std::mutex> lock(rec.mu);
+    const std::uint64_t prev =
+        rec.journal.empty() ? rec.checkpoint.mac : rec.journal.back().auth;
+    JournalEntry e;
+    e.op = op;
+    e.target = target;
+    e.msg = m;
+    e.auth = journal_entry_mac(op, target, m, prev, seal_secret_);
+    rec.journal.push_back(std::move(e));
+    stats_.journal_entries.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Folds the journal into a fresh sealed snapshot: the dedup window plus
+  /// the embedder's state image, MAC'd and stamped with the next epoch. The
+  /// trusted counter advances in the same critical section, so the
+  /// just-replaced checkpoint is instantly stale to re-attestation.
+  void seal_checkpoint(std::size_t me) {
+    ColorRecovery& rec = *recovery_[me];
+    SealedCheckpoint cp;
+    const std::uint64_t wbytes = sizeof(SeqWindow);
+    cp.payload.resize(sizeof(std::uint64_t) + wbytes);
+    std::memcpy(cp.payload.data(), &wbytes, sizeof wbytes);
+    std::memcpy(cp.payload.data() + sizeof wbytes, &seen_[me], wbytes);
+    if (options_.checkpoint.state_snapshot) {
+      const std::vector<std::byte> blob = options_.checkpoint.state_snapshot(me);
+      cp.payload.insert(cp.payload.end(), blob.begin(), blob.end());
+    }
+    cp.measurement = enclave_measurement(uid_, me, seal_secret_);
+    std::uint64_t epoch = 0;
+    const std::size_t bytes = cp.payload.size();
+    {
+      const std::lock_guard<std::mutex> lock(rec.mu);
+      cp.epoch = epoch = rec.checkpoint.epoch + 1;
+      cp.mac = checkpoint_mac(cp, seal_secret_);
+      rec.checkpoint = std::move(cp);
+      rec.committed_epoch = epoch;
+      rec.journal.clear();
+    }
+    stats_.checkpoints_taken.fetch_add(1, std::memory_order_relaxed);
+    stats_.checkpoint_bytes.fetch_add(bytes, std::memory_order_relaxed);
+    obs::on_checkpoint(static_cast<std::int64_t>(me), static_cast<std::int64_t>(epoch),
+                       static_cast<std::int64_t>(bytes));
+    maybe_crash_at(me, CrashPoint::kPostCheckpoint);
+  }
+
+  void maybe_compact(std::size_t me) {
+    ColorRecovery& rec = *recovery_[me];
+    if (rec.depth != 0) return;
+    std::size_t n = 0;
+    {
+      const std::lock_guard<std::mutex> lock(rec.mu);
+      n = rec.journal.size();
+    }
+    if (n >= options_.checkpoint.checkpoint_interval) seal_checkpoint(me);
+  }
+
+  /// Runs one chunk bracketed by kChunkStart/kChunkDone journal entries, and
+  /// compacts the journal at quiescent (depth-0) completions.
+  void run_chunk_journaled(std::size_t me, const Message& m) {
+    if (!journaled(me)) {
+      runner_(me, m.chunk, m.tags, m.leader, m.flags);
+      return;
+    }
+    ColorRecovery& rec = *recovery_[me];
+    journal_append(me, JournalOp::kChunkStart, me, m);
+    ++rec.depth;
+    try {
+      runner_(me, m.chunk, m.tags, m.leader, m.flags);
+    } catch (...) {
+      --rec.depth;
+      throw;
+    }
+    --rec.depth;
+    journal_append(me, JournalOp::kChunkDone, me, Message{});
+    maybe_compact(me);
+  }
+
+  /// Semantic-field equality — the replay matcher. seq/auth excluded: a
+  /// replayed send reuses the LOGGED seq, never a fresh one.
+  static bool same_semantics(const Message& a, const Message& b) {
+    return a.kind == b.kind && a.tag == b.tag && a.payload == b.payload &&
+           a.chunk == b.chunk && a.tags == b.tags && a.leader == b.leader &&
+           a.flags == b.flags;
+  }
+
+  static void end_replay(ColorRecovery& rec) {
+    rec.replaying = false;
+    rec.replay.clear();
+    rec.cursor = 0;
+  }
+
+  [[noreturn]] void crash_now(std::size_t me, CrashPoint point) {
+    stats_.worker_crashes.fetch_add(1, std::memory_order_relaxed);
+    obs::on_worker_crash(static_cast<std::int64_t>(me),
+                         static_cast<std::uint8_t>(point));
+    throw WorkerCrashed{};
+  }
+
+  /// Armed-crash check at one protocol point; the counter counts hits down
+  /// and fires (once) when it reaches zero. Only the owning worker thread
+  /// ever decrements its own slots, so the load/sub pair cannot race.
+  void maybe_crash_at(std::size_t me, CrashPoint point) {
+    if (me == 0 || me >= armed_.size()) return;
+    auto& slot = armed_[me][static_cast<std::size_t>(point)];
+    if (slot.load(std::memory_order_relaxed) < 0) return;
+    if (slot.fetch_sub(1, std::memory_order_relaxed) == 0) crash_now(me, point);
+  }
+
+  /// Simulated restart economics: always charged into the stats (simulated
+  /// nanoseconds from the cost model), and burned as wall-clock time when the
+  /// config says the delay sits on a path the benchmark must feel.
+  void charge_restart(std::uint64_t ns, bool may_sleep) {
+    stats_.restart_ns_charged.fetch_add(ns, std::memory_order_relaxed);
+    if (may_sleep && options_.checkpoint.sleep_on_restart) {
+      std::this_thread::sleep_for(std::chrono::nanoseconds(ns));
+    }
+  }
+
+  /// A crash loses every byte of in-enclave state: pending outbox slabs and
+  /// the self-queue are discarded on the spot. Messages a mid-batch crash
+  /// already pushed are NOT here anymore — clearing cannot double-deliver
+  /// them, and replay's seq-preserving re-push cannot either (dedup window).
+  void discard_outbox(std::size_t me) {
+    OutboxSet& ob = thread_outbox(me);
+    for (auto& b : ob.out) b.clear();
+    ob.self.clear();
+  }
+
+  /// The re-attestation handshake + state restore a restarted or failing-over
+  /// worker runs before touching any traffic. Returns false — with the color
+  /// poisoned under kAttestationFailed — when the presented checkpoint is
+  /// stale (rollback) or tampered (forgery); the caller still enters the
+  /// worker loop so the group keeps a drainable, joinable thread.
+  bool restore_and_replay(std::size_t me) {
+    ColorRecovery& rec = *recovery_[me];
+    SealedCheckpoint cp;
+    std::vector<JournalEntry> journal;
+    std::uint64_t committed = 0;
+    {
+      const std::lock_guard<std::mutex> lock(rec.mu);
+      cp = rec.checkpoint;
+      journal = rec.journal;
+      committed = rec.committed_epoch;
+    }
+    const std::uint64_t measurement = enclave_measurement(uid_, me, seal_secret_);
+    const AttestVerdict verdict =
+        verify_checkpoint(cp, journal, measurement, committed, seal_secret_);
+    obs::on_restore(static_cast<std::int64_t>(me), static_cast<std::int64_t>(cp.epoch),
+                    static_cast<std::uint8_t>(verdict));
+    if (verdict != AttestVerdict::kOk) {
+      auto& counter = verdict == AttestVerdict::kStale
+                          ? stats_.checkpoint_rejects_stale
+                          : stats_.checkpoint_rejects_tampered;
+      counter.fetch_add(1, std::memory_order_relaxed);
+      poison(me, StatusCode::kAttestationFailed);
+      return false;
+    }
+    // Unseal: [u64 window bytes][SeqWindow image][embedder state image].
+    std::uint64_t wbytes = 0;
+    if (cp.payload.size() >= sizeof wbytes) {
+      std::memcpy(&wbytes, cp.payload.data(), sizeof wbytes);
+      const std::size_t have = cp.payload.size() - sizeof wbytes;
+      const std::size_t take = std::min<std::size_t>(
+          {static_cast<std::size_t>(wbytes), have, sizeof(SeqWindow)});
+      std::memcpy(&seen_[me], cp.payload.data() + sizeof wbytes, take);
+      if (options_.checkpoint.state_restore && have > wbytes) {
+        options_.checkpoint.state_restore(
+            me, std::span<const std::byte>(cp.payload)
+                    .subspan(sizeof wbytes + static_cast<std::size_t>(wbytes)));
+      }
+    }
+    {
+      const std::lock_guard<std::mutex> lock(rec.mu);
+      rec.journal.clear();  // rebuilt entry by entry as replay re-executes
+    }
+    rec.replay = std::move(journal);
+    rec.cursor = 0;
+    rec.replaying = !rec.replay.empty();
+    rec.replay_sends_total = 0;
+    rec.replay_sends_seen = 0;
+    rec.depth = 0;
+    for (const JournalEntry& e : rec.replay) {
+      if (e.op == JournalOp::kSend) ++rec.replay_sends_total;
+    }
+    replay_journal(me, rec);
+    return true;
+  }
+
+  /// Top-level replay driver: re-dispatches the journaled chunks in order.
+  /// A complete chunk re-executes entirely from the log (its receives come
+  /// from kRecv entries, its sends dedup at the receivers); the final,
+  /// partial chunk — if the crash hit mid-chunk — replays its logged prefix
+  /// and then continues LIVE from the exact operation the crash interrupted.
+  /// A well-formed journal holds only kChunkStart/kChunkDone at depth 0;
+  /// anything else is divergence and ends replay.
+  void replay_journal(std::size_t me, ColorRecovery& rec) {
+    OutboxSet& ob = thread_outbox(me);
+    while (rec.replaying && rec.cursor < rec.replay.size()) {
+      const JournalEntry e = rec.replay[rec.cursor];
+      if (e.op != JournalOp::kChunkStart) {
+        end_replay(rec);
+        break;
+      }
+      ++rec.cursor;
+      stats_.replay_entries.fetch_add(1, std::memory_order_relaxed);
+      // Re-consume the spawn exactly as the first run did: its seq re-enters
+      // the dedup window (a retransmitted copy must not re-run the chunk) and
+      // a replay-requeued self copy is popped.
+      if (e.msg.seq != 0) seen_[me].insert(e.msg.seq, kSeqWindowCap);
+      remove_matching_self_spawn(ob, e.msg);
+      run_chunk_journaled(me, e.msg);
+    }
+    end_replay(rec);
+  }
+
+  /// A replayed kChunkStart may stem from a self-queue spawn that replay_send
+  /// has re-queued; consume the queued copy so the reconstructed self-queue
+  /// ends up holding exactly the messages that were unconsumed at the crash.
+  static void remove_matching_self_spawn(OutboxSet& ob, const Message& m) {
+    for (auto it = ob.self.begin(); it != ob.self.end(); ++it) {
+      if (it->kind == MsgKind::kSpawn && same_semantics(*it, m)) {
+        ob.self.erase(it);
+        return;
+      }
+    }
+  }
+
+  /// Replay interception for wait_kind: while replaying, deliveries come from
+  /// the journal, not the mailbox. kChunkStart entries are spawns that were
+  /// served during this wait (re-entrant or inline) — run them; a matching
+  /// kRecv is THE delivery — return it, re-inserting its seq so in-flight
+  /// retransmissions of it still land exactly once. Anything else means the
+  /// re-execution diverged from the log: end replay, go live.
+  std::optional<Message> replay_wait(std::size_t me, ColorRecovery& rec, MsgKind kind,
+                                     std::int64_t tag) {
+    OutboxSet& ob = thread_outbox(me);
+    while (rec.replaying) {
+      if (rec.cursor >= rec.replay.size()) {
+        end_replay(rec);
+        break;
+      }
+      const JournalEntry e = rec.replay[rec.cursor];
+      if (e.op == JournalOp::kChunkStart) {
+        ++rec.cursor;
+        stats_.replay_entries.fetch_add(1, std::memory_order_relaxed);
+        if (e.msg.seq != 0) seen_[me].insert(e.msg.seq, kSeqWindowCap);
+        remove_matching_self_spawn(ob, e.msg);
+        run_chunk_journaled(me, e.msg);
+        continue;
+      }
+      if (e.op == JournalOp::kRecv && e.msg.kind == kind && e.msg.tag == tag) {
+        ++rec.cursor;
+        stats_.replay_entries.fetch_add(1, std::memory_order_relaxed);
+        if (e.msg.seq != 0) {
+          seen_[me].insert(e.msg.seq, kSeqWindowCap);
+        } else {
+          take_self(ob, kind, tag, /*control_only=*/false);  // keep self aligned
+        }
+        journal_append(me, JournalOp::kRecv, me, e.msg);
+        if (rec.cursor >= rec.replay.size()) end_replay(rec);
+        return e.msg;
+      }
+      end_replay(rec);
+    }
+    return std::nullopt;
+  }
+
+  /// Replay interception for send(): consume the matching journal entry
+  /// instead of sequencing a fresh message. Self sends re-enter the
+  /// self-queue (their consumptions are replayed from the journal too);
+  /// cross-color sends re-journal under their ORIGINAL seq and only the
+  /// newest replay_resend_window of them are physically re-pushed — older
+  /// ones were delivered (re-push dedups to nothing) or are already covered
+  /// by the §6 retransmission machinery.
+  bool replay_send(std::size_t me, ColorRecovery& rec, OutboxSet& ob,
+                   std::size_t target, const Message& m) {
+    if (rec.cursor >= rec.replay.size()) {
+      end_replay(rec);
+      return false;
+    }
+    const JournalEntry e = rec.replay[rec.cursor];
+    const bool self = options_.direct_dispatch && target == me;
+    if (self && e.op == JournalOp::kSelfSend && same_semantics(e.msg, m)) {
+      ++rec.cursor;
+      stats_.replay_entries.fetch_add(1, std::memory_order_relaxed);
+      journal_append(me, JournalOp::kSelfSend, target, e.msg);
+      ob.self.push_back(e.msg);
+      if (rec.cursor >= rec.replay.size()) end_replay(rec);
+      return true;
+    }
+    if (!self && e.op == JournalOp::kSend && e.target == target &&
+        same_semantics(e.msg, m)) {
+      ++rec.cursor;
+      stats_.replay_entries.fetch_add(1, std::memory_order_relaxed);
+      journal_append(me, JournalOp::kSend, target, e.msg);
+      ++rec.replay_sends_seen;
+      if (rec.replay_sends_seen + options_.checkpoint.replay_resend_window >
+          rec.replay_sends_total) {
+        stats_.replayed_sends.fetch_add(1, std::memory_order_relaxed);
+        mailboxes_[target]->push(e.msg);  // original seq: receiver dedups
+      }
+      if (rec.cursor >= rec.replay.size()) end_replay(rec);
+      return true;
+    }
+    end_replay(rec);
+    return false;
+  }
+
+  /// Seals the color's very first checkpoint (epoch 1) exactly once — the
+  /// primary does it before serving traffic; a replica taking over later
+  /// finds epoch >= 1 and skips.
+  void seal_genesis_if_needed(std::size_t me) {
+    ColorRecovery& rec = *recovery_[me];
+    {
+      const std::lock_guard<std::mutex> lock(rec.mu);
+      if (rec.checkpoint.epoch != 0) return;
+    }
+    seal_checkpoint(me);
+  }
+
+  /// A worker whose re-attestation was rejected serves NOTHING: it consumes
+  /// and discards its mailbox (an unattested enclave has no state to answer
+  /// from) until the shutdown stop arrives, keeping the group joinable while
+  /// every dependent wait fails fast through the poison marking.
+  void drain_until_stop(std::size_t me) {
+    while (mailboxes_[me]->next_control().kind != MsgKind::kStop) {
+    }
+  }
+
+  /// The §12 lifecycle wrapped around worker_loop: catch enclave death,
+  /// restart or fail over, replay, repeat. Exactly one thread per color is
+  /// "active" (serving the mailbox) at any instant; with hot failover the
+  /// other parks on the handoff gate as a warm, pre-attested standby.
+  ///
+  /// The restore/replay and the genesis seal run INSIDE the try: a crash
+  /// during replay (or during the seal itself — kPostCheckpoint) is just
+  /// another enclave death, recovered by the next lap. The journal rebuilt
+  /// up to that point is a valid prefix; what the lost suffix would have
+  /// re-sent is covered by the peers' §6 retransmission.
+  void worker_lifecycle(std::size_t me, bool primary) {
+    ColorRecovery& rec = *recovery_[me];
+    const bool ckpt = options_.checkpoint.enabled;
+    const bool hot = ckpt && options_.checkpoint.hot_failover;
+    bool active = primary;
+    bool need_restore = false;
+    while (true) {
+      if (!active) {
+        {
+          std::unique_lock<std::mutex> lock(rec.mu);
+          rec.cv.wait(lock, [&rec] { return rec.handoff || rec.stop; });
+          if (rec.stop) return;
+          rec.handoff = false;
+        }
+        // Warm takeover: this replica was built and attested off the critical
+        // path, so the handoff pays only the re-attestation handshake (no
+        // rebuild, no wall-clock sleep) before replaying the journal.
+        stats_.failovers.fetch_add(1, std::memory_order_relaxed);
+        charge_restart(options_.checkpoint.attestation_ns, /*may_sleep=*/false);
+        thread_outbox(me);  // register color identity before any traffic
+        std::size_t backlog = 0;
+        {
+          const std::lock_guard<std::mutex> lock(rec.mu);
+          backlog = rec.journal.size();
+        }
+        obs::on_failover(static_cast<std::int64_t>(me),
+                         static_cast<std::int64_t>(backlog));
+        need_restore = true;
+        active = true;
+      }
+      try {
+        if (need_restore) {
+          need_restore = false;
+          if (!restore_and_replay(me)) {
+            drain_until_stop(me);  // attestation reject: serve nothing, ever
+            return;
+          }
+        }
+        if (ckpt) seal_genesis_if_needed(me);
+        worker_loop(me);
+        return;  // clean stop
+      } catch (const WorkerCrashed&) {
+        discard_outbox(me);
+        if (!ckpt) {
+          // No recovery configured: the enclave is gone for good. Poison the
+          // color so dependent waits fail fast, and keep this thread draining
+          // control traffic so shutdown stays clean.
+          poison(me, StatusCode::kWorkerPoisoned);
+          continue;
+        }
+        if (hot) {
+          {
+            const std::lock_guard<std::mutex> lock(rec.mu);
+            rec.handoff = true;
+          }
+          rec.cv.notify_one();
+          // Rebuild in the background — off the color's critical path, the
+          // standby is already taking over — then park as the new standby.
+          charge_restart(
+              options_.checkpoint.restart_ns + options_.checkpoint.attestation_ns,
+              /*may_sleep=*/true);
+          active = false;
+          continue;
+        }
+        // Cold restart on the critical path: tear down, rebuild, re-attest —
+        // all while every peer waiting on this color burns its deadline.
+        stats_.cold_restarts.fetch_add(1, std::memory_order_relaxed);
+        charge_restart(
+            options_.checkpoint.restart_ns + options_.checkpoint.attestation_ns,
+            /*may_sleep=*/true);
+        need_restore = true;
+        continue;
+      }
+    }
   }
 
   /// One sending thread's view of this runtime: a fixed slab of per-target
@@ -338,9 +908,18 @@ class ThreadRuntime {
   }
 
   /// Delivers one outbox slot as a single push_batch and accounts for it.
+  /// Order matters for crash semantics: the batch crosses the mailbox FIRST,
+  /// then the armed kMidBatch point may kill us — modeling an enclave dying
+  /// the instant after its slab hit unsafe memory. The accounting and the
+  /// clear are lost with the enclave (worker_lifecycle discards the slab),
+  /// yet delivery happened; replay's seq-preserving re-push makes the
+  /// already-crossed copies dedup to nothing. No slot leaks: the slab is
+  /// pre-owned storage, clear() just resets a count.
   void flush_one(OutboxSet& ob, std::size_t target) {
     MessageBatch& b = ob.out[target];
     if (b.empty()) return;
+    mailboxes_[target]->push_batch(b.data(), b.count);
+    maybe_crash_at(ob.sender, CrashPoint::kMidBatch);
     ob.batch_flushes.store(
         ob.batch_flushes.load(std::memory_order_relaxed) + 1,
         std::memory_order_relaxed);
@@ -351,7 +930,6 @@ class ThreadRuntime {
       ob.slab_highwater.store(b.count, std::memory_order_relaxed);
     }
     obs::on_batch_flush(b.count);
-    mailboxes_[target]->push_batch(b.data(), b.count);
     b.clear();
   }
 
@@ -385,13 +963,23 @@ class ThreadRuntime {
   void send(std::int64_t target_color, Message m) {
     const std::size_t target = index(target_color);
     OutboxSet& ob = thread_outbox(0);
+    maybe_crash_at(ob.sender, CrashPoint::kPreSend);
+    const bool jrn = journaled(ob.sender);
+    if (jrn && recovery_[ob.sender]->replaying &&
+        replay_send(ob.sender, *recovery_[ob.sender], ob, target, m)) {
+      return;  // consumed from the journal under its original seq
+    }
     if (options_.direct_dispatch && target == ob.sender) {
+      if (jrn) journal_append(ob.sender, JournalOp::kSelfSend, target, m);
       ob.self.push_back(m);
       return;
     }
     m.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
     m.auth = message_mac(m, options_.spawn_secret);
     stats_.messages_sent.fetch_add(1, std::memory_order_relaxed);
+    // Journal after the seq stamp so a post-crash replay re-pushes this exact
+    // wire message and the receiver's dedup window absorbs any double.
+    if (jrn) journal_append(ob.sender, JournalOp::kSend, target, m);
     {
       const std::lock_guard<std::mutex> lock(sent_mu_);
       sent_log_[target].push(m);
@@ -490,7 +1078,7 @@ class ThreadRuntime {
     if (!validate(me, m)) return;
     obs::on_msg_recv(static_cast<std::int64_t>(me), static_cast<std::uint8_t>(m.kind),
                      m.tag, static_cast<std::int64_t>(m.chunk));
-    runner_(me, m.chunk, m.tags, m.leader, m.flags);
+    run_chunk_journaled(me, m);
   }
 
   void mark_blocked(std::size_t me, bool blocked) {
@@ -507,22 +1095,36 @@ class ThreadRuntime {
     }
   }
 
-  void poison(std::size_t me) {
+  /// Marks @p me poisoned, remembering the group's FIRST poisoning cause so
+  /// later waiters fail with the root reason (watchdog timeout, attestation
+  /// reject, ...) rather than the generic kWorkerPoisoned. The reason store
+  /// is sequenced before the release on any_poisoned_; readers load
+  /// any_poisoned_ with acquire before reading the reason.
+  void poison(std::size_t me, StatusCode reason = StatusCode::kWorkerPoisoned) {
+    if (!any_poisoned_.load(std::memory_order_relaxed)) {
+      first_poison_reason_.store(reason, std::memory_order_relaxed);
+    }
     if (!poisoned_[me].exchange(true, std::memory_order_relaxed)) {
       stats_.poisoned_workers.fetch_add(1, std::memory_order_relaxed);
       obs::on_worker_poisoned(static_cast<std::int64_t>(me));
     }
-    any_poisoned_.store(true, std::memory_order_relaxed);
+    any_poisoned_.store(true, std::memory_order_release);
   }
 
-  [[noreturn]] void give_up(std::size_t me, MsgKind kind, std::int64_t tag) {
+  [[noreturn]] void give_up(std::size_t me, MsgKind kind, std::int64_t tag,
+                            bool resent) {
     // A worker beyond recovery degrades the whole group: mark it poisoned so
     // waits that depend on it fail fast instead of burning their own full
-    // backoff ladder for an answer that will never come.
-    const bool other_poisoned = any_poisoned_.load(std::memory_order_relaxed);
-    poison(me);
+    // backoff ladder for an answer that will never come. The status tells the
+    // embedder WHY: a peer's root cause when one exists, retransmission-
+    // window exhaustion when we burned actual resends, plain timeout when
+    // silence was all we ever had.
+    const bool other_poisoned = any_poisoned_.load(std::memory_order_acquire);
     const StatusCode code =
-        other_poisoned ? StatusCode::kWorkerPoisoned : StatusCode::kTimeout;
+        other_poisoned ? first_poison_reason_.load(std::memory_order_relaxed)
+                       : (resent ? StatusCode::kRetransmitExhausted
+                                 : StatusCode::kTimeout);
+    poison(me, code);
     throw RuntimeFault(
         code, std::string(status_code_name(code)) + ": worker " + std::to_string(me) +
                   " gave up waiting for " +
@@ -532,12 +1134,20 @@ class ThreadRuntime {
   }
 
   Message wait_kind(std::size_t me, MsgKind kind, std::int64_t tag) {
+    maybe_crash_at(me, CrashPoint::kWaitEntry);
+    const bool jrn = journaled(me);
+    if (jrn && recovery_[me]->replaying) {
+      // Mid-replay wait: deliver from the journal; a divergence falls
+      // through and the wait continues live against the mailbox.
+      if (auto rm = replay_wait(me, *recovery_[me], kind, tag)) return *rm;
+    }
     const auto base = (me == 0 && options_.app_wait_deadline.count() > 0)
                           ? options_.app_wait_deadline
                           : options_.wait_deadline;
     const bool timed = base.count() > 0;
     auto attempt_deadline = base;
     int attempt = 0;
+    bool resent = false;
     OutboxSet& ob = thread_outbox(me);
     while (true) {
       // Flush point (§5 barrier): nothing we sent may stay deferred while we
@@ -554,9 +1164,12 @@ class ThreadRuntime {
             // the chunk, so interp.chunks_dispatched totals reconcile with
             // msg-recv counts + calls_elided.
             stats_.calls_elided.fetch_add(1, std::memory_order_relaxed);
-            runner_(me, sm->chunk, sm->tags, sm->leader, sm->flags);
+            run_chunk_journaled(me, *sm);
             continue;  // re-flush, keep scanning
           }
+          // Self deliveries carry seq 0 in the journal; replay's kRecv
+          // handling pops the matching self entry to stay queue-aligned.
+          if (jrn) journal_append(me, JournalOp::kRecv, me, *sm);
           return *sm;  // matching cont/ack without any crossing
         }
       }
@@ -583,10 +1196,10 @@ class ThreadRuntime {
           m.has_value() ? static_cast<std::uint8_t>(m->kind) + 1 : 0, wait_end);
       if (!m.has_value()) {  // timed out
         stats_.wait_timeouts.fetch_add(1, std::memory_order_relaxed);
-        if (attempt >= options_.max_retries) give_up(me, kind, tag);
+        if (attempt >= options_.max_retries) give_up(me, kind, tag, resent);
         ++attempt;
         stats_.retries.fetch_add(1, std::memory_order_relaxed);
-        if (options_.retransmit) retransmit(me, kind, tag);
+        if (options_.retransmit) resent = retransmit(me, kind, tag) || resent;
         attempt_deadline *= 2;  // exponential backoff
         continue;
       }
@@ -596,15 +1209,19 @@ class ThreadRuntime {
           break;  // keep waiting
         case MsgKind::kStop:
           throw WorkerStopped{};
+        case MsgKind::kCrash:
+          if (me == 0) break;  // U runs outside any enclave; nothing to kill
+          crash_now(me, CrashPoint::kWaitEntry);
         case MsgKind::kPoison:
-          poison(me);
-          throw RuntimeFault(StatusCode::kWorkerPoisoned,
+          poison(me, StatusCode::kWatchdogTimeout);
+          throw RuntimeFault(StatusCode::kWatchdogTimeout,
                              "worker " + std::to_string(me) +
                                  " poisoned by the watchdog while waiting for tag " +
                                  std::to_string(tag));
         default:
           if (!validate(me, *m)) break;  // quarantined; keep waiting
           obs::on_waited_recv(static_cast<std::int64_t>(me));  // kWait is the event
+          if (jrn) journal_append(me, JournalOp::kRecv, me, *m);
           return *m;
       }
     }
@@ -629,7 +1246,7 @@ class ThreadRuntime {
           if (sm->kind == MsgKind::kSpawn) {
             stats_.calls_elided.fetch_add(1, std::memory_order_relaxed);
             try {
-              runner_(me, sm->chunk, sm->tags, sm->leader, sm->flags);
+              run_chunk_journaled(me, *sm);
             } catch (const WorkerStopped&) {
               return;
             } catch (const RuntimeFault&) {
@@ -639,8 +1256,14 @@ class ThreadRuntime {
         }
       }
       obs::on_wait_entry();
+      maybe_crash_at(me, CrashPoint::kWaitEntry);
       Message m = mailboxes_[me]->next_control();
       if (m.kind == MsgKind::kStop) return;
+      if (m.kind == MsgKind::kCrash) {
+        // Propagates past this loop's catches: only worker_lifecycle handles
+        // enclave death. The spawn the crash raced stays in the mailbox.
+        crash_now(me, CrashPoint::kWaitEntry);
+      }
       if (m.kind == MsgKind::kPoison) {
         poison(me);
         continue;  // stay alive: the group still needs a joinable thread
@@ -657,7 +1280,13 @@ class ThreadRuntime {
   }
 
   void watchdog_loop() {
-    const auto deadline_ms = options_.watchdog_deadline.count();
+    // The deadline field is µs-typed; the watchdog itself stays a coarse
+    // millisecond-granularity sweeper (sub-ms deadlines round up to 1ms).
+    const auto deadline_ms = std::max<std::int64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            options_.watchdog_deadline)
+            .count(),
+        1);
     const auto period = std::chrono::milliseconds(std::max<std::int64_t>(deadline_ms / 4, 1));
     std::unique_lock<std::mutex> lock(watchdog_mu_);
     while (!watchdog_stop_) {
@@ -677,7 +1306,7 @@ class ThreadRuntime {
         }
         stats_.watchdog_fires.fetch_add(1, std::memory_order_relaxed);
         obs::on_watchdog_fire(static_cast<std::int64_t>(c));
-        poison(c);
+        poison(c, StatusCode::kWatchdogTimeout);
         mailboxes_[c]->push(Message::poison());
       }
     }
@@ -758,6 +1387,7 @@ class ThreadRuntime {
   RecoveryOptions options_;
   const std::uint64_t uid_ = next_uid();
   std::size_t max_batch_ = 1;
+  const std::uint64_t seal_secret_ = 0;  // checkpoint/journal MAC key (§12)
   mutable std::mutex outbox_mu_;
   std::vector<std::unique_ptr<OutboxSet>> outbox_sets_;  // owned; per thread
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
@@ -769,7 +1399,17 @@ class ThreadRuntime {
   std::vector<SentRing> sent_log_;              // per target color, safe memory
   std::vector<std::atomic<bool>> poisoned_;
   std::atomic<bool> any_poisoned_{false};
+  /// Root cause of the group's first poisoning; valid once any_poisoned_
+  /// reads true with acquire (see poison()).
+  std::atomic<StatusCode> first_poison_reason_{StatusCode::kWorkerPoisoned};
   std::vector<std::atomic<std::int64_t>> blocked_since_ms_;
+  /// §12 per-color recovery state; unique_ptr so ColorRecovery (mutex/cv,
+  /// not movable) can live in a vector.
+  std::vector<std::unique_ptr<ColorRecovery>> recovery_;
+  /// Armed deterministic crash points: armed_[color][point] counts hits down
+  /// to the fatal one; -1 = disarmed. Written by arm_crash, consumed by the
+  /// owning worker thread.
+  std::vector<std::array<std::atomic<std::int64_t>, kNumCrashPoints>> armed_;
   std::thread watchdog_;
   std::mutex watchdog_mu_;
   std::condition_variable watchdog_cv_;

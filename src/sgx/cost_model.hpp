@@ -43,6 +43,14 @@ struct CostParams {
   double sdk_miss_penalty = 0.5;        // extra miss cost after a transition
   double sdk_fault_penalty = 2.0;      // extra paging cost after a transition
   double epc_fault_ns = 5400.0;
+  // Enclave crash recovery (DESIGN.md §12). enclave_restart_ns is the cold
+  // path — tearing the dead enclave down and rebuilding it page by page
+  // (ECREATE/EADD/EEXTEND/EINIT dominate; ~ms for a small enclave). The
+  // re-attestation handshake (local report + measurement check + checkpoint
+  // unseal) is charged separately so a *warm* replica, which pre-attests off
+  // the critical path, pays only the handshake on takeover.
+  double enclave_restart_ns = 1'500'000.0;
+  double attestation_ns = 400'000.0;
   std::uint64_t llc_bytes = 0;
   std::uint64_t epc_bytes = 0;
 
@@ -119,6 +127,13 @@ class CostModel {
 
   /// A full ecall/ocall world switch.
   [[nodiscard]] double transition_ns() const { return p_.transition_ns; }
+
+  /// Rebuilding a crashed enclave from scratch (cold restart).
+  [[nodiscard]] double enclave_restart_ns() const { return p_.enclave_restart_ns; }
+
+  /// The re-attestation handshake a restarted (or failing-over) worker runs
+  /// before its sealed checkpoint is trusted: measurement + epoch + unseal.
+  [[nodiscard]] double attestation_ns() const { return p_.attestation_ns; }
 
   /// A system call: direct from normal mode; an ocall crossing plus the
   /// syscall from enclave mode (Scone's switchless ocalls, §9.2.3).

@@ -198,6 +198,58 @@ class SimMemory {
     return it != epc_used_.end() ? it->second : 0;
   }
 
+  /// Checkpoint capture (DESIGN.md §12): serializes every region owned by
+  /// @p color into a flat image — [u64 count] then, per region,
+  /// [u64 base][u64 size][size bytes]. The image is what gets sealed into a
+  /// checkpoint payload, so only the owning enclave ever unseals it; the
+  /// plain bytes here model the post-unseal plaintext.
+  [[nodiscard]] std::vector<std::byte> serialize_color(ColorId color) const {
+    std::vector<std::byte> out(sizeof(std::uint64_t));
+    std::uint64_t count = 0;
+    for (const Shard& sh : shards_) {
+      const std::lock_guard<std::mutex> lock(sh.mu);
+      for (const auto& [base, region] : sh.regions) {
+        if (region.color != color) continue;
+        ++count;
+        const std::uint64_t hdr[2] = {base, region.size};
+        const auto* p = reinterpret_cast<const std::byte*>(hdr);
+        out.insert(out.end(), p, p + sizeof hdr);
+        out.insert(out.end(), region.bytes->begin(), region.bytes->end());
+      }
+    }
+    std::memcpy(out.data(), &count, sizeof count);
+    return out;
+  }
+
+  /// Restores @p color's regions from a serialize_color image: the byte
+  /// contents of every region captured in the image are rewritten; regions
+  /// freed since the capture are silently skipped (the §12 journal replays
+  /// the operations that freed them). Regions allocated *after* the capture
+  /// are left alone — replay re-executes the chunk that allocated them.
+  void restore_color(ColorId color, std::span<const std::byte> image) {
+    std::uint64_t count = 0;
+    if (image.size() < sizeof count) return;
+    std::memcpy(&count, image.data(), sizeof count);
+    std::size_t off = sizeof count;
+    for (std::uint64_t i = 0; i < count; ++i) {
+      std::uint64_t hdr[2];
+      if (off + sizeof hdr > image.size()) return;  // truncated image
+      std::memcpy(hdr, image.data() + off, sizeof hdr);
+      off += sizeof hdr;
+      const std::uint64_t base = hdr[0];
+      const std::uint64_t size = hdr[1];
+      if (off + size > image.size()) return;
+      Shard& sh = shard_of(base);
+      const std::lock_guard<std::mutex> lock(sh.mu);
+      auto it = sh.regions.find(base);
+      if (it != sh.regions.end() && it->second.color == color &&
+          it->second.size == size) {
+        std::memcpy(it->second.bytes->data(), image.data() + off, size);
+      }
+      off += size;
+    }
+  }
+
   /// Attacker helper: scans all *unsafe* memory for a byte pattern. Returns
   /// true if found. Models an adversary with full control of the OS, who can
   /// read everything outside the enclaves.

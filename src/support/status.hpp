@@ -20,11 +20,14 @@ namespace privagic {
 enum class StatusCode {
   kOk = 0,
   kGeneric,         // unclassified failure (message-only ctor)
-  kTimeout,         // a wait exceeded its configured deadline
+  kTimeout,         // a wait exceeded its configured deadline (no retransmission ran)
   kCorrupt,         // a message failed its integrity check (MAC mismatch)
   kForged,          // a spawn failed authentication (§8 spawn guard)
   kWorkerPoisoned,  // a worker was marked unrecoverable; its waiters drained
   kShutdown,        // the runtime stopped while the operation was pending
+  kWatchdogTimeout,      // the watchdog unwedged this worker's blocked wait
+  kRetransmitExhausted,  // every retry retransmitted and the window still ran dry
+  kAttestationFailed,    // a restarting enclave presented a stale/tampered checkpoint
 };
 
 /// Short stable name for a code ("timeout", "worker-poisoned", ...).
@@ -37,6 +40,9 @@ enum class StatusCode {
     case StatusCode::kForged: return "forged";
     case StatusCode::kWorkerPoisoned: return "worker-poisoned";
     case StatusCode::kShutdown: return "shutdown";
+    case StatusCode::kWatchdogTimeout: return "watchdog-timeout";
+    case StatusCode::kRetransmitExhausted: return "retransmit-exhausted";
+    case StatusCode::kAttestationFailed: return "attestation-failed";
   }
   return "?";
 }

@@ -262,7 +262,12 @@ TEST(RecoveryTest, UnrecoverableLossPoisonsTheWorkerAndFailsTheWaiters) {
     echo.drive(1);
     FAIL() << "the driver's wait must fail";
   } catch (const RuntimeFault& f) {
+    // Either side may give up first. A wait that actually burned
+    // retransmissions reports kRetransmitExhausted; one that never had a
+    // logged copy to resend reports kTimeout; a waiter arriving after a peer
+    // already died inherits the root cause.
     EXPECT_TRUE(f.code() == StatusCode::kTimeout ||
+                f.code() == StatusCode::kRetransmitExhausted ||
                 f.code() == StatusCode::kWorkerPoisoned)
         << status_code_name(f.code());
   }
@@ -274,6 +279,42 @@ TEST(RecoveryTest, UnrecoverableLossPoisonsTheWorkerAndFailsTheWaiters) {
   EXPECT_TRUE(echo.rt->any_poisoned());
   EXPECT_GE(echo.rt->stats().poisoned_workers.load(), 1u);
   // Destructor shutdown still joins cleanly (no deadlock) — implicit here.
+}
+
+TEST(RecoveryTest, CorruptMacStormPoisonsInsteadOfLoopingForever) {
+  // Regression pin for bench/fault_sweep's poisoned_workers column: at the
+  // swept rates every run recovers and every row reports poisoned_workers
+  // == 0. This test is the other side of that coin — a MAC-corruption STORM
+  // (every crossing after the spawn flipped, including every retransmitted
+  // copy) can never deliver a valid message, so the bounded retries must
+  // exhaust and poison the color instead of re-requesting copies forever.
+  FaultInjector injector(FaultConfig{});
+  for (std::uint64_t i = 1; i < 64; ++i) injector.script(i, FaultKind::kCorrupt);
+
+  RecoveryOptions options;
+  options.spawn_secret = 0xFEEDFACE;  // corruption is detected by the MAC
+  options.wait_deadline = 20ms;
+  options.max_retries = 2;
+  options.injector = &injector;
+  EchoHarness echo(options);
+
+  try {
+    echo.drive(1);
+    FAIL() << "the driver's wait must fail";
+  } catch (const RuntimeFault& f) {
+    EXPECT_TRUE(f.code() == StatusCode::kTimeout ||
+                f.code() == StatusCode::kRetransmitExhausted ||
+                f.code() == StatusCode::kWorkerPoisoned)
+        << status_code_name(f.code());
+  }
+  for (int i = 0; i < 100 && !echo.rt->poisoned(1); ++i) {
+    std::this_thread::sleep_for(10ms);
+  }
+  EXPECT_TRUE(echo.rt->poisoned(1));
+  EXPECT_GE(echo.rt->stats().poisoned_workers.load(), 1u);
+  // The MAC caught the corruption every time; nothing corrupt was delivered.
+  EXPECT_GE(echo.rt->stats().corrupt_dropped.load(), 1u);
+  EXPECT_GE(injector.counts().corrupts, 1u);
 }
 
 TEST(RecoveryTest, WatchdogUnwedgesAnUntimedWait) {
@@ -289,7 +330,9 @@ TEST(RecoveryTest, WatchdogUnwedgesAnUntimedWait) {
     rt.wait(0, 7);  // nobody will ever send this; the seed would hang forever
     FAIL() << "wait must not return";
   } catch (const RuntimeFault& f) {
-    EXPECT_EQ(f.code(), StatusCode::kWorkerPoisoned);
+    // The watchdog's intervention surfaces as its own status, distinct from
+    // deadline timeouts and generic poisoning.
+    EXPECT_EQ(f.code(), StatusCode::kWatchdogTimeout);
   }
   EXPECT_LT(std::chrono::steady_clock::now() - start, 1500ms);
   EXPECT_GE(rt.stats().watchdog_fires.load(), 1u);
@@ -797,7 +840,9 @@ TEST(MachineFaultTest, UnrecoverableLossSurfacesAsTypedTrapNotDeadlock) {
   const auto elapsed = std::chrono::steady_clock::now() - start;
   ASSERT_FALSE(r.ok()) << "the seed runtime would deadlock here";
   const StatusCode code = r.status().code();
-  EXPECT_TRUE(code == StatusCode::kTimeout || code == StatusCode::kWorkerPoisoned)
+  EXPECT_TRUE(code == StatusCode::kTimeout ||
+              code == StatusCode::kRetransmitExhausted ||
+              code == StatusCode::kWorkerPoisoned)
       << status_code_name(code) << ": " << r.message();
   EXPECT_LT(elapsed, 2000ms);
 }
