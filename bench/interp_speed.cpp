@@ -1,19 +1,34 @@
-// Interpreter throughput: pre-decoded register bytecode vs. the tree-walker
-// on the kvcache workload (the Table 4 program, apps/kvcache/pir_program.hpp).
+// Interpreter throughput: the three execution tiers on the kvcache workload
+// (the Table 4 program, apps/kvcache/pir_program.hpp) — tree-walker,
+// pre-decoded register bytecode, and fused superinstructions with
+// direct-threaded dispatch.
 //
-// Two phases, each run under both engines on a fresh Machine:
+// Two phases, each run under every engine on a fresh Machine:
 //   * background_tick — memcached's LRU-crawler analogue: pure untrusted
 //     interpretation (a 16-iteration checksum loop plus stat decay), no
 //     cross-enclave messages. This isolates interpreted-instruction
-//     throughput, which is what the decode pass optimizes.
+//     throughput, which is what the decode and fusion passes optimize.
 //   * handle_request  — the full request loop over a deterministic put/get/
 //     stats mix. Every cache op crosses into the 'store' enclave, so this
 //     phase mixes interpretation with mailbox latency.
 //
-// The headline is the background_tick instructions/sec ratio (the ISSUE's
-// ≥5× acceptance gate); the request-loop ratio shows how much of the win
-// survives once cross-enclave messaging is on the path. Results mirror to
-// BENCH_interp.json (support/bench_json.hpp schema).
+// Gates (also pinned as floors in bench/baselines.json for tools/bench_check):
+//   * decoded/treewalk background_tick instr/sec >= 5x   (the original gate)
+//   * fused/decoded   background_tick instr/sec >= 1.3x  (fusion tentpole)
+//   * fused/treewalk  handle_request  instr/sec >= 1.5x  (e2e floor)
+//
+// The request gate is deliberately below the interpretation gates: every
+// handle_request crosses into the store enclave ~3 times, and on a single
+// hardware thread each crossing is a scheduler handoff (~1µs) that no
+// interpreter tier can remove — profiled, the fused engine spends <10% of a
+// request interpreting. 1.5x holds the fused engine's full end-to-end win
+// over the tree-walker (interpretation + the batched/elided send path)
+// with margin under the ±15% run-to-run scheduler noise of a busy 1-core
+// host; each phase runs kPhaseReps times and keeps its fastest run to trim
+// that noise further.
+//
+// Results mirror to BENCH_interp.json (all rows + decoded ratios) and
+// BENCH_interp_fused.json (fused ratios), support/bench_json.hpp schema.
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -34,10 +49,25 @@ using namespace privagic;  // NOLINT(google-build-using-namespace)
 using interp::ExecMode;
 
 constexpr std::uint64_t kBackgroundCalls = 30'000;
-constexpr std::uint64_t kRequestCalls = 4'000;
+// Long enough that one request phase runs ~80ms even on the fused engine:
+// shorter phases let a single scheduler blip dominate the treewalk/fused
+// request ratio (observed collapsing it from ~1.7x to ~1.1x at 4k calls).
+constexpr std::uint64_t kRequestCalls = 16'000;
+// Per-phase repetitions; the fastest run wins. The phases are deterministic,
+// so repetition only discards scheduler interference, never real work.
+constexpr int kPhaseReps = 3;
+
+constexpr double kGateDecodedOverTree = 5.0;
+constexpr double kGateFusedOverDecoded = 1.3;
+constexpr double kGateFusedRequestOverTree = 1.5;  // see header comment
 
 const char* mode_name(ExecMode mode) {
-  return mode == ExecMode::kDecoded ? "decoded" : "treewalk";
+  switch (mode) {
+    case ExecMode::kDecoded: return "decoded";
+    case ExecMode::kFused: return "fused";
+    case ExecMode::kTreeWalk: return "treewalk";
+  }
+  return "?";
 }
 
 std::unique_ptr<partition::PartitionResult> compile_kvcache() {
@@ -148,6 +178,24 @@ PhaseResult run_requests(const partition::PartitionResult& program, ExecMode mod
   return out;
 }
 
+void keep_best(PhaseResult& best, const PhaseResult& r) {
+  if (best.seconds == 0.0 || r.seconds < best.seconds) best = r;
+}
+
+/// Runs one phase kPhaseReps times *per engine*, interleaved round-robin
+/// (tree, decoded, fused, tree, ...), keeping each engine's fastest rep.
+/// Interleaving matters on a shared box: a sustained interference window
+/// then degrades every engine's rep instead of wiping out one engine's
+/// whole sample, which is what skews a ratio.
+template <typename PhaseFn>
+void interleaved_best(const ExecMode (&modes)[3], PhaseResult (&best)[3],
+                      PhaseFn&& phase_fn) {
+  for (auto& b : best) b = PhaseResult{};
+  for (int rep = 0; rep < kPhaseReps; ++rep) {
+    for (int i = 0; i < 3; ++i) keep_best(best[i], phase_fn(modes[i]));
+  }
+}
+
 void print_row(const char* phase, ExecMode mode, const PhaseResult& r) {
   std::printf("%-16s %-9s %12llu %10.3f %15.0f %12.0f\n", phase, mode_name(mode),
               static_cast<unsigned long long>(r.instructions), r.seconds,
@@ -158,31 +206,47 @@ void print_row(const char* phase, ExecMode mode, const PhaseResult& r) {
 
 int main(int argc, char** argv) {
   const std::string json_path = argc > 1 ? argv[1] : "BENCH_interp.json";
+  const std::string fused_json_path = argc > 2 ? argv[2] : "BENCH_interp_fused.json";
   auto program = compile_kvcache();
-  // Collect the per-color/queue counters alongside the timings; both engines
-  // pay the same (sub-noise) recording cost, so the reported ratios are
+  // Collect the per-color/queue counters alongside the timings; every engine
+  // pays the same (sub-noise) recording cost, so the reported ratios are
   // unaffected. The snapshot is embedded into the JSON below.
   obs::MetricsRegistry::global().reset_all();
   obs::set_metrics_enabled(true);
 
-  std::printf("== Interpreter throughput: decoded bytecode vs tree-walker (kvcache) ==\n\n");
+  std::printf("== Interpreter throughput: three tiers on kvcache ==\n\n");
   std::printf("%-16s %-9s %12s %10s %15s %12s\n", "phase", "engine", "instructions",
               "seconds", "instr/sec", "calls/sec");
 
-  const PhaseResult bg_tree = run_background(*program, ExecMode::kTreeWalk);
-  print_row("background_tick", ExecMode::kTreeWalk, bg_tree);
-  const PhaseResult bg_dec = run_background(*program, ExecMode::kDecoded);
-  print_row("background_tick", ExecMode::kDecoded, bg_dec);
-  const PhaseResult rq_tree = run_requests(*program, ExecMode::kTreeWalk);
-  print_row("handle_request", ExecMode::kTreeWalk, rq_tree);
-  const PhaseResult rq_dec = run_requests(*program, ExecMode::kDecoded);
-  print_row("handle_request", ExecMode::kDecoded, rq_dec);
+  constexpr ExecMode kModes[] = {ExecMode::kTreeWalk, ExecMode::kDecoded, ExecMode::kFused};
+  PhaseResult bg[3];
+  PhaseResult rq[3];
+  interleaved_best(kModes, bg, [&](ExecMode mode) { return run_background(*program, mode); });
+  for (int i = 0; i < 3; ++i) print_row("background_tick", kModes[i], bg[i]);
+  interleaved_best(kModes, rq, [&](ExecMode mode) { return run_requests(*program, mode); });
+  for (int i = 0; i < 3; ++i) print_row("handle_request", kModes[i], rq[i]);
+  const PhaseResult& bg_tree = bg[0];
+  const PhaseResult& bg_dec = bg[1];
+  const PhaseResult& bg_fused = bg[2];
+  const PhaseResult& rq_tree = rq[0];
+  const PhaseResult& rq_dec = rq[1];
+  const PhaseResult& rq_fused = rq[2];
 
   const double interp_ratio = bg_dec.instr_per_sec() / bg_tree.instr_per_sec();
   const double request_ratio = rq_dec.instr_per_sec() / rq_tree.instr_per_sec();
-  std::printf("\ninterpreted-instruction throughput (background_tick): %.2fx  (gate: >=5x)\n",
-              interp_ratio);
-  std::printf("request-loop instruction throughput:                  %.2fx\n", request_ratio);
+  const double fused_interp_ratio = bg_fused.instr_per_sec() / bg_tree.instr_per_sec();
+  const double fused_over_decoded = bg_fused.instr_per_sec() / bg_dec.instr_per_sec();
+  const double fused_request_ratio = rq_fused.instr_per_sec() / rq_tree.instr_per_sec();
+
+  std::printf("\ndecoded/treewalk interpreted throughput (background_tick): %.2fx  (gate: >=%gx)\n",
+              interp_ratio, kGateDecodedOverTree);
+  std::printf("decoded/treewalk request-loop throughput:                  %.2fx\n", request_ratio);
+  std::printf("fused/treewalk   interpreted throughput (background_tick): %.2fx\n",
+              fused_interp_ratio);
+  std::printf("fused/decoded    interpreted throughput (background_tick): %.2fx  (gate: >=%gx)\n",
+              fused_over_decoded, kGateFusedOverDecoded);
+  std::printf("fused/treewalk   request-loop throughput:                  %.2fx  (gate: >=%gx)\n",
+              fused_request_ratio, kGateFusedRequestOverTree);
 
   support::BenchJsonWriter json("interp_speed");
   json.meta("workload", "kvcache (minicached_core, hardened)")
@@ -190,12 +254,14 @@ int main(int argc, char** argv) {
       .meta("request_calls", kRequestCalls)
       .meta("interp_throughput_ratio", interp_ratio)
       .meta("request_throughput_ratio", request_ratio)
-      .meta("gate_min_ratio", 5.0);
+      .meta("gate_min_ratio", kGateDecodedOverTree);
   for (const auto& [phase, mode, r] :
        {std::tuple{"background_tick", ExecMode::kTreeWalk, bg_tree},
         std::tuple{"background_tick", ExecMode::kDecoded, bg_dec},
+        std::tuple{"background_tick", ExecMode::kFused, bg_fused},
         std::tuple{"handle_request", ExecMode::kTreeWalk, rq_tree},
-        std::tuple{"handle_request", ExecMode::kDecoded, rq_dec}}) {
+        std::tuple{"handle_request", ExecMode::kDecoded, rq_dec},
+        std::tuple{"handle_request", ExecMode::kFused, rq_fused}}) {
     json.add_row()
         .set("phase", phase)
         .set("engine", mode_name(mode))
@@ -204,6 +270,11 @@ int main(int argc, char** argv) {
         .set("instructions_per_sec", r.instr_per_sec())
         .set("calls_per_sec", r.calls_per_sec());
   }
+  // Ratio floors ride in "metrics" so bench/baselines.json can pin them
+  // (bench_check "min" entries); the structural counters follow from the
+  // registry snapshot.
+  json.metric("interp_throughput_ratio", interp_ratio)
+      .metric("request_throughput_ratio", request_ratio);
   obs::set_metrics_enabled(false);
   obs::embed_metrics(json);
   if (!json.write_file(json_path)) {
@@ -211,5 +282,34 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("\nwrote %s\n", json_path.c_str());
-  return interp_ratio >= 5.0 ? 0 : 2;
+
+  support::BenchJsonWriter fused_json("interp_fused");
+  fused_json.meta("workload", "kvcache (minicached_core, hardened)")
+      .meta("background_calls", kBackgroundCalls)
+      .meta("request_calls", kRequestCalls)
+      .meta("gate_fused_over_decoded", kGateFusedOverDecoded)
+      .meta("gate_fused_request_over_treewalk", kGateFusedRequestOverTree);
+  for (const auto& [phase, r] : {std::tuple{"background_tick", bg_fused},
+                                 std::tuple{"handle_request", rq_fused}}) {
+    fused_json.add_row()
+        .set("phase", phase)
+        .set("engine", "fused")
+        .set("instructions", r.instructions)
+        .set("seconds", r.seconds)
+        .set("instructions_per_sec", r.instr_per_sec())
+        .set("calls_per_sec", r.calls_per_sec());
+  }
+  fused_json.metric("fused_interp_throughput_ratio", fused_interp_ratio)
+      .metric("fused_over_decoded_interp_ratio", fused_over_decoded)
+      .metric("fused_request_throughput_ratio", fused_request_ratio);
+  if (!fused_json.write_file(fused_json_path)) {
+    std::fprintf(stderr, "failed to write %s\n", fused_json_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", fused_json_path.c_str());
+
+  const bool gates_ok = interp_ratio >= kGateDecodedOverTree &&
+                        fused_over_decoded >= kGateFusedOverDecoded &&
+                        fused_request_ratio >= kGateFusedRequestOverTree;
+  return gates_ok ? 0 : 2;
 }

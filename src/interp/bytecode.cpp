@@ -5,6 +5,8 @@
 #include <unordered_map>
 #include <utility>
 
+#include "interp/dispatch_stats.hpp"
+#include "interp/exec_common.hpp"
 #include "interp/machine.hpp"
 #include "ir/module.hpp"
 #include "obs/hooks.hpp"
@@ -13,39 +15,26 @@
 
 namespace privagic::interp::bc {
 
+const char* op_name(Op op) {
+  static constexpr const char* kNames[kNumOps] = {
+      "trap",
+      "alloca", "heap_alloc", "heap_free", "load", "store", "gep_field", "gep_index",
+      "add", "sub", "mul", "sdiv", "srem", "and", "or", "xor", "shl", "lshr",
+      "fadd", "fsub", "fmul", "fdiv",
+      "eq", "ne", "slt", "sle", "sgt", "sge",
+      "zext", "trunc", "copy",
+      "spawn", "cont", "wait", "ack", "wait_ack",
+      "call", "call_ext", "call_ind",
+      "br", "cond_br", "ret",
+      "cmp_br",
+      "gep_field_load", "gep_index_load", "gep_field_store", "gep_index_store",
+      "load_bin", "bin_store", "bin_bin", "bin_br", "bin_ret",
+  };
+  const auto i = static_cast<std::size_t>(op);
+  return i < kNumOps ? kNames[i] : "?";
+}
+
 namespace {
-
-// Same exception shape as the tree-walker's local InterpError: Machine::call
-// and run_chunk catch std::exception, so only the message must match.
-class InterpError : public std::runtime_error {
- public:
-  using std::runtime_error::runtime_error;
-};
-
-std::int64_t sign_extend(std::uint64_t raw, unsigned bits) {
-  if (bits >= 64) return static_cast<std::int64_t>(raw);
-  const std::uint64_t mask = (1ull << bits) - 1;
-  raw &= mask;
-  const std::uint64_t sign = 1ull << (bits - 1);
-  if ((raw & sign) != 0) raw |= ~mask;
-  return static_cast<std::int64_t>(raw);
-}
-
-double as_double(std::int64_t v) {
-  double d;
-  std::memcpy(&d, &v, sizeof(d));
-  return d;
-}
-
-std::int64_t from_double(double d) {
-  std::int64_t v;
-  std::memcpy(&v, &d, sizeof(v));
-  return v;
-}
-
-std::uint64_t pointer_mac(std::uint64_t addr, std::uint64_t secret) {
-  return (fmix64(addr ^ secret) >> 48) << 48;
-}
 
 /// True for ptr<T color(c)> with a named enclave color (see machine.cpp).
 bool is_authenticated_pointer_type(const ir::Type* t) {
@@ -447,7 +436,7 @@ DecodedOp Decoder::decode_call(const ir::CallInst* call) {
 // ProgramCode
 // ---------------------------------------------------------------------------
 
-ProgramCode::ProgramCode(Machine& machine) {
+ProgramCode::ProgramCode(Machine& machine, bool fuse) : fused_(fuse) {
   // Two passes: allocate every shell first so kCallInternal targets are
   // stable pointers, then decode bodies.
   for (const auto& fn : machine.program_.module->functions()) {
@@ -456,6 +445,7 @@ ProgramCode::ProgramCode(Machine& machine) {
   }
   for (auto& [fn, df] : functions_) {
     Decoder(machine, *this).decode(fn, *df);
+    if (fuse) fuse_function(*df);
   }
 }
 
@@ -469,24 +459,55 @@ namespace privagic::interp::bc {
 
 namespace {
 
-/// Sign-wrap an integer result to `bits` (0 = the type needs no wrapping).
-inline std::int64_t wrap(std::int64_t v, unsigned bits) {
-  return bits != 0 ? sign_extend(static_cast<std::uint64_t>(v), bits) : v;
+ExecArena& thread_arena() {
+  thread_local ExecArena arena;
+  if (arena.stack.capacity() == 0) arena.stack.reserve(256);
+  return arena;
 }
 
 }  // namespace
 
 BytecodeExecutor::BytecodeExecutor(Machine& machine, runtime::ThreadRuntime& rt,
-                                   sgx::ColorId me)
-    : m_(machine), rt_(rt), me_(me) {
-  stack_.reserve(256);
-}
+                                   sgx::ColorId me, bool fused)
+    : m_(machine),
+      rt_(rt),
+      me_(me),
+      fused_(fused),
+      arena_(thread_arena()),
+      entry_sp_(arena_.sp),
+      tally_(DispatchTally::current()) {}
 
 BytecodeExecutor::~BytecodeExecutor() {
+  // Frames above the entry watermark are dead whether we returned or threw;
+  // the arena itself outlives us (it is the thread's).
+  arena_.sp = entry_sp_;
   // Unflushed ops (normal return or unwind) still reach the global counter —
   // instructions_executed() equals the tree-walker's count either way. No
   // budget check here: destructors must not throw.
   if (pending_ != 0) m_.executed_.fetch_add(pending_, std::memory_order_relaxed);
+}
+
+std::size_t BytecodeExecutor::push_frame(const DecodedFunction* f,
+                                         std::span<const std::int64_t> args) {
+  if (args.size() != f->num_args) {
+    throw InterpError("arity mismatch calling @" + f->fn->name());
+  }
+  const std::size_t base = arena_.sp;
+  if (arena_.stack.size() < base + f->num_slots) {
+    arena_.stack.resize(base + f->num_slots + 64);
+  }
+  arena_.sp = base + f->num_slots;
+  std::int64_t* frame = arena_.stack.data() + base;
+  if (!args.empty()) std::memcpy(frame, args.data(), args.size() * sizeof(std::int64_t));
+  // Instruction slots start at zero: deterministic even for use-before-def
+  // programs the verifier rejects (the walker throws on those instead).
+  std::memset(frame + f->num_args, 0,
+              (f->const_base - f->num_args) * sizeof(std::int64_t));
+  if (!f->const_pool.empty()) {
+    std::memcpy(frame + f->const_base, f->const_pool.data(),
+                f->const_pool.size() * sizeof(std::int64_t));
+  }
+  return base;
 }
 
 void BytecodeExecutor::flush_counter() {
@@ -542,27 +563,6 @@ void BytecodeExecutor::mem_store(std::uint64_t addr, std::int64_t value, std::ui
   std::memcpy(p, &value, size);
 }
 
-namespace {
-
-/// Parallel phi-move: all sources read before any destination is written
-/// (phi cycles across an edge would otherwise observe half-applied moves).
-inline void apply_phi_copies(const DecodedFunction* f, std::uint32_t first,
-                             std::uint16_t count, std::int64_t* frame) {
-  if (count == 0) return;
-  const PhiCopy* copies = f->phi_pool.data() + first;
-  std::int64_t tmp_buf[16];
-  std::vector<std::int64_t> heap;
-  std::int64_t* tmp = tmp_buf;
-  if (count > 16) {
-    heap.resize(count);
-    tmp = heap.data();
-  }
-  for (std::uint16_t i = 0; i < count; ++i) tmp[i] = frame[copies[i].src];
-  for (std::uint16_t i = 0; i < count; ++i) frame[copies[i].dst] = tmp[i];
-}
-
-}  // namespace
-
 std::int64_t BytecodeExecutor::call_function(const DecodedFunction* f, const DecodedOp& o,
                                              const std::int64_t* frame) {
   const auto* callee = static_cast<const DecodedFunction*>(o.target);
@@ -605,24 +605,10 @@ std::int64_t BytecodeExecutor::call_indirect(const DecodedFunction* f, const Dec
   return m_.call_external(callee, view, me_);
 }
 
-std::int64_t BytecodeExecutor::run(const DecodedFunction* f,
-                                   std::span<const std::int64_t> args) {
-  if (args.size() != f->num_args) {
-    throw InterpError("arity mismatch calling @" + f->fn->name());
-  }
-  const std::size_t base = sp_;
-  if (stack_.size() < base + f->num_slots) stack_.resize(base + f->num_slots + 64);
-  sp_ = base + f->num_slots;
-  std::int64_t* frame = stack_.data() + base;
-  if (!args.empty()) std::memcpy(frame, args.data(), args.size() * sizeof(std::int64_t));
-  // Instruction slots start at zero: deterministic even for use-before-def
-  // programs the verifier rejects (the walker throws on those instead).
-  std::memset(frame + f->num_args, 0,
-              (f->const_base - f->num_args) * sizeof(std::int64_t));
-  if (!f->const_pool.empty()) {
-    std::memcpy(frame + f->const_base, f->const_pool.data(),
-                f->const_pool.size() * sizeof(std::int64_t));
-  }
+std::int64_t BytecodeExecutor::run_switch(const DecodedFunction* f,
+                                          std::span<const std::int64_t> args) {
+  const std::size_t base = push_frame(f, args);
+  std::int64_t* frame = arena_.stack.data() + base;
 
   std::vector<std::uint64_t> frame_allocas;
   const DecodedOp* ops = f->ops.data();
@@ -633,6 +619,7 @@ std::int64_t BytecodeExecutor::run(const DecodedFunction* f,
     const DecodedOp& o = ops[pc];
     ++pc;
     ++pending_;
+    if (tally_ != nullptr) tally_->touch(o.op);
     switch (o.op) {
       case Op::kTrap:
         if (o.a == 0) --pending_;  // synthetic op, not a real instruction
@@ -780,6 +767,9 @@ std::int64_t BytecodeExecutor::run(const DecodedFunction* f,
                       m_.program_.chunks.at(static_cast<std::size_t>(chunk)).color);
         rt_.spawn(color, static_cast<std::uint64_t>(chunk), frame[slots[1]],
                   frame[slots[2]], frame[slots[3]]);
+        // A same-color spawn runs the chunk inline on this thread; its
+        // executor shares the arena, which may have reallocated.
+        frame = arena_.stack.data() + base;
         if ((o.flags & kHasResult) != 0) frame[o.dest] = 0;
         break;
       }
@@ -811,7 +801,7 @@ std::int64_t BytecodeExecutor::run(const DecodedFunction* f,
         break;
       case Op::kCallInternal: {
         const std::int64_t r = call_function(f, o, frame);
-        frame = stack_.data() + base;  // nested frames may have grown the arena
+        frame = arena_.stack.data() + base;  // nested frames may have grown the arena
         if ((o.flags & kHasResult) != 0) frame[o.dest] = r;
         break;
       }
@@ -829,12 +819,15 @@ std::int64_t BytecodeExecutor::run(const DecodedFunction* f,
         const std::int64_t r =
             m_.call_external(static_cast<const ir::Function*>(o.target),
                              std::span<const std::int64_t>(call_args, o.nargs), me_);
+        // The host callback may have re-entered the machine on this thread
+        // (nested executors share the arena).
+        frame = arena_.stack.data() + base;
         if ((o.flags & kHasResult) != 0) frame[o.dest] = r;
         break;
       }
       case Op::kCallIndirect: {
         const std::int64_t r = call_indirect(f, o, frame);
-        frame = stack_.data() + base;
+        frame = arena_.stack.data() + base;
         if ((o.flags & kHasResult) != 0) frame[o.dest] = r;
         break;
       }
@@ -863,8 +856,12 @@ std::int64_t BytecodeExecutor::run(const DecodedFunction* f,
         for (const std::uint64_t addr : frame_allocas) {
           m_.memory_->free(addr, m_.memory_->color_of(addr));
         }
-        sp_ = base;
+        arena_.sp = base;
         return result;
+      default:
+        // Superinstructions never appear in unfused code (ProgramCode is
+        // built with fuse=false for ExecMode::kDecoded).
+        throw InterpError("superinstruction in unfused bytecode");
     }
   }
 }

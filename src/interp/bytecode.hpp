@@ -79,7 +79,32 @@ enum class Op : std::uint8_t {
   kBr,          // jump t0 after phi copies [phi0, phi0+nphi0)
   kCondBr,      // frame[a] & 1 ? t0/phi0 : t1/phi1
   kRet,         // return frame[a] if kHasResult else 0
+  // -- superinstructions (decode-time fusion, ExecMode::kFused only) ----------
+  // Each fuses two adjacent ops whose intermediate value is single-use; the
+  // handlers count two instructions (staged, so a fault in either component
+  // leaves the same instruction count as the unfused pair). See fusion.cpp
+  // for the legality rules and the field packing below.
+  kCmpBr,       // icmp (kind = kEq+sub2) a,b then cond-br; cmp result unmaterialized
+  kGepFieldLoad,   // dest = mem[frame[a] + imm]; size = sub2, sx bits = sub
+  kGepIndexLoad,   // dest = mem[frame[a] + imm*frame[b]]; size = sub2, sx = sub
+  kGepFieldStore,  // mem[frame[a] + imm] = frame[b]; size = sub2
+  kGepIndexStore,  // mem[frame[a] + imm*frame[b]] = frame[dest]; size = sub2
+  kLoadBin,     // t = mem[frame[a]] (size imm, sx sub); dest = t <sub2> frame[b]
+  kBinStore,    // t = frame[a] <aux> frame[b] (wrap sub); mem[frame[dest]] = t, size sub2
+  kBinBin,      // t = frame[a] <sub2> frame[b]; dest = t <aux> frame[imm] (both unwrapped)
+  kBinBr,       // dest = frame[a] <sub2> frame[b] (wrap sub); then kBr via t0/phi0
+  kBinRet,      // return frame[a] <sub2> frame[b] (wrap sub)
 };
+
+/// Total opcode count (dispatch tables, per-op metrics).
+inline constexpr std::size_t kNumOps = static_cast<std::size_t>(Op::kBinRet) + 1;
+
+/// First superinstruction; ops >= this exist only in fused ProgramCode.
+inline constexpr Op kFirstFusedOp = Op::kCmpBr;
+
+/// Short mnemonic for @p op ("load", "cmp.br", ...) — disassembly and the
+/// per-opcode dispatch metrics share one spelling.
+[[nodiscard]] const char* op_name(Op op);
 
 /// DecodedOp::flags bits.
 inline constexpr std::uint16_t kHasResult = 1u << 0;      // call/ret produces a value
@@ -87,6 +112,7 @@ inline constexpr std::uint16_t kAuthPointer = 1u << 1;    // load/store of ptr<T
 inline constexpr std::uint16_t kSpawnResolved = 1u << 2;  // spawn target color in imm
 inline constexpr std::uint16_t kBadEdge0 = 1u << 3;       // taking t0 faults (phi gap)
 inline constexpr std::uint16_t kBadEdge1 = 1u << 4;       // taking t1 faults (phi gap)
+inline constexpr std::uint16_t kFusedSwap = 1u << 5;      // fused value is the rhs operand
 
 /// One phi-edge parallel-copy: frame[dst] = frame[src] (all reads first).
 struct PhiCopy {
@@ -111,9 +137,36 @@ struct DecodedOp {
   std::uint16_t nphi0 = 0;
   std::uint16_t nphi1 = 0;
   std::uint16_t nargs = 0;     // call arity
+  std::uint8_t sub2 = 0;       // fused: cmp pred / memory size / first binop kind
+  std::uint8_t pad_ = 0;
   std::uint32_t args_first = 0;  // call argument slots: arg_pool[args_first, +nargs)
+  std::uint16_t aux = 0;       // fused: second binop kind (kBinStore / kBinBin)
+  std::uint16_t pad2_ = 0;
   const void* target = nullptr;  // DecodedFunction* / ir::Function*
 };
+
+static_assert(sizeof(DecodedOp) == 64, "DecodedOp packs into one cache line");
+
+/// Page-aligned storage for decoded op arrays. With the default allocator the
+/// array's base address — and with it the L1 set every hot op maps to —
+/// changes per process (heap ASLR), which made the dispatch loops' throughput
+/// bimodal across identical runs. Page alignment pins address bits 0..11, so
+/// the L1/L2-set layout of the bytecode is identical in every run.
+template <typename T>
+struct PageAlignedAllocator {
+  using value_type = T;
+  static constexpr std::align_val_t kAlign{4096};
+  PageAlignedAllocator() = default;
+  template <typename U>
+  explicit PageAlignedAllocator(const PageAlignedAllocator<U>&) {}
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(::operator new(n * sizeof(T), kAlign));
+  }
+  void deallocate(T* p, std::size_t) { ::operator delete(p, kAlign); }
+  bool operator==(const PageAlignedAllocator&) const { return true; }
+};
+
+using OpVec = std::vector<DecodedOp, PageAlignedAllocator<DecodedOp>>;
 
 /// One function, decoded. Immutable after ProgramCode construction and
 /// shared read-only by every executing thread.
@@ -123,18 +176,28 @@ struct DecodedFunction {
   std::uint32_t num_slots = 0;    // args + results + constants
   std::uint32_t const_base = 0;   // first constant slot
   std::vector<std::int64_t> const_pool;  // copied to [const_base, …) at entry
-  std::vector<DecodedOp> ops;
+  OpVec ops;
   std::vector<PhiCopy> phi_pool;
   std::vector<std::uint32_t> arg_pool;
   std::vector<std::string> traps;  // messages for kTrap ops
+  // Fusion provenance (fused code only): origin[i] is the pre-fusion index
+  // of ops[i]'s first component; a superinstruction at new index i fused the
+  // original ops origin[i] and origin[i]+1. Empty when never fused.
+  std::vector<std::uint32_t> origin;
 };
+
+/// Rewrites @p df in place, peephole-fusing adjacent single-use pairs into
+/// superinstructions and recording provenance in df.origin (fusion.cpp).
+void fuse_function(DecodedFunction& df);
 
 /// The decoded form of a Machine's whole program. Built once in the Machine
 /// constructor; decode resolves globals, function tokens, colors and chunk
 /// targets against that machine's address space.
 class ProgramCode {
  public:
-  explicit ProgramCode(Machine& machine);
+  /// @p fuse runs the superinstruction fusion pass over every body
+  /// (ExecMode::kFused); plain decode otherwise.
+  explicit ProgramCode(Machine& machine, bool fuse = false);
   ProgramCode(const ProgramCode&) = delete;
   ProgramCode& operator=(const ProgramCode&) = delete;
 
@@ -144,8 +207,31 @@ class ProgramCode {
     return it != functions_.end() ? it->second.get() : nullptr;
   }
 
+  /// Whether the fusion pass ran over this program.
+  [[nodiscard]] bool fused() const { return fused_; }
+
+  /// Every decoded body, keyed by IR function (iteration for --dump-bytecode).
+  [[nodiscard]] const std::map<const ir::Function*, std::unique_ptr<DecodedFunction>>&
+  functions() const {
+    return functions_;
+  }
+
  private:
   std::map<const ir::Function*, std::unique_ptr<DecodedFunction>> functions_;
+  bool fused_ = false;
+};
+
+class DispatchTally;
+
+/// Per-thread frame stack shared by every BytecodeExecutor on that thread.
+/// Chunk dispatch constructs one executor per chunk; giving each its own
+/// vector cost a malloc/free per cross-enclave call. Executors instead carve
+/// frames out of this arena above the watermark they found it at (and restore
+/// it on destruction, so re-entrant executors — direct-dispatch inline
+/// spawns, host callbacks calling back in — stack naturally).
+struct ExecArena {
+  std::vector<std::int64_t> stack;
+  std::size_t sp = 0;
 };
 
 /// Runs decoded functions on the current thread. One instance per chunk /
@@ -153,18 +239,34 @@ class ProgramCode {
 /// the same one-entry memory-region cache.
 class BytecodeExecutor {
  public:
-  BytecodeExecutor(Machine& machine, runtime::ThreadRuntime& rt, sgx::ColorId me);
+  /// @p fused selects the direct-threaded superinstruction loop (the code
+  /// must have been built with ProgramCode(…, fuse=true)).
+  BytecodeExecutor(Machine& machine, runtime::ThreadRuntime& rt, sgx::ColorId me,
+                   bool fused = false);
   ~BytecodeExecutor();
   BytecodeExecutor(const BytecodeExecutor&) = delete;
   BytecodeExecutor& operator=(const BytecodeExecutor&) = delete;
 
   /// Executes @p f with @p args; returns the i64 result (0 for void).
-  std::int64_t run(const DecodedFunction* f, std::span<const std::int64_t> args);
+  std::int64_t run(const DecodedFunction* f, std::span<const std::int64_t> args) {
+    return fused_ ? run_fused(f, args) : run_switch(f, args);
+  }
 
  private:
   // Flush the local instruction count into Machine::executed_ at most every
   // this many ops (checked at branch points, where loops must pass).
   static constexpr std::uint64_t kCountFlushBatch = 8192;
+
+  /// The flat-switch loop over unfused code (ExecMode::kDecoded).
+  std::int64_t run_switch(const DecodedFunction* f, std::span<const std::int64_t> args);
+  /// The direct-threaded loop (computed goto where available, portable
+  /// switch otherwise) over fused code (ExecMode::kFused); fused.cpp.
+  std::int64_t run_fused(const DecodedFunction* f, std::span<const std::int64_t> args);
+
+  /// Builds the frame for @p f at the arena watermark and copies args +
+  /// constants in. Returns the frame base offset (not a pointer: the arena
+  /// may reallocate under nested calls).
+  std::size_t push_frame(const DecodedFunction* f, std::span<const std::int64_t> args);
 
   /// Fast-path pointer for [addr, addr+n): serves from the one-entry region
   /// cache when the shard epoch is unchanged, else re-resolves (and performs
@@ -184,10 +286,12 @@ class BytecodeExecutor {
   Machine& m_;
   runtime::ThreadRuntime& rt_;
   sgx::ColorId me_;
+  const bool fused_;
   sgx::SimMemory::RegionHandle cache_;
-  std::vector<std::int64_t> stack_;
-  std::size_t sp_ = 0;
+  ExecArena& arena_;        // this thread's shared frame stack
+  std::size_t entry_sp_;    // arena watermark at construction, restored by dtor
   std::uint64_t pending_ = 0;
+  DispatchTally* tally_;    // sampled per-opcode dispatch counters; null = off
 };
 
 }  // namespace bc

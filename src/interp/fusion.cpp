@@ -1,0 +1,301 @@
+// Decode-time superinstruction fusion (ExecMode::kFused).
+//
+// A single greedy left-to-right peephole over each DecodedFunction rewrites
+// adjacent (producer, consumer) op pairs into one superinstruction when:
+//
+//   1. the producer's result slot is read exactly once in the whole function
+//      (ops' operand fields, call arg_pool, phi_pool sources, ret values —
+//      SSA slot numbering is dense, so a slot has exactly one writer and the
+//      read count is exact, not aliased);
+//   2. that single read is by the op immediately following the producer;
+//   3. the consumer is not a branch target (a jump may only land on the
+//      *first* component of a fused pair — landing between them would skip
+//      the producer);
+//   4. neither side is an authenticated-pointer access (kAuthPointer loads
+//      and stores keep their dedicated slow handlers) and no faulting
+//      arithmetic (sdiv/srem) is folded — the fused handlers stage their
+//      instruction-count increments so a fault in either component leaves
+//      exactly the tree-walker's count, and keeping div out means only
+//      memory ops and branch edges can fault mid-superinstruction.
+//
+// Patterns (see Op comments in bytecode.hpp for field packing):
+//   icmp + cond_br            -> kCmpBr       (cmp result never materialized)
+//   gep_field/index + load    -> kGep*Load
+//   gep_field/index + store   -> kGep*Store
+//   load + int binop          -> kLoadBin
+//   binop/copy/cast + store   -> kBinStore
+//   binop/copy/cast + binop   -> kBinBin      (accumulator/copy coalescing)
+//   binop/copy/cast + br      -> kBinBr       (loop back-edge accumulators)
+//   binop/copy/cast + ret     -> kBinRet      (tail expression of leaf calls)
+//
+// Branch targets are remapped old->new after selection; df.origin records
+// the pre-fusion index of every op's first component for --dump-bytecode.
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "interp/bytecode.hpp"
+
+namespace privagic::interp::bc {
+
+namespace {
+
+bool is_int_bin(Op op) {
+  switch (op) {
+    case Op::kAdd:
+    case Op::kSub:
+    case Op::kMul:
+    case Op::kAnd:
+    case Op::kOr:
+    case Op::kXor:
+    case Op::kShl:
+    case Op::kLShr:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_cmp(Op op) {
+  return op >= Op::kEq && op <= Op::kSge;
+}
+
+/// Pure unary value transforms that fold into kBinStore/kBinBin as a
+/// first-component "kind" (the copy-coalescing accumulator forms).
+bool is_unary_kind(Op op) {
+  return op == Op::kCopy || op == Op::kZext || op == Op::kTrunc;
+}
+
+bool mem_size_ok(std::int64_t size) { return size >= 1 && size <= 8; }
+
+/// Per-op frame reads, counted into @p uses. arg_pool and phi_pool are
+/// scanned wholesale by the caller; only direct operand fields count here.
+void count_operand_reads(const DecodedOp& o, std::vector<std::uint32_t>& uses) {
+  switch (o.op) {
+    case Op::kHeapFree:
+    case Op::kLoad:
+    case Op::kGepField:
+    case Op::kZext:
+    case Op::kTrunc:
+    case Op::kCopy:
+    case Op::kCondBr:
+    case Op::kCallIndirect:
+      ++uses[o.a];
+      break;
+    case Op::kStore:
+    case Op::kGepIndex:
+      ++uses[o.a];
+      ++uses[o.b];
+      break;
+    case Op::kRet:
+      if ((o.flags & kHasResult) != 0) ++uses[o.a];
+      break;
+    default:
+      if ((o.op >= Op::kAdd && o.op <= Op::kSge)) {
+        ++uses[o.a];
+        ++uses[o.b];
+      }
+      break;
+  }
+}
+
+/// Attempts to fuse producer @p p (whose single-use result is @p p.dest)
+/// with the immediately following consumer @p c. On success fills @p out.
+bool try_fuse(const DecodedOp& p, const DecodedOp& c, DecodedOp* out) {
+  const std::uint32_t d = p.dest;
+  DecodedOp f;
+
+  // icmp + cond_br. The comparison result is consumed by the branch alone,
+  // so it is never written back to the frame.
+  if (is_cmp(p.op) && c.op == Op::kCondBr && c.a == d) {
+    f = c;  // branch targets, phi slices, bad-edge flags all carry over
+    f.op = Op::kCmpBr;
+    f.a = p.a;
+    f.b = p.b;
+    f.sub2 = static_cast<std::uint8_t>(p.op);
+    *out = f;
+    return true;
+  }
+
+  // gep + load / gep + store: one address computation folded into the
+  // memory access. Authenticated pointers keep the unfused slow path.
+  if (p.op == Op::kGepField || p.op == Op::kGepIndex) {
+    const bool indexed = p.op == Op::kGepIndex;
+    if (c.op == Op::kLoad && c.a == d && (c.flags & kAuthPointer) == 0 &&
+        mem_size_ok(c.imm)) {
+      f.op = indexed ? Op::kGepIndexLoad : Op::kGepFieldLoad;
+      f.a = p.a;
+      f.b = p.b;  // index slot (field form leaves it unused)
+      f.imm = p.imm;
+      f.sub = c.sub;  // sign-extend bits
+      f.sub2 = static_cast<std::uint8_t>(c.imm);
+      f.dest = c.dest;
+      *out = f;
+      return true;
+    }
+    if (c.op == Op::kStore && c.a == d && (c.flags & kAuthPointer) == 0 &&
+        mem_size_ok(c.imm)) {
+      f.op = indexed ? Op::kGepIndexStore : Op::kGepFieldStore;
+      f.a = p.a;
+      f.imm = p.imm;
+      f.sub2 = static_cast<std::uint8_t>(c.imm);
+      if (indexed) {
+        f.b = p.b;       // index
+        f.dest = c.b;    // stored-value slot (the store writes no result)
+      } else {
+        f.b = c.b;       // stored-value slot
+      }
+      *out = f;
+      return true;
+    }
+    return false;
+  }
+
+  // load + int binop: the loaded value feeds one side of the arithmetic.
+  if (p.op == Op::kLoad && (p.flags & kAuthPointer) == 0 && mem_size_ok(p.imm) &&
+      is_int_bin(c.op) && (c.a == d || c.b == d)) {
+    f.op = Op::kLoadBin;
+    f.a = p.a;
+    f.imm = p.imm;  // load size
+    f.sub = p.sub;  // sign-extend bits
+    f.sub2 = static_cast<std::uint8_t>(c.op);
+    f.aux = c.sub;  // binop wrap/shift-mask bits
+    f.b = c.a == d ? c.b : c.a;
+    f.dest = c.dest;
+    if (c.b == d) f.flags |= kFusedSwap;  // loaded value is the rhs
+    *out = f;
+    return true;
+  }
+
+  // binop/copy/cast + store: the computed value goes straight to memory.
+  if ((is_int_bin(p.op) || is_unary_kind(p.op)) && c.op == Op::kStore && c.b == d &&
+      (c.flags & kAuthPointer) == 0 && mem_size_ok(c.imm)) {
+    f.op = Op::kBinStore;
+    f.a = p.a;
+    f.b = p.b;
+    f.sub = p.sub;  // first op's wrap/extend bits
+    f.aux = static_cast<std::uint16_t>(p.op);
+    f.sub2 = static_cast<std::uint8_t>(c.imm);  // store size
+    f.dest = c.a;   // pointer slot (the store writes no result)
+    *out = f;
+    return true;
+  }
+
+  // binop/copy/cast + binop: chained arithmetic, including the accumulator
+  // forms where a kCopy (bitcast/sext) is coalesced into its consumer.
+  if ((is_int_bin(p.op) || is_unary_kind(p.op)) && is_int_bin(c.op) &&
+      (c.a == d || c.b == d)) {
+    f.op = Op::kBinBin;
+    f.a = p.a;
+    f.b = p.b;
+    f.sub = p.sub;
+    f.sub2 = static_cast<std::uint8_t>(p.op);
+    f.aux = static_cast<std::uint16_t>(static_cast<std::uint16_t>(c.op) |
+                                       (static_cast<std::uint16_t>(c.sub) << 8));
+    f.imm = static_cast<std::int64_t>(c.a == d ? c.b : c.a);
+    f.dest = c.dest;
+    if (c.b == d) f.flags |= kFusedSwap;
+    *out = f;
+    return true;
+  }
+
+  // binop/copy/cast + br: the loop back-edge form, where an accumulator's
+  // last update immediately precedes the jump that phi-copies it into the
+  // next iteration. Unlike the other pairs the handler still writes dest —
+  // the phi copies (or any later block) read it from the frame — so this is
+  // legal wherever the value's single use lives. A bad edge keeps the trap
+  // index in phi0, so only clean edges fuse.
+  if ((is_int_bin(p.op) || is_unary_kind(p.op)) && c.op == Op::kBr &&
+      (c.flags & kBadEdge0) == 0) {
+    f = c;  // branch target and phi slice carry over
+    f.op = Op::kBinBr;
+    f.a = p.a;
+    f.b = p.b;
+    f.dest = d;
+    f.sub = p.sub;
+    f.sub2 = static_cast<std::uint8_t>(p.op);
+    *out = f;
+    return true;
+  }
+
+  // binop/copy/cast + ret of the computed value: the tail expression of a
+  // leaf helper (hash mixers, small arithmetic utilities).
+  if ((is_int_bin(p.op) || is_unary_kind(p.op)) && c.op == Op::kRet &&
+      (c.flags & kHasResult) != 0 && c.a == d) {
+    f.op = Op::kBinRet;
+    f.flags = kHasResult;
+    f.a = p.a;
+    f.b = p.b;
+    f.sub = p.sub;
+    f.sub2 = static_cast<std::uint8_t>(p.op);
+    *out = f;
+    return true;
+  }
+
+  return false;
+}
+
+}  // namespace
+
+void fuse_function(DecodedFunction& df) {
+  const std::size_t n = df.ops.size();
+
+  // Exact use counts per frame slot. Constants and arguments can never be a
+  // producer's dest, so over-counting them is irrelevant; scanning the whole
+  // phi/arg pools (rather than per-op slices) is conservative for ops that
+  // read only a prefix of their slice (kWait).
+  std::vector<std::uint32_t> uses(df.num_slots, 0);
+  for (const DecodedOp& o : df.ops) count_operand_reads(o, uses);
+  for (const PhiCopy& copy : df.phi_pool) ++uses[copy.src];
+  for (const std::uint32_t slot : df.arg_pool) ++uses[slot];
+
+  // Ops a branch can land on: fusion must never swallow one as a second
+  // component. Bad edges keep valid t0/t1 too (the trap index rides in
+  // phi0/phi1), so collecting unconditionally is correct.
+  std::vector<bool> is_target(n, false);
+  for (const DecodedOp& o : df.ops) {
+    if (o.op == Op::kBr) {
+      is_target[o.t0] = true;
+    } else if (o.op == Op::kCondBr) {
+      is_target[o.t0] = true;
+      is_target[o.t1] = true;
+    }
+  }
+
+  OpVec out;
+  std::vector<std::uint32_t> origin;
+  std::vector<std::uint32_t> newindex(n, 0);
+  out.reserve(n);
+  origin.reserve(n);
+
+  std::size_t i = 0;
+  while (i < n) {
+    newindex[i] = static_cast<std::uint32_t>(out.size());
+    DecodedOp fused;
+    if (i + 1 < n && !is_target[i + 1] && uses[df.ops[i].dest] == 1 &&
+        try_fuse(df.ops[i], df.ops[i + 1], &fused)) {
+      newindex[i + 1] = static_cast<std::uint32_t>(out.size());
+      out.push_back(fused);
+      origin.push_back(static_cast<std::uint32_t>(i));
+      i += 2;
+    } else {
+      out.push_back(df.ops[i]);
+      origin.push_back(static_cast<std::uint32_t>(i));
+      ++i;
+    }
+  }
+
+  for (DecodedOp& o : out) {
+    if (o.op == Op::kBr || o.op == Op::kBinBr) {
+      o.t0 = newindex[o.t0];
+    } else if (o.op == Op::kCondBr || o.op == Op::kCmpBr) {
+      o.t0 = newindex[o.t0];
+      o.t1 = newindex[o.t1];
+    }
+  }
+
+  df.ops = std::move(out);
+  df.origin = std::move(origin);
+}
+
+}  // namespace privagic::interp::bc

@@ -418,9 +418,18 @@ class Executor {
 // Machine
 // ---------------------------------------------------------------------------
 
+namespace {
+
+std::uint64_t next_machine_generation() {
+  static std::atomic<std::uint64_t> next{0};
+  return next.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+}  // namespace
+
 Machine::Machine(const partition::PartitionResult& program, std::uint64_t epc_limit_bytes,
                  ExecMode mode)
-    : program_(program), mode_(mode) {
+    : program_(program), mode_(mode), generation_(next_machine_generation()) {
   memory_ = std::make_unique<sgx::SimMemory>(epc_limit_bytes);
   allocate_globals(epc_limit_bytes);
 
@@ -433,11 +442,29 @@ Machine::Machine(const partition::PartitionResult& program, std::uint64_t epc_li
   }
 
   // Decode after globals and tokens exist: operand lowering bakes their
-  // addresses into the per-function constant pools.
-  if (mode_ == ExecMode::kDecoded) code_ = std::make_unique<bc::ProgramCode>(*this);
+  // addresses into the per-function constant pools. kFused additionally runs
+  // the superinstruction fusion pass over every body.
+  if (mode_ != ExecMode::kTreeWalk) {
+    code_ = std::make_unique<bc::ProgramCode>(*this, /*fuse=*/mode_ == ExecMode::kFused);
+  }
 }
 
 runtime::ThreadRuntime& Machine::runtime_for_current_thread() {
+  // Every interface call lands here; the mutex + map lookup below is per-call
+  // overhead on the hot path. A thread_local memo of the last (machine,
+  // runtime) pair this thread resolved short-circuits it: the generation
+  // check keeps a recycled Machine address from hitting a stale entry, and
+  // the runtime pointer stays valid for the machine's whole lifetime
+  // (runtimes_ never erases).
+  struct CachedRuntime {
+    const Machine* machine = nullptr;
+    std::uint64_t generation = 0;
+    runtime::ThreadRuntime* runtime = nullptr;
+  };
+  thread_local CachedRuntime cached;
+  if (cached.machine == this && cached.generation == generation_) {
+    return *cached.runtime;
+  }
   const std::lock_guard<std::mutex> lock(runtimes_mu_);
   auto& slot = runtimes_[std::this_thread::get_id()];
   if (slot == nullptr) {
@@ -483,6 +510,7 @@ runtime::ThreadRuntime& Machine::runtime_for_current_thread() {
         options);
     *cell = slot.get();
   }
+  cached = CachedRuntime{this, generation_, slot.get()};
   return *slot;
 }
 
@@ -608,10 +636,10 @@ runtime::RuntimeStats::Snapshot Machine::runtime_stats() const {
 
 std::int64_t Machine::exec_function(runtime::ThreadRuntime& rt, const ir::Function* fn,
                                     std::span<const std::int64_t> args, sgx::ColorId me) {
-  if (mode_ == ExecMode::kDecoded) {
+  if (mode_ != ExecMode::kTreeWalk) {
     const bc::DecodedFunction* df = code_->get(fn);
     if (df == nullptr) throw InterpError("cannot execute declaration @" + fn->name());
-    bc::BytecodeExecutor exec(*this, rt, me);
+    bc::BytecodeExecutor exec(*this, rt, me, /*fused=*/mode_ == ExecMode::kFused);
     return exec.run(df, args);
   }
   Executor exec(*this, rt, me);

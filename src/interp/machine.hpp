@@ -50,11 +50,13 @@ class BytecodeExecutor;
 class Decoder;
 }  // namespace bc
 
-/// Which engine executes function bodies. kDecoded is the default: the
-/// pre-decoded register bytecode (src/interp/bytecode.*). kTreeWalk keeps the
-/// original AST walker as the differential-testing baseline
-/// (tests/interp_equiv_test.cpp runs every program under both).
-enum class ExecMode { kDecoded, kTreeWalk };
+/// Which engine executes function bodies (DESIGN.md §13). kFused is the
+/// default: superinstruction-fused register bytecode on a direct-threaded
+/// dispatch loop (src/interp/fusion.cpp, fused.cpp). kDecoded keeps the
+/// unfused bytecode on the flat switch loop (src/interp/bytecode.cpp), and
+/// kTreeWalk the original AST walker — both stay as differential-testing
+/// oracles (tests/interp_equiv_test.cpp runs every program under all three).
+enum class ExecMode { kDecoded, kTreeWalk, kFused };
 
 class Machine {
  public:
@@ -71,7 +73,7 @@ class Machine {
   /// @p epc_limit_bytes: per-enclave EPC cap (0 = unlimited).
   explicit Machine(const partition::PartitionResult& program,
                    std::uint64_t epc_limit_bytes = 0,
-                   ExecMode mode = ExecMode::kDecoded);
+                   ExecMode mode = ExecMode::kFused);
   ~Machine();
   Machine(const Machine&) = delete;
   Machine& operator=(const Machine&) = delete;
@@ -109,6 +111,11 @@ class Machine {
 
   /// The engine this machine executes with (fixed at construction).
   [[nodiscard]] ExecMode exec_mode() const { return mode_; }
+
+  /// The pre-decoded (and, in kFused mode, fusion-rewritten) bytecode, or
+  /// nullptr in kTreeWalk mode. Read-only: --dump-bytecode and the fusion
+  /// tests inspect listings through this.
+  [[nodiscard]] const bc::ProgramCode* program_code() const { return code_.get(); }
 
   /// Total instructions executed (all workers).
   [[nodiscard]] std::uint64_t instructions_executed() const { return executed_; }
@@ -214,8 +221,14 @@ class Machine {
 
   const partition::PartitionResult& program_;
   const ExecMode mode_;
+  // Machine identity for the per-thread worker-group cache in
+  // runtime_for_current_thread(): unique across all Machines ever
+  // constructed, so a cache entry can never alias a reincarnation of this
+  // address.
+  const std::uint64_t generation_;
   std::unique_ptr<sgx::SimMemory> memory_;
-  // The whole program pre-decoded to register bytecode (kDecoded mode only).
+  // The whole program pre-decoded to register bytecode (bytecode modes only;
+  // fused in kFused mode).
   std::unique_ptr<bc::ProgramCode> code_;
   // One worker group per application (host) thread, §7.3.1.
   mutable std::mutex runtimes_mu_;

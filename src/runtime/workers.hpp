@@ -192,6 +192,14 @@ class ThreadRuntime {
       : runner_(std::move(runner)),
         options_(std::move(options)),
         max_batch_(std::min(options_.max_batch, MessageBatch::kCapacity)),
+        // The retransmission log is only ever read from wait_kind's timeout
+        // path, and a timeout needs a nonzero deadline — with the wait-forever
+        // defaults the log is unreachable, so sends skip the global-mutex +
+        // slot-copy bookkeeping entirely (it is ~half the per-message cost on
+        // the fault-free hot path).
+        retransmit_live_(options_.retransmit &&
+                         (options_.wait_deadline.count() > 0 ||
+                          options_.app_wait_deadline.count() > 0)),
         seal_secret_(options_.checkpoint.seal_secret != 0
                          ? options_.checkpoint.seal_secret
                          : options_.spawn_secret ^ kSealSalt),
@@ -980,7 +988,7 @@ class ThreadRuntime {
     // Journal after the seq stamp so a post-crash replay re-pushes this exact
     // wire message and the receiver's dedup window absorbs any double.
     if (jrn) journal_append(ob.sender, JournalOp::kSend, target, m);
-    {
+    if (retransmit_live_) {
       const std::lock_guard<std::mutex> lock(sent_mu_);
       sent_log_[target].push(m);
     }
@@ -1387,6 +1395,9 @@ class ThreadRuntime {
   RecoveryOptions options_;
   const std::uint64_t uid_ = next_uid();
   std::size_t max_batch_ = 1;
+  /// Sends mirror into sent_log_ only when a wait timeout can actually reach
+  /// retransmit() (nonzero deadline + retransmit on); see the ctor.
+  const bool retransmit_live_ = false;
   const std::uint64_t seal_secret_ = 0;  // checkpoint/journal MAC key (§12)
   mutable std::mutex outbox_mu_;
   std::vector<std::unique_ptr<OutboxSet>> outbox_sets_;  // owned; per thread

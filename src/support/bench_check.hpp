@@ -9,14 +9,22 @@
 //   {
 //     "<benchmark>": {
 //       "<metric key>": { "value": 483966, "tol_pct": 0.0 },
+//       "<ratio key>":  { "min": 1.8 },
 //       ...
 //     },
 //     ...
 //   }
 //
+// Two entry shapes:
+//   * {"value", "tol_pct"} — two-sided drift pin for structural counters.
+//   * {"min"}             — one-sided floor for performance ratios (fused
+//     over decoded, request throughput): regressions below the floor fail,
+//     improvements never do.
+//
 // check_bench() compares one snapshot against the baselines and reports
-// per-key verdicts; CI fails on any drifted or missing pinned key. Timing
-// counters (wait_ns etc.) are deliberately never baselined.
+// per-key verdicts; CI fails on any drifted, below-floor, or missing pinned
+// key. Timing counters (wait_ns etc.) are deliberately never baselined —
+// only dimensionless ratios get floors.
 #pragma once
 
 #include <cmath>
@@ -29,9 +37,10 @@ namespace privagic::support {
 
 struct BenchCheckFinding {
   std::string key;
-  double baseline = 0.0;
+  double baseline = 0.0;  // pinned value, or the floor for is_floor entries
   double actual = 0.0;
   double tol_pct = 0.0;
+  bool is_floor = false;  // {"min": X} entry: one-sided, actual >= X passes
   bool ok = false;
   std::string note;  // "missing from snapshot", "drift +3.2%", ...
 };
@@ -56,9 +65,15 @@ struct BenchCheckReport {
     }
     for (const auto& f : findings) {
       char line[256];
-      std::snprintf(line, sizeof line, "%s %-40s baseline=%.17g actual=%.17g tol=%.3g%% %s\n",
-                    f.ok ? "OK  " : "FAIL", f.key.c_str(), f.baseline, f.actual, f.tol_pct,
-                    f.note.c_str());
+      if (f.is_floor) {
+        std::snprintf(line, sizeof line, "%s %-40s floor=%.17g actual=%.17g %s\n",
+                      f.ok ? "OK  " : "FAIL", f.key.c_str(), f.baseline, f.actual,
+                      f.note.c_str());
+      } else {
+        std::snprintf(line, sizeof line, "%s %-40s baseline=%.17g actual=%.17g tol=%.3g%% %s\n",
+                      f.ok ? "OK  " : "FAIL", f.key.c_str(), f.baseline, f.actual, f.tol_pct,
+                      f.note.c_str());
+      }
       out += line;
     }
     return out;
@@ -86,13 +101,16 @@ struct BenchCheckReport {
     BenchCheckFinding f;
     f.key = key;
     const json::Value* value = spec.find("value");
+    const json::Value* min = spec.find("min");
     const json::Value* tol = spec.find("tol_pct");
-    if (value == nullptr || !value->is_number()) {
-      f.note = "malformed baseline entry (no numeric 'value')";
+    if ((value == nullptr || !value->is_number()) &&
+        (min == nullptr || !min->is_number())) {
+      f.note = "malformed baseline entry (no numeric 'value' or 'min')";
       report.findings.push_back(f);
       continue;
     }
-    f.baseline = value->number;
+    f.is_floor = value == nullptr || !value->is_number();
+    f.baseline = f.is_floor ? min->number : value->number;
     f.tol_pct = tol != nullptr && tol->is_number() ? tol->number : 0.0;
 
     const json::Value* actual =
@@ -103,13 +121,21 @@ struct BenchCheckReport {
       continue;
     }
     f.actual = actual->number;
-    const double allowed = f.tol_pct / 100.0 * std::max(std::fabs(f.baseline), 1.0);
-    const double drift = f.actual - f.baseline;
-    f.ok = std::fabs(drift) <= allowed;
-    if (!f.ok) {
-      char buf[64];
-      std::snprintf(buf, sizeof buf, "drift %+.17g", drift);
-      f.note = buf;
+    char buf[64];
+    if (f.is_floor) {
+      f.ok = f.actual >= f.baseline;
+      if (!f.ok) {
+        std::snprintf(buf, sizeof buf, "below floor by %.17g", f.baseline - f.actual);
+        f.note = buf;
+      }
+    } else {
+      const double allowed = f.tol_pct / 100.0 * std::max(std::fabs(f.baseline), 1.0);
+      const double drift = f.actual - f.baseline;
+      f.ok = std::fabs(drift) <= allowed;
+      if (!f.ok) {
+        std::snprintf(buf, sizeof buf, "drift %+.17g", drift);
+        f.note = buf;
+      }
     }
     report.findings.push_back(f);
   }

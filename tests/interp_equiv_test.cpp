@@ -1,9 +1,10 @@
-// Differential test: the pre-decoded bytecode engine vs the tree-walker.
+// Differential test: the bytecode engines vs the tree-walker.
 //
 // Every PIR fixture (examples/pir/*.pir), the partitioned kvcache program
 // (apps/kvcache/pir_program.hpp), and the PR-1 fault-injection and
-// pointer-auth configurations run under both ExecModes with identical
-// scripts; the two engines must observably agree on
+// pointer-auth configurations run under all three ExecModes — kTreeWalk,
+// kDecoded (flat switch), and kFused (superinstructions + direct-threaded
+// dispatch) — with identical scripts; the engines must observably agree on
 //   * every call's status and return value (including error messages),
 //   * the external-call log (recording enabled on both),
 //   * final global memory, byte for byte (region snapshots via resolve()),
@@ -139,32 +140,39 @@ Observed run_scenario(
   return o;
 }
 
-void expect_equivalent(const Observed& tree, const Observed& decoded) {
-  EXPECT_EQ(tree.results, decoded.results);
-  EXPECT_EQ(tree.log, decoded.log);
-  EXPECT_EQ(tree.instructions, decoded.instructions);
-  EXPECT_EQ(tree.epc, decoded.epc);
-  ASSERT_EQ(tree.globals.size(), decoded.globals.size());
+void expect_equivalent(const Observed& tree, const Observed& other,
+                       const char* engine = "bytecode") {
+  SCOPED_TRACE(std::string("engine: ") + engine);
+  EXPECT_EQ(tree.results, other.results);
+  EXPECT_EQ(tree.log, other.log);
+  EXPECT_EQ(tree.instructions, other.instructions);
+  EXPECT_EQ(tree.epc, other.epc);
+  ASSERT_EQ(tree.globals.size(), other.globals.size());
   for (const auto& [name, bytes] : tree.globals) {
-    auto it = decoded.globals.find(name);
-    ASSERT_NE(it, decoded.globals.end()) << "global " << name;
+    auto it = other.globals.find(name);
+    ASSERT_NE(it, other.globals.end()) << "global " << name;
     EXPECT_EQ(bytes, it->second) << "global " << name << " bytes diverge";
   }
 }
 
 /// Compiles once per engine (each Machine owns its program view) and runs
-/// the identical script under both, asserting every channel matches.
+/// the identical script under all three, asserting the decoded and fused
+/// engines each match the tree-walker on every channel.
 void run_both_and_compare(
     const std::function<Compiled()>& build,
     const std::function<void(interp::Machine&)>& configure,
     const std::function<void(interp::Machine&, Observed&)>& drive) {
   Compiled for_tree = build();
   Compiled for_decoded = build();
+  Compiled for_fused = build();
   const Observed tree =
       run_scenario(*for_tree.program, ExecMode::kTreeWalk, configure, drive);
   const Observed decoded =
       run_scenario(*for_decoded.program, ExecMode::kDecoded, configure, drive);
-  expect_equivalent(tree, decoded);
+  const Observed fused =
+      run_scenario(*for_fused.program, ExecMode::kFused, configure, drive);
+  expect_equivalent(tree, decoded, "decoded");
+  expect_equivalent(tree, fused, "fused");
 }
 
 // ---------------------------------------------------------------------------
@@ -277,7 +285,8 @@ TEST(InterpEquivTest, CallPathBatchingOnAndOffAreObservablyIdentical) {
     for (int i = 0; i < 40; ++i) record_call(m, o, "handle_request", {});
     record_call(m, o, "read_stats", {});
   };
-  for (const ExecMode mode : {ExecMode::kTreeWalk, ExecMode::kDecoded}) {
+  for (const ExecMode mode :
+       {ExecMode::kTreeWalk, ExecMode::kDecoded, ExecMode::kFused}) {
     Compiled a = compile(std::string(apps::kMinicachedCorePir), Mode::kHardened);
     Compiled b = compile(std::string(apps::kMinicachedCorePir), Mode::kHardened);
     const Observed batched = run_scenario(*a.program, mode, bind_net, drive);

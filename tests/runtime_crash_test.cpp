@@ -12,7 +12,8 @@
 //   * a crash with recovery disabled degrades exactly like the pre-§12
 //     runtime: the color is poisoned, waiters drain with a typed fault.
 //
-// Both interpreter engines (kDecoded and kTreeWalk) run the crash points.
+// All three interpreter engines (kTreeWalk, kDecoded, kFused) run the
+// crash points.
 // No test sleeps or waits longer than 2 seconds of wall clock.
 #include <gtest/gtest.h>
 
@@ -410,15 +411,17 @@ std::int64_t read_global(interp::Machine& m, const std::string& name,
   return v;
 }
 
-TEST(MachineCrashTest, ExactlyOnceAtEveryCrashPointOnBothEngines) {
+TEST(MachineCrashTest, ExactlyOnceAtEveryCrashPointOnEveryEngine) {
   for (const interp::ExecMode mode :
-       {interp::ExecMode::kTreeWalk, interp::ExecMode::kDecoded}) {
+       {interp::ExecMode::kTreeWalk, interp::ExecMode::kDecoded,
+        interp::ExecMode::kFused}) {
     for (const CrashPoint point :
          {CrashPoint::kWaitEntry, CrashPoint::kPreSend, CrashPoint::kMidBatch,
           CrashPoint::kPostCheckpoint}) {
-      SCOPED_TRACE(std::string(mode == interp::ExecMode::kDecoded ? "decoded"
-                                                                  : "treewalk") +
-                   "/" + crash_point_name(point));
+      const char* engine = mode == interp::ExecMode::kTreeWalk ? "treewalk"
+                           : mode == interp::ExecMode::kDecoded ? "decoded"
+                                                                : "fused";
+      SCOPED_TRACE(std::string(engine) + "/" + crash_point_name(point));
       CompiledProgram c = compile_two_color();
       interp::Machine m(*c.program, /*epc_limit_bytes=*/0, mode);
       m.enable_fault_recovery(/*wait_deadline=*/30ms, /*max_retries=*/6);

@@ -272,6 +272,42 @@ TEST(BenchCheckTest, FailsOnMissingPinnedKey) {
   EXPECT_NE(report.to_string().find("missing from snapshot"), std::string::npos);
 }
 
+TEST(BenchCheckTest, FloorPassesAtOrAboveAndNeverCapsImprovement) {
+  const auto baselines =
+      parse_or_die_json(R"({"bench": {"ratio": {"min": 1.3}}})");
+  for (const char* actual : {"1.3", "1.31", "97.0"}) {
+    const auto snapshot = parse_or_die_json(
+        (R"({"benchmark": "bench", "metrics": {"ratio": )" + std::string(actual) + "}}")
+            .c_str());
+    const auto report = support::check_bench(baselines, snapshot);
+    EXPECT_TRUE(report.ok()) << actual << "\n" << report.to_string();
+    ASSERT_EQ(report.findings.size(), 1u);
+    EXPECT_TRUE(report.findings[0].is_floor);
+  }
+}
+
+TEST(BenchCheckTest, FloorFailsBelow) {
+  const auto baselines =
+      parse_or_die_json(R"({"bench": {"ratio": {"min": 1.3}}})");
+  const auto snapshot =
+      parse_or_die_json(R"({"benchmark": "bench", "metrics": {"ratio": 1.25}})");
+  const auto report = support::check_bench(baselines, snapshot);
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(report.to_string().find("below floor"), std::string::npos);
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_TRUE(report.findings[0].is_floor);
+  EXPECT_EQ(report.findings[0].baseline, 1.3);
+}
+
+TEST(BenchCheckTest, FloorMissingFromSnapshotFails) {
+  const auto baselines =
+      parse_or_die_json(R"({"bench": {"ratio": {"min": 1.3}}})");
+  const auto snapshot = parse_or_die_json(R"({"benchmark": "bench", "metrics": {}})");
+  const auto report = support::check_bench(baselines, snapshot);
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(report.to_string().find("missing from snapshot"), std::string::npos);
+}
+
 TEST(BenchCheckTest, SkipsUnknownBenchmark) {
   const auto baselines = parse_or_die_json(R"({"other": {}})");
   const auto snapshot = parse_or_die_json(R"({"benchmark": "bench", "metrics": {"x": 1}})");

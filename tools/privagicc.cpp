@@ -14,6 +14,10 @@
 //                             Informational: exits 0 even when lints fire,
 //                             and even when the type checker rejects the
 //                             program (the report contains its E-codes).
+//   --dump-bytecode[=fused]   print the decoded register bytecode of every
+//                             partitioned function and stop; =fused runs the
+//                             superinstruction pass first and annotates each
+//                             fused op with its pre-fusion origin indices.
 //   --run ENTRY [ARGS...]     execute an interface on the simulated machine
 //   --trace-out=FILE          capture a Chrome trace_event JSON of the --run
 //                             execution (load in chrome://tracing / perfetto)
@@ -30,6 +34,7 @@
 #include <vector>
 
 #include "analysis/pass_manager.hpp"
+#include "interp/disasm.hpp"
 #include "interp/machine.hpp"
 #include "ir/parser.hpp"
 #include "obs/metrics.hpp"
@@ -46,8 +51,8 @@ int usage() {
   std::fprintf(stderr,
                "usage: privagicc [--mode=hardened|relaxed] [--split-structs] [--gather-shared]\n"
                "                 [--emit-input] [--emit-partitioned] [--chunks]\n"
-               "                 [--colors] [--tcb] [--lint[=json]] [--run ENTRY [ARGS...]]\n"
-               "                 [--trace-out=FILE] file.pir\n");
+               "                 [--colors] [--tcb] [--lint[=json]] [--dump-bytecode[=fused]]\n"
+               "                 [--run ENTRY [ARGS...]] [--trace-out=FILE] file.pir\n");
   return 2;
 }
 
@@ -66,6 +71,8 @@ int main(int argc, char** argv) {
   bool show_tcb = false;
   bool lint = false;
   bool lint_json = false;
+  bool dump_bytecode = false;
+  bool dump_fused = false;
   std::string run_entry;
   std::vector<std::int64_t> run_args;
   std::string trace_out;
@@ -96,6 +103,11 @@ int main(int argc, char** argv) {
     } else if (arg == "--lint=json") {
       lint = true;
       lint_json = true;
+    } else if (arg == "--dump-bytecode") {
+      dump_bytecode = true;
+    } else if (arg == "--dump-bytecode=fused") {
+      dump_bytecode = true;
+      dump_fused = true;
     } else if (arg.rfind("--trace-out=", 0) == 0) {
       trace_out = arg.substr(std::strlen("--trace-out="));
       if (trace_out.empty()) return usage();
@@ -215,6 +227,15 @@ int main(int argc, char** argv) {
   }
   if (emit_partitioned) {
     std::fputs(ir::print_module(*result.value()->module).c_str(), stdout);
+  }
+  if (dump_bytecode) {
+    // A throwaway Machine decodes (and optionally fuses) the program; its
+    // workers never run a call, so construction cost is all there is.
+    interp::Machine machine(*result.value(), /*epc_limit_bytes=*/0,
+                            dump_fused ? interp::ExecMode::kFused
+                                       : interp::ExecMode::kDecoded);
+    std::fputs(interp::bc::disassemble_program(machine).c_str(), stdout);
+    return 0;
   }
 
   if (!run_entry.empty() && !trace_out.empty()) {
