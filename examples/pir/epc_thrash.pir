@@ -1,0 +1,44 @@
+; An undersized placement: one enclave owns far more state than machine A's
+; EPC (93 MiB usable, §9.1). The type checker is perfectly happy — nothing
+; leaks — but the runtime's per-color EPC budget (DESIGN.md §14) will page
+; this color continuously, charging epc_fault_ns per 4 KiB moved. The L303
+; lint predicts that from the same cost oracle at plan time:
+;
+;   $ privagicc --lint examples/pir/epc_thrash.pir
+;
+; warns that color 'store' (~99 MiB of colored data) thrashes on machine-A
+; and suggests splitting the data or targeting an SGXv2-class EPC.
+module "epc_thrash"
+
+; 13,000,000 x 8 bytes ≈ 99 MiB in a single enclave: over the 93 MiB EPC.
+global [13000000 x i64] @hot_values color(store)
+global [256 x i64] @hot_keys color(store)
+
+declare i64 @classify(i64) ignore
+declare i64 @declassify(i64) ignore
+declare i64 @net_recv()
+declare void @net_send(i64)
+
+define i64 @lookup(i64 %key) entry {
+entry:
+  %ck = call i64 @classify(i64 %key)
+  %idx = and i64 %ck, i64 255
+  %kp = gep ptr<[256 x i64] color(store)> @hot_keys, index %idx
+  %sk = load ptr<i64 color(store)> %kp
+  %slot = and i64 %sk, i64 255
+  %vp = gep ptr<[13000000 x i64] color(store)> @hot_values, index %slot
+  %v = load ptr<i64 color(store)> %vp
+  ; derive a public digest before declassifying (keeps L202 quiet — this
+  ; example is about capacity, not declassification hygiene)
+  %digest = and i64 %v, i64 65535
+  %dv = call i64 @declassify(i64 %digest)
+  ret i64 %dv
+}
+
+define i64 @handle_request() entry {
+entry:
+  %req = call i64 @net_recv()
+  %resp = call i64 @lookup(i64 %req)
+  call void @net_send(i64 %resp)
+  ret i64 %resp
+}

@@ -1,6 +1,7 @@
 #include "analysis/lints.hpp"
 
 #include <algorithm>
+#include <map>
 #include <sstream>
 #include <unordered_set>
 
@@ -8,6 +9,7 @@
 #include "ir/use_def.hpp"
 #include "partition/intrinsics.hpp"
 #include "partition/plan.hpp"
+#include "sgx/cost_model.hpp"
 
 namespace privagic::analysis {
 
@@ -270,6 +272,109 @@ void ChunkCostEstimator::run(const AnalysisContext& ctx, sectype::DiagnosticEngi
                  "narrow the colored data this function touches, or split it so each "
                  "piece touches fewer colors (§7.3.1)");
     }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// L303 — EPC budget (plan-time thrash prediction)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string mib_string(std::uint64_t bytes) {
+  std::ostringstream os;
+  const double mib = static_cast<double>(bytes) / (1024.0 * 1024.0);
+  if (mib >= 10.0) {
+    os << static_cast<std::uint64_t>(mib + 0.5);
+  } else {
+    os.precision(2);
+    os << std::fixed << mib;
+  }
+  return os.str() + " MiB";
+}
+
+}  // namespace
+
+void EpcBudgetLint::run(const AnalysisContext& ctx, sectype::DiagnosticEngine& diags) {
+  if (ctx.types == nullptr) return;
+
+  // Per-color resident-set estimate — the static mirror of SimMemory's
+  // per-color accounting. Data: every colored global and every colored
+  // alloca/heap_alloc site counts its contained type once (one live instance
+  // per site is the same first-order estimate L301 makes for code).
+  std::map<std::string, std::uint64_t> data_bytes;
+  for (const auto& g : ctx.module->globals()) {
+    if (g->color().empty()) continue;
+    data_bytes[g->color()] += g->contained_type()->size_bytes();
+  }
+  for (const auto& fn : ctx.module->functions()) {
+    for (const auto& bb : fn->blocks()) {
+      for (const auto& inst : bb->instructions()) {
+        if (inst->opcode() == ir::Opcode::kAlloca) {
+          const auto* a = static_cast<const ir::AllocaInst*>(inst.get());
+          if (!a->color().empty()) data_bytes[a->color()] += a->contained_type()->size_bytes();
+        } else if (inst->opcode() == ir::Opcode::kHeapAlloc) {
+          const auto* h = static_cast<const ir::HeapAllocInst*>(inst.get());
+          if (!h->color().empty()) data_bytes[h->color()] += h->contained_type()->size_bytes();
+        }
+      }
+    }
+  }
+
+  // Code: L301's replication estimate — every chunk the planner's fold rule
+  // predicts places the specialization's instructions inside that color's
+  // enclave (EADD'd code pages compete with data for the EPC).
+  std::map<std::string, std::uint64_t> footprint = data_bytes;
+  for (const sectype::SpecFacts* facts : ctx.types->reachable_specs()) {
+    const ir::Function* fn = facts->sig().fn;
+    if (fn->is_declaration()) continue;
+    std::size_t insts = 0;
+    for (const auto& bb : fn->blocks()) insts += bb->instructions().size();
+    for (const Color& c : partition::fold_colors(facts->color_set())) {
+      if (!c.is_concrete()) continue;
+      footprint[c.to_string()] += insts * kCodeBytesPerInstruction;
+    }
+  }
+
+  struct Target {
+    const char* label;
+    sgx::CostParams params;
+  };
+  const Target targets[] = {{"machine-A", sgx::CostParams::machine_a()},
+                            {"machine-B", sgx::CostParams::machine_b()}};
+
+  // std::map iteration keeps the per-color emission order stable.
+  for (const auto& [color, bytes] : footprint) {
+    std::ostringstream over;
+    bool thrashes = false;
+    for (const Target& t : targets) {
+      // No EWB cost (machine B's SGXv2) means an over-EPC set is a capacity
+      // question, not a thrash risk — the runtime budget charges nothing.
+      if (bytes <= t.params.epc_bytes || t.params.epc_fault_ns <= 0.0) continue;
+      const sgx::CostModel model(t.params);
+      const double at_footprint =
+          model.memory_access_ns(bytes, 1.0, sgx::AccessMode::kEnclave);
+      const double resident =
+          model.memory_access_ns(t.params.epc_bytes, 1.0, sgx::AccessMode::kEnclave);
+      if (thrashes) over << ", ";
+      over << t.label << " (" << mib_string(t.params.epc_bytes) << " EPC, ~"
+           << static_cast<std::uint64_t>(at_footprint / resident + 0.5)
+           << "x per-access cost once paging)";
+      thrashes = true;
+    }
+    if (!thrashes) continue;
+
+    diags.lint("L303", Severity::kWarning, "color(" + color + ")", "",
+               "placement will thrash EPC: color " + color +
+                   "'s estimated resident set of " + mib_string(bytes) + " (" +
+                   mib_string(data_bytes.count(color) != 0 ? data_bytes.at(color) : 0) +
+                   " data + replicated code) exceeds the EPC on " + over.str() +
+                   "; the runtime budget (DESIGN.md §14) will page it against "
+                   "epc_fault_ns",
+               "shrink or split color(" + color +
+                   ")'s data across enclaves, target an SGXv2-class EPC (machine-B), "
+                   "or accept the charged EWB cost and raise the budget watermark "
+                   "deliberately");
   }
 }
 

@@ -10,6 +10,9 @@
 //                                            estimate
 //   L302  chunk explosion           warning  predicted chunk count or code
 //                                            blowup above threshold
+//   L303  EPC thrash                 warning  a color's estimated resident
+//                                            set exceeds a target machine's
+//                                            EPC; the §14 budget will page
 //   L401  unpromoted alloca         warning  §5.1 inference kept an alloca
 //                                            in memory; names the reason and
 //                                            the escaping instruction
@@ -58,6 +61,27 @@ class ChunkCostEstimator final : public LintPass {
   static constexpr std::size_t kExplosionChunks = 3;
 
   [[nodiscard]] std::string_view name() const override { return "chunk-cost-estimator"; }
+  [[nodiscard]] Phase phase() const override { return Phase::kPostTypeAnalysis; }
+  void run(const AnalysisContext& ctx, sectype::DiagnosticEngine& diags) override;
+};
+
+/// L303. Plan-time mirror of the runtime's per-color EPC budget
+/// (DESIGN.md §14): estimates each color's enclave resident set — colored
+/// globals, colored alloca/heap_alloc sites, and the code replication L301
+/// predicts — and folds it against the §9.1 testbeds'
+/// CostModel::machine_a()/machine_b() EPC sizes. A color that does not fit a
+/// machine with a nonzero epc_fault_ns gets a warning quoting the predicted
+/// per-access slowdown from the same cost oracle SimMemory charges at run
+/// time, so budgeting and the future k-way placement search consume one
+/// oracle.
+class EpcBudgetLint final : public LintPass {
+ public:
+  /// Bytes of enclave code attributed per replicated IR instruction (EADD'd
+  /// pages hold code too; a round x86-ish encoding estimate is enough for a
+  /// fits/thrashes verdict dominated by data).
+  static constexpr std::uint64_t kCodeBytesPerInstruction = 32;
+
+  [[nodiscard]] std::string_view name() const override { return "epc-budget"; }
   [[nodiscard]] Phase phase() const override { return Phase::kPostTypeAnalysis; }
   void run(const AnalysisContext& ctx, sectype::DiagnosticEngine& diags) override;
 };

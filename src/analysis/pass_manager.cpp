@@ -10,6 +10,7 @@ PassManager PassManager::with_default_passes(sectype::Mode mode) {
   pm.add_pass(std::make_unique<UnderColoringAdvisor>());
   pm.add_pass(std::make_unique<DeclassificationAudit>());
   pm.add_pass(std::make_unique<ChunkCostEstimator>());
+  pm.add_pass(std::make_unique<EpcBudgetLint>());
   pm.add_pass(std::make_unique<CrossColorRaceLint>());
   return pm;
 }

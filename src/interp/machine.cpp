@@ -568,9 +568,13 @@ void Machine::run_chunk(runtime::ThreadRuntime& rt, std::uint64_t chunk_id, std:
       const std::lock_guard<std::mutex> lock(log_mu_);
       if (first_error_.empty()) {
         first_error_ = e.what();
-        const auto* fault = dynamic_cast<const runtime::RuntimeFault*>(&e);
-        first_error_code_ =
-            fault != nullptr ? fault->code() : StatusCode::kGeneric;
+        if (const auto* fault = dynamic_cast<const runtime::RuntimeFault*>(&e)) {
+          first_error_code_ = fault->code();
+        } else if (dynamic_cast<const sgx::EpcExhausted*>(&e) != nullptr) {
+          first_error_code_ = sgx::EpcExhausted::code();
+        } else {
+          first_error_code_ = StatusCode::kGeneric;
+        }
       }
     }
     if ((flags & partition::kFlagSendResult) != 0) {
@@ -664,6 +668,22 @@ std::int64_t Machine::call_external(const ir::Function* callee,
   return it->second(ctx, args);
 }
 
+std::optional<Result<std::int64_t>> Machine::take_worker_error() {
+  std::string error;
+  StatusCode code = StatusCode::kGeneric;
+  {
+    const std::lock_guard<std::mutex> lock(log_mu_);
+    error = std::move(first_error_);
+    code = first_error_code_;
+    first_error_.clear();
+    first_error_code_ = StatusCode::kGeneric;
+  }
+  if (error.empty()) return std::nullopt;
+  // A worker failed mid-protocol; surface its failure kind so callers can
+  // branch on it (a recovery timeout is a runtime trap, not a hang).
+  return Result<std::int64_t>(Status::error(code, "worker failed: " + error));
+}
+
 Result<std::int64_t> Machine::call(const std::string& name, std::vector<std::int64_t> args) {
   auto it = program_.interfaces.find(name);
   const ir::Function* fn =
@@ -697,23 +717,21 @@ Result<std::int64_t> Machine::call(const std::string& name, std::vector<std::int
     span.result = r;
     // Snapshot the worker-side failure under the lock AND clear it, so one
     // failed call does not poison every later call on this machine.
-    std::string error;
-    StatusCode code = StatusCode::kGeneric;
-    {
-      const std::lock_guard<std::mutex> lock(log_mu_);
-      error = std::move(first_error_);
-      code = first_error_code_;
-      first_error_.clear();
-      first_error_code_ = StatusCode::kGeneric;
-    }
-    if (!error.empty()) {
-      // A worker failed mid-protocol; surface its failure kind so callers
-      // can branch on it (a recovery timeout is a runtime trap, not a hang).
-      return Result<std::int64_t>(Status::error(code, "worker failed: " + error));
-    }
+    if (auto failed = take_worker_error()) return *failed;
     return r;
   } catch (const runtime::RuntimeFault& f) {
+    // A driver-side fault (timed-out wait, retransmit exhaustion) is often
+    // the *symptom* of a worker that already died mid-chunk — e.g. a typed
+    // EPC-budget fault inside an enclave leaves the driver waiting on a cont
+    // that never comes. Prefer the worker's recorded root cause so callers
+    // (and all three engines) see the same typed status either way.
+    if (auto failed = take_worker_error()) return *failed;
     return Result<std::int64_t>(f.status());
+  } catch (const sgx::EpcExhausted& e) {
+    // A host-side (unsafe-entry) allocation blew a color's budget: same
+    // typed code the worker-side path records, so all tiers and both
+    // throw sites look identical to callers.
+    return Result<std::int64_t>(Status::error(sgx::EpcExhausted::code(), e.what()));
   } catch (const std::exception& e) {
     return Result<std::int64_t>::error(e.what());
   }

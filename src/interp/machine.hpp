@@ -30,6 +30,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <thread>
 #include <string>
@@ -217,6 +218,9 @@ class Machine {
   /// Shared by both engines.
   std::int64_t call_external(const ir::Function* callee,
                              std::span<const std::int64_t> args, sgx::ColorId me);
+  /// Snapshots and clears the first worker-side failure of this call, as a
+  /// ready-to-return error Result; std::nullopt when no worker failed.
+  [[nodiscard]] std::optional<Result<std::int64_t>> take_worker_error();
   void log_external(const std::string& entry);
 
   const partition::PartitionResult& program_;

@@ -407,6 +407,34 @@ inline void on_region_free(std::int64_t color, std::uint64_t base, std::uint64_t
   }
 }
 
+/// The EPC budget clock paged a region out of @p color's simulated EPC
+/// (DESIGN.md §14), charging @p charged_ns of simulated EWB time. Metrics
+/// only — paging is already visible in the charged-time series and an event
+/// per eviction would dominate a thrashing trace.
+inline void on_epc_evict(std::int64_t color, std::uint64_t bytes, double charged_ns) {
+  if (metrics_enabled()) {
+    static PerColorCounter& evictions = MetricsRegistry::global().per_color("sgx.epc_evictions");
+    static PerColorCounter& evicted = MetricsRegistry::global().per_color("sgx.epc_bytes_evicted");
+    static PerColorCounter& ns = MetricsRegistry::global().per_color("sgx.epc_fault_ns");
+    evictions.add(color);
+    evicted.add(color, bytes);
+    ns.add(color, static_cast<std::uint64_t>(charged_ns));
+  }
+}
+
+/// A slow-path access hit a paged-out region and reloaded it (simulated
+/// ELDU), charging @p charged_ns. Shares the charged-time series with evicts.
+inline void on_epc_fault(std::int64_t color, std::uint64_t bytes, double charged_ns) {
+  if (metrics_enabled()) {
+    static PerColorCounter& faults = MetricsRegistry::global().per_color("sgx.epc_faults");
+    static PerColorCounter& reloaded = MetricsRegistry::global().per_color("sgx.epc_bytes_reloaded");
+    static PerColorCounter& ns = MetricsRegistry::global().per_color("sgx.epc_fault_ns");
+    faults.add(color);
+    reloaded.add(color, bytes);
+    ns.add(color, static_cast<std::uint64_t>(charged_ns));
+  }
+}
+
 #else  // !PRIVAGIC_TRACE — every hook is a literal no-op.
 
 [[nodiscard]] inline std::uint64_t msg_send_tick(std::uint8_t) { return 0; }
@@ -435,6 +463,8 @@ inline void on_chunk_dispatch(std::int64_t, std::int64_t, std::int64_t) {}
 inline void on_budget_flush(std::uint64_t) {}
 inline void on_region_alloc(std::int64_t, std::uint64_t, std::uint64_t) {}
 inline void on_region_free(std::int64_t, std::uint64_t, std::uint64_t) {}
+inline void on_epc_evict(std::int64_t, std::uint64_t, double) {}
+inline void on_epc_fault(std::int64_t, std::uint64_t, double) {}
 
 #endif  // PRIVAGIC_TRACE
 

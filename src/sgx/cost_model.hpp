@@ -18,7 +18,10 @@
 //  * lockfree_msg_ns — Privagic's lock-free FIFO hop (§9.3.2 attributes part
 //    of Privagic's edge over Intel-sdk-1 to this gap).
 //  * epc_fault_ns — SGXv1 EPC paging (EWB) per faulting access, charged when
-//    the *hot* working set exceeds the EPC (machine A only).
+//    the *hot* working set exceeds the EPC (machine A only). The same number
+//    parameterizes the runtime's per-color EPC budget (SimMemory's EpcBudget,
+//    DESIGN.md §14) and the plan-time L303 thrash lint, so the analytic
+//    model, the enforcement layer, and the planner share one oracle.
 //  * llc_* / epc_bytes — the two testbeds of §9.1.
 #pragma once
 

@@ -28,6 +28,7 @@ enum class StatusCode {
   kWatchdogTimeout,      // the watchdog unwedged this worker's blocked wait
   kRetransmitExhausted,  // every retry retransmitted and the window still ran dry
   kAttestationFailed,    // a restarting enclave presented a stale/tampered checkpoint
+  kEpcExhausted,         // an allocation exceeded a color's enforced EPC budget
 };
 
 /// Short stable name for a code ("timeout", "worker-poisoned", ...).
@@ -43,6 +44,7 @@ enum class StatusCode {
     case StatusCode::kWatchdogTimeout: return "watchdog-timeout";
     case StatusCode::kRetransmitExhausted: return "retransmit-exhausted";
     case StatusCode::kAttestationFailed: return "attestation-failed";
+    case StatusCode::kEpcExhausted: return "epc-exhausted";
   }
   return "?";
 }

@@ -550,6 +550,59 @@ entry:
 }
 
 // ---------------------------------------------------------------------------
+// L303 — EPC thrash planner
+// ---------------------------------------------------------------------------
+
+TEST(EpcBudgetLintTest, WarnsWhenAColorOutgrowsMachineAsEpc) {
+  // ~99 MiB of store-colored data vs machine-A's 93 MiB EPC: the runtime
+  // budget (DESIGN.md §14) would page this placement, so the planner warns.
+  // Machine-B's SGXv2-class EPC both fits it and charges no EWB cost, so the
+  // warning must single out machine-A.
+  const auto diags = run_lints(R"(
+module "l303"
+global [13000000 x i64] @hot color(store)
+declare i64 @declassify(i64) ignore
+define i64 @peek(i64 %i) entry {
+entry:
+  %m = and i64 %i, i64 255
+  %p = gep ptr<[13000000 x i64] color(store)> @hot, index %m
+  %v = load ptr<i64 color(store)> %p
+  %d = and i64 %v, i64 65535
+  %r = call i64 @declassify(i64 %d)
+  ret i64 %r
+}
+)");
+  ASSERT_TRUE(diags.has_code("L303"));
+  const sectype::Diagnostic* d = diags.find_code("L303");
+  EXPECT_EQ(d->severity, sectype::Severity::kWarning);
+  EXPECT_NE(d->message.find("placement will thrash EPC"), std::string::npos) << d->message;
+  EXPECT_NE(d->message.find("color store"), std::string::npos) << d->message;
+  EXPECT_NE(d->message.find("machine-A"), std::string::npos) << d->message;
+  EXPECT_EQ(d->message.find("machine-B"), std::string::npos) << d->message;
+  EXPECT_NE(d->message.find("per-access cost once paging"), std::string::npos) << d->message;
+  EXPECT_NE(d->fixit.find("split color(store)"), std::string::npos) << d->fixit;
+}
+
+TEST(EpcBudgetLintTest, StaysQuietWhenEveryColorFitsTheEpc) {
+  // A few KiB of colored state fits either machine's EPC with room to spare.
+  const auto diags = run_lints(R"(
+module "l303_fits"
+global [256 x i64] @small color(store)
+declare i64 @declassify(i64) ignore
+define i64 @peek(i64 %i) entry {
+entry:
+  %m = and i64 %i, i64 255
+  %p = gep ptr<[256 x i64] color(store)> @small, index %m
+  %v = load ptr<i64 color(store)> %p
+  %d = and i64 %v, i64 65535
+  %r = call i64 @declassify(i64 %d)
+  ret i64 %r
+}
+)");
+  EXPECT_FALSE(diags.has_code("L303"));
+}
+
+// ---------------------------------------------------------------------------
 // L401/L402 — escape report
 // ---------------------------------------------------------------------------
 
@@ -704,6 +757,8 @@ join:
 TEST(UndercoloredKvTest, AdvisorNamesTheExactLocationsToColor) {
   const auto diags = run_lints(kUndercoloredKv);
   EXPECT_EQ(diags.count_code("L101"), 2u);
+  // The store color's few KiB fit any EPC: the thrash planner stays quiet.
+  EXPECT_FALSE(diags.has_code("L303"));
   bool named_last_value = false;
   bool named_last_key = false;
   for (const auto& d : diags.diagnostics()) {

@@ -386,5 +386,64 @@ entry:
       });
 }
 
+// Each call heap-allocs 64 KiB of colored values that outlive the call, so a
+// hard-capped budget exhausts on a deterministic call index; the typed fault
+// (StatusCode::kEpcExhausted), its message, the instruction counts, and the
+// per-color EPC accounting must agree across all three engines.
+TEST(InterpEquivTest, EpcBudgetFaultMatchesAcrossEngines) {
+  const char* text = R"(
+module "epcgrow"
+global i64 @tally color(store)
+global ptr<[8192 x i64] color(store)> @keep color(store)
+declare i64 @classify(i64) ignore
+declare i64 @declassify(i64) ignore
+define i64 @grow(i64 %v) entry {
+entry:
+  %c = call i64 @classify(i64 %v)
+  %p = heap_alloc [8192 x i64] color(store)
+  store ptr<[8192 x i64] color(store)> %p, ptr<ptr<[8192 x i64] color(store)> color(store)> @keep
+  %old = load ptr<i64 color(store)> @tally
+  %new = add i64 %old, i64 %c
+  store i64 %new, ptr<i64 color(store)> @tally
+  %d = call i64 @declassify(i64 %new)
+  ret i64 %d
+}
+)";
+  // Record the typed status code alongside the message: the budget fault
+  // must surface as kEpcExhausted (not kGeneric) on every tier.
+  auto record_typed = [](interp::Machine& m, Observed& o) {
+    auto r = m.call("grow", {1});
+    o.results.push_back(r.ok() ? "ok " + std::to_string(r.value())
+                               : std::string("err [") +
+                                     status_code_name(r.status().code()) + "] " +
+                                     r.message());
+  };
+  run_both_and_compare(
+      [&] { return compile(text, Mode::kHardened); },
+      [](interp::Machine& m) {
+        sgx::EpcBudget budget;
+        budget.hard_limit = 160 * 1024;  // two 64 KiB growths fit, not three
+        m.memory().set_epc_budget(budget);
+        // The store enclave dies at the faulting heap_alloc, mid cross-color
+        // protocol; timed waits let the driver drain instead of wedging, and
+        // call() surfaces the worker's typed root cause over its own timeout.
+        m.enable_fault_recovery(/*wait_deadline=*/100ms, /*max_retries=*/3);
+      },
+      [&](interp::Machine& m, Observed& o) {
+        for (int i = 0; i < 4; ++i) record_typed(m, o);
+        // The cap must actually have tripped — typed, with the allocator's
+        // wording — and the machine must keep faulting (not wedge) once full.
+        ASSERT_EQ(o.results.size(), 4u);
+        bool tripped = false;
+        for (const std::string& r : o.results) {
+          if (r.find("err [epc-exhausted]") == 0 &&
+              r.find("exceeds EPC limit") != std::string::npos) {
+            tripped = true;
+          }
+        }
+        EXPECT_TRUE(tripped) << "no typed EPC fault in results";
+      });
+}
+
 }  // namespace
 }  // namespace privagic

@@ -452,8 +452,56 @@ TEST(MachineCrashTest, ExactlyOnceAtEveryCrashPointOnEveryEngine) {
       EXPECT_TRUE(eventually([&] { return m.runtime_stats().worker_crashes >= 1; }))
           << "the armed point was never reached";
       EXPECT_EQ(m.runtime_stats().poisoned_workers, 0u);
+      // The checkpoint restore re-derives EPC accounting from live regions;
+      // pre-fix the crashed enclave's stale `epc_used_` survived the restore
+      // and drifted from the regions actually resident.
+      for (const sgx::ColorId color : {blue, red}) {
+        EXPECT_EQ(m.memory().epc_used(color), m.memory().live_bytes(color))
+            << "EPC accounting drifted for color " << color;
+      }
     }
   }
+}
+
+TEST(MachineCrashTest, HostileSealedImageAbortsRestoreWithoutCorruption) {
+  // Regression for the restore_color bounds check. Pre-fix the per-region
+  // length check was `off + size > image.size()`, which an attacker-chosen
+  // size near UINT64_MAX wraps past: the check passes, `off += size` wraps
+  // the cursor to ~2^64, and the next header memcpy reads from a wild
+  // pointer. The fixed checks are written subtraction-side, so a corrupted
+  // sealed image aborts the restore at the damage — no bytes rewritten, and
+  // the color's EPC accounting re-derived from its live regions.
+  CompiledProgram c = compile_two_color();
+  interp::Machine m(*c.program);
+  ASSERT_TRUE(m.call("main", {}).ok());
+  const sgx::ColorId blue = c.program->color_id(sectype::Color::named("blue"));
+  ASSERT_EQ(read_global(m, "blue", blue), 21);
+  const std::uint64_t used_before = m.memory().epc_used(blue);
+  ASSERT_GT(used_before, 0u);
+
+  auto put_u64 = [](std::vector<std::byte>& img, std::uint64_t v) {
+    const auto* p = reinterpret_cast<const std::byte*>(&v);
+    img.insert(img.end(), p, p + sizeof v);
+  };
+
+  // Two regions claimed; the first header's size wraps the cursor so the
+  // second header would be read from out-of-bounds memory.
+  std::vector<std::byte> wrap;
+  put_u64(wrap, /*count=*/2);
+  put_u64(wrap, /*base=*/m.global_address("blue"));
+  put_u64(wrap, /*size=*/UINT64_MAX - 31);  // off 24 + size wraps to 2^64-8
+  m.memory().restore_color(blue, wrap);
+
+  // One region whose claimed size exceeds the bytes actually present.
+  std::vector<std::byte> truncated;
+  put_u64(truncated, /*count=*/1);
+  put_u64(truncated, /*base=*/m.global_address("blue"));
+  put_u64(truncated, /*size=*/4096);  // image ends right after the header
+  m.memory().restore_color(blue, truncated);
+
+  EXPECT_EQ(read_global(m, "blue", blue), 21) << "hostile restore wrote bytes";
+  EXPECT_EQ(m.memory().epc_used(blue), used_before);
+  EXPECT_EQ(m.memory().epc_used(blue), m.memory().live_bytes(blue));
 }
 
 TEST(MachineCrashTest, TamperedCheckpointSurfacesAsTypedAttestationFailure) {

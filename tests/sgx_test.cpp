@@ -70,6 +70,128 @@ TEST(SimMemoryTest, EpcAccounting) {
   mem.allocate(1000, 1);
 }
 
+TEST(SimMemoryTest, HardCapFaultIsTyped) {
+  SimMemory mem(/*epc_limit_bytes=*/1024);
+  mem.allocate(600, 1);
+  try {
+    mem.allocate(600, 1);
+    FAIL() << "allocation over the hard cap must throw";
+  } catch (const EpcExhausted& e) {
+    EXPECT_EQ(EpcExhausted::code(), StatusCode::kEpcExhausted);
+    EXPECT_STREQ(e.what(), "enclave 1 exceeds EPC limit");
+  }
+  // A rejected allocation charges nothing.
+  EXPECT_EQ(mem.epc_used(1), 600u);
+}
+
+TEST(SimMemoryTest, CoversRejectsOnePastEndAndForeignAddresses) {
+  SimMemory mem;
+  const std::uint64_t base = mem.allocate(32, kUnsafe);
+  const SimMemory::RegionHandle h = mem.resolve(base, 1, kUnsafe);
+  EXPECT_TRUE(h.covers(base, 32));
+  EXPECT_TRUE(h.covers(base + 31, 1));       // last byte
+  EXPECT_TRUE(h.covers(base + 31, 0));       // zero-length on an owned byte
+  EXPECT_FALSE(h.covers(base + 32, 0));      // one past the end, even empty:
+  EXPECT_FALSE(h.covers(base + 32, 1));      // the next region may own it
+  EXPECT_FALSE(h.covers(base + 16, 17));     // tail crosses the end
+  EXPECT_FALSE(h.covers(base - 1, 1));       // before the region
+}
+
+TEST(SimMemoryTest, WatermarkEvictsAndChargesFaultNs) {
+  SimMemory mem;
+  EpcBudget budget;
+  budget.epc_bytes = 64 * 1024;
+  budget.watermark = 0.5;  // page down to 32 KiB
+  budget.fault_ns = 5400.0;
+  mem.set_epc_budget(budget);
+
+  const std::uint64_t a = mem.allocate(16 * 1024, 1);
+  mem.allocate(16 * 1024, 1);  // at the watermark: nothing pages yet
+  EXPECT_EQ(mem.epc_evictions(1), 0u);
+  EXPECT_EQ(mem.epc_resident(1), 32u * 1024);
+
+  mem.allocate(16 * 1024, 1);  // over: the clock evicts the oldest (a)
+  EXPECT_EQ(mem.epc_evictions(1), 1u);
+  EXPECT_EQ(mem.epc_resident(1), 32u * 1024);
+  EXPECT_EQ(mem.epc_used(1), 48u * 1024);  // nothing is lost, only paged
+
+  // Touching the paged-out region faults it back in (charged) and pages the
+  // next victim out behind the clock hand.
+  std::byte buf[8] = {};
+  mem.read(a, buf, 1);
+  EXPECT_EQ(mem.epc_faults(1), 1u);
+  EXPECT_EQ(mem.epc_evictions(1), 2u);
+  // Every 16 KiB move is 4 pages x 5400 ns; 3 moves so far (2 EWB + 1 ELDU).
+  EXPECT_DOUBLE_EQ(mem.epc_fault_ns_charged(1), 3 * 4 * 5400.0);
+  // Region contents survive paging verbatim.
+  std::int64_t v = 0;
+  std::memcpy(&v, buf, 8);
+  EXPECT_EQ(v, 0);
+}
+
+TEST(SimMemoryTest, UnsafeMemoryIsNeverBudgeted) {
+  SimMemory mem(/*epc_limit_bytes=*/1024);
+  EpcBudget budget;
+  budget.epc_bytes = 4096;
+  budget.fault_ns = 5400.0;
+  budget.hard_limit = 1024;
+  mem.set_epc_budget(budget);
+  const std::uint64_t big = mem.allocate(1 << 20, kUnsafe);  // no throw
+  std::byte buf[8] = {};
+  mem.read(big, buf, kUnsafe);
+  EXPECT_EQ(mem.epc_used(kUnsafe), 0u);
+  EXPECT_EQ(mem.epc_evictions(kUnsafe), 0u);
+}
+
+TEST(SimMemoryTest, RestoreColorRejectsHostileRegionSize) {
+  SimMemory mem;
+  const std::uint64_t addr = mem.allocate(16, 1);
+  const std::int64_t sentinel = 0x5EC2E7;
+  std::byte bytes[8];
+  std::memcpy(bytes, &sentinel, 8);
+  mem.write(addr, bytes, 1);
+
+  // Hostile image: count=1, a valid base, and size near UINT64_MAX. The
+  // pre-fix guard computed off + size, which wraps past image.size() and
+  // admits a wild out-of-bounds read; the subtraction-side guard rejects it.
+  std::vector<std::byte> image(3 * sizeof(std::uint64_t));
+  const std::uint64_t count = 1;
+  const std::uint64_t hostile_size = UINT64_MAX - 8;
+  std::memcpy(image.data(), &count, 8);
+  std::memcpy(image.data() + 8, &addr, 8);
+  std::memcpy(image.data() + 16, &hostile_size, 8);
+  mem.restore_color(1, image);
+
+  // The restore aborted cleanly: contents and accounting are untouched.
+  std::byte out[8];
+  mem.read(addr, out, 1);
+  EXPECT_EQ(std::memcmp(out, bytes, 8), 0);
+  EXPECT_EQ(mem.epc_used(1), 16u);
+}
+
+TEST(SimMemoryTest, RestoreColorReconcilesEpcAccounting) {
+  SimMemory mem;
+  EpcBudget budget;
+  budget.epc_bytes = 64 * 1024;
+  budget.fault_ns = 5400.0;
+  mem.set_epc_budget(budget);
+
+  const std::uint64_t a = mem.allocate(1024, 1);
+  const std::uint64_t b = mem.allocate(1024, 1);
+  const std::vector<std::byte> image = mem.serialize_color(1);
+  mem.free(b, 1);
+  EXPECT_EQ(mem.epc_used(1), 1024u);
+
+  // The image still names the freed region; restore skips it and re-derives
+  // accounting from what actually lives.
+  mem.restore_color(1, image);
+  EXPECT_EQ(mem.epc_used(1), mem.live_bytes(1));
+  EXPECT_EQ(mem.epc_used(1), 1024u);
+  EXPECT_LE(mem.epc_resident(1), mem.epc_used(1));
+  std::byte buf[8] = {};
+  mem.read(a, buf, 1);  // the surviving region is intact and mapped
+}
+
 TEST(SimMemoryTest, AttackerScanSeesOnlyUnsafeMemory) {
   SimMemory mem;
   const std::int64_t secret = 0x0123456789ABCDEF;
