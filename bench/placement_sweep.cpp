@@ -1,0 +1,380 @@
+// Placement sweep: searched k-way enclave assignment (DESIGN.md §15) vs the
+// default one-enclave-per-color placement, measured end to end on the
+// simulated machine.
+//
+// Two workloads share one three-color request shape (index + store + audit;
+// the index chunk drives four store bumps and one audit bump per request, so
+// index↔store is the dominant cross-enclave edge):
+//
+//   * "kvcache"    — small data. The search co-locates every named color
+//     (the whole interaction graph fits machine A's EPC), so all chunk
+//     traffic between named colors collapses onto the same-color
+//     inline-dispatch path and only the U↔leader protocol remains.
+//   * "epc_thrash" — ~50 MiB of colored data in index AND store. Merging
+//     them (103 MiB) busts machine A's 93 MiB EPC, so the search must keep
+//     them apart and settle for the light index↔audit merge. A hand-built
+//     "merge-all" placement shows what the budget constraint is protecting
+//     against: the merged enclave pages continuously and its simulated time
+//     blows past both the plan and the identity placement.
+//
+// For every (workload, placement) cell a fresh fused-tier Machine runs the
+// same deterministic request mix; simulated time is the §9.1 cost model
+// applied to structural counters only (messages_sent × lockfree_msg_ns +
+// charged EPC fault ns), so every number here is machine-independent and CI
+// pins the improvement floors in bench/baselines.json.
+//
+// Gates (exit 2 on violation):
+//   * searched placement strictly beats one-enclave-per-color on simulated
+//     ns for BOTH workloads under machine-A CostParams;
+//   * the hand-built merge-all placement is strictly worse than the plan on
+//     epc_thrash (the EPC budget term dominates its message savings);
+//   * no searched group's static footprint exceeds the machine EPC it was
+//     planned for (machine A and machine B);
+//   * final colored state is bit-identical across placements (placement is
+//     an optimization, never a semantic change).
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/placement.hpp"
+#include "interp/machine.hpp"
+#include "ir/parser.hpp"
+#include "obs/metrics.hpp"
+#include "partition/partitioner.hpp"
+#include "sectype/analysis.hpp"
+#include "sgx/cost_model.hpp"
+#include "sgx/memory.hpp"
+#include "support/bench_json.hpp"
+
+namespace {
+
+using namespace privagic;  // NOLINT(google-build-using-namespace)
+
+constexpr std::uint64_t kRequests = 2000;
+constexpr std::uint64_t kThrashRequests = 200;
+
+// One request shape, two data scales. Hardened mode prohibits arguments in
+// cross-enclave cont messages (§7.3.2 / E012), so the colored helpers take
+// no arguments: each color walks its own data behind a colored cursor
+// global, exactly like a self-driving service loop. @p elems must be powers
+// of two (the cursors mask with elems-1).
+std::string workload_pir(std::uint64_t index_elems, std::uint64_t store_elems) {
+  char buf[1024];
+  std::snprintf(buf, sizeof buf,
+                "module \"placement_workload\"\n"
+                "global [%llu x i64] @slots color(index)\n"
+                "global i64 @slot_cursor color(index)\n"
+                "global [%llu x i64] @values color(store)\n"
+                "global i64 @value_cursor color(store)\n"
+                "global [16 x i64] @audit_log color(audit)\n"
+                "global i64 @audit_cursor color(audit)\n",
+                static_cast<unsigned long long>(index_elems),
+                static_cast<unsigned long long>(store_elems));
+  std::string pir = buf;
+  std::snprintf(buf, sizeof buf,
+                "define void @bump_store() {\n"
+                "entry:\n"
+                "  %%c = load ptr<i64 color(store)> @value_cursor\n"
+                "  %%i = and i64 %%c, i64 %llu\n"
+                "  %%vp = gep ptr<[%llu x i64] color(store)> @values, index %%i\n"
+                "  %%v = load ptr<i64 color(store)> %%vp\n"
+                "  %%v2 = add i64 %%v, i64 1\n"
+                "  store i64 %%v2, ptr<i64 color(store)> %%vp\n"
+                "  %%c2 = add i64 %%c, i64 2654435761\n"
+                "  store i64 %%c2, ptr<i64 color(store)> @value_cursor\n"
+                "  ret void\n"
+                "}\n",
+                static_cast<unsigned long long>(store_elems - 1),
+                static_cast<unsigned long long>(store_elems));
+  pir += buf;
+  pir +=
+      "define void @bump_audit() {\n"
+      "entry:\n"
+      "  %c = load ptr<i64 color(audit)> @audit_cursor\n"
+      "  %i = and i64 %c, i64 15\n"
+      "  %ap = gep ptr<[16 x i64] color(audit)> @audit_log, index %i\n"
+      "  %a = load ptr<i64 color(audit)> %ap\n"
+      "  %a2 = add i64 %a, i64 1\n"
+      "  store i64 %a2, ptr<i64 color(audit)> %ap\n"
+      "  %c2 = add i64 %c, i64 1\n"
+      "  store i64 %c2, ptr<i64 color(audit)> @audit_cursor\n"
+      "  ret void\n"
+      "}\n";
+  std::snprintf(buf, sizeof buf,
+                "define void @lookup() {\n"
+                "entry:\n"
+                "  %%c = load ptr<i64 color(index)> @slot_cursor\n"
+                "  %%i = and i64 %%c, i64 %llu\n"
+                "  %%sp = gep ptr<[%llu x i64] color(index)> @slots, index %%i\n"
+                "  %%s = load ptr<i64 color(index)> %%sp\n"
+                "  %%s2 = add i64 %%s, i64 1\n"
+                "  store i64 %%s2, ptr<i64 color(index)> %%sp\n"
+                "  %%c2 = add i64 %%c, i64 40503\n"
+                "  store i64 %%c2, ptr<i64 color(index)> @slot_cursor\n"
+                "  call void @bump_store()\n"
+                "  call void @bump_store()\n"
+                "  call void @bump_store()\n"
+                "  call void @bump_store()\n"
+                "  call void @bump_audit()\n"
+                "  ret void\n"
+                "}\n",
+                static_cast<unsigned long long>(index_elems - 1),
+                static_cast<unsigned long long>(index_elems));
+  pir += buf;
+  pir +=
+      "define i64 @handle_request() entry {\n"
+      "entry:\n"
+      "  call void @lookup()\n"
+      "  ret i64 1\n"
+      "}\n";
+  return pir;
+}
+
+struct Compiled {
+  std::unique_ptr<ir::Module> module;
+  std::unique_ptr<sectype::TypeAnalysis> analysis;
+  std::unique_ptr<partition::PartitionResult> program;
+};
+
+Compiled compile(const std::string& pir) {
+  Compiled out;
+  auto parsed = ir::parse_module(pir);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "parse failed: %s\n", parsed.message().c_str());
+    std::exit(1);
+  }
+  out.module = std::move(parsed).value();
+  out.analysis =
+      std::make_unique<sectype::TypeAnalysis>(*out.module, sectype::Mode::kHardened);
+  if (!out.analysis->run()) {
+    std::fprintf(stderr, "type check failed:\n%s",
+                 out.analysis->diagnostics().to_string().c_str());
+    std::exit(1);
+  }
+  auto result = partition::partition_module(*out.analysis);
+  if (!result.ok()) {
+    std::fprintf(stderr, "partition failed: %s\n", result.message().c_str());
+    std::exit(1);
+  }
+  out.program = std::move(result).value();
+  return out;
+}
+
+struct RunResult {
+  double simulated_ns = 0.0;
+  std::uint64_t messages = 0;
+  double fault_ns = 0.0;
+  std::vector<std::int64_t> state;  // first store slots, for cross-placement equality
+};
+
+RunResult run_placement(const Compiled& c, const std::vector<std::size_t>& slots,
+                        const sgx::CostParams& params, std::uint64_t requests) {
+  interp::Machine m(*c.program, /*epc_limit_bytes=*/0, interp::ExecMode::kFused);
+  if (!slots.empty()) m.set_placement(slots);
+  sgx::EpcBudget budget;
+  budget.epc_bytes = params.epc_bytes;
+  budget.fault_ns = params.epc_fault_ns;
+  m.memory().set_epc_budget(budget);
+
+  for (std::uint64_t i = 0; i < requests; ++i) {
+    auto r = m.call("handle_request", {});
+    if (!r.ok()) {
+      std::fprintf(stderr, "handle_request failed: %s\n", r.message().c_str());
+      std::exit(1);
+    }
+  }
+
+  RunResult out;
+  out.messages = m.runtime_stats().messages_sent;
+  // Fault-ns is kept per budget key (group leader); sum each leader once.
+  std::set<std::size_t> leaders;
+  for (std::size_t i = 0; i < c.program->color_table.size(); ++i) {
+    leaders.insert(slots.empty() ? i : slots[i]);
+  }
+  for (const std::size_t l : leaders) {
+    out.fault_ns += m.memory().epc_fault_ns_charged(static_cast<sgx::ColorId>(l));
+  }
+  out.simulated_ns =
+      static_cast<double>(out.messages) * params.lockfree_msg_ns + out.fault_ns;
+  // Snapshot the first store slots: placement must never change results.
+  const std::uint64_t values = m.global_address("values");
+  const sgx::ColorId store =
+      static_cast<sgx::ColorId>(c.program->color_table.size() - 1);  // [U, audit, index, store]
+  for (std::size_t i = 0; i < 16; ++i) {
+    std::byte bytes[8];
+    m.memory().read(values + i * 8, bytes, store);
+    std::int64_t v = 0;
+    std::memcpy(&v, bytes, sizeof v);
+    out.state.push_back(v);
+  }
+  return out;
+}
+
+/// True iff every multi-member group's static footprint fits @p epc_bytes.
+bool plan_fits(const analysis::ColorInteractionGraph& g,
+               const analysis::PlacementPlan& plan, std::uint64_t epc_bytes) {
+  for (const auto& group : plan.groups) {
+    if (group.size() < 2) continue;
+    std::uint64_t footprint = 0;
+    for (const auto& color : group) {
+      const analysis::ColorNode* n = g.node(color);
+      if (n != nullptr) footprint += n->footprint();
+    }
+    if (footprint > epc_bytes) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = argc > 1 ? argv[1] : "BENCH_placement_sweep.json";
+  const sgx::CostParams machine_a = sgx::CostParams::machine_a();
+  const sgx::CostParams machine_b = sgx::CostParams::machine_b();
+
+  obs::MetricsRegistry::global().reset_all();
+  obs::set_metrics_enabled(true);
+
+  support::BenchJsonWriter json("placement_sweep");
+  json.meta("workloads", "kvcache (small 3-color), epc_thrash (2x ~50 MiB colors)")
+      .meta("requests", kRequests)
+      .meta("thrash_requests", kThrashRequests)
+      .meta("lockfree_msg_ns", machine_a.lockfree_msg_ns)
+      .meta("epc_fault_ns_machine_a", machine_a.epc_fault_ns);
+
+  std::printf("== placement sweep: searched k-way assignment vs one enclave per color ==\n\n");
+  std::printf("%-12s %-10s %-28s %10s %14s %14s\n", "workload", "placement", "groups",
+              "messages", "fault_ms", "simulated_ms");
+
+  bool gates_ok = true;
+  double kv_improvement_pct = 0.0;
+  double thrash_improvement_pct = 0.0;
+  double thrash_mergeall_over_plan = 0.0;
+  std::size_t kv_groups_a = 0;
+  std::size_t thrash_groups_a = 0;
+  bool fits_all = true;
+
+  struct Workload {
+    const char* name;
+    std::uint64_t index_elems;
+    std::uint64_t store_elems;
+    std::uint64_t requests;
+  };
+  // 2^23 x i64 = 64 MiB: each color alone fits machine A's 93 MiB EPC (and
+  // its 90% paging watermark), the index+store pair (128 MiB) does not.
+  const Workload workloads[] = {
+      {"kvcache", 256, 4096, kRequests},
+      {"epc_thrash", 8388608, 8388608, kThrashRequests},
+  };
+
+  for (const Workload& w : workloads) {
+    Compiled c = compile(workload_pir(w.index_elems, w.store_elems));
+    const analysis::ColorInteractionGraph graph =
+        analysis::build_interaction_graph(*c.analysis);
+    const analysis::PlacementPlan plan_a = analysis::search_placement(graph, machine_a);
+    const analysis::PlacementPlan plan_b = analysis::search_placement(graph, machine_b);
+    fits_all = fits_all && plan_fits(graph, plan_a, machine_a.epc_bytes) &&
+               plan_fits(graph, plan_b, machine_b.epc_bytes);
+
+    const std::vector<std::size_t> identity;  // empty = one enclave per color
+    const std::vector<std::size_t> searched = plan_a.slot_table(c.program->color_table);
+    // Merge every named color into one enclave, EPC budget be damned — the
+    // straw man the search must improve on for kvcache and avoid for thrash.
+    std::vector<std::size_t> merge_all(c.program->color_table.size(), 1);
+    merge_all[0] = 0;
+
+    const RunResult r_id = run_placement(c, identity, machine_a, w.requests);
+    const RunResult r_plan = run_placement(c, searched, machine_a, w.requests);
+    const RunResult r_merge = run_placement(c, merge_all, machine_a, w.requests);
+
+    const double improvement =
+        r_id.simulated_ns > 0.0
+            ? (r_id.simulated_ns - r_plan.simulated_ns) / r_id.simulated_ns * 100.0
+            : 0.0;
+
+    struct Row {
+      const char* placement;
+      const RunResult* r;
+      std::string groups;
+    };
+    const Row rows[] = {
+        {"identity", &r_id, "one enclave per color"},
+        {"searched", &r_plan, plan_a.to_string()},
+        {"merge-all", &r_merge, "all named colors together"},
+    };
+    for (const Row& row : rows) {
+      std::printf("%-12s %-10s %-28s %10llu %14.3f %14.3f\n", w.name, row.placement,
+                  row.groups.c_str(), static_cast<unsigned long long>(row.r->messages),
+                  row.r->fault_ns / 1e6, row.r->simulated_ns / 1e6);
+      json.add_row()
+          .set("workload", w.name)
+          .set("placement", row.placement)
+          .set("groups", row.groups)
+          .set("messages", row.r->messages)
+          .set("epc_fault_ns", row.r->fault_ns)
+          .set("simulated_ns", row.r->simulated_ns);
+    }
+
+    // Placement transparency: identical colored state whichever way the
+    // colors were packed.
+    if (r_id.state != r_plan.state || r_id.state != r_merge.state) {
+      std::fprintf(stderr, "placement gate failed: %s state diverged across placements\n",
+                   w.name);
+      gates_ok = false;
+    }
+    if (r_plan.simulated_ns >= r_id.simulated_ns) {
+      std::fprintf(stderr,
+                   "placement gate failed: %s searched plan (%.0f ns) does not beat "
+                   "one-enclave-per-color (%.0f ns)\n",
+                   w.name, r_plan.simulated_ns, r_id.simulated_ns);
+      gates_ok = false;
+    }
+    if (std::string(w.name) == "kvcache") {
+      kv_improvement_pct = improvement;
+      kv_groups_a = plan_a.groups.size();
+    } else {
+      thrash_improvement_pct = improvement;
+      thrash_groups_a = plan_a.groups.size();
+      thrash_mergeall_over_plan =
+          r_plan.simulated_ns > 0.0 ? r_merge.simulated_ns / r_plan.simulated_ns : 0.0;
+      if (r_merge.simulated_ns <= r_plan.simulated_ns) {
+        std::fprintf(stderr,
+                     "placement gate failed: merge-all (%.0f ns) should page itself "
+                     "past the searched plan (%.0f ns) on epc_thrash\n",
+                     r_merge.simulated_ns, r_plan.simulated_ns);
+        gates_ok = false;
+      }
+    }
+  }
+
+  if (!fits_all) {
+    std::fprintf(stderr,
+                 "placement gate failed: a searched group's footprint exceeds the EPC "
+                 "it was planned for\n");
+    gates_ok = false;
+  }
+
+  json.metric("kvcache_improvement_pct", kv_improvement_pct)
+      .metric("thrash_improvement_pct", thrash_improvement_pct)
+      .metric("thrash_mergeall_over_plan", thrash_mergeall_over_plan)
+      .metric("kvcache_plan_groups_machine_a", static_cast<double>(kv_groups_a))
+      .metric("thrash_plan_groups_machine_a", static_cast<double>(thrash_groups_a))
+      .metric("plan_fits_epc", fits_all ? 1.0 : 0.0);
+  obs::set_metrics_enabled(false);
+  obs::embed_metrics(json);
+  if (!json.write_file(json_path)) {
+    std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::printf("\nwrote %s\n", json_path.c_str());
+  if (gates_ok) {
+    std::printf("placement gates hold: kvcache %.1f%% better, thrash %.1f%% better, "
+                "merge-all %.2fx worse than plan\n",
+                kv_improvement_pct, thrash_improvement_pct, thrash_mergeall_over_plan);
+  }
+  return gates_ok ? 0 : 2;
+}

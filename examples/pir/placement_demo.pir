@@ -1,0 +1,80 @@
+; A placement worth searching for: three enclave colors whose traffic is
+; anything but uniform. Every request walks the 'index' enclave once, the
+; 'store' enclave four times, and the 'audit' enclave once — and all of that
+; fan-out is driven FROM the index chunk, so the index<->store edge carries
+; 4x the weight of any other edge in the color-interaction graph
+; (DESIGN.md §15).
+;
+;   $ privagicc --lint examples/pir/placement_demo.pir
+;
+; emits L310 notes with the computed plan for machines A and B — all three
+; named colors fit comfortably in either EPC, so they co-reside in one
+; enclave group and only the U<->leader protocol traffic survives — and an
+; L311 warning, because one-enclave-per-color pays >25% more predicted
+; cross-enclave cost than that plan. To see the plan and the slot table the
+; runtime consumes (Machine::set_placement):
+;
+;   $ privagicc --placement examples/pir/placement_demo.pir
+;
+; The colored helpers take no arguments: hardened mode prohibits argument
+; relays across enclave boundaries (§7.3.2), so each color advances its own
+; colored cursor instead — the same self-driving shape bench/placement_sweep
+; measures end to end.
+module "placement_demo"
+
+global [256 x i64] @slots color(index)
+global i64 @slot_cursor color(index)
+global [4096 x i64] @values color(store)
+global i64 @value_cursor color(store)
+global [16 x i64] @audit_log color(audit)
+global i64 @audit_cursor color(audit)
+
+define void @bump_store() {
+entry:
+  %c = load ptr<i64 color(store)> @value_cursor
+  %i = and i64 %c, i64 4095
+  %vp = gep ptr<[4096 x i64] color(store)> @values, index %i
+  %v = load ptr<i64 color(store)> %vp
+  %v2 = add i64 %v, i64 1
+  store i64 %v2, ptr<i64 color(store)> %vp
+  %c2 = add i64 %c, i64 2654435761
+  store i64 %c2, ptr<i64 color(store)> @value_cursor
+  ret void
+}
+
+define void @bump_audit() {
+entry:
+  %c = load ptr<i64 color(audit)> @audit_cursor
+  %i = and i64 %c, i64 15
+  %ap = gep ptr<[16 x i64] color(audit)> @audit_log, index %i
+  %a = load ptr<i64 color(audit)> %ap
+  %a2 = add i64 %a, i64 1
+  store i64 %a2, ptr<i64 color(audit)> %ap
+  %c2 = add i64 %c, i64 1
+  store i64 %c2, ptr<i64 color(audit)> @audit_cursor
+  ret void
+}
+
+define void @lookup() {
+entry:
+  %c = load ptr<i64 color(index)> @slot_cursor
+  %i = and i64 %c, i64 255
+  %sp = gep ptr<[256 x i64] color(index)> @slots, index %i
+  %s = load ptr<i64 color(index)> %sp
+  %s2 = add i64 %s, i64 1
+  store i64 %s2, ptr<i64 color(index)> %sp
+  %c2 = add i64 %c, i64 40503
+  store i64 %c2, ptr<i64 color(index)> @slot_cursor
+  call void @bump_store()
+  call void @bump_store()
+  call void @bump_store()
+  call void @bump_store()
+  call void @bump_audit()
+  ret void
+}
+
+define i64 @handle_request() entry {
+entry:
+  call void @lookup()
+  ret i64 1
+}

@@ -5,6 +5,8 @@
 #include <sstream>
 #include <unordered_set>
 
+#include "analysis/placement.hpp"
+
 #include "ir/printer.hpp"
 #include "ir/use_def.hpp"
 #include "partition/intrinsics.hpp"
@@ -231,14 +233,15 @@ void ChunkCostEstimator::run(const AnalysisContext& ctx, sectype::DiagnosticEngi
     const ir::Function* fn = facts->sig().fn;
     if (fn->is_declaration()) continue;
 
-    // Predicted chunk set: the planner's fold rule (§7.3.1). An empty set
-    // means the spec is colorless — replicated into callers or a lone U
-    // chunk; estimate the latter.
-    ColorSet chunks = partition::fold_colors(facts->color_set());
-    if (chunks.empty()) chunks.insert(Color::untrusted());
-
-    std::size_t insts = 0;
-    for (const auto& bb : fn->blocks()) insts += bb->instructions().size();
+    // Predicted chunk set and per-chunk instruction counts: the planner's
+    // fold rule (§7.3.1) via the shared estimate_chunk_code() helper. Only
+    // the F-placed instructions replicate into every chunk; color-pinned
+    // instructions are exclusive to their chunk. (The old estimate charged
+    // every chunk the whole body — `chunks.size() * insts` — which
+    // double-counted pinned instructions and compounded per specialization
+    // inside recursive SCCs.)
+    const ChunkCodeEstimate est = estimate_chunk_code(*facts);
+    const ColorSet& chunks = est.chunks;
 
     // Cross-enclave call edges: callee chunks the caller does not share must
     // be spawned and synchronized per call site (§7.3.2 message cost).
@@ -256,11 +259,18 @@ void ChunkCostEstimator::run(const AnalysisContext& ctx, sectype::DiagnosticEngi
       }
     }
 
+    const double blowup =
+        est.total_insts == 0
+            ? 1.0
+            : static_cast<double>(est.predicted_insts()) /
+                  static_cast<double>(est.total_insts);
     std::ostringstream msg;
+    msg.precision(1);
     msg << "specialization @" << facts->sig().mangled() << ": predicted chunks "
-        << colors_to_string(chunks) << " (" << chunks.size() << "), ~" << chunks.size()
-        << "x code size (" << insts << " -> ~" << chunks.size() * insts
-        << " instructions), " << cross_edges << " cross-enclave call edge"
+        << colors_to_string(chunks) << " (" << chunks.size() << "), ~" << std::fixed
+        << blowup << "x code size (" << est.total_insts << " -> ~"
+        << est.predicted_insts() << " instructions, " << est.replicated_insts
+        << " replicated per chunk), " << cross_edges << " cross-enclave call edge"
         << (cross_edges == 1 ? "" : "s");
     diags.lint("L301", Severity::kNote, facts->sig().mangled(), "", msg.str());
 
@@ -321,16 +331,16 @@ void EpcBudgetLint::run(const AnalysisContext& ctx, sectype::DiagnosticEngine& d
     }
   }
 
-  // Code: L301's replication estimate — every chunk the planner's fold rule
-  // predicts places the specialization's instructions inside that color's
-  // enclave (EADD'd code pages compete with data for the EPC).
+  // Code: L301's replication estimate via the shared per-chunk helper — a
+  // chunk only EADDs the replicated (F-placed) instructions plus its own
+  // color-pinned ones, so each color is charged exactly the code it hosts
+  // (the old loop charged every chunk the whole function body).
   std::map<std::string, std::uint64_t> footprint = data_bytes;
   for (const sectype::SpecFacts* facts : ctx.types->reachable_specs()) {
     const ir::Function* fn = facts->sig().fn;
     if (fn->is_declaration()) continue;
-    std::size_t insts = 0;
-    for (const auto& bb : fn->blocks()) insts += bb->instructions().size();
-    for (const Color& c : partition::fold_colors(facts->color_set())) {
+    const ChunkCodeEstimate est = estimate_chunk_code(*facts);
+    for (const auto& [c, insts] : est.insts_per_chunk) {
       if (!c.is_concrete()) continue;
       footprint[c.to_string()] += insts * kCodeBytesPerInstruction;
     }

@@ -13,6 +13,13 @@
 //   L303  EPC thrash                 warning  a color's estimated resident
 //                                            set exceeds a target machine's
 //                                            EPC; the §14 budget will page
+//   L310  placement plan            note     computed color→enclave grouping
+//                                            per target machine with its
+//                                            predicted traffic savings
+//                                            (placement.hpp)
+//   L311  placement waste           warning  one-enclave-per-color is at
+//                                            least kSingleEnclaveWastePct
+//                                            worse than the computed plan
 //   L401  unpromoted alloca         warning  §5.1 inference kept an alloca
 //                                            in memory; names the reason and
 //                                            the escaping instruction

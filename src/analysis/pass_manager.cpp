@@ -1,10 +1,12 @@
 #include "analysis/pass_manager.hpp"
 
 #include "analysis/lints.hpp"
+#include "analysis/placement.hpp"
 
 namespace privagic::analysis {
 
-PassManager PassManager::with_default_passes(sectype::Mode mode) {
+PassManager PassManager::with_default_passes(sectype::Mode mode,
+                                             std::string placement_profile) {
   PassManager pm(mode);
   pm.add_pass(std::make_unique<EscapeReport>());
   pm.add_pass(std::make_unique<UnderColoringAdvisor>());
@@ -12,6 +14,7 @@ PassManager PassManager::with_default_passes(sectype::Mode mode) {
   pm.add_pass(std::make_unique<ChunkCostEstimator>());
   pm.add_pass(std::make_unique<EpcBudgetLint>());
   pm.add_pass(std::make_unique<CrossColorRaceLint>());
+  pm.add_pass(std::make_unique<PlacementAnalysis>(std::move(placement_profile)));
   return pm;
 }
 

@@ -60,8 +60,12 @@ class PassManager {
 
   void add_pass(std::unique_ptr<LintPass> pass) { passes_.push_back(std::move(pass)); }
 
-  /// The five standard passes of the lint layer, in stable emission order.
-  static PassManager with_default_passes(sectype::Mode mode);
+  /// The standard passes of the lint layer, in stable emission order.
+  /// @p placement_profile, when non-empty, is BENCH/metrics JSON text whose
+  /// observed per-color send counters recalibrate the placement search
+  /// (L310/L311) — see placement.hpp.
+  static PassManager with_default_passes(sectype::Mode mode,
+                                         std::string placement_profile = {});
 
   /// Runs pre-phase passes, builds the shared analyses (including the type
   /// checker, whose diagnostics are merged in), then runs post-phase passes.

@@ -1,0 +1,487 @@
+#include "analysis/placement.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+
+#include "analysis/lints.hpp"
+#include "partition/plan.hpp"
+#include "support/json_mini.hpp"
+
+namespace privagic::analysis {
+
+namespace {
+
+using sectype::Color;
+using sectype::ColorSet;
+using sectype::Severity;
+
+std::string mib_string(std::uint64_t bytes) {
+  std::ostringstream os;
+  const double mib = static_cast<double>(bytes) / (1024.0 * 1024.0);
+  if (mib >= 10.0) {
+    os << static_cast<std::uint64_t>(mib + 0.5);
+  } else {
+    os.precision(2);
+    os << std::fixed << mib;
+  }
+  return os.str() + " MiB";
+}
+
+std::string ns_string(double ns) {
+  return std::to_string(static_cast<std::uint64_t>(ns + 0.5)) + " ns";
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Per-chunk code estimate (the L301/L303 double-count fix)
+// ---------------------------------------------------------------------------
+
+ChunkCodeEstimate estimate_chunk_code(const sectype::SpecFacts& facts) {
+  ChunkCodeEstimate est;
+  est.chunks = partition::fold_colors(facts.color_set());
+  if (est.chunks.empty()) est.chunks.insert(Color::untrusted());
+
+  const ir::Function* fn = facts.sig().fn;
+  if (fn == nullptr || fn->is_declaration()) return est;
+
+  for (const auto& bb : fn->blocks()) {
+    for (const auto& inst : bb->instructions()) {
+      ++est.total_insts;
+      const Color p = partition::fold_color(facts.placement(inst.get()));
+      if (p.is_free()) {
+        // Replicated into every chunk (§7.3.1) — charged below.
+        ++est.replicated_insts;
+        continue;
+      }
+      // Pinned: generated in exactly one chunk, never replicated. This is
+      // what the old `chunks.size() * total_insts` estimate double-counted,
+      // compounding per specialization inside recursive SCCs.
+      ++est.insts_per_chunk[p];
+    }
+  }
+  for (const Color& c : est.chunks) est.insts_per_chunk[c] += est.replicated_insts;
+  return est;
+}
+
+// ---------------------------------------------------------------------------
+// Interaction graph
+// ---------------------------------------------------------------------------
+
+const ColorNode* ColorInteractionGraph::node(const Color& c) const {
+  for (const ColorNode& n : nodes) {
+    if (n.color == c) return &n;
+  }
+  return nullptr;
+}
+
+double ColorInteractionGraph::edge_weight(const Color& x, const Color& y) const {
+  const Color& a = x < y ? x : y;
+  const Color& b = x < y ? y : x;
+  for (const ColorEdge& e : edges) {
+    if (e.a == a && e.b == b) return e.weight;
+  }
+  return 0.0;
+}
+
+ColorInteractionGraph build_interaction_graph(sectype::TypeAnalysis& types) {
+  ColorInteractionGraph g;
+
+  // Nodes in the partitioner's color-table order ([U, program colors...],
+  // Partitioner::build_color_table) so profile ids line up.
+  g.nodes.push_back(ColorNode{Color::untrusted(), 0, 0});
+  for (const Color& c : types.program_colors()) g.nodes.push_back(ColorNode{c, 0, 0});
+  auto node_of = [&g](const Color& c) -> ColorNode* {
+    for (ColorNode& n : g.nodes) {
+      if (n.color == c) return &n;
+    }
+    return nullptr;
+  };
+
+  // Node weights: L303's resident-set estimate. Data — every colored global
+  // and colored alloca/heap_alloc site counts its contained type once.
+  const ir::Module& module = types.module();
+  auto charge_data = [&](const std::string& annotation, std::uint64_t bytes) {
+    if (annotation.empty()) return;
+    ColorNode* n = node_of(partition::fold_color(sectype::color_from_annotation(annotation)));
+    if (n != nullptr) n->data_bytes += bytes;
+  };
+  for (const auto& global : module.globals()) {
+    charge_data(global->color(), global->contained_type()->size_bytes());
+  }
+  for (const auto& fn : module.functions()) {
+    for (const auto& bb : fn->blocks()) {
+      for (const auto& inst : bb->instructions()) {
+        if (inst->opcode() == ir::Opcode::kAlloca) {
+          const auto* a = static_cast<const ir::AllocaInst*>(inst.get());
+          charge_data(a->color(), a->contained_type()->size_bytes());
+        } else if (inst->opcode() == ir::Opcode::kHeapAlloc) {
+          const auto* h = static_cast<const ir::HeapAllocInst*>(inst.get());
+          charge_data(h->color(), h->contained_type()->size_bytes());
+        }
+      }
+    }
+  }
+  // Code — the per-chunk replication estimate (EADD'd pages hold code too).
+  for (const sectype::SpecFacts* facts : types.reachable_specs()) {
+    if (facts->sig().fn->is_declaration()) continue;
+    const ChunkCodeEstimate est = estimate_chunk_code(*facts);
+    for (const auto& [c, insts] : est.insts_per_chunk) {
+      ColorNode* n = node_of(c);
+      if (n != nullptr) n->code_bytes += insts * EpcBudgetLint::kCodeBytesPerInstruction;
+    }
+  }
+
+  // Edges: the messages the §7.3 plan predicts, one count per planned site.
+  // Call frequencies are not modeled statically — that is what a profile
+  // blend (apply_profile) adds.
+  std::map<std::pair<Color, Color>, std::uint64_t> messages;
+  auto charge_edge = [&messages](const Color& x, const Color& y, std::uint64_t n) {
+    if (x == y || x.is_free() || y.is_free()) return;
+    const Color a = x < y ? x : y;
+    const Color b = x < y ? y : x;
+    messages[{a, b}] += n;
+  };
+
+  partition::PartitionPlanner planner(types);
+  (void)planner.plan();  // a hardened-mode plan error still leaves usable plans
+  for (const auto& [sig, plan] : planner.plans()) {
+    (void)sig;
+    for (const auto& [call, lowering] : plan.calls) {
+      (void)call;
+      // Each spawned callee chunk costs a spawn message out and an ack back.
+      for (const Color& s : lowering.spawned) {
+        charge_edge(lowering.leader, s, 2);
+      }
+      // An F result produced remotely is cont'd back to the leader, then
+      // forwarded to every consumer chunk outside the callee set.
+      if (lowering.result_is_free && lowering.remote_result_provider.is_concrete()) {
+        charge_edge(lowering.remote_result_provider, lowering.leader, 1);
+      }
+      for (const Color& c : lowering.result_consumers) {
+        charge_edge(lowering.leader, c, 1);
+      }
+    }
+    for (const auto& [inst, relay] : plan.relays) {
+      (void)inst;
+      for (const Color& to : relay.to) charge_edge(relay.from, to, 1);
+    }
+    // §7.3.3: every chunk reaching a visible effect acks to the chunk that
+    // executes it before the effect runs.
+    for (const ir::Instruction* effect : plan.visible_effects) {
+      const Color p = partition::fold_color(plan.facts->placement(effect));
+      if (p.is_free()) continue;
+      for (const Color& c : plan.chunk_colors) charge_edge(c, p, 1);
+    }
+  }
+
+  for (const auto& [key, count] : messages) {
+    g.edges.push_back(ColorEdge{key.first, key.second, count, static_cast<double>(count)});
+  }
+  return g;
+}
+
+// ---------------------------------------------------------------------------
+// Profile blending
+// ---------------------------------------------------------------------------
+
+bool apply_profile(ColorInteractionGraph& graph, const std::string& profile_json,
+                   std::string* error) {
+  const support::json::ParseResult parsed = support::json::parse(profile_json);
+  if (!parsed.ok) {
+    if (error != nullptr) *error = parsed.error;
+    return false;
+  }
+  if (!parsed.value.is_object()) {
+    if (error != nullptr) *error = "profile is not a JSON object";
+    return false;
+  }
+  // A BENCH_*.json keeps its counters under "metrics"; a bare metrics object
+  // works too.
+  const support::json::Value* metrics = parsed.value.find("metrics");
+  if (metrics == nullptr || !metrics->is_object()) metrics = &parsed.value;
+
+  // Per-color scale factor: observed send volume over the static incident
+  // volume. An observed zero is meaningful (the color never talked); a color
+  // without an observation, or with no static edges to attribute the volume
+  // to, keeps factor 1.
+  std::vector<double> factor(graph.nodes.size(), 1.0);
+  for (std::size_t i = 0; i < graph.nodes.size(); ++i) {
+    const support::json::Value* row =
+        metrics->find("runtime.msg_sends.color" + std::to_string(i));
+    if (row == nullptr || !row->is_number()) continue;
+    std::uint64_t incident = 0;
+    for (const ColorEdge& e : graph.edges) {
+      if (e.a == graph.nodes[i].color || e.b == graph.nodes[i].color) {
+        incident += e.messages;
+      }
+    }
+    if (incident == 0) continue;
+    factor[i] = row->number / static_cast<double>(incident);
+  }
+  auto index_of = [&graph](const Color& c) -> std::size_t {
+    for (std::size_t i = 0; i < graph.nodes.size(); ++i) {
+      if (graph.nodes[i].color == c) return i;
+    }
+    return graph.nodes.size();
+  };
+  for (ColorEdge& e : graph.edges) {
+    const std::size_t ia = index_of(e.a);
+    const std::size_t ib = index_of(e.b);
+    const double fa = ia < factor.size() ? factor[ia] : 1.0;
+    const double fb = ib < factor.size() ? factor[ib] : 1.0;
+    e.weight = static_cast<double>(e.messages) * std::sqrt(fa * fb);
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// k-way assignment search
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr double kEps = 1e-9;
+constexpr std::uint64_t kPageBytes = 4096;
+
+/// Cost of one assignment (group id per node): every cross-group edge pays a
+/// lock-free hop per message, and every group whose footprint exceeds the
+/// EPC pays the EWB charge per overflowing page — the same two levers
+/// SimMemory and the CostModel charge at run time.
+double assignment_cost(const ColorInteractionGraph& g, const sgx::CostParams& params,
+                       const std::vector<std::size_t>& group,
+                       const std::unordered_map<std::string, std::size_t>& index) {
+  double cost = 0.0;
+  for (const ColorEdge& e : g.edges) {
+    if (group[index.at(e.a.to_string())] != group[index.at(e.b.to_string())]) {
+      cost += e.weight * params.lockfree_msg_ns;
+    }
+  }
+  if (params.epc_bytes != 0 && params.epc_fault_ns > 0.0) {
+    std::map<std::size_t, std::uint64_t> footprint;
+    for (std::size_t i = 0; i < g.nodes.size(); ++i) {
+      footprint[group[i]] += g.nodes[i].footprint();
+    }
+    for (const auto& [id, bytes] : footprint) {
+      (void)id;
+      if (bytes <= params.epc_bytes) continue;
+      const std::uint64_t over = bytes - params.epc_bytes;
+      cost += static_cast<double>((over + kPageBytes - 1) / kPageBytes) * params.epc_fault_ns;
+    }
+  }
+  return cost;
+}
+
+/// A merged (size >= 2) group must fit the EPC; singletons are always
+/// feasible — a color that alone outgrows the EPC is L303's problem.
+bool assignment_feasible(const ColorInteractionGraph& g, const sgx::CostParams& params,
+                         const std::vector<std::size_t>& group) {
+  if (params.epc_bytes == 0) return true;
+  std::map<std::size_t, std::uint64_t> footprint;
+  std::map<std::size_t, std::size_t> members;
+  for (std::size_t i = 0; i < g.nodes.size(); ++i) {
+    footprint[group[i]] += g.nodes[i].footprint();
+    ++members[group[i]];
+  }
+  for (const auto& [id, count] : members) {
+    if (count >= 2 && footprint.at(id) > params.epc_bytes) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string PlacementPlan::to_string() const {
+  std::string s;
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    if (i > 0) s += " | ";
+    s += "{";
+    for (std::size_t j = 0; j < groups[i].size(); ++j) {
+      if (j > 0) s += ", ";
+      s += groups[i][j].to_string();
+    }
+    s += "}";
+  }
+  return s;
+}
+
+std::vector<std::size_t> PlacementPlan::slot_table(
+    const std::vector<Color>& color_table) const {
+  std::map<Color, std::size_t> table_index;
+  for (std::size_t i = 0; i < color_table.size(); ++i) table_index[color_table[i]] = i;
+
+  std::vector<std::size_t> slot(color_table.size());
+  for (std::size_t i = 0; i < color_table.size(); ++i) {
+    slot[i] = i;
+    auto it = group_of.find(color_table[i]);
+    if (it == group_of.end()) continue;
+    // The leader is the group member with the smallest color-table index.
+    std::size_t leader = i;
+    for (const Color& member : groups[it->second]) {
+      auto mi = table_index.find(member);
+      if (mi != table_index.end() && mi->second < leader) leader = mi->second;
+    }
+    slot[i] = leader;
+  }
+  return slot;
+}
+
+PlacementPlan search_placement(const ColorInteractionGraph& g,
+                               const sgx::CostParams& params) {
+  std::unordered_map<std::string, std::size_t> index;
+  for (std::size_t i = 0; i < g.nodes.size(); ++i) {
+    index[g.nodes[i].color.to_string()] = i;
+  }
+  std::size_t u_index = g.nodes.size();
+  for (std::size_t i = 0; i < g.nodes.size(); ++i) {
+    if (g.nodes[i].color.is_untrusted()) u_index = i;
+  }
+
+  // Identity: one enclave per color.
+  std::vector<std::size_t> group(g.nodes.size());
+  for (std::size_t i = 0; i < group.size(); ++i) group[i] = i;
+  const double identity_cost = assignment_cost(g, params, group, index);
+  double cost = identity_cost;
+
+  // Greedy growth seeded by the heaviest edges: merge the two endpoint
+  // groups when the merged footprint fits the EPC and traffic savings win.
+  std::vector<ColorEdge> edges = g.edges;
+  std::sort(edges.begin(), edges.end(), [](const ColorEdge& x, const ColorEdge& y) {
+    if (x.weight != y.weight) return x.weight > y.weight;
+    if (x.a != y.a) return x.a < y.a;
+    return x.b < y.b;
+  });
+  for (const ColorEdge& e : edges) {
+    const std::size_t ia = index.at(e.a.to_string());
+    const std::size_t ib = index.at(e.b.to_string());
+    const std::size_t ga = group[ia];
+    const std::size_t gb = group[ib];
+    if (ga == gb) continue;
+    if (u_index < group.size() && (ga == group[u_index] || gb == group[u_index])) continue;
+    std::vector<std::size_t> trial = group;
+    for (std::size_t& id : trial) {
+      if (id == gb) id = ga;
+    }
+    if (!assignment_feasible(g, params, trial)) continue;
+    const double trial_cost = assignment_cost(g, params, trial, index);
+    if (trial_cost < cost - kEps) {
+      group = std::move(trial);
+      cost = trial_cost;
+    }
+  }
+
+  // FM-style boundary refinement: single-node moves (including breaking a
+  // node out into a fresh singleton), best strictly-improving move first,
+  // repeated to a fixed point.
+  for (int pass = 0; pass < 8; ++pass) {
+    bool changed = false;
+    for (std::size_t i = 0; i < g.nodes.size(); ++i) {
+      if (i == u_index) continue;
+      std::set<std::size_t> targets(group.begin(), group.end());
+      targets.insert(g.nodes.size() + i);  // a fresh singleton id
+      if (u_index < group.size()) targets.erase(group[u_index]);
+      double best_cost = cost;
+      std::size_t best_target = group[i];
+      for (std::size_t target : targets) {
+        if (target == group[i]) continue;
+        std::vector<std::size_t> trial = group;
+        trial[i] = target;
+        if (!assignment_feasible(g, params, trial)) continue;
+        const double trial_cost = assignment_cost(g, params, trial, index);
+        if (trial_cost < best_cost - kEps) {
+          best_cost = trial_cost;
+          best_target = target;
+        }
+      }
+      if (best_target != group[i]) {
+        group[i] = best_target;
+        cost = best_cost;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+
+  PlacementPlan plan;
+  plan.identity_cost_ns = identity_cost;
+  plan.plan_cost_ns = cost;
+  std::map<std::size_t, std::vector<Color>> by_group;
+  for (std::size_t i = 0; i < g.nodes.size(); ++i) {
+    by_group[group[i]].push_back(g.nodes[i].color);
+  }
+  for (auto& [id, members] : by_group) {
+    (void)id;
+    std::sort(members.begin(), members.end());
+    plan.groups.push_back(std::move(members));
+  }
+  std::sort(plan.groups.begin(), plan.groups.end(),
+            [](const std::vector<Color>& x, const std::vector<Color>& y) {
+              return x.front() < y.front();
+            });
+  for (std::size_t gi = 0; gi < plan.groups.size(); ++gi) {
+    for (const Color& c : plan.groups[gi]) plan.group_of[c] = gi;
+  }
+  return plan;
+}
+
+// ---------------------------------------------------------------------------
+// L310/L311
+// ---------------------------------------------------------------------------
+
+void PlacementAnalysis::run(const AnalysisContext& ctx, sectype::DiagnosticEngine& diags) {
+  if (ctx.types == nullptr) return;
+
+  ColorInteractionGraph graph = build_interaction_graph(*ctx.types);
+  if (!profile_json_.empty()) {
+    std::string err;
+    if (!apply_profile(graph, profile_json_, &err)) {
+      diags.lint("L310", Severity::kNote, "placement", "",
+                 "placement profile ignored: " + err);
+    }
+  }
+
+  struct Target {
+    const char* label;
+    sgx::CostParams params;
+  };
+  const Target targets[] = {{"machine-A", sgx::CostParams::machine_a()},
+                            {"machine-B", sgx::CostParams::machine_b()}};
+  for (const Target& t : targets) {
+    const PlacementPlan plan = search_placement(graph, t.params);
+    std::ostringstream msg;
+    msg << "placement plan (" << t.label << ", " << mib_string(t.params.epc_bytes)
+        << " EPC): " << plan.to_string() << "; predicted cross-enclave cost "
+        << ns_string(plan.plan_cost_ns) << " vs " << ns_string(plan.identity_cost_ns)
+        << " one-enclave-per-color ("
+        << static_cast<std::uint64_t>(plan.improvement_pct() + 0.5) << "% less)";
+    diags.lint("L310", Severity::kNote, "placement", "", msg.str());
+
+    if (plan.improvement_pct() >= kSingleEnclaveWastePct) {
+      std::string grouped;
+      for (const auto& members : plan.groups) {
+        if (members.size() < 2) continue;
+        if (!grouped.empty()) grouped += " and ";
+        grouped += "{";
+        for (std::size_t j = 0; j < members.size(); ++j) {
+          if (j > 0) grouped += ", ";
+          grouped += members[j].to_string();
+        }
+        grouped += "}";
+      }
+      diags.lint("L311", Severity::kWarning, "placement", "",
+                 "single-enclave-per-color is ~" +
+                     std::to_string(static_cast<std::uint64_t>(plan.improvement_pct() + 0.5)) +
+                     "% worse than the computed plan on " + t.label +
+                     ": co-residing " + grouped +
+                     " elides the dominant cross-enclave message traffic",
+                 "enforce the plan at run time (Machine::set_placement, surfaced as "
+                 "privagicc --placement) so co-resident colors use same-color "
+                 "inline dispatch and share one EPC budget");
+    }
+  }
+}
+
+}  // namespace privagic::analysis

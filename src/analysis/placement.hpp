@@ -1,0 +1,165 @@
+// Static color→enclave placement (ROADMAP: k-way partitioning search).
+//
+// Today the partitioner gives every color its own enclave. This module
+// treats placement as the optimization problem the paper's cost story
+// implies (§9.3.2: cross-enclave messages dominate; §9.2.3: EPC pressure
+// amplifies them):
+//
+//  1. Build a weighted *color-interaction graph*. Nodes are the partitioner's
+//     chunk colors ([U, program colors...], the exact color-table order),
+//     weighted by the L303 resident-set estimate — colored data plus the
+//     per-chunk replicated-code bytes of estimate_chunk_code(). Edges are the
+//     cross-color messages the §7.3 planner fold predicts: spawn/ack pairs
+//     for every spawned callee chunk, cont relays for F results, and the
+//     §7.3.3 barrier acks converging on a visible effect's chunk.
+//  2. Optionally blend observed per-color message counters (the
+//     "runtime.msg_sends.color<N>" rows a BENCH_*.json embeds) into the edge
+//     weights, so one profiled run recalibrates the static prediction.
+//  3. Search k-way color→enclave assignments: greedy balanced growth seeded
+//     by the heaviest edges, then Fiduccia–Mattheyses-style single-node
+//     boundary refinement, minimizing cross-enclave traffic under the SGX
+//     cost model subject to per-enclave EPC budgets (sgx::CostParams).
+//
+// The result is surfaced three ways: lints L310/L311 (PlacementAnalysis), a
+// PlacementPlan::slot_table() the runtime enforces (Machine::set_placement →
+// ThreadRuntime color_slot + SimMemory enclave-group budgets), and
+// bench/placement_sweep which proves the searched plan beats
+// one-enclave-per-color on simulated ns.
+//
+// estimate_chunk_code() is also the shared fix for the L301/L303
+// double-count: the old estimate charged every chunk the *whole* function
+// body, but a chunk for color c only contains the F-placed (replicated)
+// instructions plus those placed in c — color-pinned instructions are
+// exclusive to their chunk, and recursive SCCs compounded the inflation per
+// specialization.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/pass_manager.hpp"
+#include "sectype/color.hpp"
+#include "sgx/cost_model.hpp"
+
+namespace privagic::analysis {
+
+/// Per-(specialization, chunk color) code-size estimate from the planner's
+/// placement facts. A chunk for color c holds the replicated (F-placed)
+/// instructions plus the instructions placed in c; nothing else.
+struct ChunkCodeEstimate {
+  sectype::ColorSet chunks;        ///< folded chunk set; never empty
+  std::size_t total_insts = 0;     ///< all instructions in the function body
+  std::size_t replicated_insts = 0;///< F-placed: appear in every chunk
+  /// Instructions generated per chunk color (replicated + pinned-to-c).
+  std::map<sectype::Color, std::size_t> insts_per_chunk;
+
+  /// Total instructions across all generated chunks — the honest version of
+  /// the old `chunks.size() * total_insts` blowup estimate.
+  [[nodiscard]] std::size_t predicted_insts() const {
+    std::size_t n = 0;
+    for (const auto& [c, k] : insts_per_chunk) n += k;
+    return n;
+  }
+};
+
+[[nodiscard]] ChunkCodeEstimate estimate_chunk_code(const sectype::SpecFacts& facts);
+
+struct ColorNode {
+  sectype::Color color;
+  std::uint64_t data_bytes = 0;  ///< colored globals + alloca/heap_alloc sites
+  std::uint64_t code_bytes = 0;  ///< replicated-code estimate (EADD'd pages)
+  [[nodiscard]] std::uint64_t footprint() const { return data_bytes + code_bytes; }
+};
+
+struct ColorEdge {
+  sectype::Color a;  ///< a < b (canonical orientation)
+  sectype::Color b;
+  std::uint64_t messages = 0;  ///< static predicted cross-color messages
+  double weight = 0.0;         ///< messages, possibly profile-rescaled
+};
+
+struct ColorInteractionGraph {
+  /// Node order mirrors the partitioner's color table: [U, program colors...]
+  /// so profile ids ("runtime.msg_sends.color<N>") resolve without running
+  /// the rewriter.
+  std::vector<ColorNode> nodes;
+  std::vector<ColorEdge> edges;  ///< sorted by (a, b); no self edges
+
+  [[nodiscard]] const ColorNode* node(const sectype::Color& c) const;
+  [[nodiscard]] double edge_weight(const sectype::Color& x, const sectype::Color& y) const;
+};
+
+/// Builds the interaction graph for a type-checked module. Runs the §7.3
+/// partition planner internally (plan only — the module is not rewritten).
+[[nodiscard]] ColorInteractionGraph build_interaction_graph(sectype::TypeAnalysis& types);
+
+/// Blends observed per-color send counters into the edge weights. The JSON is
+/// a BENCH_*.json (counters under "metrics") or a bare metrics object; rows
+/// named "runtime.msg_sends.color<N>" are matched to graph nodes by the
+/// color-table index N. Each observed color gets a scale factor
+/// observed/static-incident-volume, and every edge is rescaled by the
+/// geometric mean of its endpoints' factors (colors without observations keep
+/// factor 1). Returns false and sets @p error on malformed JSON; the graph is
+/// untouched in that case.
+bool apply_profile(ColorInteractionGraph& graph, const std::string& profile_json,
+                   std::string* error);
+
+struct PlacementPlan {
+  /// Disjoint color groups covering every node; deterministic order (groups
+  /// sorted by their smallest color, members sorted).
+  std::vector<std::vector<sectype::Color>> groups;
+  std::map<sectype::Color, std::size_t> group_of;
+  double identity_cost_ns = 0.0;  ///< one-enclave-per-color, same cost oracle
+  double plan_cost_ns = 0.0;
+
+  /// How much worse one-enclave-per-color is than this plan, in percent of
+  /// the identity cost (0 when the plan is the identity).
+  [[nodiscard]] double improvement_pct() const {
+    if (identity_cost_ns <= 0.0) return 0.0;
+    return (identity_cost_ns - plan_cost_ns) / identity_cost_ns * 100.0;
+  }
+
+  /// "{U} | {idx, store} | {audit}" — groups in deterministic order.
+  [[nodiscard]] std::string to_string() const;
+
+  /// ThreadRuntime::RecoveryOptions::color_slot for a partitioner color
+  /// table: slot[i] is the color-table index of color i's group leader (the
+  /// group member with the smallest table index). Colors absent from the
+  /// plan map to themselves.
+  [[nodiscard]] std::vector<std::size_t> slot_table(
+      const std::vector<sectype::Color>& color_table) const;
+};
+
+/// Greedy heaviest-edge growth + FM-style single-node refinement. Cost of an
+/// assignment = cross-group traffic × lockfree_msg_ns + per-group EPC paging
+/// penalty (pages over params.epc_bytes × epc_fault_ns). Constraints: U never
+/// merges (the untrusted world is not an enclave), and no merged group's
+/// footprint may exceed params.epc_bytes — singletons are always feasible
+/// (a color that alone outgrows the EPC is L303's problem, not placement's).
+[[nodiscard]] PlacementPlan search_placement(const ColorInteractionGraph& graph,
+                                             const sgx::CostParams& params);
+
+/// L310/L311. Emits the computed placement plan per §9.1 target machine
+/// (L310 note, JSON-able via `privagicc --lint=json`), and warns (L311) when
+/// one-enclave-per-color is at least kSingleEnclaveWastePct worse than the
+/// computed plan on a machine — the signal that the default placement is
+/// leaving the paper's message-cost savings on the table.
+class PlacementAnalysis final : public LintPass {
+ public:
+  static constexpr double kSingleEnclaveWastePct = 25.0;
+
+  PlacementAnalysis() = default;
+  explicit PlacementAnalysis(std::string profile_json)
+      : profile_json_(std::move(profile_json)) {}
+
+  [[nodiscard]] std::string_view name() const override { return "placement"; }
+  [[nodiscard]] Phase phase() const override { return Phase::kPostTypeAnalysis; }
+  void run(const AnalysisContext& ctx, sectype::DiagnosticEngine& diags) override;
+
+ private:
+  std::string profile_json_;
+};
+
+}  // namespace privagic::analysis

@@ -485,19 +485,23 @@ runtime::ThreadRuntime& Machine::runtime_for_current_thread() {
     options.adaptive_wait = call_path_adaptive_wait_;
     options.direct_dispatch = call_path_direct_dispatch_;
     options.checkpoint = crash_recovery_;
+    options.color_slot = placement_;
     if (options.checkpoint.enabled) {
-      // Per-color checkpoints carry the color's SimMemory image, so a
+      // Per-enclave checkpoints carry the enclave's SimMemory image, so a
       // restarted enclave resumes with the globals/heap it crashed with.
+      // Under a placement plan an enclave hosts a *group* of colors; the
+      // group hooks merge/fan out the member images (identity placement
+      // degenerates to the old single-color behavior).
       // Caller-supplied hooks (tests attacking the serializer) take priority.
       if (!options.checkpoint.state_snapshot) {
         options.checkpoint.state_snapshot = [this](std::size_t color) {
-          return memory_->serialize_color(static_cast<sgx::ColorId>(color));
+          return snapshot_group_state(color);
         };
       }
       if (!options.checkpoint.state_restore) {
         options.checkpoint.state_restore = [this](std::size_t color,
                                                   std::span<const std::byte> image) {
-          memory_->restore_color(static_cast<sgx::ColorId>(color), image);
+          restore_group_state(color, image);
         };
       }
     }
@@ -581,6 +585,60 @@ void Machine::run_chunk(runtime::ThreadRuntime& rt, std::uint64_t chunk_id, std:
       rt.cont(leader, tags + partition::kTagResultToLeader, 0);
     }
     rt.ack(leader, tags + partition::kTagCompletion);
+  }
+}
+
+void Machine::set_placement(std::vector<std::size_t> slot_table) {
+  const std::size_t n = program_.color_table.size();
+  if (!slot_table.empty()) {
+    if (slot_table.size() != n) {
+      throw InterpError("placement slot table must cover the whole color table");
+    }
+    if (slot_table[0] != 0) {
+      throw InterpError("placement must keep U (color 0) alone at slot 0");
+    }
+    for (std::size_t c = 0; c < n; ++c) {
+      const std::size_t s = slot_table[c];
+      if (s >= n || slot_table[s] != s || (c != 0 && s == 0)) {
+        throw InterpError("placement slot table is not an idempotent leader map");
+      }
+    }
+  }
+  placement_ = std::move(slot_table);
+  // Re-key the EPC budgets immediately: the globals were allocated in the
+  // constructor, so the group budgets must absorb their existing usage.
+  std::vector<sgx::ColorId> leaders(placement_.size());
+  for (std::size_t c = 0; c < placement_.size(); ++c) {
+    leaders[c] = static_cast<sgx::ColorId>(placement_[c]);
+  }
+  memory_->set_color_groups(std::move(leaders));
+}
+
+std::vector<std::byte> Machine::snapshot_group_state(std::size_t leader) const {
+  std::vector<std::byte> out(sizeof(std::uint64_t));
+  std::uint64_t total = 0;
+  for (std::size_t c = 0; c < program_.color_table.size(); ++c) {
+    const std::size_t slot = placement_.empty() ? c : placement_[c];
+    if (slot != leader) continue;
+    const std::vector<std::byte> img =
+        memory_->serialize_color(static_cast<sgx::ColorId>(c));
+    std::uint64_t count = 0;
+    std::memcpy(&count, img.data(), sizeof count);
+    total += count;
+    out.insert(out.end(), img.begin() + static_cast<std::ptrdiff_t>(sizeof count),
+               img.end());
+  }
+  std::memcpy(out.data(), &total, sizeof total);
+  return out;
+}
+
+void Machine::restore_group_state(std::size_t leader, std::span<const std::byte> image) {
+  // restore_color only rewrites regions whose recorded color matches, so
+  // feeding the merged image to each member restores exactly its slice.
+  for (std::size_t c = 0; c < program_.color_table.size(); ++c) {
+    const std::size_t slot = placement_.empty() ? c : placement_[c];
+    if (slot != leader) continue;
+    memory_->restore_color(static_cast<sgx::ColorId>(c), image);
   }
 }
 

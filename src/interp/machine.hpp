@@ -176,6 +176,22 @@ class Machine {
   /// created from now on (tests/bench: call before the first call()).
   void set_fault_injector(runtime::FaultInjector* injector) { injector_ = injector; }
 
+  /// Installs a placement plan (DESIGN.md §15): @p slot_table maps each
+  /// color-table index to the index of its enclave-group leader
+  /// (slot_table[c] == c for leaders; empty = identity, one enclave per
+  /// color — the default). Takes effect immediately for EPC budgeting
+  /// (co-resident colors charge one shared budget keyed by the leader) and
+  /// for worker groups created from now on (co-resident colors share the
+  /// leader's worker thread and mailbox, so their mutual traffic rides the
+  /// same-color inline-dispatch path and never crosses an enclave
+  /// boundary). Access checks remain per color — co-residence never weakens
+  /// confidentiality. Configure before the first call(). Throws on a table
+  /// that is not an idempotent leader map keeping U (index 0) alone at
+  /// slot 0. PlacementPlan::slot_table (analysis/placement.hpp) produces
+  /// tables in exactly this shape.
+  void set_placement(std::vector<std::size_t> slot_table);
+  [[nodiscard]] const std::vector<std::size_t>& placement() const { return placement_; }
+
   /// Call-path tuning for worker groups created from now on (groups are
   /// lazy, one per calling host thread — configure before the first call()).
   /// @p max_batch <= 1 restores push-per-send; @p adaptive_wait toggles the
@@ -221,6 +237,11 @@ class Machine {
   /// Snapshots and clears the first worker-side failure of this call, as a
   /// ready-to-return error Result; std::nullopt when no worker failed.
   [[nodiscard]] std::optional<Result<std::int64_t>> take_worker_error();
+  /// §12 checkpoint hooks, placement-aware: the image for a group leader
+  /// carries every co-resident color's regions (merged serialize_color
+  /// images); restore feeds the merged image back per member color.
+  [[nodiscard]] std::vector<std::byte> snapshot_group_state(std::size_t leader) const;
+  void restore_group_state(std::size_t leader, std::span<const std::byte> image);
   void log_external(const std::string& entry);
 
   const partition::PartitionResult& program_;
@@ -257,6 +278,9 @@ class Machine {
   int recovery_max_retries_ = 3;
   std::chrono::microseconds watchdog_deadline_{0};
   runtime::CheckpointOptions crash_recovery_{};  // §12; disabled by default
+  // Placement plan slot table (§15); empty = identity. Set before the first
+  // call() and read by worker threads afterwards, so no lock is needed.
+  std::vector<std::size_t> placement_;
   runtime::FaultInjector* injector_ = nullptr;
   // Batched call-path configuration (see set_call_path / RecoveryOptions).
   std::size_t call_path_max_batch_ = runtime::RecoveryOptions{}.max_batch;

@@ -171,6 +171,14 @@ struct RecoveryOptions {
   /// re-attestation on restart, optional warm-replica failover. Disabled by
   /// default — a crash then permanently poisons the victim color.
   CheckpointOptions checkpoint{};
+  /// Placement plan slot table (DESIGN.md §15): color c's mailbox, worker
+  /// thread, and recovery state fold into index color_slot[c]. Empty =
+  /// identity (one enclave per color, the default). Entries must be
+  /// idempotent (color_slot[color_slot[c]] == color_slot[c]), in range,
+  /// keep U at slot 0, and never fold a named color into U. Co-resident
+  /// colors share the leader's worker, so traffic between them rides the
+  /// same-color inline-dispatch path (calls elided, no mailbox crossing).
+  std::vector<std::size_t> color_slot{};
 };
 
 class ThreadRuntime {
@@ -209,6 +217,26 @@ class ThreadRuntime {
         poisoned_(num_colors),
         blocked_since_ms_(num_colors),
         armed_(num_colors) {
+    if (!options_.color_slot.empty()) {
+      if (options_.color_slot.size() != num_colors) {
+        throw std::invalid_argument("color_slot size must equal num_colors");
+      }
+      if (options_.color_slot[0] != 0) {
+        throw std::invalid_argument("color_slot must keep U (color 0) at slot 0");
+      }
+      for (std::size_t c = 0; c < num_colors; ++c) {
+        const std::size_t s = options_.color_slot[c];
+        if (s >= num_colors) {
+          throw std::invalid_argument("color_slot entry out of range");
+        }
+        if (options_.color_slot[s] != s) {
+          throw std::invalid_argument("color_slot must be idempotent (slots are leaders)");
+        }
+        if (c != 0 && s == 0) {
+          throw std::invalid_argument("color_slot must not fold a named color into U");
+        }
+      }
+    }
     for (std::size_t c = 0; c < num_colors; ++c) {
       mailboxes_[c] = std::make_unique<Mailbox>();
       if (options_.injector != nullptr) {
@@ -226,6 +254,9 @@ class ThreadRuntime {
     const std::size_t replicas =
         (options_.checkpoint.enabled && options_.checkpoint.hot_failover) ? 2 : 1;
     for (std::size_t c = 1; c < num_colors; ++c) {
+      // Under a placement plan only group leaders get a worker; member
+      // colors' traffic lands in the leader's mailbox via index().
+      if (!options_.color_slot.empty() && options_.color_slot[c] != c) continue;
       for (std::size_t r = 0; r < replicas; ++r) {
         workers_.emplace_back([this, c, r] { worker_lifecycle(c, /*primary=*/r == 0); });
       }
@@ -351,11 +382,11 @@ class ThreadRuntime {
   /// Blocks worker @p me until a cont with @p tag arrives; serves spawns
   /// re-entrantly while waiting. Throws RuntimeFault when recovery gives up.
   std::int64_t wait(std::size_t me, std::int64_t tag) {
-    return wait_kind(me, MsgKind::kCont, tag).payload;
+    return wait_kind(index(static_cast<std::int64_t>(me)), MsgKind::kCont, tag).payload;
   }
 
   void wait_ack(std::size_t me, std::int64_t tag) {
-    wait_kind(me, MsgKind::kAck, tag);
+    wait_kind(index(static_cast<std::int64_t>(me)), MsgKind::kAck, tag);
   }
 
   // -- Observability -----------------------------------------------------------
@@ -405,11 +436,17 @@ class ThreadRuntime {
   // when both are derived from the one spawn_secret.
   static constexpr std::uint64_t kSealSalt = 0x5EA1'5EC4'E7B1'7E5Dull;
 
+  /// Color id → mailbox/worker slot. THE single translation point for the
+  /// placement plan: every path that routes by color (send, wait, inject,
+  /// arm) funnels through here, so folding a color into its group leader's
+  /// slot is one lookup — co-resident traffic then takes the same-color
+  /// inline path in send() with no further special-casing.
   [[nodiscard]] std::size_t index(std::int64_t color) const {
     if (color < 0 || static_cast<std::size_t>(color) >= mailboxes_.size()) {
       throw std::out_of_range("bad color id " + std::to_string(color));
     }
-    return static_cast<std::size_t>(color);
+    if (options_.color_slot.empty()) return static_cast<std::size_t>(color);
+    return options_.color_slot[static_cast<std::size_t>(color)];
   }
 
   struct OutboxSet;  // defined below; the replay helpers take it by reference

@@ -12,9 +12,11 @@
 // Codes are append-only: a code, once shipped, never changes meaning.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <tuple>
 #include <vector>
 
 namespace privagic::sectype {
@@ -117,6 +119,19 @@ class DiagnosticEngine {
   /// checker and lint findings into one report).
   void merge(const DiagnosticEngine& other) {
     for (const auto& d : other.diagnostics()) diagnostics_.push_back(d);
+  }
+
+  /// Orders diagnostics by (code, function, instruction) for deterministic
+  /// CI diffs of `privagicc --lint=json` output: pass registration order and
+  /// traversal order stop leaking into the report. The sort is stable, so
+  /// findings identical in all three keys keep their emission order (message
+  /// text is deliberately NOT a key — it may embed measured quantities).
+  void sort_for_output() {
+    std::stable_sort(diagnostics_.begin(), diagnostics_.end(),
+                     [](const Diagnostic& a, const Diagnostic& b) {
+                       return std::tie(a.code, a.function, a.instruction) <
+                              std::tie(b.code, b.function, b.instruction);
+                     });
   }
 
  private:

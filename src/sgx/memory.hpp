@@ -158,7 +158,9 @@ class SimMemory {
     for (const Shard& sh : shards_) {
       const std::lock_guard<std::mutex> lock(sh.mu);
       for (const auto& [base, region] : sh.regions) {
-        if (region.color != kUnsafe) live[region.color].emplace_back(base, region.size);
+        if (region.color != kUnsafe) {
+          live[budget_key(region.color)].emplace_back(base, region.size);
+        }
       }
     }
     const std::lock_guard<std::mutex> lock(epc_mu_);
@@ -177,15 +179,61 @@ class SimMemory {
 
   [[nodiscard]] const EpcBudget& epc_budget() const { return budget_; }
 
+  /// Installs a color→enclave-group mapping (the placement plan's slot
+  /// table): leader_of[c] is the color id of c's group leader, and all EPC
+  /// *budget* accounting — hard cap, watermark clock, eviction/fault
+  /// counters — is charged to the leader, so co-resident colors share one
+  /// enclave's EPC. Access *checks* stay per color: placement never widens
+  /// confidentiality (a chunk still only touches its own color's regions).
+  /// An empty vector restores the identity (one enclave per color).
+  /// Configure before workers run, like set_epc_budget: existing budgets are
+  /// re-derived from live regions under the new keys; counters restart.
+  void set_color_groups(std::vector<ColorId> leader_of) {
+    {
+      const std::lock_guard<std::mutex> lock(epc_mu_);
+      group_leader_ = std::move(leader_of);
+    }
+    // Rebuild the per-group budgets from the live regions, exactly as a
+    // fresh set_epc_budget would: snapshot under the shard locks, then swap
+    // under epc_mu_ (never nested).
+    std::map<ColorId, std::vector<std::pair<std::uint64_t, std::uint64_t>>> live;
+    for (const Shard& sh : shards_) {
+      const std::lock_guard<std::mutex> lock(sh.mu);
+      for (const auto& [base, region] : sh.regions) {
+        if (region.color != kUnsafe) {
+          live[budget_key(region.color)].emplace_back(base, region.size);
+        }
+      }
+    }
+    const std::lock_guard<std::mutex> lock(epc_mu_);
+    budgets_.clear();
+    for (const auto& [key, regions] : live) {
+      ColorBudget& cb = budgets_[key];
+      for (const auto& [base, size] : regions) {
+        cb.used += size;
+        if (budget_.epc_bytes != 0) enroll_locked(cb, base, size);
+      }
+      evict_to_watermark_locked(cb, key);
+    }
+  }
+
+  /// The color id whose budget @p color charges (its group leader; itself
+  /// when no placement is installed or the id is out of the table's range).
+  [[nodiscard]] ColorId budget_key(ColorId color) const {
+    if (color < 0 || static_cast<std::size_t>(color) >= group_leader_.size()) return color;
+    return group_leader_[static_cast<std::size_t>(color)];
+  }
+
   /// Allocates @p size zeroed bytes owned by @p color. Returns the base
   /// address (never 0).
   std::uint64_t allocate(std::uint64_t size, ColorId color) {
     if (size == 0) size = 1;
     if (color != kUnsafe) {
+      const ColorId key = budget_key(color);
       const std::lock_guard<std::mutex> lock(epc_mu_);
-      ColorBudget& cb = budgets_[color];
+      ColorBudget& cb = budgets_[key];
       if (budget_.hard_limit != 0 && cb.used + size > budget_.hard_limit) {
-        throw EpcExhausted("enclave " + std::to_string(color) + " exceeds EPC limit");
+        throw EpcExhausted("enclave " + std::to_string(key) + " exceeds EPC limit");
       }
       cb.used += size;
     }
@@ -202,10 +250,11 @@ class SimMemory {
                                       std::make_shared<std::vector<std::byte>>(size)});
     }
     if (color != kUnsafe && paging_.load(std::memory_order_relaxed)) {
+      const ColorId key = budget_key(color);
       const std::lock_guard<std::mutex> lock(epc_mu_);
-      ColorBudget& cb = budgets_[color];
+      ColorBudget& cb = budgets_[key];
       enroll_locked(cb, base, size);
-      evict_to_watermark_locked(cb, color);
+      evict_to_watermark_locked(cb, key);
     }
     obs::on_region_alloc(color, base, size);
     return base;
@@ -232,7 +281,7 @@ class SimMemory {
     }
     if (color != kUnsafe) {
       const std::lock_guard<std::mutex> lock(epc_mu_);
-      ColorBudget& cb = budgets_[color];
+      ColorBudget& cb = budgets_[budget_key(color)];
       cb.used -= size;
       drop_clock_entry_locked(cb, addr);
     }
@@ -316,7 +365,7 @@ class SimMemory {
   /// Bytes currently allocated to @p color (the hard-cap denominator).
   [[nodiscard]] std::uint64_t epc_used(ColorId color) const {
     const std::lock_guard<std::mutex> lock(epc_mu_);
-    auto it = budgets_.find(color);
+    auto it = budgets_.find(budget_key(color));
     return it != budgets_.end() ? it->second.used : 0;
   }
 
@@ -324,28 +373,28 @@ class SimMemory {
   /// the clock has paged the color down to its watermark).
   [[nodiscard]] std::uint64_t epc_resident(ColorId color) const {
     const std::lock_guard<std::mutex> lock(epc_mu_);
-    auto it = budgets_.find(color);
+    auto it = budgets_.find(budget_key(color));
     return it != budgets_.end() ? it->second.resident : 0;
   }
 
   /// Regions the clock paged out of @p color's EPC (EWB write-backs).
   [[nodiscard]] std::uint64_t epc_evictions(ColorId color) const {
     const std::lock_guard<std::mutex> lock(epc_mu_);
-    auto it = budgets_.find(color);
+    auto it = budgets_.find(budget_key(color));
     return it != budgets_.end() ? it->second.evictions : 0;
   }
 
   /// Slow-path accesses that hit a paged-out region and reloaded it (ELDU).
   [[nodiscard]] std::uint64_t epc_faults(ColorId color) const {
     const std::lock_guard<std::mutex> lock(epc_mu_);
-    auto it = budgets_.find(color);
+    auto it = budgets_.find(budget_key(color));
     return it != budgets_.end() ? it->second.faults : 0;
   }
 
   /// Total simulated paging time charged to @p color (fault_ns per page).
   [[nodiscard]] double epc_fault_ns_charged(ColorId color) const {
     const std::lock_guard<std::mutex> lock(epc_mu_);
-    auto it = budgets_.find(color);
+    auto it = budgets_.find(budget_key(color));
     return it != budgets_.end() ? it->second.fault_ns : 0.0;
   }
 
@@ -588,8 +637,9 @@ class SimMemory {
   /// faults a paged-out one back in (charging the reload and re-balancing
   /// against the watermark). Never throws; called with no other lock held.
   void touch_region(ColorId color, std::uint64_t base) const {
+    const ColorId key = budget_key(color);
     const std::lock_guard<std::mutex> lock(epc_mu_);
-    auto bit = budgets_.find(color);
+    auto bit = budgets_.find(key);
     if (bit == budgets_.end()) return;
     ColorBudget& cb = bit->second;
     auto it = cb.index.find(base);
@@ -602,11 +652,11 @@ class SimMemory {
     ++cb.faults;
     const double charged = static_cast<double>(pages(e.size)) * budget_.fault_ns;
     cb.fault_ns += charged;
-    obs::on_epc_fault(color, e.size, charged);
+    obs::on_epc_fault(key, e.size, charged);
     e.resident = true;
     e.referenced = true;
     cb.resident += e.size;
-    evict_to_watermark_locked(cb, color);
+    evict_to_watermark_locked(cb, key);
   }
 
   /// Re-derives a color's budget accounting from its live regions: `used`
@@ -616,15 +666,20 @@ class SimMemory {
   /// across the rebuild; they are simulated time, not state.
   void reconcile_color(ColorId color) {
     if (color == kUnsafe) return;
+    // Budgets are kept per enclave *group*: re-derive the whole group the
+    // color charges, since its clock interleaves every member's regions.
+    const ColorId key = budget_key(color);
     std::vector<std::pair<std::uint64_t, std::uint64_t>> live;
     for (const Shard& sh : shards_) {
       const std::lock_guard<std::mutex> lock(sh.mu);
       for (const auto& [base, region] : sh.regions) {
-        if (region.color == color) live.emplace_back(base, region.size);
+        if (region.color != kUnsafe && budget_key(region.color) == key) {
+          live.emplace_back(base, region.size);
+        }
       }
     }
     const std::lock_guard<std::mutex> lock(epc_mu_);
-    ColorBudget& cb = budgets_[color];
+    ColorBudget& cb = budgets_[key];
     cb.used = 0;
     for (const auto& [base, size] : live) {
       (void)base;
@@ -636,7 +691,7 @@ class SimMemory {
       cb.hand = cb.clock.end();
       cb.resident = 0;
       for (const auto& [base, size] : live) enroll_locked(cb, base, size);
-      evict_to_watermark_locked(cb, color);
+      evict_to_watermark_locked(cb, key);
     }
   }
 
@@ -649,6 +704,10 @@ class SimMemory {
   // mutable: the access paths are logically const but move referenced bits
   // and charge simulated time. All mutation happens under epc_mu_.
   mutable std::map<ColorId, ColorBudget> budgets_;
+  // Color id → budget-charging group leader (empty = identity). Written only
+  // by set_color_groups before workers run (Machine-knob contract), so the
+  // unlocked reads in budget_key() never race a write.
+  std::vector<ColorId> group_leader_;
 };
 
 }  // namespace privagic::sgx

@@ -549,6 +549,72 @@ entry:
   EXPECT_NE(d->message.find("3 chunks"), std::string::npos) << d->message;
 }
 
+TEST(ChunkCostTest, RecursiveSccDoesNotDoubleCountPinnedInstructions) {
+  // Regression: the old estimate charged every chunk the *whole* body
+  // (`chunks.size() * insts`), so this recursive two-color function was
+  // reported as 8 -> ~16 instructions (2.0x). Only the call+ret replicate;
+  // the six color-pinned instructions are exclusive to their chunk, giving
+  // 6 + 2*2 = 10 predicted instructions (1.2x).
+  const auto diags = run_lints(R"(
+module "l301_scc"
+global i64 @r color(red)
+global i64 @b color(blue)
+define void @ping() entry {
+entry:
+  %x = load ptr<i64 color(red)> @r
+  %x2 = add i64 %x, i64 1
+  store i64 %x2, ptr<i64 color(red)> @r
+  %y = load ptr<i64 color(blue)> @b
+  %y2 = add i64 %y, i64 1
+  store i64 %y2, ptr<i64 color(blue)> @b
+  call void @ping()
+  ret void
+}
+)");
+  const sectype::Diagnostic* d = diags.find_code("L301");
+  ASSERT_NE(d, nullptr);
+  EXPECT_NE(d->message.find("{blue, red} (2)"), std::string::npos) << d->message;
+  EXPECT_NE(d->message.find("(8 -> ~10 instructions, 2 replicated per chunk)"),
+            std::string::npos)
+      << d->message;
+  EXPECT_NE(d->message.find("~1.2x code size"), std::string::npos) << d->message;
+}
+
+// ---------------------------------------------------------------------------
+// Lint output ordering (privagicc --lint / --lint=json determinism)
+// ---------------------------------------------------------------------------
+
+TEST(LintOutputOrderTest, SortForOutputOrdersByCodeFunctionInstruction) {
+  sectype::DiagnosticEngine diags;
+  // Emission order scrambles all three keys; message text must not matter.
+  diags.lint("L310", sectype::Severity::kNote, "placement", "", "zzz last");
+  diags.lint("L101", sectype::Severity::kWarning, "beta", "i2", "m1");
+  diags.lint("L101", sectype::Severity::kWarning, "alpha", "z", "m2");
+  diags.lint("L101", sectype::Severity::kWarning, "alpha", "a", "m3");
+  diags.lint("L201", sectype::Severity::kWarning, "mid", "x", "m4");
+  diags.lint("L101", sectype::Severity::kWarning, "alpha", "a", "m5");  // tie
+
+  diags.sort_for_output();
+
+  const auto& out = diags.diagnostics();
+  ASSERT_EQ(out.size(), 6u);
+  EXPECT_EQ(out[0].function, "alpha");
+  EXPECT_EQ(out[0].instruction, "a");
+  EXPECT_EQ(out[0].message, "m3");  // stable: ties keep emission order
+  EXPECT_EQ(out[1].message, "m5");
+  EXPECT_EQ(out[2].function, "alpha");
+  EXPECT_EQ(out[2].instruction, "z");
+  EXPECT_EQ(out[3].function, "beta");
+  EXPECT_EQ(out[4].code, "L201");
+  EXPECT_EQ(out[5].code, "L310");
+
+  // The JSON rendering preserves the sorted order, so `--lint=json` diffs
+  // stay deterministic across pass-registration changes.
+  const std::string json = diags.to_json();
+  EXPECT_LT(json.find("L101"), json.find("L201"));
+  EXPECT_LT(json.find("L201"), json.find("L310"));
+}
+
 // ---------------------------------------------------------------------------
 // L303 — EPC thrash planner
 // ---------------------------------------------------------------------------

@@ -445,5 +445,109 @@ entry:
       });
 }
 
+// ---------------------------------------------------------------------------
+// Placement axis: a searched enclave assignment (Machine::set_placement) is a
+// transport optimization, never a semantic change. Every engine must observe
+// identical behavior under any placement, and the placements must agree with
+// each other on every placement-independent channel (results, external log,
+// final globals).
+// ---------------------------------------------------------------------------
+
+TEST(InterpEquivTest, PlacementDemoMatchesAcrossEnginesUnderAnyPlacement) {
+  const std::string text = read_fixture("examples/pir/placement_demo.pir");
+  auto drive = [](interp::Machine& m, Observed& o) {
+    for (int i = 0; i < 20; ++i) record_call(m, o, "handle_request", {});
+  };
+  // Color table [U, audit, index, store]: identity, the machine-A searched
+  // plan (audit leads {audit, index, store}), and a partial merge.
+  const std::vector<std::vector<std::size_t>> placements = {
+      {}, {0, 1, 1, 1}, {0, 1, 2, 2}};
+  std::vector<Observed> fused_runs;
+  for (const auto& slots : placements) {
+    auto configure = [&slots](interp::Machine& m) {
+      if (!slots.empty()) m.set_placement(slots);
+    };
+    run_both_and_compare([&] { return compile(text, Mode::kHardened); },
+                         configure, drive);
+    Compiled c = compile(text, Mode::kHardened);
+    fused_runs.push_back(
+        run_scenario(*c.program, ExecMode::kFused, configure, drive));
+  }
+  // Across placements: identical results, log, and memory. EPC accounting is
+  // deliberately NOT compared here — co-resident colors share one budget key,
+  // so the per-color breakdown legitimately shifts with the grouping.
+  for (std::size_t i = 1; i < fused_runs.size(); ++i) {
+    SCOPED_TRACE("placement " + std::to_string(i));
+    EXPECT_EQ(fused_runs[0].results, fused_runs[i].results);
+    EXPECT_EQ(fused_runs[0].log, fused_runs[i].log);
+    EXPECT_EQ(fused_runs[0].globals, fused_runs[i].globals);
+  }
+}
+
+// The EpcBudgetFaultMatchesAcrossEngines scenario with a second color merged
+// into the growing enclave group: the shared group budget must trip the same
+// typed fault (kEpcExhausted, allocator wording) at the same call index on
+// every tier when a placement is enforced.
+TEST(InterpEquivTest, EpcBudgetFaultUnderPlacementMatchesAcrossEngines) {
+  const char* text = R"(
+module "epcgrow_grouped"
+global i64 @tally color(store)
+global ptr<[8192 x i64] color(store)> @keep color(store)
+global i64 @audit_n color(audit)
+declare i64 @classify(i64) ignore
+declare i64 @declassify(i64) ignore
+define void @note() entry {
+entry:
+  %a = load ptr<i64 color(audit)> @audit_n
+  %a2 = add i64 %a, i64 1
+  store i64 %a2, ptr<i64 color(audit)> @audit_n
+  ret void
+}
+define i64 @grow(i64 %v) entry {
+entry:
+  %c = call i64 @classify(i64 %v)
+  %p = heap_alloc [8192 x i64] color(store)
+  store ptr<[8192 x i64] color(store)> %p, ptr<ptr<[8192 x i64] color(store)> color(store)> @keep
+  %old = load ptr<i64 color(store)> @tally
+  %new = add i64 %old, i64 %c
+  store i64 %new, ptr<i64 color(store)> @tally
+  %d = call i64 @declassify(i64 %new)
+  ret i64 %d
+}
+)";
+  auto record_typed = [](interp::Machine& m, Observed& o) {
+    auto r = m.call("grow", {1});
+    o.results.push_back(r.ok() ? "ok " + std::to_string(r.value())
+                               : std::string("err [") +
+                                     status_code_name(r.status().code()) + "] " +
+                                     r.message());
+  };
+  run_both_and_compare(
+      [&] { return compile(text, Mode::kHardened); },
+      [](interp::Machine& m) {
+        // Merge audit+store into one enclave group ([U, audit, store] -> audit
+        // leads), then cap the group's shared budget.
+        m.set_placement({0, 1, 1});
+        sgx::EpcBudget budget;
+        budget.hard_limit = 160 * 1024;  // two 64 KiB growths fit, not three
+        m.memory().set_epc_budget(budget);
+        m.enable_fault_recovery(/*wait_deadline=*/100ms, /*max_retries=*/3);
+      },
+      [&](interp::Machine& m, Observed& o) {
+        record_call(m, o, "note", {});
+        for (int i = 0; i < 4; ++i) record_typed(m, o);
+        record_call(m, o, "note", {});
+        ASSERT_EQ(o.results.size(), 6u);
+        bool tripped = false;
+        for (const std::string& r : o.results) {
+          if (r.find("err [epc-exhausted]") == 0 &&
+              r.find("exceeds EPC limit") != std::string::npos) {
+            tripped = true;
+          }
+        }
+        EXPECT_TRUE(tripped) << "no typed EPC fault in results";
+      });
+}
+
 }  // namespace
 }  // namespace privagic

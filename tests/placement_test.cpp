@@ -1,0 +1,440 @@
+// Tests for the static placement analysis (src/analysis/placement):
+// per-chunk code estimates (the L301/L303 double-count fix), exact
+// color-interaction-graph node/edge weights on synthetic multi-color modules,
+// profile blending, the k-way assignment search (EPC feasibility, slot
+// tables), runtime enforcement through Machine::set_placement, and a
+// differential check that the static edge weights stay within a bounded
+// factor of the Mailbox traffic a real run observes on the kvcache fixture.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <memory>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "analysis/lints.hpp"
+#include "analysis/placement.hpp"
+#include "apps/kvcache/pir_program.hpp"
+#include "interp/machine.hpp"
+#include "ir/parser.hpp"
+#include "partition/partitioner.hpp"
+#include "sectype/analysis.hpp"
+#include "sgx/cost_model.hpp"
+
+namespace privagic::analysis {
+namespace {
+
+using sectype::Color;
+
+std::unique_ptr<ir::Module> parse_or_die(const std::string& text) {
+  auto parsed = ir::parse_module(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.message();
+  return std::move(parsed).value();
+}
+
+/// The three-color demo shape (examples/pir/placement_demo.pir, shrunk): the
+/// index chunk drives four store bumps and one audit bump per request, all
+/// through no-arg helpers (§7.3.2 prohibits cross-enclave argument relays in
+/// hardened mode).
+constexpr const char* kThreeColorPir = R"(
+module "placement_fixture"
+global [256 x i64] @slots color(index)
+global i64 @slot_cursor color(index)
+global [4096 x i64] @values color(store)
+global i64 @value_cursor color(store)
+global [16 x i64] @audit_log color(audit)
+global i64 @audit_cursor color(audit)
+define void @bump_store() {
+entry:
+  %c = load ptr<i64 color(store)> @value_cursor
+  %i = and i64 %c, i64 4095
+  %vp = gep ptr<[4096 x i64] color(store)> @values, index %i
+  %v = load ptr<i64 color(store)> %vp
+  %v2 = add i64 %v, i64 1
+  store i64 %v2, ptr<i64 color(store)> %vp
+  %c2 = add i64 %c, i64 2654435761
+  store i64 %c2, ptr<i64 color(store)> @value_cursor
+  ret void
+}
+define void @bump_audit() {
+entry:
+  %c = load ptr<i64 color(audit)> @audit_cursor
+  %i = and i64 %c, i64 15
+  %ap = gep ptr<[16 x i64] color(audit)> @audit_log, index %i
+  %a = load ptr<i64 color(audit)> %ap
+  %a2 = add i64 %a, i64 1
+  store i64 %a2, ptr<i64 color(audit)> %ap
+  %c2 = add i64 %c, i64 1
+  store i64 %c2, ptr<i64 color(audit)> @audit_cursor
+  ret void
+}
+define void @lookup() {
+entry:
+  %c = load ptr<i64 color(index)> @slot_cursor
+  %i = and i64 %c, i64 255
+  %sp = gep ptr<[256 x i64] color(index)> @slots, index %i
+  %s = load ptr<i64 color(index)> %sp
+  %s2 = add i64 %s, i64 1
+  store i64 %s2, ptr<i64 color(index)> %sp
+  %c2 = add i64 %c, i64 40503
+  store i64 %c2, ptr<i64 color(index)> @slot_cursor
+  call void @bump_store()
+  call void @bump_store()
+  call void @bump_store()
+  call void @bump_store()
+  call void @bump_audit()
+  ret void
+}
+define i64 @handle_request() entry {
+entry:
+  call void @lookup()
+  ret i64 1
+}
+)";
+
+struct Compiled {
+  std::unique_ptr<ir::Module> module;
+  std::unique_ptr<sectype::TypeAnalysis> analysis;
+  std::unique_ptr<partition::PartitionResult> program;
+};
+
+Compiled compile(const std::string& pir) {
+  Compiled out;
+  out.module = parse_or_die(pir);
+  out.analysis =
+      std::make_unique<sectype::TypeAnalysis>(*out.module, sectype::Mode::kHardened);
+  EXPECT_TRUE(out.analysis->run()) << out.analysis->diagnostics().to_string();
+  auto result = partition::partition_module(*out.analysis);
+  EXPECT_TRUE(result.ok()) << result.message();
+  out.program = std::move(result).value();
+  return out;
+}
+
+const sectype::SpecFacts* spec_of(const sectype::TypeAnalysis& types,
+                                  std::string_view fn_name) {
+  for (const sectype::SpecFacts* facts : types.reachable_specs()) {
+    if (facts->sig().fn->name() == fn_name) return facts;
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// estimate_chunk_code — the L301/L303 double-count fix
+// ---------------------------------------------------------------------------
+
+TEST(ChunkCodeEstimateTest, SingleChunkFunctionIsNotInflated) {
+  Compiled c = compile(kThreeColorPir);
+  const sectype::SpecFacts* facts = spec_of(*c.analysis, "bump_store");
+  ASSERT_NE(facts, nullptr);
+
+  const ChunkCodeEstimate est = estimate_chunk_code(*facts);
+  ASSERT_EQ(est.chunks.size(), 1u);
+  EXPECT_TRUE(est.chunks.contains(Color::named("store")));
+  EXPECT_EQ(est.total_insts, 9u);
+  // One chunk: every instruction is generated exactly once, so the predicted
+  // code size equals the body — the old `chunks.size() * insts` formula
+  // agrees only in this degenerate case.
+  EXPECT_EQ(est.predicted_insts(), est.total_insts);
+}
+
+TEST(ChunkCodeEstimateTest, MultiChunkCountsPinnedInstructionsOnce) {
+  // One function whose body mixes two colors: the planner folds it into a
+  // red chunk and a blue chunk. Color-pinned instructions must be charged to
+  // exactly one chunk; only F-placed instructions replicate.
+  Compiled c = compile(R"(
+module "mix"
+global i64 @r color(red)
+global i64 @b color(blue)
+define i64 @mix() entry {
+entry:
+  %rv = load ptr<i64 color(red)> @r
+  %rv2 = add i64 %rv, i64 1
+  store i64 %rv2, ptr<i64 color(red)> @r
+  %bv = load ptr<i64 color(blue)> @b
+  %bv2 = add i64 %bv, i64 1
+  store i64 %bv2, ptr<i64 color(blue)> @b
+  ret i64 1
+}
+)");
+  const sectype::SpecFacts* facts = spec_of(*c.analysis, "mix");
+  ASSERT_NE(facts, nullptr);
+
+  const ChunkCodeEstimate est = estimate_chunk_code(*facts);
+  ASSERT_GE(est.chunks.size(), 2u);
+  EXPECT_EQ(est.total_insts, 7u);
+  // Decomposition identity: replicated instructions appear once per chunk,
+  // pinned instructions exactly once overall.
+  const std::size_t pinned = est.total_insts - est.replicated_insts;
+  EXPECT_EQ(est.predicted_insts(),
+            pinned + est.chunks.size() * est.replicated_insts);
+  // The regression this estimate fixes: the old formula charged every chunk
+  // the whole body. With 3 pinned instructions per color that strictly
+  // overcounts.
+  EXPECT_LT(est.predicted_insts(), est.chunks.size() * est.total_insts);
+}
+
+// ---------------------------------------------------------------------------
+// Interaction graph — exact node and edge weights
+// ---------------------------------------------------------------------------
+
+TEST(InteractionGraphTest, ExactNodeAndEdgeWeightsOnThreeColorModule) {
+  Compiled c = compile(kThreeColorPir);
+  const ColorInteractionGraph g = build_interaction_graph(*c.analysis);
+
+  // Nodes mirror the color table: [U, audit, index, store] (named colors
+  // sorted by name).
+  ASSERT_EQ(g.nodes.size(), 4u);
+  EXPECT_TRUE(g.nodes[0].color.is_untrusted());
+  EXPECT_EQ(g.nodes[1].color, Color::named("audit"));
+  EXPECT_EQ(g.nodes[2].color, Color::named("index"));
+  EXPECT_EQ(g.nodes[3].color, Color::named("store"));
+
+  // Data weights: colored globals count their contained type once.
+  EXPECT_EQ(g.nodes[0].data_bytes, 0u);
+  EXPECT_EQ(g.nodes[1].data_bytes, 16u * 8u + 8u);    // @audit_log + @audit_cursor
+  EXPECT_EQ(g.nodes[2].data_bytes, 256u * 8u + 8u);   // @slots + @slot_cursor
+  EXPECT_EQ(g.nodes[3].data_bytes, 4096u * 8u + 8u);  // @values + @value_cursor
+  // Code weights: positive multiples of the shared per-instruction estimate.
+  for (const ColorNode& n : g.nodes) {
+    EXPECT_GT(n.code_bytes, 0u) << n.color.to_string();
+    EXPECT_EQ(n.code_bytes % EpcBudgetLint::kCodeBytesPerInstruction, 0u);
+    EXPECT_EQ(n.footprint(), n.data_bytes + n.code_bytes);
+  }
+
+  // Edges: spawn+ack per spawned callee chunk. handle_request spawns the
+  // index chunk once (2 messages); lookup spawns store at four call sites
+  // (8) and audit at one (2). No other pair ever exchanges a message.
+  ASSERT_EQ(g.edges.size(), 3u);
+  EXPECT_DOUBLE_EQ(g.edge_weight(Color::untrusted(), Color::named("index")), 2.0);
+  EXPECT_DOUBLE_EQ(g.edge_weight(Color::named("index"), Color::named("store")), 8.0);
+  EXPECT_DOUBLE_EQ(g.edge_weight(Color::named("index"), Color::named("audit")), 2.0);
+  EXPECT_DOUBLE_EQ(g.edge_weight(Color::untrusted(), Color::named("store")), 0.0);
+  EXPECT_DOUBLE_EQ(g.edge_weight(Color::untrusted(), Color::named("audit")), 0.0);
+  EXPECT_DOUBLE_EQ(g.edge_weight(Color::named("audit"), Color::named("store")), 0.0);
+  // edge_weight is orientation-insensitive.
+  EXPECT_DOUBLE_EQ(g.edge_weight(Color::named("store"), Color::named("index")), 8.0);
+  for (const ColorEdge& e : g.edges) {
+    EXPECT_LT(e.a, e.b);
+    EXPECT_DOUBLE_EQ(e.weight, static_cast<double>(e.messages));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Profile blending
+// ---------------------------------------------------------------------------
+
+TEST(InteractionGraphTest, ApplyProfileMalformedJsonLeavesGraphUntouched) {
+  Compiled c = compile(kThreeColorPir);
+  ColorInteractionGraph g = build_interaction_graph(*c.analysis);
+  const ColorInteractionGraph before = g;
+
+  std::string error;
+  EXPECT_FALSE(apply_profile(g, "{not json", &error));
+  EXPECT_FALSE(error.empty());
+  ASSERT_EQ(g.edges.size(), before.edges.size());
+  for (std::size_t i = 0; i < g.edges.size(); ++i) {
+    EXPECT_DOUBLE_EQ(g.edges[i].weight, before.edges[i].weight);
+  }
+
+  error.clear();
+  EXPECT_FALSE(apply_profile(g, "[1, 2, 3]", &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(InteractionGraphTest, ApplyProfileRescalesEdgesByObservedVolume) {
+  Compiled c = compile(kThreeColorPir);
+  ColorInteractionGraph g = build_interaction_graph(*c.analysis);
+
+  // index is color-table entry 2 with static incident volume 2+8+2 = 12.
+  // Observing 24 sends gives it factor 2; colors without observations keep
+  // factor 1, so every index-incident edge scales by sqrt(2 * 1).
+  std::string error;
+  ASSERT_TRUE(apply_profile(
+      g, R"({"metrics": {"runtime.msg_sends.color2": 24}})", &error))
+      << error;
+  const double root2 = std::sqrt(2.0);
+  EXPECT_NEAR(g.edge_weight(Color::untrusted(), Color::named("index")), 2.0 * root2, 1e-9);
+  EXPECT_NEAR(g.edge_weight(Color::named("index"), Color::named("store")), 8.0 * root2, 1e-9);
+  EXPECT_NEAR(g.edge_weight(Color::named("index"), Color::named("audit")), 2.0 * root2, 1e-9);
+  // Static message counts are preserved — only the weights rescale.
+  for (const ColorEdge& e : g.edges) {
+    EXPECT_GT(e.messages, 0u);
+    EXPECT_NE(e.weight, static_cast<double>(e.messages));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// k-way assignment search
+// ---------------------------------------------------------------------------
+
+TEST(SearchPlacementTest, CoLocatesHotColorsWhenEpcAllows) {
+  Compiled c = compile(kThreeColorPir);
+  const ColorInteractionGraph g = build_interaction_graph(*c.analysis);
+  const PlacementPlan plan = search_placement(g, sgx::CostParams::machine_a());
+
+  // All three named colors fit machine A's EPC together, so the search
+  // merges them and only the U<->leader protocol traffic survives:
+  // 2 messages instead of 12.
+  ASSERT_EQ(plan.groups.size(), 2u);
+  EXPECT_EQ(plan.to_string(), "{U} | {audit, index, store}");
+  EXPECT_DOUBLE_EQ(plan.identity_cost_ns, 12.0 * sgx::CostParams::machine_a().lockfree_msg_ns);
+  EXPECT_DOUBLE_EQ(plan.plan_cost_ns, 2.0 * sgx::CostParams::machine_a().lockfree_msg_ns);
+  EXPECT_NEAR(plan.improvement_pct(), 100.0 * 10.0 / 12.0, 1e-9);
+
+  // Slot table for ThreadRuntime: audit (index 1) leads the merged group.
+  const std::vector<std::size_t> slots = plan.slot_table(c.program->color_table);
+  EXPECT_EQ(slots, (std::vector<std::size_t>{0, 1, 1, 1}));
+}
+
+TEST(SearchPlacementTest, EpcBudgetKeepsHeavyColorsApart) {
+  // Two 64 MiB colors joined by the hottest edge: merging them (128 MiB)
+  // busts machine A's 93 MiB EPC, so the search must leave them in separate
+  // enclaves no matter how much traffic the merge would elide. Machine B
+  // (8 GiB EPC) takes the merge.
+  ColorInteractionGraph g;
+  const std::uint64_t big = 64ull << 20;
+  g.nodes.push_back(ColorNode{Color::untrusted(), 0, 0});
+  g.nodes.push_back(ColorNode{Color::named("hot_a"), big, 0});
+  g.nodes.push_back(ColorNode{Color::named("hot_b"), big, 0});
+  g.edges.push_back(ColorEdge{Color::named("hot_a"), Color::named("hot_b"), 1000, 1000.0});
+
+  const PlacementPlan plan_a = search_placement(g, sgx::CostParams::machine_a());
+  ASSERT_EQ(plan_a.groups.size(), 3u);  // U, hot_a, hot_b all alone
+  for (const auto& group : plan_a.groups) {
+    EXPECT_EQ(group.size(), 1u);
+  }
+  EXPECT_DOUBLE_EQ(plan_a.plan_cost_ns, plan_a.identity_cost_ns);
+
+  const PlacementPlan plan_b = search_placement(g, sgx::CostParams::machine_b());
+  ASSERT_EQ(plan_b.groups.size(), 2u);
+  EXPECT_EQ(plan_b.to_string(), "{U} | {hot_a, hot_b}");
+  EXPECT_DOUBLE_EQ(plan_b.plan_cost_ns, 0.0);
+
+  // Invariant on both machines: no merged group's footprint exceeds the EPC
+  // it was planned for.
+  struct Case {
+    const PlacementPlan* plan;
+    std::uint64_t epc;
+  };
+  const Case cases[] = {{&plan_a, sgx::CostParams::machine_a().epc_bytes},
+                        {&plan_b, sgx::CostParams::machine_b().epc_bytes}};
+  for (const Case& cs : cases) {
+    for (const auto& group : cs.plan->groups) {
+      if (group.size() < 2) continue;
+      std::uint64_t footprint = 0;
+      for (const Color& member : group) footprint += g.node(member)->footprint();
+      EXPECT_LE(footprint, cs.epc);
+    }
+  }
+}
+
+TEST(SearchPlacementTest, UntrustedNeverMerges) {
+  // Even an absurdly hot U edge must not pull a named color into the
+  // untrusted world — U is not an enclave.
+  ColorInteractionGraph g;
+  g.nodes.push_back(ColorNode{Color::untrusted(), 0, 0});
+  g.nodes.push_back(ColorNode{Color::named("secret"), 64, 64});
+  g.edges.push_back(
+      ColorEdge{Color::untrusted(), Color::named("secret"), 1000000, 1000000.0});
+
+  const PlacementPlan plan = search_placement(g, sgx::CostParams::machine_a());
+  ASSERT_EQ(plan.groups.size(), 2u);
+  EXPECT_EQ(plan.to_string(), "{U} | {secret}");
+  EXPECT_DOUBLE_EQ(plan.plan_cost_ns, plan.identity_cost_ns);
+}
+
+// ---------------------------------------------------------------------------
+// Runtime enforcement (Machine::set_placement -> ThreadRuntime color_slot)
+// ---------------------------------------------------------------------------
+
+TEST(PlacementRuntimeTest, SetPlacementRejectsMalformedSlotTables) {
+  Compiled c = compile(kThreeColorPir);
+  interp::Machine m(*c.program, /*epc_limit_bytes=*/0, interp::ExecMode::kFused);
+
+  EXPECT_THROW(m.set_placement({0, 1}), std::runtime_error);           // wrong size
+  EXPECT_THROW(m.set_placement({1, 1, 1, 1}), std::runtime_error);     // U moved
+  EXPECT_THROW(m.set_placement({0, 2, 1, 1}), std::runtime_error);     // not idempotent
+  EXPECT_THROW(m.set_placement({0, 0, 1, 1}), std::runtime_error);     // fold into U
+  EXPECT_THROW(m.set_placement({0, 1, 1, 9}), std::runtime_error);     // out of range
+  m.set_placement({0, 1, 1, 1});                                       // valid
+  m.set_placement({});                                                 // back to identity
+}
+
+TEST(PlacementRuntimeTest, CoResidentColorsElideMessagesWithoutChangingResults) {
+  constexpr std::uint64_t kRequests = 50;
+  struct Run {
+    std::uint64_t messages = 0;
+    std::vector<std::int64_t> state;
+  };
+  auto run_with = [&](const std::vector<std::size_t>& slots) {
+    Compiled c = compile(kThreeColorPir);
+    interp::Machine m(*c.program, /*epc_limit_bytes=*/0, interp::ExecMode::kFused);
+    if (!slots.empty()) m.set_placement(slots);
+    for (std::uint64_t i = 0; i < kRequests; ++i) {
+      auto r = m.call("handle_request", {});
+      EXPECT_TRUE(r.ok()) << r.message();
+    }
+    Run out;
+    out.messages = m.runtime_stats().messages_sent;
+    const std::uint64_t values = m.global_address("values");
+    const auto store = static_cast<sgx::ColorId>(c.program->color_table.size() - 1);
+    for (std::size_t i = 0; i < 16; ++i) {
+      std::byte bytes[8];
+      m.memory().read(values + i * 8, bytes, store);
+      std::int64_t v = 0;
+      std::memcpy(&v, bytes, sizeof v);
+      out.state.push_back(v);
+    }
+    return out;
+  };
+
+  const Run identity = run_with({});
+  const Run merged = run_with({0, 1, 1, 1});
+
+  // The merged placement turns all index<->store and index<->audit traffic
+  // into same-color inline dispatch: 12 -> 2 messages per request.
+  EXPECT_EQ(identity.messages, 12 * kRequests);
+  EXPECT_EQ(merged.messages, 2 * kRequests);
+  // Placement is an optimization, never a semantic change.
+  EXPECT_EQ(identity.state, merged.state);
+}
+
+// ---------------------------------------------------------------------------
+// Differential: static prediction vs observed traffic on the kvcache fixture
+// ---------------------------------------------------------------------------
+
+TEST(PlacementDifferentialTest, StaticEdgeWeightsBoundObservedKvcacheTraffic) {
+  constexpr std::uint64_t kRequests = 200;
+  // Static prediction per request: one planned execution of each call site.
+  Compiled c = compile(std::string(apps::kMinicachedCorePir));
+  const ColorInteractionGraph g = build_interaction_graph(*c.analysis);
+  double static_msgs = 0.0;
+  for (const ColorEdge& e : g.edges) static_msgs += static_cast<double>(e.messages);
+  ASSERT_GT(static_msgs, 0.0);
+
+  // Observed: the Mailbox send counter over a real request mix.
+  interp::Machine m(*c.program, /*epc_limit_bytes=*/0, interp::ExecMode::kFused);
+  for (std::uint64_t i = 0; i < kRequests; ++i) {
+    auto r = m.call("handle_request", {});
+    ASSERT_TRUE(r.ok()) << r.message();
+  }
+  const double observed_per_request =
+      static_cast<double>(m.runtime_stats().messages_sent) /
+      static_cast<double>(kRequests);
+  ASSERT_GT(observed_per_request, 0.0);
+
+  // The static count assumes every planned site runs exactly once per
+  // request; real control flow skips branches and loops others. A bounded
+  // factor is the contract the profile blend (apply_profile) then tightens.
+  constexpr double kBoundedFactor = 8.0;
+  EXPECT_LE(observed_per_request, static_msgs * kBoundedFactor)
+      << "observed " << observed_per_request << " static " << static_msgs;
+  EXPECT_GE(observed_per_request, static_msgs / kBoundedFactor)
+      << "observed " << observed_per_request << " static " << static_msgs;
+}
+
+}  // namespace
+}  // namespace privagic::analysis

@@ -14,6 +14,17 @@
 //                             Informational: exits 0 even when lints fire,
 //                             and even when the type checker rejects the
 //                             program (the report contains its E-codes).
+//                             Output is sorted by (code, function,
+//                             instruction) so CI can diff reports run-to-run.
+//   --placement               print the computed color→enclave placement plan
+//                             (DESIGN.md §15) for machines A and B: groups,
+//                             predicted cross-enclave cost, and the slot
+//                             table to feed Machine::set_placement.
+//   --profile=FILE            blend observed per-color message counters (a
+//                             BENCH_*.json with an embedded metrics object,
+//                             or a bare metrics JSON) into the interaction
+//                             graph used by --placement and the L310/L311
+//                             lints.
 //   --dump-bytecode[=fused]   print the decoded register bytecode of every
 //                             partitioned function and stop; =fused runs the
 //                             superinstruction pass first and annotates each
@@ -34,6 +45,7 @@
 #include <vector>
 
 #include "analysis/pass_manager.hpp"
+#include "analysis/placement.hpp"
 #include "interp/disasm.hpp"
 #include "interp/machine.hpp"
 #include "ir/parser.hpp"
@@ -51,7 +63,8 @@ int usage() {
   std::fprintf(stderr,
                "usage: privagicc [--mode=hardened|relaxed] [--split-structs] [--gather-shared]\n"
                "                 [--emit-input] [--emit-partitioned] [--chunks]\n"
-               "                 [--colors] [--tcb] [--lint[=json]] [--dump-bytecode[=fused]]\n"
+               "                 [--colors] [--tcb] [--lint[=json]] [--placement]\n"
+               "                 [--profile=FILE] [--dump-bytecode[=fused]]\n"
                "                 [--run ENTRY [ARGS...]] [--trace-out=FILE] file.pir\n");
   return 2;
 }
@@ -71,6 +84,8 @@ int main(int argc, char** argv) {
   bool show_tcb = false;
   bool lint = false;
   bool lint_json = false;
+  bool show_placement = false;
+  std::string profile_file;
   bool dump_bytecode = false;
   bool dump_fused = false;
   std::string run_entry;
@@ -103,6 +118,11 @@ int main(int argc, char** argv) {
     } else if (arg == "--lint=json") {
       lint = true;
       lint_json = true;
+    } else if (arg == "--placement") {
+      show_placement = true;
+    } else if (arg.rfind("--profile=", 0) == 0) {
+      profile_file = arg.substr(std::strlen("--profile="));
+      if (profile_file.empty()) return usage();
     } else if (arg == "--dump-bytecode") {
       dump_bytecode = true;
     } else if (arg == "--dump-bytecode=fused") {
@@ -140,6 +160,18 @@ int main(int argc, char** argv) {
   std::ostringstream source;
   source << in.rdbuf();
 
+  std::string profile_json;
+  if (!profile_file.empty()) {
+    std::ifstream pf(profile_file);
+    if (!pf) {
+      std::fprintf(stderr, "privagicc: cannot open profile '%s'\n", profile_file.c_str());
+      return 2;
+    }
+    std::ostringstream ps;
+    ps << pf.rdbuf();
+    profile_json = ps.str();
+  }
+
   auto parsed = ir::parse_module(source.str());
   if (!parsed.ok()) {
     std::fprintf(stderr, "%s: %s\n", file.c_str(), parsed.message().c_str());
@@ -164,8 +196,12 @@ int main(int argc, char** argv) {
     // The pass manager runs the type checker itself (and mem2reg with it),
     // so the lint path owns the module from here. Advisory by design: the
     // exit status stays 0 so CI can diff findings without gating on them.
-    auto pm = analysis::PassManager::with_default_passes(mode);
-    const auto& diags = pm.run(*module);
+    auto pm = analysis::PassManager::with_default_passes(mode, profile_json);
+    // Re-sort the merged report so CI diffs are stable against pass
+    // registration and traversal order (see sort_for_output).
+    sectype::DiagnosticEngine diags;
+    diags.merge(pm.run(*module));
+    diags.sort_for_output();
     if (lint_json) {
       std::printf("%s\n", diags.to_json().c_str());
     } else {
@@ -191,6 +227,41 @@ int main(int argc, char** argv) {
   if (!analysis.run()) {
     std::fputs(analysis.diagnostics().to_string().c_str(), stderr);
     return 1;
+  }
+  if (show_placement) {
+    auto graph = analysis::build_interaction_graph(analysis);
+    if (!profile_json.empty()) {
+      std::string err;
+      if (!analysis::apply_profile(graph, profile_json, &err)) {
+        std::fprintf(stderr, "privagicc: profile ignored: %s\n", err.c_str());
+      }
+    }
+    // The slot table is indexed by the partitioner's color table,
+    // [U, program colors...] — reconstruct the same order here.
+    std::vector<sectype::Color> color_table;
+    color_table.push_back(sectype::Color::untrusted());
+    for (const auto& c : analysis.program_colors()) color_table.push_back(c);
+    struct Target {
+      const char* name;
+      sgx::CostParams params;
+    };
+    const Target targets[] = {{"machine-A", sgx::CostParams::machine_a()},
+                              {"machine-B", sgx::CostParams::machine_b()}};
+    for (const Target& t : targets) {
+      const analysis::PlacementPlan plan = analysis::search_placement(graph, t.params);
+      std::printf("placement %-9s (%llu MiB EPC): %s\n", t.name,
+                  static_cast<unsigned long long>(t.params.epc_bytes >> 20),
+                  plan.to_string().c_str());
+      std::printf("  predicted cross-enclave cost %.0f ns vs %.0f ns one-enclave-per-color"
+                  " (%.1f%% less)\n",
+                  plan.plan_cost_ns, plan.identity_cost_ns, plan.improvement_pct());
+      std::printf("  slot table:");
+      for (const std::size_t s : plan.slot_table(color_table)) {
+        std::printf(" %zu", s);
+      }
+      std::printf("\n");
+    }
+    return 0;
   }
   if (show_colors) {
     for (const auto* facts : analysis.reachable_specs()) {
