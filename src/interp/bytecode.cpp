@@ -7,6 +7,7 @@
 
 #include "interp/dispatch_stats.hpp"
 #include "interp/exec_common.hpp"
+#include "interp/jit.hpp"
 #include "interp/machine.hpp"
 #include "ir/module.hpp"
 #include "obs/hooks.hpp"
@@ -468,14 +469,34 @@ ExecArena& thread_arena() {
 }  // namespace
 
 BytecodeExecutor::BytecodeExecutor(Machine& machine, runtime::ThreadRuntime& rt,
-                                   sgx::ColorId me, bool fused)
+                                   sgx::ColorId me, bool fused, bool native)
     : m_(machine),
       rt_(rt),
       me_(me),
       fused_(fused),
+      native_(native && machine.jit_ != nullptr),
       arena_(thread_arena()),
       entry_sp_(arena_.sp),
-      tally_(DispatchTally::current()) {}
+      // A native-mode executor needs the sampler even with metrics off — the
+      // hotness score that drives promotion comes from the same tick.
+      tally_(DispatchTally::current(/*force_for_jit=*/native && machine.jit_ != nullptr)) {}
+
+std::int64_t BytecodeExecutor::run(const DecodedFunction* f,
+                                   std::span<const std::int64_t> args) {
+  if (!fused_) return run_switch(f, args);
+  if (native_) {
+    // Promotion point: enter compiled code when published; compile first if
+    // the sampled hotness score crossed the machine's threshold. The load is
+    // acquire so the code bytes (published after the W^X flip) are visible.
+    const NativeCode* nc = f->native_code.load(std::memory_order_acquire);
+    if (nc == nullptr &&
+        f->hot_ticks.load(std::memory_order_relaxed) >= m_.jit_threshold_) {
+      nc = m_.jit_->compile(f);
+    }
+    if (nc != nullptr) return run_native(f, nc, args);
+  }
+  return run_fused(f, args);
+}
 
 BytecodeExecutor::~BytecodeExecutor() {
   // Frames above the entry watermark are dead whether we returned or threw;

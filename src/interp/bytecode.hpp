@@ -28,6 +28,7 @@
 // only if — the offending instruction is actually executed.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -168,8 +169,11 @@ struct PageAlignedAllocator {
 
 using OpVec = std::vector<DecodedOp, PageAlignedAllocator<DecodedOp>>;
 
+struct NativeCode;
+
 /// One function, decoded. Immutable after ProgramCode construction and
-/// shared read-only by every executing thread.
+/// shared read-only by every executing thread — except the two native-tier
+/// fields at the tail, which are monotonic atomics.
 struct DecodedFunction {
   const ir::Function* fn = nullptr;
   std::uint32_t num_args = 0;
@@ -184,6 +188,34 @@ struct DecodedFunction {
   // of ops[i]'s first component; a superinstruction at new index i fused the
   // original ops origin[i] and origin[i]+1. Empty when never fused.
   std::vector<std::uint32_t> origin;
+  // Native tier (ExecMode::kNative, jit.hpp). hot_ticks is the per-chunk
+  // hotness score: the prime-61 dispatch sampler charges its period hits to
+  // the function being executed (not just the opcode — see
+  // DispatchTally::touch), so promotion cannot be fooled by a cold chunk
+  // sharing a hot chunk's opcode mix. native_code is the compiled unit once
+  // the JitEngine promotes this function, published with release ordering
+  // after the W^X flip.
+  mutable std::atomic<std::uint64_t> hot_ticks{0};
+  mutable std::atomic<const NativeCode*> native_code{nullptr};
+
+  DecodedFunction() = default;
+  // Decode/fusion-time only — a function is moved while being built, strictly
+  // before any thread executes it, so relaxed carries of the (then still
+  // zero) native-tier atomics are exact.
+  DecodedFunction(DecodedFunction&& other) noexcept
+      : fn(other.fn),
+        num_args(other.num_args),
+        num_slots(other.num_slots),
+        const_base(other.const_base),
+        const_pool(std::move(other.const_pool)),
+        ops(std::move(other.ops)),
+        phi_pool(std::move(other.phi_pool)),
+        arg_pool(std::move(other.arg_pool)),
+        traps(std::move(other.traps)),
+        origin(std::move(other.origin)),
+        hot_ticks(other.hot_ticks.load(std::memory_order_relaxed)),
+        native_code(other.native_code.load(std::memory_order_relaxed)) {}
+  DecodedFunction& operator=(DecodedFunction&&) = delete;
 };
 
 /// Rewrites @p df in place, peephole-fusing adjacent single-use pairs into
@@ -234,34 +266,59 @@ struct ExecArena {
   std::size_t sp = 0;
 };
 
+// Flush the executor's local instruction count into Machine::executed_ at
+// most every this many ops (checked at branch points, where loops must pass).
+// Namespace-scope so the JIT emitter (jit.cpp) bakes the same threshold into
+// compiled flush checks.
+inline constexpr std::uint64_t kCountFlushBatch = 8192;
+
 /// Runs decoded functions on the current thread. One instance per chunk /
 /// interface invocation; nested direct calls reuse the same stack arena and
 /// the same one-entry memory-region cache.
 class BytecodeExecutor {
  public:
   /// @p fused selects the direct-threaded superinstruction loop (the code
-  /// must have been built with ProgramCode(…, fuse=true)).
+  /// must have been built with ProgramCode(…, fuse=true)); @p native
+  /// additionally allows promotion of hot functions to compiled code
+  /// (ExecMode::kNative; implies fused code).
   BytecodeExecutor(Machine& machine, runtime::ThreadRuntime& rt, sgx::ColorId me,
-                   bool fused = false);
+                   bool fused = false, bool native = false);
   ~BytecodeExecutor();
   BytecodeExecutor(const BytecodeExecutor&) = delete;
   BytecodeExecutor& operator=(const BytecodeExecutor&) = delete;
 
-  /// Executes @p f with @p args; returns the i64 result (0 for void).
-  std::int64_t run(const DecodedFunction* f, std::span<const std::int64_t> args) {
-    return fused_ ? run_fused(f, args) : run_switch(f, args);
-  }
+  /// Executes @p f with @p args; returns the i64 result (0 for void). In
+  /// native mode this is the promotion point: a function whose hotness score
+  /// has crossed the machine's threshold is compiled here (once) and entered
+  /// natively from then on.
+  std::int64_t run(const DecodedFunction* f, std::span<const std::int64_t> args);
 
  private:
-  // Flush the local instruction count into Machine::executed_ at most every
-  // this many ops (checked at branch points, where loops must pass).
-  static constexpr std::uint64_t kCountFlushBatch = 8192;
-
   /// The flat-switch loop over unfused code (ExecMode::kDecoded).
   std::int64_t run_switch(const DecodedFunction* f, std::span<const std::int64_t> args);
   /// The direct-threaded loop (computed goto where available, portable
   /// switch otherwise) over fused code (ExecMode::kFused); fused.cpp.
   std::int64_t run_fused(const DecodedFunction* f, std::span<const std::int64_t> args);
+  /// The body of run_fused from @p start_pc with the frame already pushed at
+  /// @p base — the deopt re-entry point: native code that bails mid-call
+  /// resumes here with the same frame, pending count and live allocas, so
+  /// results and instruction counts are identical to never having compiled.
+  std::int64_t fused_loop(const DecodedFunction* f, std::size_t base,
+                          std::uint32_t start_pc,
+                          std::vector<std::uint64_t>& frame_allocas);
+  /// The loop proper, templated on whether the dispatch preamble charges
+  /// per-chunk hotness for JIT promotion. kFused machines take the false
+  /// instantiation, where the hot pointer constant-folds away and the
+  /// dispatch loop is register-for-register the pre-JIT loop — measured ~9%
+  /// on background_tick, which the fused/decoded gate does not have to spare.
+  template <bool kTrackHot>
+  std::int64_t fused_loop_impl(const DecodedFunction* f, std::size_t base,
+                               std::uint32_t start_pc,
+                               std::vector<std::uint64_t>& frame_allocas);
+  /// Enters @p f's compiled code (native.cpp); handles the deopt and
+  /// fault-unwind exits.
+  std::int64_t run_native(const DecodedFunction* f, const NativeCode* nc,
+                          std::span<const std::int64_t> args);
 
   /// Builds the frame for @p f at the arena watermark and copies args +
   /// constants in. Returns the frame base offset (not a pointer: the arena
@@ -287,11 +344,16 @@ class BytecodeExecutor {
   runtime::ThreadRuntime& rt_;
   sgx::ColorId me_;
   const bool fused_;
+  const bool native_;
   sgx::SimMemory::RegionHandle cache_;
   ExecArena& arena_;        // this thread's shared frame stack
   std::size_t entry_sp_;    // arena watermark at construction, restored by dtor
   std::uint64_t pending_ = 0;
-  DispatchTally* tally_;    // sampled per-opcode dispatch counters; null = off
+  DispatchTally* tally_;    // sampled dispatch/hotness counters; null = off
+
+  // native.cpp's helper thunks — the C++ halves of compiled ops — need the
+  // executor's memory fast path, counter and call plumbing.
+  friend struct NativeHelpers;
 };
 
 }  // namespace bc

@@ -41,16 +41,40 @@ namespace privagic::interp::bc {
 std::int64_t BytecodeExecutor::run_fused(const DecodedFunction* f,
                                          std::span<const std::int64_t> args) {
   const std::size_t base = push_frame(f, args);
+  std::vector<std::uint64_t> frame_allocas;
+  return fused_loop(f, base, 0, frame_allocas);
+}
+
+std::int64_t BytecodeExecutor::fused_loop(const DecodedFunction* f, std::size_t base,
+                                          std::uint32_t start_pc,
+                                          std::vector<std::uint64_t>& frame_allocas) {
+  // Only a kNative machine pays for hotness attribution in the dispatch
+  // preamble; the false instantiation is the unchanged kFused loop.
+  return native_ ? fused_loop_impl<true>(f, base, start_pc, frame_allocas)
+                 : fused_loop_impl<false>(f, base, start_pc, frame_allocas);
+}
+
+template <bool kTrackHot>
+std::int64_t BytecodeExecutor::fused_loop_impl(
+    const DecodedFunction* f, std::size_t base, std::uint32_t start_pc,
+    std::vector<std::uint64_t>& frame_allocas) {
   std::int64_t* frame = arena_.stack.data() + base;
 
-  std::vector<std::uint64_t> frame_allocas;
   const DecodedOp* ops = f->ops.data();
-  std::uint32_t pc = 0;
+  std::uint32_t pc = start_pc;
   std::int64_t result = 0;
   const DecodedOp* o = nullptr;
   // Local copy so the dispatch preamble never reloads the member across the
   // opaque handler calls (tally_ is fixed for the executor's lifetime).
   DispatchTally* const tally = tally_;
+  // Per-chunk hotness (kNative): the sampler charges its period hits to this
+  // function's score until the function is compiled — after that (including
+  // deopt resumes into this loop) there is nothing left to promote. In the
+  // kTrackHot=false instantiation this folds to nullptr and costs nothing.
+  std::atomic<std::uint64_t>* const hot =
+      kTrackHot && f->native_code.load(std::memory_order_relaxed) == nullptr
+          ? &f->hot_ticks
+          : nullptr;
 
 #if PRIVAGIC_COMPUTED_GOTO
   // Must list every Op in enum order — the static_assert on kNumOps and the
@@ -72,7 +96,7 @@ std::int64_t BytecodeExecutor::run_fused(const DecodedFunction* f,
     o = &ops[pc];                                                 \
     ++pc;                                                         \
     ++pending_;                                                   \
-    if (tally != nullptr) tally->touch(o->op);                  \
+    if (tally != nullptr) tally->touch(o->op, hot);               \
     goto* kJump[static_cast<std::size_t>(o->op)];                 \
   } while (0)
   NEXT();
@@ -81,7 +105,7 @@ std::int64_t BytecodeExecutor::run_fused(const DecodedFunction* f,
     o = &ops[pc];
     ++pc;
     ++pending_;
-    if (tally != nullptr) tally->touch(o->op);
+    if (tally != nullptr) tally->touch(o->op, hot);
     switch (o->op) {
 #define OPCASE(name) case Op::name:
 #define NEXT() break

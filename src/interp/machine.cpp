@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "interp/bytecode.hpp"
+#include "interp/jit.hpp"
 #include "obs/hooks.hpp"
 #include "partition/intrinsics.hpp"
 #include "support/rng.hpp"
@@ -442,10 +443,15 @@ Machine::Machine(const partition::PartitionResult& program, std::uint64_t epc_li
   }
 
   // Decode after globals and tokens exist: operand lowering bakes their
-  // addresses into the per-function constant pools. kFused additionally runs
-  // the superinstruction fusion pass over every body.
+  // addresses into the per-function constant pools. kFused (and kNative,
+  // which compiles the fused op stream) additionally runs the
+  // superinstruction fusion pass over every body.
   if (mode_ != ExecMode::kTreeWalk) {
-    code_ = std::make_unique<bc::ProgramCode>(*this, /*fuse=*/mode_ == ExecMode::kFused);
+    code_ = std::make_unique<bc::ProgramCode>(
+        *this, /*fuse=*/mode_ == ExecMode::kFused || mode_ == ExecMode::kNative);
+  }
+  if (mode_ == ExecMode::kNative && bc::jit_available()) {
+    jit_ = std::make_unique<bc::JitEngine>();
   }
 }
 
@@ -701,11 +707,23 @@ std::int64_t Machine::exec_function(runtime::ThreadRuntime& rt, const ir::Functi
   if (mode_ != ExecMode::kTreeWalk) {
     const bc::DecodedFunction* df = code_->get(fn);
     if (df == nullptr) throw InterpError("cannot execute declaration @" + fn->name());
-    bc::BytecodeExecutor exec(*this, rt, me, /*fused=*/mode_ == ExecMode::kFused);
+    bc::BytecodeExecutor exec(*this, rt, me,
+                              /*fused=*/mode_ != ExecMode::kDecoded,
+                              /*native=*/mode_ == ExecMode::kNative);
     return exec.run(df, args);
   }
   Executor exec(*this, rt, me);
   return exec.run(fn, args);
+}
+
+Machine::JitStats Machine::jit_stats() const {
+  if (jit_ == nullptr) return JitStats{};
+  const bc::JitEngine::Stats s = jit_->stats();
+  return JitStats{s.compiles, s.deopts, s.code_bytes};
+}
+
+const bc::NativeCode* Machine::jit_compile(const bc::DecodedFunction* df) {
+  return jit_ != nullptr ? jit_->compile(df) : nullptr;
 }
 
 std::int64_t Machine::call_external(const ir::Function* callee,

@@ -49,15 +49,25 @@ namespace bc {
 class ProgramCode;
 class BytecodeExecutor;
 class Decoder;
+class JitEngine;
+struct NativeHelpers;
+struct DecodedFunction;
+struct NativeCode;
 }  // namespace bc
 
-/// Which engine executes function bodies (DESIGN.md §13). kFused is the
+/// Which engine executes function bodies (DESIGN.md §13, §16). kFused is the
 /// default: superinstruction-fused register bytecode on a direct-threaded
 /// dispatch loop (src/interp/fusion.cpp, fused.cpp). kDecoded keeps the
 /// unfused bytecode on the flat switch loop (src/interp/bytecode.cpp), and
 /// kTreeWalk the original AST walker — both stay as differential-testing
-/// oracles (tests/interp_equiv_test.cpp runs every program under all three).
-enum class ExecMode { kDecoded, kTreeWalk, kFused };
+/// oracles (tests/interp_equiv_test.cpp runs every program under all four).
+/// kNative runs the fused tier plus tiered promotion: functions whose
+/// per-chunk hotness score crosses the machine's threshold are template-JIT
+/// compiled to x86-64 (src/interp/jit.cpp) and entered natively from then on,
+/// deopting back to the fused loop for unsupported ops. On hosts without the
+/// PRIVAGIC_JIT probe, kNative degrades to kFused semantics (and identical
+/// results — that is the point of the 4-way equivalence matrix).
+enum class ExecMode { kDecoded, kTreeWalk, kFused, kNative };
 
 class Machine {
  public:
@@ -215,11 +225,41 @@ class Machine {
     return pointer_auth_.load(std::memory_order_relaxed);
   }
 
+  /// Native-tier promotion threshold (ExecMode::kNative only): a function
+  /// compiles once its sampled hotness score (DecodedFunction::hot_ticks,
+  /// charged in kPeriod quanta by the dispatch sampler) reaches this many
+  /// ticks. 0 promotes every function on first entry (the equivalence and
+  /// crash matrices use this to force native execution); the default keeps
+  /// compilation off one-shot chunks. Configure before the first call().
+  void set_jit_threshold(std::uint64_t hot_ticks) { jit_threshold_ = hot_ticks; }
+  [[nodiscard]] std::uint64_t jit_threshold() const { return jit_threshold_; }
+
+  /// Whether this machine can actually promote to native code: mode is
+  /// kNative and the build/host passed the PRIVAGIC_JIT probe.
+  [[nodiscard]] bool jit_enabled() const { return jit_ != nullptr; }
+
+  /// Native-tier counters (zeros when jit_enabled() is false). Mirrored into
+  /// the jit.compiles / jit.deopts / jit.code_bytes metrics by the obs hooks.
+  struct JitStats {
+    std::uint64_t compiles = 0;
+    std::uint64_t deopts = 0;
+    std::uint64_t code_bytes = 0;
+  };
+  [[nodiscard]] JitStats jit_stats() const;
+
+  /// Compiles @p df to native code immediately, bypassing the promotion
+  /// threshold (nullptr when jit_enabled() is false). --dump-bytecode=native
+  /// uses this to produce provenance listings without executing the program;
+  /// execution promotes through the same JitEngine, so the offsets printed
+  /// are the offsets run.
+  const bc::NativeCode* jit_compile(const bc::DecodedFunction* df);
+
  private:
   friend class Executor;
   friend class bc::ProgramCode;
   friend class bc::BytecodeExecutor;
   friend class bc::Decoder;
+  friend struct bc::NativeHelpers;
 
   void allocate_globals(std::uint64_t epc_limit_bytes);
   [[nodiscard]] sgx::ColorId color_id_of_annotation(const std::string& annotation) const;
@@ -253,8 +293,13 @@ class Machine {
   const std::uint64_t generation_;
   std::unique_ptr<sgx::SimMemory> memory_;
   // The whole program pre-decoded to register bytecode (bytecode modes only;
-  // fused in kFused mode).
+  // fused in kFused and kNative modes).
   std::unique_ptr<bc::ProgramCode> code_;
+  // The native-tier compiler (kNative on a PRIVAGIC_JIT host; else null).
+  // Declared before runtimes_ so worker threads are joined and destroyed
+  // before the executable mappings go away.
+  std::unique_ptr<bc::JitEngine> jit_;
+  std::uint64_t jit_threshold_ = kDefaultJitThreshold;
   // One worker group per application (host) thread, §7.3.1.
   mutable std::mutex runtimes_mu_;
   std::map<std::thread::id, std::unique_ptr<runtime::ThreadRuntime>> runtimes_;
@@ -288,6 +333,13 @@ class Machine {
   bool call_path_direct_dispatch_ = true;
   static constexpr std::uint64_t kMaxInstructions = 200'000'000;
   static constexpr std::uint64_t kPointerAuthSecret = 0xC0FFEE123456789Bull;
+  // Default promotion threshold in sampled hot ticks. hot_ticks advances in
+  // kPeriod-sized quanta (one per prime-61 sampler hit), so its value
+  // approximates the dispatched ops attributed to the function: 10k ticks is
+  // ~10k dispatched ops — a few thousand trips around a hot loop or a few
+  // hundred calls of a kvcache-sized chunk body, crossed in the first bench
+  // warmup block, never by one-shot init code.
+  static constexpr std::uint64_t kDefaultJitThreshold = 10'000;
 };
 
 }  // namespace privagic::interp

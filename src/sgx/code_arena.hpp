@@ -1,0 +1,96 @@
+// Executable code arena for the native tier (DESIGN.md §16), with the EPC
+// accounting the interpreter tiers never needed: on real SGX2, JIT-compiled
+// chunk code occupies EPC pages added at runtime (EDMM) and flipped RX via
+// EMODPE — code bytes are enclave memory, so this layer owns them and counts
+// them the way SimMemory owns and counts data pages.
+//
+// Layout follows the OpVec allocator pattern (bytecode.hpp): every unit is
+// page-granular, so the compiled code's base address has bits 0..11 pinned
+// and the I-cache/L1 set mapping of a compiled chunk is identical in every
+// run — the same bimodality fix the decoded-op arrays needed, applied to the
+// instructions themselves.
+//
+// W^X discipline: a block is mapped RW for exactly the memcpy of the emitted
+// bytes, then mprotect'd R+X before the entry pointer escapes; no page is
+// ever writable and executable at once. Publication order (flip, then
+// release-store of the NativeCode pointer) means no thread can reach code
+// that is still writable.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/mman.h>
+#define PRIVAGIC_CODE_ARENA_MMAP 1
+#else
+#define PRIVAGIC_CODE_ARENA_MMAP 0
+#endif
+
+#include "obs/hooks.hpp"
+
+namespace privagic::sgx {
+
+/// One owner's worth of executable memory. Not thread-safe: the JitEngine
+/// serializes compilation under its own lock; the published code itself is
+/// immutable and read/executed lock-free.
+class CodeArena {
+ public:
+  static constexpr std::size_t kPageBytes = 4096;
+
+  CodeArena() = default;
+  CodeArena(const CodeArena&) = delete;
+  CodeArena& operator=(const CodeArena&) = delete;
+  ~CodeArena() {
+#if PRIVAGIC_CODE_ARENA_MMAP
+    for (const Block& b : blocks_) ::munmap(b.base, b.size);
+#endif
+  }
+
+  /// Maps a page-aligned block, copies @p size emitted bytes from @p code
+  /// into it, flips it R+X, and returns the executable base — or nullptr
+  /// when the host cannot map executable memory (hardened kernels, non-unix
+  /// builds), in which case the caller must stay on the interpreter tiers.
+  const void* publish(const void* code, std::size_t size) {
+#if PRIVAGIC_CODE_ARENA_MMAP
+    const std::size_t mapped = (size + kPageBytes - 1) & ~(kPageBytes - 1);
+    void* base = ::mmap(nullptr, mapped, PROT_READ | PROT_WRITE,
+                        MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (base == MAP_FAILED) return nullptr;
+    std::memcpy(base, code, size);
+    if (::mprotect(base, mapped, PROT_READ | PROT_EXEC) != 0) {
+      ::munmap(base, mapped);
+      return nullptr;
+    }
+    blocks_.push_back(Block{base, mapped});
+    code_bytes_.fetch_add(mapped, std::memory_order_relaxed);
+    obs::on_jit_code_bytes(mapped);
+    return base;
+#else
+    (void)code;
+    (void)size;
+    return nullptr;
+#endif
+  }
+
+  /// Page-rounded executable bytes this arena holds — the EPC cost of the
+  /// native tier (mirrored into the jit.code_bytes metric at publish time).
+  [[nodiscard]] std::uint64_t code_bytes() const {
+    return code_bytes_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::size_t blocks() const { return blocks_.size(); }
+
+ private:
+  struct Block {
+    void* base;
+    std::size_t size;
+  };
+  std::vector<Block> blocks_;
+  std::atomic<std::uint64_t> code_bytes_{0};
+};
+
+}  // namespace privagic::sgx

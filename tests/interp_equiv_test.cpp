@@ -2,9 +2,12 @@
 //
 // Every PIR fixture (examples/pir/*.pir), the partitioned kvcache program
 // (apps/kvcache/pir_program.hpp), and the PR-1 fault-injection and
-// pointer-auth configurations run under all three ExecModes — kTreeWalk,
-// kDecoded (flat switch), and kFused (superinstructions + direct-threaded
-// dispatch) — with identical scripts; the engines must observably agree on
+// pointer-auth configurations run under all four ExecModes — kTreeWalk,
+// kDecoded (flat switch), kFused (superinstructions + direct-threaded
+// dispatch), and kNative (template-JIT with promotion forced to the first
+// call, so compiled code — and its deopt/fault exits — actually execute;
+// on non-JIT hosts the mode degrades to kFused and the row still runs) —
+// with identical scripts; the engines must observably agree on
 //   * every call's status and return value (including error messages),
 //   * the external-call log (recording enabled on both),
 //   * final global memory, byte for byte (region snapshots via resolve()),
@@ -115,6 +118,9 @@ Observed run_scenario(
     const std::function<void(interp::Machine&)>& configure,
     const std::function<void(interp::Machine&, Observed&)>& drive) {
   interp::Machine m(program, kEpcLimit, mode);
+  // The native row must execute compiled code, not merely warm up toward the
+  // production threshold: promote every function on first entry.
+  if (mode == ExecMode::kNative) m.set_jit_threshold(0);
   m.set_external_log_enabled(true);
   for (const char* boundary : {"classify", "declassify"}) {
     m.bind_external(boundary, [](interp::Machine::ExternalCtx&,
@@ -125,6 +131,10 @@ Observed run_scenario(
   if (configure) configure(m);
   Observed o;
   drive(m, o);
+  // The native row proves nothing if promotion silently never happened.
+  if (mode == ExecMode::kNative && m.jit_enabled()) {
+    EXPECT_GT(m.jit_stats().compiles, 0u) << "kNative row never compiled";
+  }
   o.instructions = settled_instructions(m);
   o.log = m.external_log();
   for (const auto& g : program.module->globals()) {
@@ -165,14 +175,18 @@ void run_both_and_compare(
   Compiled for_tree = build();
   Compiled for_decoded = build();
   Compiled for_fused = build();
+  Compiled for_native = build();
   const Observed tree =
       run_scenario(*for_tree.program, ExecMode::kTreeWalk, configure, drive);
   const Observed decoded =
       run_scenario(*for_decoded.program, ExecMode::kDecoded, configure, drive);
   const Observed fused =
       run_scenario(*for_fused.program, ExecMode::kFused, configure, drive);
+  const Observed native =
+      run_scenario(*for_native.program, ExecMode::kNative, configure, drive);
   expect_equivalent(tree, decoded, "decoded");
   expect_equivalent(tree, fused, "fused");
+  expect_equivalent(tree, native, "native");
 }
 
 // ---------------------------------------------------------------------------
@@ -285,8 +299,8 @@ TEST(InterpEquivTest, CallPathBatchingOnAndOffAreObservablyIdentical) {
     for (int i = 0; i < 40; ++i) record_call(m, o, "handle_request", {});
     record_call(m, o, "read_stats", {});
   };
-  for (const ExecMode mode :
-       {ExecMode::kTreeWalk, ExecMode::kDecoded, ExecMode::kFused}) {
+  for (const ExecMode mode : {ExecMode::kTreeWalk, ExecMode::kDecoded,
+                              ExecMode::kFused, ExecMode::kNative}) {
     Compiled a = compile(std::string(apps::kMinicachedCorePir), Mode::kHardened);
     Compiled b = compile(std::string(apps::kMinicachedCorePir), Mode::kHardened);
     const Observed batched = run_scenario(*a.program, mode, bind_net, drive);

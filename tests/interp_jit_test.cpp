@@ -1,0 +1,201 @@
+// Native-tier promotion path (DESIGN.md §16).
+//
+// The equivalence matrix (interp_equiv_test) proves compiled code computes
+// what the interpreters compute; this suite proves the *promotion machinery*
+// around it:
+//   * a function below the hotness threshold never compiles — kNative with a
+//     cold threshold is exactly kFused;
+//   * a function that crosses the threshold compiles on its next entry, and
+//     exactly once — later calls reuse the published unit;
+//   * a deopt mid-call (sdiv is outside the template set) resumes in the
+//     fused interpreter on the same frame with identical results AND an
+//     identical instructions-executed count, on both the ok and the
+//     divide-by-zero error path.
+// On builds without the native tier (PRIVAGIC_JIT=0) the compile-count
+// assertions are skipped; the result/count identities still run — kNative
+// must degrade to kFused, not to something else.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "interp/machine.hpp"
+#include "ir/parser.hpp"
+#include "partition/partitioner.hpp"
+
+namespace privagic::interp {
+namespace {
+
+using partition::PartitionResult;
+using sectype::Mode;
+using sectype::TypeAnalysis;
+using namespace std::chrono_literals;
+
+struct Compiled {
+  std::unique_ptr<ir::Module> module;
+  std::unique_ptr<TypeAnalysis> analysis;
+  std::unique_ptr<PartitionResult> program;
+};
+
+Compiled compile(const char* text) {
+  Compiled c;
+  auto parsed = ir::parse_module(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.message();
+  c.module = std::move(parsed).value();
+  c.analysis = std::make_unique<TypeAnalysis>(*c.module, Mode::kRelaxed);
+  EXPECT_TRUE(c.analysis->run()) << c.analysis->diagnostics().to_string();
+  auto result = partition::partition_module(*c.analysis);
+  EXPECT_TRUE(result.ok()) << result.message();
+  c.program = std::move(result).value();
+  return c;
+}
+
+// @spin: a tight counted loop — the canonical promotion candidate. Each call
+// dispatches ~4 ops per iteration, so hot_ticks (≈ attributed dispatches)
+// crosses any small threshold within one call.
+// @mix: sdiv sits outside the native template set, so compiled code deopts
+// right before it and the fused loop finishes the call — including the
+// divide-by-zero trap when %b is 0.
+const char* kProgram = R"(
+module "jit_promotion"
+define i64 @spin(i64 %n) entry {
+entry:
+  br %loop
+loop:
+  %i = phi i64 [ i64 0, %entry ], [ %i2, %loop ]
+  %acc = phi i64 [ i64 0, %entry ], [ %acc2, %loop ]
+  %acc2 = add i64 %acc, i64 %i
+  %i2 = add i64 %i, i64 1
+  %c = icmp slt i64 %i2, %n
+  cond_br i1 %c, %loop, %done
+done:
+  ret i64 %acc2
+}
+define i64 @mix(i64 %a, i64 %b) entry {
+entry:
+  %s = add i64 %a, i64 %b
+  %q = sdiv i64 %s, i64 %b
+  %r = add i64 %q, i64 %s
+  ret i64 %r
+}
+)";
+
+constexpr std::int64_t kSpinN = 5000;
+constexpr std::int64_t kSpinExpected = kSpinN * (kSpinN - 1) / 2;
+
+// instructions_executed() can trail call() by a worker turn; poll briefly.
+std::uint64_t settled_instructions(const Machine& m) {
+  std::uint64_t prev = m.instructions_executed();
+  int stable = 0;
+  for (int i = 0; i < 500 && stable < 10; ++i) {
+    std::this_thread::sleep_for(1ms);
+    const std::uint64_t now = m.instructions_executed();
+    stable = now == prev ? stable + 1 : 0;
+    prev = now;
+  }
+  return prev;
+}
+
+TEST(JitPromotionTest, BelowThresholdNeverCompiles) {
+  Compiled c = compile(kProgram);
+  Machine m(*c.program, /*epc_limit_bytes=*/0, ExecMode::kNative);
+  m.set_jit_threshold(1'000'000'000);  // colder than any test workload
+  for (int i = 0; i < 3; ++i) {
+    auto r = m.call("spin", {kSpinN});
+    ASSERT_TRUE(r.ok()) << r.message();
+    EXPECT_EQ(r.value(), kSpinExpected);
+  }
+  EXPECT_EQ(m.jit_stats().compiles, 0u);
+  EXPECT_EQ(m.jit_stats().code_bytes, 0u);
+}
+
+TEST(JitPromotionTest, CompilesExactlyOnceAfterCrossing) {
+  Compiled c = compile(kProgram);
+  Machine m(*c.program, /*epc_limit_bytes=*/0, ExecMode::kNative);
+  if (!m.jit_enabled()) GTEST_SKIP() << "PRIVAGIC_JIT=0 on this build/host";
+  // ~4 dispatches x 5000 iterations per call vs a threshold of 1000: one
+  // call accumulates far past the threshold. Promotion happens at function
+  // ENTRY, so the crossing call itself still runs fused.
+  m.set_jit_threshold(1000);
+
+  auto r1 = m.call("spin", {kSpinN});
+  ASSERT_TRUE(r1.ok()) << r1.message();
+  EXPECT_EQ(r1.value(), kSpinExpected);
+  EXPECT_EQ(m.jit_stats().compiles, 0u) << "compiled before any entry saw heat";
+
+  auto r2 = m.call("spin", {kSpinN});
+  ASSERT_TRUE(r2.ok()) << r2.message();
+  EXPECT_EQ(r2.value(), kSpinExpected);
+  EXPECT_EQ(m.jit_stats().compiles, 1u) << "second entry should promote";
+  EXPECT_GT(m.jit_stats().code_bytes, 0u);
+
+  const std::uint64_t bytes = m.jit_stats().code_bytes;
+  for (int i = 0; i < 3; ++i) {
+    auto r = m.call("spin", {kSpinN});
+    ASSERT_TRUE(r.ok()) << r.message();
+    EXPECT_EQ(r.value(), kSpinExpected);
+  }
+  EXPECT_EQ(m.jit_stats().compiles, 1u) << "recompiled an already-published unit";
+  EXPECT_EQ(m.jit_stats().code_bytes, bytes);
+}
+
+TEST(JitPromotionTest, DeoptMidCallResumesInFusedWithIdenticalResults) {
+  Compiled c = compile(kProgram);
+  Machine fused(*c.program, /*epc_limit_bytes=*/0, ExecMode::kFused);
+  Machine native(*c.program, /*epc_limit_bytes=*/0, ExecMode::kNative);
+  native.set_jit_threshold(0);  // promote on first entry
+
+  auto rf = fused.call("mix", {40, 2});
+  auto rn = native.call("mix", {40, 2});
+  ASSERT_TRUE(rf.ok()) << rf.message();
+  ASSERT_TRUE(rn.ok()) << rn.message();
+  EXPECT_EQ(rf.value(), rn.value());
+  EXPECT_EQ(rf.value(), (40 + 2) / 2 + 42);
+
+  if (native.jit_enabled()) {
+    EXPECT_GT(native.jit_stats().compiles, 0u) << "native row never compiled";
+    EXPECT_GT(native.jit_stats().deopts, 0u) << "sdiv should have deopted";
+  }
+  // The deopt must not skip or double-charge the op it bailed on: the
+  // instruction accounting of the two engines is bit-identical.
+  EXPECT_EQ(settled_instructions(fused), settled_instructions(native));
+}
+
+TEST(JitPromotionTest, DeoptErrorPathMatchesFused) {
+  Compiled c = compile(kProgram);
+  Machine fused(*c.program, /*epc_limit_bytes=*/0, ExecMode::kFused);
+  Machine native(*c.program, /*epc_limit_bytes=*/0, ExecMode::kNative);
+  native.set_jit_threshold(0);
+
+  auto rf = fused.call("mix", {5, 0});
+  auto rn = native.call("mix", {5, 0});
+  ASSERT_FALSE(rf.ok());
+  ASSERT_FALSE(rn.ok());
+  EXPECT_EQ(rf.message(), rn.message());
+  if (native.jit_enabled()) {
+    EXPECT_GT(native.jit_stats().deopts, 0u);
+  }
+  EXPECT_EQ(settled_instructions(fused), settled_instructions(native));
+}
+
+TEST(JitPromotionTest, ThresholdZeroCompilesOnFirstEntry) {
+  Compiled c = compile(kProgram);
+  Machine m(*c.program, /*epc_limit_bytes=*/0, ExecMode::kNative);
+  if (!m.jit_enabled()) GTEST_SKIP() << "PRIVAGIC_JIT=0 on this build/host";
+  m.set_jit_threshold(0);
+  auto r = m.call("spin", {kSpinN});
+  ASSERT_TRUE(r.ok()) << r.message();
+  EXPECT_EQ(r.value(), kSpinExpected);
+  // Every body entered compiled (the partitioner may emit more than one —
+  // interface trampoline + chunk); none of them compiles a second time.
+  const std::uint64_t compiles = m.jit_stats().compiles;
+  EXPECT_GT(compiles, 0u);
+  auto r2 = m.call("spin", {kSpinN});
+  ASSERT_TRUE(r2.ok()) << r2.message();
+  EXPECT_EQ(m.jit_stats().compiles, compiles);
+}
+
+}  // namespace
+}  // namespace privagic::interp

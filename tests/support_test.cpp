@@ -308,6 +308,57 @@ TEST(BenchCheckTest, FloorMissingFromSnapshotFails) {
   EXPECT_NE(report.to_string().find("missing from snapshot"), std::string::npos);
 }
 
+TEST(BenchCheckTest, CeilingPassesAtOrBelowAndNeverPunishesShrinking) {
+  const auto baselines =
+      parse_or_die_json(R"({"bench": {"jit.deopts": {"max": 4}}})");
+  for (const char* actual : {"4", "3", "0"}) {
+    const auto snapshot = parse_or_die_json(
+        (R"({"benchmark": "bench", "metrics": {"jit.deopts": )" +
+         std::string(actual) + "}}")
+            .c_str());
+    const auto report = support::check_bench(baselines, snapshot);
+    EXPECT_TRUE(report.ok()) << actual << "\n" << report.to_string();
+    ASSERT_EQ(report.findings.size(), 1u);
+    EXPECT_TRUE(report.findings[0].is_ceiling);
+    EXPECT_FALSE(report.findings[0].is_floor);
+  }
+}
+
+TEST(BenchCheckTest, CeilingFailsAbove) {
+  const auto baselines =
+      parse_or_die_json(R"({"bench": {"jit.deopts": {"max": 4}}})");
+  const auto snapshot =
+      parse_or_die_json(R"({"benchmark": "bench", "metrics": {"jit.deopts": 5}})");
+  const auto report = support::check_bench(baselines, snapshot);
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(report.to_string().find("above ceiling"), std::string::npos);
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_TRUE(report.findings[0].is_ceiling);
+  EXPECT_EQ(report.findings[0].baseline, 4.0);
+}
+
+TEST(BenchCheckTest, CeilingMissingFromSnapshotFails) {
+  const auto baselines =
+      parse_or_die_json(R"({"bench": {"jit.deopts": {"max": 4}}})");
+  const auto snapshot = parse_or_die_json(R"({"benchmark": "bench", "metrics": {}})");
+  const auto report = support::check_bench(baselines, snapshot);
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(report.to_string().find("missing from snapshot"), std::string::npos);
+}
+
+TEST(BenchCheckTest, ValueWinsWhenEntryAlsoCarriesBounds) {
+  // A {"value"} pin stays two-sided even if a stray min/max rides along.
+  const auto baselines = parse_or_die_json(
+      R"({"bench": {"msgs": {"value": 100, "tol_pct": 0, "max": 1}}})");
+  const auto snapshot =
+      parse_or_die_json(R"({"benchmark": "bench", "metrics": {"msgs": 100}})");
+  const auto report = support::check_bench(baselines, snapshot);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_FALSE(report.findings[0].is_ceiling);
+  EXPECT_FALSE(report.findings[0].is_floor);
+}
+
 TEST(BenchCheckTest, SkipsUnknownBenchmark) {
   const auto baselines = parse_or_die_json(R"({"other": {}})");
   const auto snapshot = parse_or_die_json(R"({"benchmark": "bench", "metrics": {"x": 1}})");
